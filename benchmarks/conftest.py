@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench file regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Workload runners are session-scoped so the
+expensive part — building per-rank fingerprint indices at up to 408 ranks —
+happens once per process and is shared by every bench.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
+tables next to the paper's numbers.
+"""
+
+import pytest
+
+from repro.analysis.experiments import cm1_runner, hpccg_runner
+
+# The paper's process counts (Table I).
+HPCCG_NS = (1, 64, 196, 408)
+CM1_NS = (12, 120, 264, 408)
+
+# Paper-reported completion times, seconds (Table I):
+# N -> (no-dedup, local-dedup, coll-dedup, baseline)
+PAPER_TABLE1_HPCCG = {
+    1: (148, 113, 113, 82),
+    64: (921, 390, 227, 152),
+    196: (1004, 447, 278, 186),
+    408: (1188, 547, 375, 279),
+}
+PAPER_TABLE1_CM1 = {
+    12: (1401, 524, 242, 178),
+    120: (1522, 734, 367, 259),
+    264: (1647, 808, 505, 366),
+    408: (1687, 828, 558, 382),
+}
+
+
+@pytest.fixture(scope="session")
+def hpccg():
+    return hpccg_runner(nx=16)
+
+
+@pytest.fixture(scope="session")
+def cm1():
+    return cm1_runner(nx=24, nz=12)

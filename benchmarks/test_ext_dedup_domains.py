@@ -1,0 +1,53 @@
+"""X10 — Ablation: dedup domains (an alternative complexity bound to F).
+
+The paper bounds the reduction's cost with the F threshold; partitioning
+ranks into independent dedup *domains* is the other classic lever (fewer
+rounds, smaller tables, trivially parallel) at the price of missing
+cross-domain duplicates.  This bench sweeps the domain size on HPCCG-408
+and shows the trade: traffic falls as domains grow, while the modelled
+reduction cost grows only logarithmically.
+"""
+
+from repro.analysis.tables import format_series
+from repro.core import Strategy
+
+N = 408
+K = 3
+DOMAINS = (4, 16, 64, 204, None)  # None = global (the paper)
+
+
+def sweep(runner):
+    sent, reduction_s, rounds = [], [], []
+    for d in DOMAINS:
+        run = runner.run(N, Strategy.COLL_DEDUP, k=K, dedup_domain_size=d)
+        sent.append(sum(run.metrics.per_rank_sent))
+        reduction_s.append(run.breakdown.reduction)
+        rounds.append(len(run.result.reduction_level_nbytes))
+    return sent, reduction_s, rounds
+
+
+def test_ext_dedup_domains(benchmark, hpccg):
+    sent, reduction_s, rounds = benchmark.pedantic(
+        sweep, args=(hpccg,), rounds=1, iterations=1
+    )
+
+    print()
+    print(f"-- X10: dedup-domain sweep, HPCCG-{N}, K={K} --")
+    labels = [str(d) if d else "global" for d in DOMAINS]
+    print(format_series(
+        "domain", labels,
+        {
+            "total sent (MB)": [f"{s / 1e6:.1f}" for s in sent],
+            "reduction rounds": rounds,
+            "reduction time (s)": [f"{t:.2f}" for t in reduction_s],
+        },
+    ))
+
+    # Bigger domains find more duplicates: traffic is non-increasing.
+    for a, b in zip(sent, sent[1:]):
+        assert b <= a * 1.0001
+    # ... while rounds grow only logarithmically with the domain size.
+    assert rounds[0] < rounds[-1]
+    assert rounds[-1] <= rounds[0] + 8
+    # The global reduction buys a real traffic reduction over 4-rank domains.
+    assert sent[-1] < sent[0] * 0.8

@@ -1,0 +1,56 @@
+"""X3 — Ablation: the F threshold (Sec. III-B's bounded-complexity
+relaxation).
+
+F caps how many fingerprints survive each merge.  Sweeping F shows the
+trade the paper describes: a tight cap keeps reduction tables small but
+treats real duplicates as unique (more traffic); once F exceeds the
+distinct-duplicate population, dedup quality saturates.
+"""
+
+from repro.analysis.tables import format_series
+from repro.core import Strategy
+
+N = 196
+K = 3
+# The sweep spans from far-too-tight to beyond the distinct-fingerprint
+# population (~105k at this scale), so both the quality cliff and the
+# saturation plateau are visible.
+FS = (512, 1 << 12, 1 << 14, 1 << 16, 1 << 17, 1 << 18)
+
+
+def sweep(runner):
+    sent, view_entries = [], []
+    for f in FS:
+        run = runner.run(N, Strategy.COLL_DEDUP, k=K, f_threshold=f)
+        sent.append(sum(run.metrics.per_rank_sent))
+        view_entries.append(run.metrics.view_entries)
+    return sent, view_entries
+
+
+def test_ext_f_threshold(benchmark, hpccg):
+    sent, view_entries = benchmark.pedantic(sweep, args=(hpccg,), rounds=1, iterations=1)
+
+    print()
+    print(f"-- X3: F-threshold sweep, HPCCG-{N}, K={K} --")
+    print(format_series(
+        "F", list(FS),
+        {
+            "total sent (MB)": [f"{s / 1e6:.1f}" for s in sent],
+            "view entries": view_entries,
+        },
+    ))
+
+    # View size is capped by F and grows with it until saturation.
+    for f, entries in zip(FS, view_entries):
+        assert entries <= f
+    assert view_entries[-1] >= view_entries[0]
+
+    # More room in the view => never more traffic; strictly less somewhere.
+    for a, b in zip(sent, sent[1:]):
+        assert b <= a * 1.0001
+    assert sent[-1] < sent[0]
+
+    # Saturation: once F exceeds the distinct-fingerprint population, more
+    # room changes nothing.
+    assert sent[-1] == sent[-2]
+    assert view_entries[-1] == view_entries[-2]

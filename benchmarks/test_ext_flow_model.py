@@ -1,0 +1,63 @@
+"""X5 — Methodology cross-check: analytic vs flow-level timing model.
+
+Every timing figure uses the analytic cost model (per-node volume bounds).
+This bench re-prices the Table-I configurations with the max-min-fair flow
+simulation (:mod:`repro.netsim.event_model`) and asserts the two models
+agree on every ordering and stay within a factor of each other — evidence
+that the reproduced *shapes* are not artifacts of the simpler model.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core import Strategy
+from repro.netsim.event_model import flow_dump_time
+
+N = 196
+K = 3
+
+
+def both_models(runner):
+    rows = {}
+    for strategy in Strategy:
+        run = runner.run(N, strategy, k=K)
+        flow = flow_dump_time(
+            run.result,
+            runner.machine,
+            volume_scale=run.volume_scale,
+            rank_to_node=runner.machine.rank_to_node(N),
+        )
+        rows[strategy] = (run.breakdown, flow)
+    return rows
+
+
+def test_ext_flow_model(benchmark, hpccg):
+    rows = benchmark.pedantic(both_models, args=(hpccg,), rounds=1, iterations=1)
+
+    print()
+    print(f"-- X5: analytic vs flow-level dump time (s), HPCCG-{N}, K={K} --")
+    print(format_table(
+        ["strategy", "analytic total", "flow total", "analytic exch", "flow exch"],
+        [
+            [
+                s.value,
+                f"{a.total:.1f}",
+                f"{f.total:.1f}",
+                f"{a.exchange:.1f}",
+                f"{f.exchange:.1f}",
+            ]
+            for s, (a, f) in rows.items()
+        ],
+    ))
+
+    analytic = {s: a.total for s, (a, _f) in rows.items()}
+    flow = {s: f.total for s, (_a, f) in rows.items()}
+    # Same winner ordering under both models.
+    for totals in (analytic, flow):
+        assert (
+            totals[Strategy.COLL_DEDUP]
+            < totals[Strategy.LOCAL_DEDUP]
+            < totals[Strategy.NO_DEDUP]
+        )
+    # And the models agree within a small factor on every cell.
+    for s in Strategy:
+        ratio = flow[s] / analytic[s]
+        assert 0.4 < ratio < 2.5, (s, ratio)

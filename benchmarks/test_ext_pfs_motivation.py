@@ -1,0 +1,50 @@
+"""X8 — The paper's motivating claim, measured: PFS vs local+partner dumps.
+
+"A decoupled storage system does not provide sufficient I/O bandwidth to
+handle the explosion of data sizes" (Sec. I).  This bench prices a full
+HPCCG-408 checkpoint written to a shared parallel file system against the
+three local-storage strategies, at paper-scale volumes.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core import Strategy
+from repro.storage.pfs import ParallelFileSystem
+
+N = 408
+K = 3
+PFS_BANDWIDTH = 2e9  # a generous aggregate 2 GB/s for the 2015-era PFS
+
+
+def run_comparison(runner):
+    runs = runner.run_strategies(N, k=K)
+    pfs = ParallelFileSystem(aggregate_bandwidth=PFS_BANDWIDTH)
+    raw_bytes = sum(
+        r.dataset_bytes for r in runs[Strategy.NO_DEDUP].result.reports
+    ) * runner.volume_scale(N)
+    pfs_seconds = pfs.flush_time(raw_bytes)
+    return runs, pfs_seconds, raw_bytes
+
+
+def test_ext_pfs_motivation(benchmark, hpccg):
+    runs, pfs_seconds, raw_bytes = benchmark.pedantic(
+        run_comparison, args=(hpccg,), rounds=1, iterations=1
+    )
+
+    print()
+    print(f"-- X8: one HPCCG-{N} checkpoint ({raw_bytes / 1e9:.0f} GB raw) --")
+    rows = [["PFS flush (2 GB/s aggregate)", f"{pfs_seconds:.0f}", "none"]]
+    for s in Strategy:
+        rows.append([
+            f"local+partner, {s.value}",
+            f"{runs[s].breakdown.total:.0f}",
+            f"K={K}",
+        ])
+    print(format_table(["method", "dump time (s)", "resilience"], rows))
+
+    # The motivation: even *no-dedup* partner replication beats a PFS dump
+    # only once redundancy elimination kicks in; coll-dedup must beat the
+    # PFS decisively.
+    assert runs[Strategy.COLL_DEDUP].breakdown.total < pfs_seconds / 2
+    assert runs[Strategy.LOCAL_DEDUP].breakdown.total < pfs_seconds
+    # And the PFS time is in the paper-cited "minutes at petascale" regime.
+    assert pfs_seconds > 100.0

@@ -1,0 +1,66 @@
+"""X6 — Ablation the paper leaves open: what restart costs per strategy.
+
+coll-dedup's dump-time savings are partly a loan: ranks that *discarded*
+chunks (natural replicas elsewhere) must pull them back over the network at
+restart.  local-dedup restarts from purely local data.  This bench runs the
+real collective restore (``LOAD_INPUT``) on a threaded world and compares
+per-strategy restart traffic — the availability-side trade of the paper's
+design, measured.
+"""
+
+from repro.analysis.tables import format_table, human_bytes
+from repro.apps.synthetic import SyntheticWorkload
+from repro.core import DumpConfig, Strategy, dump_output
+from repro.core.collective_restore import load_input
+from repro.simmpi import World
+from repro.storage import Cluster
+
+N = 12
+K = 3
+CS = 1024
+
+
+def run_strategy(strategy):
+    w = SyntheticWorkload(
+        chunks_per_rank=96, chunk_size=CS,
+        frac_global=0.3, frac_group=0.1, group_size=4,
+        frac_zero=0.1, frac_local_dup=0.2,
+    )
+    cfg = DumpConfig(replication_factor=K, chunk_size=CS, strategy=strategy,
+                     f_threshold=1 << 17)
+    cluster = Cluster(N, dedup=(strategy is not Strategy.NO_DEDUP))
+    dump_reports = World(N).run(
+        lambda comm: dump_output(
+            comm, w.build_dataset(comm.rank, N), cfg, cluster
+        )
+    )
+    load_results = World(N).run(lambda comm: load_input(comm, cluster, cfg))
+    dump_traffic = sum(r.sent_bytes for r in dump_reports)
+    restart_traffic = sum(rep.pulled_bytes for _ds, rep in load_results)
+    return dump_traffic, restart_traffic
+
+
+def test_ext_restart_traffic(benchmark):
+    results = benchmark.pedantic(
+        lambda: {s: run_strategy(s) for s in Strategy}, rounds=1, iterations=1
+    )
+
+    print()
+    print(f"-- X6: dump vs restart traffic, {N} ranks, K={K}, no failures --")
+    print(format_table(
+        ["strategy", "dump traffic", "restart traffic"],
+        [
+            [s.value, human_bytes(d), human_bytes(r)]
+            for s, (d, r) in results.items()
+        ],
+    ))
+
+    # Baselines restart for free: every rank kept all of its own chunks.
+    assert results[Strategy.NO_DEDUP][1] == 0
+    assert results[Strategy.LOCAL_DEDUP][1] == 0
+    # coll-dedup pays some restart traffic for its discarded chunks ...
+    dump_coll, restart_coll = results[Strategy.COLL_DEDUP]
+    assert restart_coll > 0
+    # ... but far less than what it saved at dump time.
+    dump_local = results[Strategy.LOCAL_DEDUP][0]
+    assert dump_coll + restart_coll < dump_local

@@ -1,0 +1,56 @@
+"""E2 — Figure 3(a): total size of unique content.
+
+Paper: local-dedup reduces unique content to ~33 % (HPCCG) / ~30 % (CM1)
+of the raw total; coll-dedup to ~6 % / ~5 % at 408 processes.  We assert
+the ordering and generous bands around those ratios (the exact values
+depend on the scaled working set; see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core import Strategy
+
+
+def rows_for(runner, n):
+    runs = runner.run_strategies(n, k=3)
+    total = runs[Strategy.NO_DEDUP].metrics.total_dataset_bytes
+    return {
+        s: runs[s].metrics.unique_content_bytes / total for s in Strategy
+    }
+
+
+@pytest.mark.parametrize(
+    "workload,n,paper_local,paper_coll",
+    [
+        ("hpccg", 196, 0.33, 0.07),
+        ("cm1", 264, 0.30, 0.06),
+        ("hpccg", 408, 0.33, 0.06),
+        ("cm1", 408, 0.30, 0.05),
+    ],
+)
+def test_fig3a_unique_content(benchmark, workload, n, paper_local, paper_coll,
+                              hpccg, cm1):
+    runner = hpccg if workload == "hpccg" else cm1
+    fractions = benchmark.pedantic(rows_for, args=(runner, n), rounds=1, iterations=1)
+
+    print()
+    print(f"-- Fig 3(a): {runner.name}-{n} unique content fraction --")
+    print(
+        format_table(
+            ["approach", "measured", "paper"],
+            [
+                ["no-dedup", f"{fractions[Strategy.NO_DEDUP]:.3f}", "1.000"],
+                ["local-dedup", f"{fractions[Strategy.LOCAL_DEDUP]:.3f}", f"{paper_local:.3f}"],
+                ["coll-dedup", f"{fractions[Strategy.COLL_DEDUP]:.3f}", f"{paper_coll:.3f}"],
+            ],
+        )
+    )
+
+    assert fractions[Strategy.NO_DEDUP] == pytest.approx(1.0)
+    # Shape: strict ordering with a real gap between local and coll.
+    local, coll = fractions[Strategy.LOCAL_DEDUP], fractions[Strategy.COLL_DEDUP]
+    assert coll < local < 1.0
+    assert 0.15 < local < 0.55  # band around the paper's 30-33 %
+    assert coll < 0.15  # band around the paper's 5-6 %
+    assert coll < local / 2  # the collective pass removes most of the rest

@@ -1,0 +1,55 @@
+"""E3 — Figure 3(b): HPCCG, overhead of the collective hash reduction.
+
+Plots the dedup overhead (hash + reduction phases) against the number of
+processes for K in {2, 4, 6} with F = 2^17, against the local-dedup
+baseline (hash only, scale-independent).  The paper's observations to
+reproduce: the overhead grows slowly (logarithmic reduction), and the
+three K curves sit close together ("the parallel reduction can
+efficiently handle an increasing replication factor").
+"""
+
+from repro.analysis.tables import format_series
+from repro.core import Strategy
+
+NS = (16, 64, 196, 408)
+KS = (2, 4, 6)
+
+
+def overhead_matrix(runner):
+    series = {
+        f"coll-dedup K={k}": [
+            runner.run(n, Strategy.COLL_DEDUP, k=k).breakdown.dedup_overhead
+            for n in NS
+        ]
+        for k in KS
+    }
+    series["local-dedup (baseline)"] = [
+        runner.run(n, Strategy.LOCAL_DEDUP, k=2).breakdown.dedup_overhead
+        for n in NS
+    ]
+    return series
+
+
+def test_fig3b_reduction_overhead_hpccg(benchmark, hpccg):
+    series = benchmark.pedantic(overhead_matrix, args=(hpccg,), rounds=1, iterations=1)
+
+    print()
+    print("-- Fig 3(b): HPCCG dedup overhead (s), F=2^17 --")
+    print(format_series("N", list(NS), {k: [f"{v:.2f}" for v in vs] for k, vs in series.items()}))
+
+    baseline = series["local-dedup (baseline)"]
+    assert all(b == baseline[0] for b in baseline)  # scale-independent
+
+    for k in KS:
+        curve = series[f"coll-dedup K={k}"]
+        # Collective reduction costs more than local hashing alone ...
+        assert all(c > b for c, b in zip(curve[1:], baseline[1:]))
+        # ... grows with N (more reduction rounds) ...
+        assert curve[-1] > curve[0]
+        # ... but slowly: 25x more processes < 4x more overhead (log shape).
+        assert curve[-1] < 4 * curve[0] + 1.0
+
+    # The K curves are close together (paper: "the difference between the
+    # three coll-dedup curves is small").
+    at_408 = [series[f"coll-dedup K={k}"][-1] for k in KS]
+    assert max(at_408) < 1.6 * min(at_408)

@@ -1,0 +1,47 @@
+"""E4 — Figure 3(c): CM1, overhead of the collective hash reduction.
+
+Same axes as Figure 3(b) on the CM1 workload.  The paper notes the
+relative overheads are larger for CM1 than HPCCG (its reduction produced
+fingerprints with more designated ranks); what must hold is the slow
+growth in N and the small spread between K curves.
+"""
+
+from repro.analysis.tables import format_series
+from repro.core import Strategy
+
+NS = (12, 120, 264, 408)
+KS = (2, 4, 6)
+
+
+def overhead_matrix(runner):
+    series = {
+        f"coll-dedup K={k}": [
+            runner.run(n, Strategy.COLL_DEDUP, k=k).breakdown.dedup_overhead
+            for n in NS
+        ]
+        for k in KS
+    }
+    series["local-dedup (baseline)"] = [
+        runner.run(n, Strategy.LOCAL_DEDUP, k=2).breakdown.dedup_overhead
+        for n in NS
+    ]
+    return series
+
+
+def test_fig3c_reduction_overhead_cm1(benchmark, cm1):
+    series = benchmark.pedantic(overhead_matrix, args=(cm1,), rounds=1, iterations=1)
+
+    print()
+    print("-- Fig 3(c): CM1 dedup overhead (s), F=2^17 --")
+    print(format_series("N", list(NS), {k: [f"{v:.2f}" for v in vs] for k, vs in series.items()}))
+
+    baseline = series["local-dedup (baseline)"]
+    for k in KS:
+        curve = series[f"coll-dedup K={k}"]
+        assert all(c > b for c, b in zip(curve, baseline))
+        assert curve[-1] > curve[0]
+        # 34x more processes, bounded overhead growth (log-shaped).
+        assert curve[-1] < 5 * curve[0] + 1.0
+
+    at_408 = [series[f"coll-dedup K={k}"][-1] for k in KS]
+    assert max(at_408) < 1.6 * min(at_408)

@@ -1,0 +1,61 @@
+"""E8 — Figure 4(b): HPCCG, amount of replicated data per process vs K.
+
+Paper observations: no-dedup's average equals its maximum (every process
+replicates the same amount); local-dedup shows a small, slowly growing
+avg/max gap; coll-dedup starts with a larger gap at K=2 that grows faster —
+the load-imbalance insight that motivates Section V-E.
+"""
+
+from repro.analysis.tables import format_series
+from repro.core import Strategy
+
+KS = (2, 3, 4, 5, 6)
+N = 408
+
+
+def replicated_data(runner):
+    out = {}
+    for s in Strategy:
+        avgs, maxes = [], []
+        for k in KS:
+            run = runner.run(N, s, k=k)
+            scale = run.volume_scale
+            avgs.append(run.metrics.sent_avg * scale / 1e9)
+            maxes.append(run.metrics.sent_max * scale / 1e9)
+        out[s] = (avgs, maxes)
+    return out
+
+
+def test_fig4b_hpccg_replicated_data(benchmark, hpccg):
+    data = benchmark.pedantic(replicated_data, args=(hpccg,), rounds=1, iterations=1)
+
+    print()
+    print("-- Fig 4(b): HPCCG replicated data per process (GB, paper scale) --")
+    series = {}
+    for s in Strategy:
+        avgs, maxes = data[s]
+        series[f"{s.value} avg"] = [f"{v:.2f}" for v in avgs]
+        series[f"{s.value} max"] = [f"{v:.2f}" for v in maxes]
+    print(format_series("K", list(KS), series))
+
+    nd_avg, nd_max = data[Strategy.NO_DEDUP]
+    ld_avg, ld_max = data[Strategy.LOCAL_DEDUP]
+    cd_avg, cd_max = data[Strategy.COLL_DEDUP]
+
+    # no-dedup: avg == max at every K (perfectly uniform load).
+    for a, m in zip(nd_avg, nd_max):
+        assert a == m
+
+    # Ordering of averages: coll < local < no-dedup at every K.
+    for i in range(len(KS)):
+        assert cd_avg[i] < ld_avg[i] < nd_avg[i]
+
+    # coll-dedup's avg/max gap exceeds local-dedup's (the paper's imbalance
+    # observation), and both grow with K.
+    cd_gap = [m / max(a, 1e-12) for a, m in zip(cd_avg, cd_max)]
+    ld_gap = [m / max(a, 1e-12) for a, m in zip(ld_avg, ld_max)]
+    assert cd_gap[0] > ld_gap[0]
+    assert cd_max[-1] > cd_max[0]
+
+    # Average savings at K=6 (paper: coll sends ~5x less than local on avg).
+    assert ld_avg[-1] / cd_avg[-1] > 2.0

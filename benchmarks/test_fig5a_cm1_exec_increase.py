@@ -1,0 +1,44 @@
+"""E10 — Figure 5(a): CM1, increase in execution time vs replication
+factor at 408 processes (baseline 382 s).
+
+Paper: no-dedup's increase is ~5x higher at K=6 than K=1; coll-dedup at
+K=6 is >8x faster than no-dedup and ~2.3x faster than local-dedup, and a
+coll-dedup K=6 run beats the baselines at K=2.
+"""
+
+from repro.analysis.tables import format_series
+from repro.core import Strategy
+
+KS = (1, 2, 3, 4, 5, 6)
+N = 408
+
+
+def increase_matrix(runner):
+    return {
+        s.value: [runner.run(N, s, k=k).increase_s for k in KS] for s in Strategy
+    }
+
+
+def test_fig5a_cm1_exec_increase(benchmark, cm1):
+    series = benchmark.pedantic(increase_matrix, args=(cm1,), rounds=1, iterations=1)
+
+    print()
+    print("-- Fig 5(a): CM1 increase in execution time (s) vs K, N=408 --")
+    print(format_series("K", list(KS),
+                        {k: [f"{x:.0f}" for x in v] for k, v in series.items()}))
+
+    nd, ld, cd = (series[s.value] for s in Strategy)
+
+    assert nd[-1] > 2.5 * nd[0]  # poor no-dedup scaling (paper: 5x)
+    assert cd[-1] / cd[0] < nd[-1] / nd[0]
+
+    # Crossover: coll-dedup K=6 cheaper than the baselines at K=2.
+    assert cd[KS.index(6)] < ld[KS.index(2)]
+    assert cd[KS.index(6)] < nd[KS.index(2)]
+
+    # Ratios at K=6 (paper: >8x vs no-dedup, 2.3x vs local-dedup).
+    assert nd[-1] / cd[-1] > 3.0
+    assert ld[-1] / cd[-1] > 1.3
+
+    for curve in (nd, ld, cd):
+        assert all(a <= b * 1.001 for a, b in zip(curve, curve[1:]))

@@ -1,0 +1,54 @@
+"""E11 — Figure 5(b): CM1, amount of replicated data per process vs K.
+
+Paper observations: a growing avg/max gap for all three approaches, but
+coll-dedup's *maximum* stays below local-dedup's *average* — which is why
+CM1's speedups exceed HPCCG's.
+"""
+
+from repro.analysis.tables import format_series
+from repro.core import Strategy
+
+KS = (2, 3, 4, 5, 6)
+N = 408
+
+
+def replicated_data(runner):
+    out = {}
+    for s in Strategy:
+        avgs, maxes = [], []
+        for k in KS:
+            run = runner.run(N, s, k=k)
+            scale = run.volume_scale
+            avgs.append(run.metrics.sent_avg * scale / 1e9)
+            maxes.append(run.metrics.sent_max * scale / 1e9)
+        out[s] = (avgs, maxes)
+    return out
+
+
+def test_fig5b_cm1_replicated_data(benchmark, cm1):
+    data = benchmark.pedantic(replicated_data, args=(cm1,), rounds=1, iterations=1)
+
+    print()
+    print("-- Fig 5(b): CM1 replicated data per process (GB, paper scale) --")
+    series = {}
+    for s in Strategy:
+        avgs, maxes = data[s]
+        series[f"{s.value} avg"] = [f"{v:.2f}" for v in avgs]
+        series[f"{s.value} max"] = [f"{v:.2f}" for v in maxes]
+    print(format_series("K", list(KS), series))
+
+    nd_avg, nd_max = data[Strategy.NO_DEDUP]
+    ld_avg, ld_max = data[Strategy.LOCAL_DEDUP]
+    cd_avg, cd_max = data[Strategy.COLL_DEDUP]
+
+    for i in range(len(KS)):
+        assert cd_avg[i] < ld_avg[i] < nd_avg[i]
+
+    # The paper's key CM1 observation: coll-dedup's max is below
+    # local-dedup's average at every K.
+    for cm, la in zip(cd_max, ld_avg):
+        assert cm < la
+
+    # Gaps grow with K for the dedup strategies.
+    assert (ld_max[-1] - ld_avg[-1]) >= (ld_max[0] - ld_avg[0])
+    assert (cd_max[-1] - cd_avg[-1]) >= (cd_max[0] - cd_avg[0])

@@ -1,0 +1,53 @@
+"""E12 — Figure 5(c): CM1, impact of rank shuffling on max receive size.
+
+Paper: no difference at K=2; from K=3 the reduction is much larger than
+HPCCG's, approaching 30 % (our vortex-concentrated load makes it larger
+still — see EXPERIMENTS.md).
+"""
+
+from repro.analysis.tables import format_series
+from repro.core import Strategy
+
+KS = (2, 3, 4, 5, 6)
+N = 408
+
+
+def shuffle_comparison(runner):
+    on, off = [], []
+    scale = runner.volume_scale(N)
+    for k in KS:
+        on.append(
+            runner.run(N, Strategy.COLL_DEDUP, k=k, shuffle=True).metrics.recv_max
+            * scale / 1e9
+        )
+        off.append(
+            runner.run(N, Strategy.COLL_DEDUP, k=k, shuffle=False).metrics.recv_max
+            * scale / 1e9
+        )
+    return on, off
+
+
+def test_fig5c_cm1_shuffle(benchmark, cm1):
+    on, off = benchmark.pedantic(shuffle_comparison, args=(cm1,), rounds=1, iterations=1)
+
+    print()
+    print("-- Fig 5(c): CM1 max receive size (GB, paper scale) --")
+    print(format_series(
+        "K", list(KS),
+        {
+            "coll-shuffle": [f"{v:.2f}" for v in on],
+            "coll-no-shuffle": [f"{v:.2f}" for v in off],
+            "reduction %": [
+                f"{(1 - a / b) * 100 if b else 0:.0f}" for a, b in zip(on, off)
+            ],
+        },
+    ))
+
+    assert on[0] == off[0]  # K=2: nothing to rebalance
+
+    for a, b in zip(on[1:], off[1:]):
+        assert a <= b * 1.0001
+    # CM1's concentrated (vortex) load gives shuffling much more leverage
+    # than HPCCG (paper: ~30 % vs ~8 %).
+    reductions = [(1 - a / b) for a, b in zip(on[1:], off[1:]) if b]
+    assert max(reductions) > 0.15

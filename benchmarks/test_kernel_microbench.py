@@ -1,0 +1,73 @@
+"""K1/K2 — kernel microbenchmarks.
+
+Not a paper artifact: these time the two hot kernels of the library so
+performance regressions show up in ``--benchmark-compare`` runs.
+
+* ``hmerge`` of two F-sized tables — the reduction's per-round cost (the
+  paper implements this in C++; our vectorised merge must stay in the
+  low-millisecond range for 408-rank sweeps to be practical).
+* chunk fingerprinting throughput (SHA-1 vs blake2b), the hash phase.
+"""
+
+import numpy as np
+
+from repro.core.fingerprint import Fingerprinter
+from repro.core.hmerge import MergeTable, hmerge
+
+
+def _table(rank: int, n_fps: int, offset: int, k: int = 3, f: int = 1 << 17):
+    rng = np.random.RandomState(rank)
+    fps = [
+        int(offset + i).to_bytes(4, "little") + rng.bytes(16)
+        if i % 3 == 0
+        else int(i).to_bytes(4, "little") * 5
+        for i in range(n_fps)
+    ]
+    return MergeTable.from_local(fps, rank, k, f)
+
+
+def test_kernel_hmerge_large_tables(benchmark):
+    """Merge two ~50k-entry tables with ~2/3 overlap."""
+    a = _table(0, 50_000, offset=10**6)
+    b = _table(1, 50_000, offset=2 * 10**6)
+    result = benchmark(hmerge, a, b)
+    assert len(result) <= a.f
+    result.check_invariants()
+
+
+def test_kernel_hmerge_chain(benchmark):
+    """A fold of 16 tables — one branch of a reduction at depth 4."""
+    tables = [_table(r, 8_000, offset=(r // 4) * 10**6) for r in range(16)]
+
+    def fold():
+        acc = tables[0]
+        for t in tables[1:]:
+            acc = hmerge(acc, t)
+        return acc
+
+    result = benchmark(fold)
+    assert len(result) > 0
+
+
+def test_kernel_fingerprint_sha1(benchmark):
+    data = np.random.RandomState(0).bytes(4096 * 256)
+    chunks = [data[i : i + 4096] for i in range(0, len(data), 4096)]
+
+    def hash_all():
+        fpr = Fingerprinter("sha1")
+        return fpr.fingerprint_all(chunks)
+
+    fps = benchmark(hash_all)
+    assert len(fps) == 256
+
+
+def test_kernel_fingerprint_blake2b(benchmark):
+    data = np.random.RandomState(0).bytes(4096 * 256)
+    chunks = [data[i : i + 4096] for i in range(0, len(data), 4096)]
+
+    def hash_all():
+        fpr = Fingerprinter("blake2b")
+        return fpr.fingerprint_all(chunks)
+
+    fps = benchmark(hash_all)
+    assert len(fps) == 256

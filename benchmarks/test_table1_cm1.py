@@ -1,0 +1,56 @@
+"""E6 — Table I (CM1): completion time with checkpointing, K=3.
+
+Paper row shape at 408 processes: no-dedup 1687 s, local-dedup 828 s,
+coll-dedup 558 s over a 382 s baseline — coll-dedup ~2.5x faster than
+local-dedup and ~7.4x faster than no-dedup on the checkpointing overhead.
+"""
+
+from benchmarks.conftest import CM1_NS, PAPER_TABLE1_CM1
+from repro.analysis.tables import format_table
+from repro.core import Strategy
+
+
+def completion_matrix(runner):
+    out = {}
+    for n in CM1_NS:
+        runs = runner.run_strategies(n, k=3)
+        out[n] = {s: runs[s].completion_s for s in Strategy}
+        out[n]["baseline"] = runner.timeline.baseline(n)
+    return out
+
+
+def test_table1_cm1(benchmark, cm1):
+    table = benchmark.pedantic(completion_matrix, args=(cm1,), rounds=1, iterations=1)
+
+    print()
+    print("-- Table I (CM1), completion time (s), K=3 --")
+    rows = []
+    for n in CM1_NS:
+        p = PAPER_TABLE1_CM1[n]
+        rows.append([
+            n,
+            f"{table[n][Strategy.NO_DEDUP]:.0f} ({p[0]})",
+            f"{table[n][Strategy.LOCAL_DEDUP]:.0f} ({p[1]})",
+            f"{table[n][Strategy.COLL_DEDUP]:.0f} ({p[2]})",
+            f"{table[n]['baseline']:.0f} ({p[3]})",
+        ])
+    print(format_table(
+        ["# procs", "no-dedup (paper)", "local-dedup (paper)",
+         "coll-dedup (paper)", "baseline (paper)"],
+        rows,
+    ))
+
+    for n in CM1_NS:
+        row = table[n]
+        assert (
+            row[Strategy.COLL_DEDUP]
+            < row[Strategy.LOCAL_DEDUP]
+            < row[Strategy.NO_DEDUP]
+        ), n
+        assert row["baseline"] < row[Strategy.COLL_DEDUP]
+
+    base = table[408]["baseline"]
+    over = {s: table[408][s] - base for s in Strategy}
+    # Paper: local/coll = 2.5x, no-dedup/coll = 7.4x on the overhead.
+    assert 1.3 < over[Strategy.LOCAL_DEDUP] / over[Strategy.COLL_DEDUP] < 8.0
+    assert 3.0 < over[Strategy.NO_DEDUP] / over[Strategy.COLL_DEDUP] < 25.0

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Failure drill: how many node failures can each replication factor take?
+
+Dumps the same synthetic workload at K = 1..4, then sweeps the number of
+simultaneously failed nodes, auditing recoverability of every rank's
+dataset after each drill.  Demonstrates the library's core guarantee —
+K replicas survive any K-1 failures — and shows it breaking exactly at K
+failures (when the victims align with a chunk's replica set).
+
+Run:  python examples/failure_drill.py
+"""
+
+from repro import Cluster, DumpConfig, World, dump_output
+from repro.analysis.tables import format_table
+from repro.apps.synthetic import SyntheticWorkload
+from repro.storage import FailureInjector
+
+N_RANKS = 12
+DRILLS_PER_SETTING = 20
+
+
+def dump_with_k(workload, k):
+    cluster = Cluster(N_RANKS)
+    config = DumpConfig(replication_factor=k, chunk_size=workload.chunk_size,
+                        f_threshold=1 << 17)
+
+    def program(comm):
+        return dump_output(
+            comm, workload.build_dataset(comm.rank, N_RANKS), config, cluster
+        )
+
+    World(N_RANKS).run(program)
+    return cluster
+
+
+def drill(cluster, n_failures, seed):
+    injector = FailureInjector(cluster, seed=seed)
+    injector.fail_random_nodes(n_failures)
+    report = injector.audit(dump_id=0)
+    cluster.revive_all()
+    return report.all_recoverable
+
+
+def main() -> None:
+    workload = SyntheticWorkload(
+        chunks_per_rank=64, chunk_size=1024,
+        frac_global=0.3, frac_zero=0.1, frac_local_dup=0.2,
+    )
+    rows = []
+    for k in (1, 2, 3, 4):
+        cluster = dump_with_k(workload, k)
+        row = [f"K={k}"]
+        for n_failures in (1, 2, 3, 4):
+            survived = sum(
+                drill(cluster, n_failures, seed)
+                for seed in range(DRILLS_PER_SETTING)
+            )
+            row.append(f"{survived}/{DRILLS_PER_SETTING}")
+        rows.append(row)
+
+    print(f"Recoverable drills out of {DRILLS_PER_SETTING} "
+          f"({N_RANKS} ranks, random node failures):")
+    print(format_table(
+        ["replication", "1 failure", "2 failures", "3 failures", "4 failures"],
+        rows,
+    ))
+    print("\nEverything on or below the diagonal (failures < K) survives by "
+          "construction; above it, survival depends on whether the victims "
+          "happen to cover some chunk's whole replica set.")
+
+
+if __name__ == "__main__":
+    main()

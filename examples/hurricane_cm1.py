@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CM1 hurricane: weak-scaled stencil simulation with interval checkpoints.
+
+Sixteen ranks (4x4 grid) integrate a vortex for 70 steps, checkpointing
+every 30 — the paper's CM1 configuration, scaled down.  Only the ranks the
+storm touches carry unique data; calm subdomains are exact-zero
+perturbations whose pages deduplicate everywhere, and the base-state
+tables are identical on every rank.  The example shows how much of each
+checkpoint each strategy would move, then restarts mid-run after failures.
+
+Run:  python examples/hurricane_cm1.py
+"""
+
+import numpy as np
+
+from repro import Cluster, DumpConfig, Strategy, World
+from repro.analysis.tables import format_table, human_bytes
+from repro.apps.cm1 import CM1, CM1RankModel
+from repro.ftrt import CheckpointRuntime
+from repro.sim import compute_metrics, simulate_dump
+
+N_RANKS = 16
+K = 3
+NX, NY, NZ = 16, 16, 6
+
+
+def build_app() -> CM1:
+    return CM1(nx=NX, ny=NY, nz=NZ, n_steps=30, vortex_radius_frac=0.2)
+
+
+def redundancy_report(app: CM1) -> None:
+    """What each strategy identifies as unique in the step-30 checkpoint."""
+    indices = app.build_indices(N_RANKS)
+    active = app.active_rank_count(N_RANKS)
+    print(f"Storm footprint: {active} of {N_RANKS} ranks have weather.")
+    rows = []
+    for strategy in Strategy:
+        config = DumpConfig(replication_factor=K, strategy=strategy,
+                            f_threshold=1 << 17)
+        metrics = compute_metrics(indices, simulate_dump(indices, config))
+        rows.append([
+            strategy.value,
+            f"{metrics.unique_fraction * 100:.1f}%",
+            human_bytes(metrics.sent_total_bytes),
+            human_bytes(metrics.recv_max),
+        ])
+    print(format_table(
+        ["strategy", "unique content", "total replication traffic",
+         "max receive"],
+        rows,
+    ))
+
+
+def program(comm, cluster, app):
+    config = DumpConfig(replication_factor=K, chunk_size=4096, f_threshold=1 << 17)
+    runtime = CheckpointRuntime(comm, cluster, config, interval=30)
+
+    ix, iy = app.placement(comm.rank, N_RANKS)
+    model = CM1RankModel(
+        NX, NY, NZ, origin=(ix * NX, iy * NY), vortex=app.vortex(N_RANKS)
+    )
+    for name, array in model.state_arrays().items():
+        runtime.memory.register(name, array)
+
+    for step in range(1, 71):
+        model.step()
+        runtime.maybe_checkpoint(step)
+    final_theta = model.fields["theta"].copy()
+
+    # Kill two nodes, restart from the step-60 checkpoint, redo 10 steps.
+    comm.barrier()
+    if comm.rank == 0:
+        cluster.fail_node(3)
+        cluster.fail_node(11)
+    comm.barrier()
+    runtime.restart()
+    model.step(10)
+    return (
+        bool(np.array_equal(model.fields["theta"], final_theta)),
+        model.active,
+        runtime.stats.checkpoints_taken,
+    )
+
+
+def main() -> None:
+    app = build_app()
+    redundancy_report(app)
+
+    print("\nRunning 70 steps with checkpoints at 30 and 60, then a "
+          "2-node failure and restart...")
+    cluster = Cluster(N_RANKS)
+    results = World(N_RANKS).run(program, cluster, app)
+
+    stormy = sum(1 for _m, active, _c in results if active)
+    assert all(match for match, _a, _c in results)
+    assert all(ckpts == 2 for _m, _a, ckpts in results)
+    print(f"Restart reproduced the exact step-70 state on all {N_RANKS} ranks "
+          f"({stormy} stormy, {N_RANKS - stormy} calm).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Multi-level checkpointing: surviving more than K-1 failures.
+
+Partner replication (the paper's contribution) protects against up to K-1
+simultaneous node failures at local-storage speed; the parallel file
+system is orders of magnitude slower but survives anything.  The SCR-style
+multi-level runtime combines them: every checkpoint goes to L1
+(local+partner, dedup-aware), every third one also flushes to L2 (PFS).
+
+This example runs a CM1-style job, then plays three escalating disasters:
+
+1. one node lost            -> newest checkpoint restored from L1;
+2. a rank AND its partner   -> group agrees to roll back to the newest
+                               PFS-flushed id; wounded ranks read L2;
+3. every node lost          -> full restart from the PFS alone.
+
+Run:  python examples/multilevel_checkpointing.py
+"""
+
+import numpy as np
+
+from repro import Cluster, DumpConfig, World
+from repro.analysis.tables import format_table, human_bytes
+from repro.ftrt import MultiLevelRuntime
+from repro.storage import ParallelFileSystem
+
+N_RANKS = 8
+K = 2
+STEPS = 12
+INTERVAL = 2  # L1 checkpoint every 2 steps
+PFS_EVERY = 3  # L2 flush every 3rd checkpoint
+
+
+def scenario(name, fail_nodes):
+    cluster = Cluster(N_RANKS)
+    pfs = ParallelFileSystem()
+    config = DumpConfig(replication_factor=K, chunk_size=1024, f_threshold=1 << 17)
+
+    def program(comm):
+        runtime = MultiLevelRuntime(
+            comm, cluster, pfs, config, interval=INTERVAL, pfs_every=PFS_EVERY
+        )
+        state = np.full(2048, float(comm.rank * 10_000))
+        runtime.memory.register("state", state)
+        for step in range(1, STEPS + 1):
+            state += 1.0
+            runtime.maybe_checkpoint(step)
+
+        comm.barrier()
+        if comm.rank == 0:
+            for node in fail_nodes:
+                cluster.fail_node(node)
+        comm.barrier()
+
+        dump_id, level = runtime.restart()
+        step_restored = (dump_id + 1) * INTERVAL
+        assert np.all(state == comm.rank * 10_000 + step_restored)
+        return dump_id, level, runtime.stats
+
+    results = World(N_RANKS).run(program)
+    dump_id = results[0][0]
+    levels = [level for _d, level, _s in results]
+    return [
+        name,
+        str(fail_nodes) if fail_nodes else "-",
+        dump_id,
+        (dump_id + 1) * INTERVAL,
+        f"{levels.count('L1')} L1 / {levels.count('L2')} L2",
+        human_bytes(pfs.stats.bytes_written),
+    ]
+
+
+def main() -> None:
+    print(f"{N_RANKS} ranks, K={K}, {STEPS} steps; L1 every {INTERVAL} steps, "
+          f"L2 every {PFS_EVERY} checkpoints (flushed ids 0 and 3).")
+    rows = [
+        scenario("tolerable (< K failures)", (2,)),
+        scenario("partner pair lost", (0, 7)),
+        scenario("total cluster loss", tuple(range(N_RANKS))),
+    ]
+    print(format_table(
+        ["disaster", "failed nodes", "restored id", "state @ step",
+         "restore levels", "PFS written"],
+        rows,
+    ))
+    print("\nScenario 1 restores the newest checkpoint (id 5, step 12) from "
+          "local data; 2 and 3 roll back to the newest PFS-flushed id — the "
+          "multi-level trade: rare flushes bound the rollback, cheap L1 "
+          "checkpoints bound the common-case cost.")
+
+
+if __name__ == "__main__":
+    main()

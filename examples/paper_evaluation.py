@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""A miniature of the paper's evaluation, runnable in under a minute.
+
+Regenerates the headline comparisons at a handful of process counts:
+Table I-style completion times, the Figure 3(a) unique-content ratios,
+and the Figure 4(c)/5(c) shuffle ablation — all on the Shamrock machine
+profile.  The full sweeps (every table and figure, with shape assertions)
+live in benchmarks/; this script is the guided tour.
+
+Run:  python examples/paper_evaluation.py
+"""
+
+from repro.analysis.experiments import cm1_runner, fig2_example, hpccg_runner
+from repro.analysis.tables import format_table
+from repro.core import Strategy
+
+
+def table1_mini(runner, ns):
+    print(f"\n== {runner.name}: completion time (s) with checkpointing, K=3 ==")
+    rows = []
+    for n in ns:
+        runs = runner.run_strategies(n, k=3)
+        rows.append([
+            n,
+            f"{runs[Strategy.NO_DEDUP].completion_s:.0f}",
+            f"{runs[Strategy.LOCAL_DEDUP].completion_s:.0f}",
+            f"{runs[Strategy.COLL_DEDUP].completion_s:.0f}",
+            f"{runner.timeline.baseline(n):.0f}",
+        ])
+    print(format_table(
+        ["# procs", "no-dedup", "local-dedup", "coll-dedup", "baseline"], rows
+    ))
+
+
+def unique_content(runner, n):
+    runs = runner.run_strategies(n, k=3)
+    print(f"\n== {runner.name}-{n}: unique content (fraction of raw data) ==")
+    print(format_table(
+        ["approach", "unique fraction"],
+        [[s.value, f"{runs[s].metrics.unique_fraction * 100:.1f}%"] for s in Strategy],
+    ))
+
+
+def shuffle_ablation(runner, n, ks=(2, 4, 6)):
+    print(f"\n== {runner.name}-{n}: max receive size, shuffle on/off (GB) ==")
+    rows = []
+    scale = runner.volume_scale(n)
+    for k in ks:
+        on = runner.run(n, Strategy.COLL_DEDUP, k=k, shuffle=True).metrics.recv_max
+        off = runner.run(n, Strategy.COLL_DEDUP, k=k, shuffle=False).metrics.recv_max
+        saving = (1 - on / off) * 100 if off else 0.0
+        rows.append([k, f"{on * scale / 1e9:.2f}", f"{off * scale / 1e9:.2f}",
+                     f"{saving:.0f}%"])
+    print(format_table(["K", "coll-shuffle", "coll-no-shuffle", "reduction"], rows))
+
+
+def main() -> None:
+    print("Figure 2 worked example:", fig2_example())
+
+    hpccg = hpccg_runner()
+    cm1 = cm1_runner()
+    table1_mini(hpccg, (16, 64, 196))
+    table1_mini(cm1, (12, 120, 264))
+    unique_content(hpccg, 196)
+    unique_content(cm1, 264)
+    shuffle_ablation(cm1, 264)
+    print("\nFor the full 408-rank sweeps with shape assertions, run:")
+    print("  pytest benchmarks/ --benchmark-only -s")
+
+
+if __name__ == "__main__":
+    main()

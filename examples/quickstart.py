@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: one collective dump, three strategies, one restore.
+
+Eight SPMD ranks each hold a dataset that mixes the redundancy classes the
+paper exploits (globally shared tables, zero pages, locally repeated
+patterns, rank-unique data).  We run ``DUMP_OUTPUT`` with a replication
+factor of 3 under each strategy and compare what actually moved and what
+actually got stored — then kill two nodes and restore every dataset from
+the survivors.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Cluster, Dataset, DumpConfig, Strategy, World, dump_output, restore_dataset
+from repro.analysis.tables import format_table, human_bytes
+
+N_RANKS = 8
+K = 3
+CHUNK = 4096
+
+
+def dataset_for(rank: int) -> Dataset:
+    """A rank's 'heap': shared tables + zeros + repeated pattern + unique."""
+    shared_tables = np.random.RandomState(42).bytes(CHUNK * 32)  # same everywhere
+    zero_pages = b"\x00" * (CHUNK * 16)
+    repeated = (bytes([rank]) * CHUNK) * 8  # locally duplicated 8x
+    unique = np.random.RandomState(1000 + rank).bytes(CHUNK * 24)
+    return Dataset([shared_tables, zero_pages, repeated, unique])
+
+
+def main() -> None:
+    rows = []
+    clusters = {}
+    for strategy in Strategy:
+        config = DumpConfig(
+            replication_factor=K, chunk_size=CHUNK, strategy=strategy,
+            f_threshold=1 << 17,
+        )
+        cluster = Cluster(N_RANKS, dedup=(strategy is not Strategy.NO_DEDUP))
+        clusters[strategy] = cluster
+
+        def program(comm):
+            return dump_output(comm, dataset_for(comm.rank), config, cluster)
+
+        reports = World(N_RANKS).run(program)
+        rows.append([
+            strategy.value,
+            human_bytes(sum(r.sent_bytes for r in reports)),
+            human_bytes(max(r.received_bytes for r in reports)),
+            human_bytes(cluster.total_physical_bytes),
+            sum(r.discarded_chunks for r in reports),
+        ])
+
+    print(f"Collective dump of {N_RANKS} ranks, K={K}:")
+    print(format_table(
+        ["strategy", "network traffic", "max receive", "physical storage",
+         "chunks discarded"],
+        rows,
+    ))
+
+    # Resilience check: K=3 survives any 2 node failures.
+    cluster = clusters[Strategy.COLL_DEDUP]
+    cluster.fail_node(0)
+    cluster.fail_node(5)
+    print("\nNodes 0 and 5 failed; restoring every rank from survivors...")
+    for rank in range(N_RANKS):
+        restored, report = restore_dataset(cluster, rank)
+        assert restored == dataset_for(rank), f"rank {rank} corrupted!"
+    print(f"All {N_RANKS} datasets restored bit-exactly "
+          f"(rank {N_RANKS - 1} pulled {report.remote_chunks} chunks from partners).")
+
+
+if __name__ == "__main__":
+    main()

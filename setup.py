@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel``; on offline
+machines without the wheel package, ``python setup.py develop`` (which this
+file enables) installs the same editable egg-link.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro: dedup-aware partner replication for collective I/O dumps.
+
+A complete reproduction of Bogdan Nicolae, *"Leveraging naturally
+distributed data redundancy to reduce collective I/O replication
+overhead"*, IPDPS 2015 — the ``DUMP_OUTPUT`` collective that co-optimizes
+inter-process deduplication with partner replication, plus every substrate
+it runs on: an MPI-like SPMD layer, node-local content-addressed storage,
+the HPCCG/CM1 workloads, a checkpoint-restart runtime and the performance
+model that regenerates the paper's evaluation.
+
+Quickstart::
+
+    from repro import Dataset, DumpConfig, dump_output, restore_dataset
+    from repro.simmpi import World
+    from repro.storage import Cluster
+
+    cluster = Cluster(n_ranks=8)
+    config = DumpConfig(replication_factor=3)
+
+    def program(comm):
+        data = Dataset.from_buffer(my_bytes_for(comm.rank))
+        return dump_output(comm, data, config, cluster)
+
+    reports = World(8).run(program)
+    dataset, _ = restore_dataset(cluster, rank=0)
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+regeneration of every table and figure in the paper.
+"""
+
+from repro.core import (
+    Dataset,
+    DumpConfig,
+    DumpReport,
+    Fingerprinter,
+    GlobalView,
+    MergeTable,
+    Strategy,
+    dump_output,
+    hmerge,
+    rank_shuffle,
+    restore_dataset,
+)
+from repro.storage import Cluster
+from repro.simmpi import World, run_spmd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Dataset",
+    "DumpConfig",
+    "DumpReport",
+    "Fingerprinter",
+    "GlobalView",
+    "MergeTable",
+    "Strategy",
+    "World",
+    "__version__",
+    "dump_output",
+    "hmerge",
+    "rank_shuffle",
+    "restore_dataset",
+    "run_spmd",
+]

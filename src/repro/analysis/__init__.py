@@ -1,0 +1,27 @@
+"""Experiment harness: the runners and formatters behind every benchmark.
+
+:mod:`~repro.analysis.experiments` owns the paper's experiment matrix
+(workload construction at the right scales, F thresholds, strategy sweeps,
+cost-model pricing); :mod:`~repro.analysis.tables` renders the results in
+the paper's table/series shapes.  ``benchmarks/`` imports from here so each
+bench file is a thin, readable harness over one figure or table.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentRun,
+    WorkloadRunner,
+    cm1_runner,
+    fig2_example,
+    hpccg_runner,
+)
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "ExperimentRun",
+    "WorkloadRunner",
+    "cm1_runner",
+    "fig2_example",
+    "format_series",
+    "format_table",
+    "hpccg_runner",
+]

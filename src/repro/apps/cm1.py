@@ -1,0 +1,301 @@
+"""CM1: a 3-D non-hydrostatic stencil mini-model with a hurricane vortex.
+
+Reproduces the checkpoint *redundancy character* of CM1 running the
+Bryan–Rotunno hurricane case under weak scaling:
+
+* **base-state / lookup tables** — thermodynamic soundings, saturation
+  tables and base-state 3-D arrays are identical on every rank (they are
+  broadcast at init) but have no internal page-level repetition: locally
+  unique, globally duplicated.  This is the redundancy only coll-dedup can
+  remove.  ``table_fraction`` sizes it (~25 % of the state, matching the
+  paper's local≈30 % vs coll≈5 % gap).
+* **prognostic fields** (u, v, w, theta, prs as perturbations) — a real
+  advection-diffusion time-stepper evolves a vortex whose radius scales
+  with the global domain (weak scaling keeps the storm a constant fraction
+  of the sky).  Ranks whose subdomain the vortex touches carry genuinely
+  unique pages; calm ranks keep exact-zero perturbations whose pages
+  deduplicate everywhere — the "only ~500 MB of 800 MB is constantly
+  changed" structure the paper describes.
+* **tendency/scratch arrays** — zero pages, duplicated everywhere.
+
+Each rank steps its own subdomain (halo coupling between ranks is not
+modelled — the vortex's footprint, not inter-rank advection over 70 steps,
+determines which pages are unique, so the redundancy structure is
+preserved; documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.base import Segment, SegmentedWorkload, process_grid_2d
+
+_TABLE_SEED = 20150527  # fixed: tables are identical on every rank
+
+
+@dataclass(frozen=True)
+class VortexSpec:
+    """The initial hurricane: centre and radius in global grid units."""
+
+    center_x: float
+    center_y: float
+    radius: float
+    max_wind: float = 40.0  # m/s, Bryan–Rotunno-like intensity
+    theta_anomaly: float = 8.0  # warm-core potential-temperature excess (K)
+
+
+class CM1RankModel:
+    """The stencil time-stepper for one rank's subdomain.
+
+    Prognostic perturbation fields on an ``nx x ny x nz`` box; leapfrog-free
+    forward stepping of advection (uniform steering flow) + diffusion.
+    Exact-zero fields remain exact-zero: calm subdomains stay bitwise
+    constant, which is what makes their pages deduplicate.
+    """
+
+    FIELDS = ("u", "v", "w", "theta", "prs")
+
+    def __init__(
+        self,
+        nx: int,
+        ny: int,
+        nz: int,
+        origin: Tuple[int, int],
+        vortex: Optional[VortexSpec] = None,
+        dt: float = 1.0,
+        # Forward-Euler stability needs cu + cv + 4*nu <= 1 (upwind CFL +
+        # diffusion bound): 0.35 + 0.2 + 4*0.1 = 0.95.
+        diffusivity: float = 0.1,
+        steering: Tuple[float, float] = (0.35, 0.2),
+        storm_depth_frac: float = 0.45,
+    ) -> None:
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self.origin = origin
+        self.dt = dt
+        self.diffusivity = diffusivity
+        self.steering = steering
+        self.storm_depth_frac = storm_depth_frac
+        self.fields: Dict[str, np.ndarray] = {
+            name: np.zeros((nx, ny, nz)) for name in self.FIELDS
+        }
+        self.tend: Dict[str, np.ndarray] = {
+            name: np.zeros((nx, ny, nz)) for name in ("utend", "ttend")
+        }
+        self.steps_done = 0
+        if vortex is not None:
+            self._init_vortex(vortex)
+
+    def _init_vortex(self, vortex: VortexSpec) -> None:
+        """Rankine-like tangential wind + gaussian warm core, evaluated in
+        *global* coordinates so adjacent ranks see the same storm."""
+        ox, oy = self.origin
+        gx = ox + np.arange(self.nx, dtype=np.float64)
+        gy = oy + np.arange(self.ny, dtype=np.float64)
+        X, Y = np.meshgrid(gx, gy, indexing="ij")
+        dx = X - vortex.center_x
+        dy = Y - vortex.center_y
+        r = np.sqrt(dx * dx + dy * dy)
+        inside = r < vortex.radius
+        if not inside.any():
+            return
+        rm = vortex.radius * 0.3  # radius of maximum wind
+        with np.errstate(divide="ignore", invalid="ignore"):
+            speed = np.where(
+                r <= rm,
+                vortex.max_wind * (r / rm),
+                vortex.max_wind * np.maximum(0.0, (vortex.radius - r))
+                / max(vortex.radius - rm, 1e-9),
+            )
+            ct = np.where(r > 0, dx / np.maximum(r, 1e-12), 0.0)
+            st = np.where(r > 0, dy / np.maximum(r, 1e-12), 0.0)
+        speed = np.where(inside, speed, 0.0)
+        # Vertical structure: the storm occupies the lower troposphere;
+        # levels above storm_depth_frac stay *exactly* zero (their pages
+        # keep deduplicating — even stormy subdomains are not 100% unique,
+        # matching the paper's CM1 redundancy measurements).
+        zprof = np.exp(-np.arange(self.nz) / max(self.nz / 3.0, 1.0))
+        top = int(np.ceil(self.nz * self.storm_depth_frac))
+        zprof[top:] = 0.0
+        self.fields["u"] += (-speed * st)[:, :, None] * zprof[None, None, :]
+        self.fields["v"] += (speed * ct)[:, :, None] * zprof[None, None, :]
+        warm = vortex.theta_anomaly * np.exp(-((r / (rm * 1.5)) ** 2))
+        warm = np.where(inside, warm, 0.0)
+        self.fields["theta"] += warm[:, :, None] * zprof[None, None, :]
+        self.fields["prs"] -= 0.4 * warm[:, :, None] * zprof[None, None, :]
+        self.fields["w"] += 0.05 * warm[:, :, None] * np.roll(zprof, 1)[None, None, :]
+
+    @property
+    def active(self) -> bool:
+        """True iff any perturbation is nonzero (the rank 'has weather')."""
+        return any(f.any() for f in self.fields.values())
+
+    def step(self, n: int = 1) -> None:
+        """Advance ``n`` steps of upwind advection + diffusion.
+
+        All-zero fields stay identically zero (0 in, 0 out), preserving the
+        dedup structure of calm subdomains without special-casing.
+        """
+        cu, cv = self.steering
+        nu, dt = self.diffusivity, self.dt
+        for _ in range(n):
+            for name in self.FIELDS:
+                f = self.fields[name]
+                if not f.any():
+                    continue
+                adv_x = cu * (f - np.roll(f, 1, axis=0))
+                adv_y = cv * (f - np.roll(f, 1, axis=1))
+                lap = (
+                    np.roll(f, 1, axis=0)
+                    + np.roll(f, -1, axis=0)
+                    + np.roll(f, 1, axis=1)
+                    + np.roll(f, -1, axis=1)
+                    - 4.0 * f
+                )
+                f += dt * (nu * lap - adv_x - adv_y)
+            # Tendencies of the last step are part of the heap image.
+            self.tend["utend"][:] = self.fields["u"] * 0.0
+            self.tend["ttend"][:] = self.fields["theta"] * 0.0
+            self.steps_done += 1
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = dict(self.fields)
+        out.update(self.tend)
+        return out
+
+
+class CM1(SegmentedWorkload):
+    """Weak-scaled CM1 checkpoint workload.
+
+    Parameters
+    ----------
+    nx, ny:
+        Horizontal subdomain per rank (paper: 200x200; default 24x24 keeps
+        the structure at reduced scale).
+    nz:
+        Vertical levels.
+    n_steps:
+        Time-steps before the checkpoint (paper: every 30 of 70).
+    table_fraction:
+        Fraction of the per-rank state occupied by the rank-identical
+        base-state/lookup tables (the local-vs-global dedup calibration
+        knob; ~0.25 lands in the paper's measured bands).
+    vortex_radius_frac:
+        Storm radius as a fraction of the shorter global horizontal extent
+        (weak scaling keeps the active-rank fraction roughly constant).
+    """
+
+    name = "CM1"
+    PAPER_BYTES_PER_PROCESS = 0.8e9
+
+    def __init__(
+        self,
+        nx: int = 24,
+        ny: int = 24,
+        nz: int = 12,
+        n_steps: int = 30,
+        table_fraction: float = 0.25,
+        vortex_radius_frac: float = 0.16,
+    ) -> None:
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self.n_steps = n_steps
+        self.table_fraction = table_fraction
+        self.vortex_radius_frac = vortex_radius_frac
+        self._tables: Optional[np.ndarray] = None
+        self._calm_cache: Optional[Dict[str, np.ndarray]] = None
+        self._active_cache: Dict[Tuple[int, int], Dict[str, np.ndarray]] = {}
+
+    # -- decomposition ---------------------------------------------------------
+    def placement(self, rank: int, n_ranks: int) -> Tuple[int, int]:
+        px, py = process_grid_2d(n_ranks)
+        iy, ix = divmod(rank, px)
+        return ix, iy
+
+    def vortex(self, n_ranks: int) -> VortexSpec:
+        px, py = process_grid_2d(n_ranks)
+        gx, gy = px * self.nx, py * self.ny
+        return VortexSpec(
+            center_x=gx / 2.0,
+            center_y=gy / 2.0,
+            radius=self.vortex_radius_frac * min(gx, gy),
+        )
+
+    def rank_intersects_vortex(self, rank: int, n_ranks: int) -> bool:
+        ix, iy = self.placement(rank, n_ranks)
+        vortex = self.vortex(n_ranks)
+        # Closest point of the subdomain box to the vortex centre.
+        cx = min(max(vortex.center_x, ix * self.nx), (ix + 1) * self.nx - 1)
+        cy = min(max(vortex.center_y, iy * self.ny), (iy + 1) * self.ny - 1)
+        return math.hypot(cx - vortex.center_x, cy - vortex.center_y) < vortex.radius
+
+    # -- state construction ------------------------------------------------------
+    def _prognostic_bytes(self) -> int:
+        n_arrays = len(CM1RankModel.FIELDS) + 2  # fields + tendencies
+        return n_arrays * self.nx * self.ny * self.nz * 8
+
+    def tables(self) -> np.ndarray:
+        """The rank-identical base-state / lookup tables (no internal
+        repetition: locally unique, globally duplicated)."""
+        if self._tables is None:
+            prog = self._prognostic_bytes()
+            n_doubles = int(
+                prog * self.table_fraction / (1.0 - self.table_fraction) / 8
+            )
+            rng = np.random.RandomState(_TABLE_SEED)
+            self._tables = rng.standard_normal(max(n_doubles, 1))
+        return self._tables
+
+    def _rank_state(self, rank: int, n_ranks: int) -> Dict[str, np.ndarray]:
+        ix, iy = self.placement(rank, n_ranks)
+        active = self.rank_intersects_vortex(rank, n_ranks)
+        if not active:
+            if self._calm_cache is None:
+                model = CM1RankModel(self.nx, self.ny, self.nz, (0, 0), vortex=None)
+                model.step(self.n_steps)
+                self._calm_cache = model.state_arrays()
+            return self._calm_cache
+        key = (n_ranks, ix, iy)
+        state = self._active_cache.get(key)
+        if state is None:
+            model = CM1RankModel(
+                self.nx,
+                self.ny,
+                self.nz,
+                origin=(ix * self.nx, iy * self.ny),
+                vortex=self.vortex(n_ranks),
+            )
+            model.step(self.n_steps)
+            state = model.state_arrays()
+            self._active_cache[key] = state
+        return state
+
+    # -- SegmentedWorkload API ----------------------------------------------------
+    def rank_segments(self, rank: int, n_ranks: int) -> List[Segment]:
+        ix, iy = self.placement(rank, n_ranks)
+        active = self.rank_intersects_vortex(rank, n_ranks)
+        state = self._rank_state(rank, n_ranks)
+        geom = (self.nx, self.ny, self.nz)
+        segments: List[Segment] = [
+            (("cm1-tables", geom, self.table_fraction), self.tables())
+        ]
+        for name, arr in state.items():
+            if active:
+                key = ("cm1-active", geom, self.n_steps, n_ranks, (ix, iy), name)
+            else:
+                key = ("cm1-calm", geom, self.n_steps, name)
+            # CM1 is Fortran: k (vertical) is the slowest-varying axis in
+            # memory, so undisturbed upper levels form whole zero pages.
+            segments.append((key, np.ascontiguousarray(arr.transpose(2, 1, 0))))
+        return segments
+
+    def active_rank_count(self, n_ranks: int) -> int:
+        return sum(
+            1 for r in range(n_ranks) if self.rank_intersects_vortex(r, n_ranks)
+        )
+
+    def scale_factor(self, n_ranks: int) -> float:
+        """paper-scale bytes / simulated bytes (feeds ``volume_scale``)."""
+        return self.PAPER_BYTES_PER_PROCESS / self.per_rank_bytes(n_ranks)

@@ -1,0 +1,99 @@
+"""Content-defined chunk boundary selection.
+
+A boundary is declared where the rolling Rabin fingerprint matches
+``fingerprint & mask == magic`` — a content-local criterion, so inserting
+or deleting bytes only re-chunks the neighbourhood of the edit (the
+insert-shift robustness fixed-size chunking lacks, measured by extension
+bench X2).  ``min_size``/``max_size`` bound the chunk-size distribution
+around the expected ``avg_size = 2**mask_bits``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.cdc.rabin import RabinFingerprint
+
+
+@dataclass(frozen=True)
+class CDCParams:
+    """Boundary-selection parameters."""
+
+    min_size: int = 1024
+    avg_size: int = 4096
+    max_size: int = 16384
+    window_size: int = 48
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_size <= self.avg_size <= self.max_size:
+            raise ValueError(
+                f"need 1 <= min <= avg <= max, got "
+                f"{self.min_size}/{self.avg_size}/{self.max_size}"
+            )
+        if self.avg_size & (self.avg_size - 1):
+            raise ValueError(f"avg_size must be a power of two, got {self.avg_size}")
+
+    @property
+    def mask(self) -> int:
+        return self.avg_size - 1
+
+
+class CDCChunker:
+    """Splits buffers at content-defined boundaries."""
+
+    MAGIC = 0x78  # arbitrary fixed residue pattern; any value works
+
+    def __init__(self, params: CDCParams = CDCParams()) -> None:
+        self.params = params
+        self._rabin = RabinFingerprint(window_size=params.window_size)
+
+    def boundaries(self, data: bytes) -> List[int]:
+        """End offsets of every chunk (the last is always ``len(data)``)."""
+        params = self.params
+        mask = params.mask
+        magic = self.MAGIC & mask
+        rabin = self._rabin
+        out: List[int] = []
+        start = 0
+        n = len(data)
+        rabin.reset()
+        pos = start
+        while pos < n:
+            fp = rabin.push(data[pos])
+            pos += 1
+            length = pos - start
+            if length < params.min_size:
+                continue
+            if (fp & mask) == magic or length >= params.max_size:
+                out.append(pos)
+                start = pos
+                rabin.reset()
+        if start < n:
+            out.append(n)
+        return out
+
+    def split(self, data: bytes) -> List[bytes]:
+        """The chunks themselves."""
+        chunks: List[bytes] = []
+        start = 0
+        for end in self.boundaries(data):
+            chunks.append(data[start:end])
+            start = end
+        return chunks
+
+    def iter_chunks(self, data: bytes) -> Iterator[bytes]:
+        start = 0
+        for end in self.boundaries(data):
+            yield data[start:end]
+            start = end
+
+
+def cdc_split(
+    data: bytes,
+    min_size: int = 1024,
+    avg_size: int = 4096,
+    max_size: int = 16384,
+) -> List[bytes]:
+    """One-shot convenience wrapper around :class:`CDCChunker`."""
+    return CDCChunker(CDCParams(min_size, avg_size, max_size)).split(data)

@@ -1,0 +1,97 @@
+"""Rabin fingerprinting by random polynomials (Rabin, 1981).
+
+A rolling hash over a fixed window: the fingerprint is the residue of the
+window's bytes (as a polynomial over GF(2)) modulo an irreducible
+polynomial.  Pushing a byte and popping the oldest are O(1) via two
+precomputed tables, which is what makes content-defined chunking linear in
+the input.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+_DEFAULT_POLY = 0x3DA3358B4DC173  # irreducible, degree 53 (LBFS's choice)
+
+
+class RabinFingerprint:
+    """Rolling Rabin fingerprint over a ``window_size``-byte window."""
+
+    def __init__(self, window_size: int = 48, poly: int = _DEFAULT_POLY) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if poly < (1 << 1):
+            raise ValueError("poly must be a non-trivial polynomial")
+        self.window_size = window_size
+        self.poly = poly
+        self.degree = poly.bit_length() - 1
+        self._mod_table = self._build_mod_table()
+        self._pop_table = self._build_pop_table()
+        self.reset()
+
+    # -- table construction ------------------------------------------------------
+    def _reduce(self, value: int) -> int:
+        """Reduce a polynomial of degree < degree+8 modulo ``poly``."""
+        for shift in range(7, -1, -1):
+            if value >> (self.degree + shift) & 1:
+                value ^= self.poly << shift
+        return value
+
+    def _build_mod_table(self) -> List[int]:
+        """mod_table[b] = (b << degree) mod poly — folds the byte that
+        overflows past the degree back into the residue."""
+        return [self._reduce(b << self.degree) for b in range(256)]
+
+    def _build_pop_table(self) -> List[int]:
+        """pop_table[b] = (b << (8 * window_size)) mod poly — the
+        contribution of the outgoing byte, ready to XOR out."""
+        table = []
+        for b in range(256):
+            value = b
+            for _ in range(self.window_size):
+                value = self._shift_byte(value)
+            table.append(value)
+        return table
+
+    def _shift_byte(self, value: int) -> int:
+        """(value << 8) mod poly, using the mod table."""
+        top = (value >> (self.degree - 8)) & 0xFF
+        return ((value << 8) & ((1 << self.degree) - 1)) ^ self._mod_table[top]
+
+    # -- rolling interface -------------------------------------------------------
+    def reset(self) -> None:
+        self._fingerprint = 0
+        self._window = bytearray(self.window_size)
+        self._pos = 0
+        self._filled = 0
+
+    @property
+    def value(self) -> int:
+        """Current fingerprint of the window contents."""
+        return self._fingerprint
+
+    def push(self, byte: int) -> int:
+        """Slide the window one byte forward; returns the new fingerprint."""
+        outgoing = self._window[self._pos]
+        self._window[self._pos] = byte
+        self._pos = (self._pos + 1) % self.window_size
+        if self._filled < self.window_size:
+            self._filled += 1
+        fp = self._shift_byte(self._fingerprint) ^ byte
+        fp ^= self._pop_table[outgoing]
+        self._fingerprint = fp
+        return fp
+
+    def update(self, data: Iterable[int]) -> int:
+        for byte in data:
+            self.push(byte)
+        return self._fingerprint
+
+    def fingerprint_of(self, window: bytes) -> int:
+        """Non-rolling fingerprint of exactly one window (test oracle)."""
+        if len(window) > self.window_size:
+            raise ValueError("window longer than window_size")
+        value = 0
+        for byte in window:
+            value = self._shift_byte(value) ^ byte
+        return value

@@ -1,0 +1,148 @@
+"""Command-line interface: ``repro-eval`` (or ``python -m repro.cli``).
+
+Runs the paper's experiments from the shell without writing any code:
+
+    repro-eval table1 --app hpccg --n 64 196
+    repro-eval fig3a  --app cm1 --n 264
+    repro-eval sweep-k --app hpccg --n 408 --k 1 2 3 4 5 6
+    repro-eval shuffle --app cm1 --n 408
+    repro-eval fig2
+
+Results print as the paper-shaped text tables from
+:mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    WorkloadRunner,
+    cm1_runner,
+    fig2_example,
+    hpccg_runner,
+)
+from repro.analysis.tables import format_series, format_table
+from repro.core import Strategy
+
+
+def _runner(app: str) -> WorkloadRunner:
+    if app == "hpccg":
+        return hpccg_runner()
+    if app == "cm1":
+        return cm1_runner()
+    raise SystemExit(f"unknown app {app!r}; expected hpccg or cm1")
+
+
+def cmd_fig2(_args) -> None:
+    out = fig2_example()
+    print(format_table(
+        ["selection", "max receive (chunks)"],
+        [
+            ["naive (i+1..i+K-1)", out["naive_max_receive"]],
+            ["load-aware shuffle", out["shuffled_max_receive"]],
+        ],
+    ))
+
+
+def cmd_table1(args) -> None:
+    runner = _runner(args.app)
+    rows = []
+    for n in args.n:
+        runs = runner.run_strategies(n, k=args.k)
+        rows.append([
+            n,
+            f"{runs[Strategy.NO_DEDUP].completion_s:.0f}",
+            f"{runs[Strategy.LOCAL_DEDUP].completion_s:.0f}",
+            f"{runs[Strategy.COLL_DEDUP].completion_s:.0f}",
+            f"{runner.timeline.baseline(n):.0f}",
+        ])
+    print(f"{runner.name}: completion time (s), K={args.k}")
+    print(format_table(
+        ["# procs", "no-dedup", "local-dedup", "coll-dedup", "baseline"], rows
+    ))
+
+
+def cmd_fig3a(args) -> None:
+    runner = _runner(args.app)
+    for n in args.n:
+        runs = runner.run_strategies(n, k=args.k)
+        print(f"{runner.name}-{n}: unique content")
+        print(format_table(
+            ["approach", "fraction of raw data"],
+            [
+                [s.value, f"{runs[s].metrics.unique_fraction * 100:.1f}%"]
+                for s in Strategy
+            ],
+        ))
+
+
+def cmd_sweep_k(args) -> None:
+    runner = _runner(args.app)
+    n = args.n[0]
+    series = {
+        s.value: [f"{runner.run(n, s, k=k).increase_s:.0f}" for k in args.k]
+        for s in Strategy
+    }
+    print(f"{runner.name}-{n}: increase in execution time (s) vs K")
+    print(format_series("K", list(args.k), series))
+
+
+def cmd_shuffle(args) -> None:
+    runner = _runner(args.app)
+    n = args.n[0]
+    scale = runner.volume_scale(n)
+    rows = []
+    for k in args.k:
+        on = runner.run(n, Strategy.COLL_DEDUP, k=k, shuffle=True).metrics.recv_max
+        off = runner.run(n, Strategy.COLL_DEDUP, k=k, shuffle=False).metrics.recv_max
+        saving = (1 - on / off) * 100 if off else 0.0
+        rows.append([k, f"{on * scale / 1e9:.2f}", f"{off * scale / 1e9:.2f}",
+                     f"{saving:.0f}%"])
+    print(f"{runner.name}-{n}: max receive size (GB, paper scale)")
+    print(format_table(["K", "coll-shuffle", "coll-no-shuffle", "reduction"], rows))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval",
+        description="Regenerate experiments from Nicolae, IPDPS 2015.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig2", help="Figure 2 worked example").set_defaults(func=cmd_fig2)
+
+    def common(p):
+        p.add_argument("--app", choices=("hpccg", "cm1"), default="hpccg")
+        p.add_argument("--n", type=int, nargs="+", default=[64],
+                       help="process counts")
+        return p
+
+    t1 = common(sub.add_parser("table1", help="Table I completion times"))
+    t1.add_argument("--k", type=int, default=3)
+    t1.set_defaults(func=cmd_table1)
+
+    f3 = common(sub.add_parser("fig3a", help="Figure 3(a) unique content"))
+    f3.add_argument("--k", type=int, default=3)
+    f3.set_defaults(func=cmd_fig3a)
+
+    sk = common(sub.add_parser("sweep-k", help="Figures 4(a)/5(a) K sweep"))
+    sk.add_argument("--k", type=int, nargs="+", default=[1, 2, 3, 4, 5, 6])
+    sk.set_defaults(func=cmd_sweep_k)
+
+    sh = common(sub.add_parser("shuffle", help="Figures 4(c)/5(c) ablation"))
+    sh.add_argument("--k", type=int, nargs="+", default=[2, 3, 4, 5, 6])
+    sh.set_defaults(func=cmd_shuffle)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main
+    sys.exit(main())

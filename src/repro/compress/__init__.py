@@ -1,0 +1,20 @@
+"""Compression: the *other* redundancy-elimination technique.
+
+The paper's introduction frames two ways to shrink replication workloads —
+"compression or deduplication" — and evaluates deduplication.  This package
+supplies the compression side so the comparison (and the combination) can
+be measured: per-chunk codecs applied after dedup and before the wire/
+storage, preserving the content-addressed design (fingerprints are always
+of the *uncompressed* chunk, so dedup semantics are untouched).
+"""
+
+from repro.compress.codecs import Codec, available_codecs, get_codec
+from repro.compress.stats import CompressionStats, measure_codec
+
+__all__ = [
+    "Codec",
+    "CompressionStats",
+    "available_codecs",
+    "get_codec",
+    "measure_codec",
+]

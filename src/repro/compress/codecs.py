@@ -1,0 +1,128 @@
+"""Per-chunk compression codecs.
+
+Codecs are self-describing roundtrip transforms ``encode/decode`` over
+chunk payloads.  Available:
+
+* ``zlib-1`` / ``zlib-6`` — DEFLATE at fast / default levels (the paper's
+  era used comparable speed/ratio codecs for checkpoint compression
+  [Ibtesham et al.]).
+* ``rle`` — run-length encoding: nearly free, catches the zero/constant
+  pages HPC heaps are full of; a stand-in for the specialised
+  floating-point compressors (ISABELA-style) of the related work.
+* ``none`` — identity (for uniform call sites).
+
+All encoders prepend a 1-byte codec id so ``decode_auto`` can route, and
+fall back to storing the raw payload when "compression" would expand it —
+the standard incompressible-data guard.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List
+
+_RAW_MARKER = 0x00  # payload stored uncompressed
+
+
+class Codec:
+    """A registered chunk codec (id byte + encode/decode pair)."""
+
+    def __init__(
+        self,
+        name: str,
+        codec_id: int,
+        encode: Callable[[bytes], bytes],
+        decode: Callable[[bytes], bytes],
+    ) -> None:
+        if not 1 <= codec_id <= 255:
+            raise ValueError("codec_id must be in [1, 255]")
+        self.name = name
+        self.codec_id = codec_id
+        self._encode = encode
+        self._decode = decode
+
+    def encode(self, payload: bytes) -> bytes:
+        """Compressed frame (or a raw frame when that is smaller)."""
+        body = self._encode(payload)
+        if len(body) + 1 < len(payload) + 1:
+            return bytes([self.codec_id]) + body
+        return bytes([_RAW_MARKER]) + payload
+
+    def decode(self, frame: bytes) -> bytes:
+        return decode_auto(frame)
+
+    def ratio(self, payload: bytes) -> float:
+        """Encoded size / raw size (<= 1 + 1/len due to the marker byte)."""
+        if not payload:
+            return 1.0
+        return len(self.encode(payload)) / len(payload)
+
+
+def _rle_encode(payload: bytes) -> bytes:
+    """Byte-level run-length encoding: (count-1, byte) pairs, runs <= 256."""
+    out = bytearray()
+    i = 0
+    n = len(payload)
+    while i < n:
+        byte = payload[i]
+        run = 1
+        while run < 256 and i + run < n and payload[i + run] == byte:
+            run += 1
+        out.append(run - 1)
+        out.append(byte)
+        i += run
+    return bytes(out)
+
+
+def _rle_decode(body: bytes) -> bytes:
+    if len(body) % 2:
+        raise ValueError("corrupt RLE stream (odd length)")
+    out = bytearray()
+    for i in range(0, len(body), 2):
+        out.extend(bytes([body[i + 1]]) * (body[i] + 1))
+    return bytes(out)
+
+
+_CODECS: Dict[str, Codec] = {}
+_BY_ID: Dict[int, Codec] = {}
+
+
+def _register(codec: Codec) -> Codec:
+    if codec.name in _CODECS or codec.codec_id in _BY_ID:
+        raise ValueError(f"duplicate codec {codec.name}/{codec.codec_id}")
+    _CODECS[codec.name] = codec
+    _BY_ID[codec.codec_id] = codec
+    return codec
+
+
+_register(Codec("none", 255, lambda p: p + b"!", lambda b: b[:-1]))  # never wins
+_register(Codec("zlib-1", 1, lambda p: zlib.compress(p, 1), zlib.decompress))
+_register(Codec("zlib-6", 2, lambda p: zlib.compress(p, 6), zlib.decompress))
+_register(Codec("rle", 3, _rle_encode, _rle_decode))
+
+
+def get_codec(name: str) -> Codec:
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown codec {name!r}; available: {sorted(_CODECS)}"
+        ) from None
+
+
+def available_codecs() -> List[str]:
+    return sorted(_CODECS)
+
+
+def decode_auto(frame: bytes) -> bytes:
+    """Decode any frame produced by any codec (routes on the id byte)."""
+    if not frame:
+        raise ValueError("empty frame")
+    codec_id = frame[0]
+    body = frame[1:]
+    if codec_id == _RAW_MARKER:
+        return body
+    codec = _BY_ID.get(codec_id)
+    if codec is None:
+        raise ValueError(f"unknown codec id {codec_id}")
+    return codec._decode(body)

@@ -1,0 +1,166 @@
+"""``LOAD_INPUT``: the collective restart counterpart of ``DUMP_OUTPUT``.
+
+:func:`repro.core.restore.restore_dataset` restores one rank through the
+cluster's lookup service — fine for per-rank tooling, but a real restart is
+*collective*: every rank rebuilds its dataset simultaneously, and chunks a
+rank discarded at dump time (or lost to node failures) must be pulled from
+partner nodes over the network.  This module implements that as a two-round
+collective:
+
+1. **request round** — every rank resolves its manifest (own node first,
+   manifest replicas otherwise), determines which fingerprints have no
+   local copy, picks for each the lowest-id live holder (deterministic, so
+   no coordination is needed), and ships per-holder request lists via an
+   all-to-all.
+2. **reply round** — every rank serves the chunk payloads it was asked
+   for, again via an all-to-all; requesters reassemble their segments.
+
+The per-rank traffic this generates is exactly the restart cost the paper's
+local-storage design promises to keep low (most chunks are local), and the
+report makes it measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.chunking import Dataset
+from repro.core.config import DumpConfig
+from repro.core.fingerprint import Fingerprint
+from repro.simmpi import collectives
+from repro.simmpi.comm import Communicator
+from repro.storage.local_store import Cluster, StorageError
+
+
+@dataclass
+class CollectiveRestoreReport:
+    """Per-rank accounting of one collective restore."""
+
+    rank: int
+    dump_id: int
+    total_bytes: int = 0
+    local_chunks: int = 0
+    pulled_chunks: int = 0
+    pulled_bytes: int = 0
+    served_chunks: int = 0
+    served_bytes: int = 0
+    pulled_from: Dict[int, int] = field(default_factory=dict)  # rank -> chunks
+
+
+def load_input(
+    comm: Communicator,
+    cluster: Cluster,
+    config: DumpConfig,
+    dump_id: int = 0,
+) -> Tuple[Dataset, CollectiveRestoreReport]:
+    """Collectively restore every rank's dataset for ``dump_id``.
+
+    All ranks must call this together (two all-to-all rounds).  Each rank
+    returns its own reassembled :class:`Dataset` plus a traffic report.
+    Raises :class:`~repro.storage.local_store.StorageError` on any rank
+    whose manifest or chunks are unrecoverable (which aborts the world —
+    restart is all-or-nothing, like the paper's checkpoint semantics).
+    """
+    rank, world = comm.rank, comm.size
+    report = CollectiveRestoreReport(rank=rank, dump_id=dump_id)
+
+    # Resolve every distinct fingerprint to a source: own node, or the
+    # lowest-id live rank whose node holds it (deterministic pull target).
+    # Failures here (lost manifest/chunk) are detected locally but must
+    # abort *collectively*: the agreement round below keeps peers from
+    # blocking in an all-to-all a failed rank will never join.
+    needed: Dict[Fingerprint, int] = {}
+    manifest = None
+    error: str = ""
+    with comm.trace.phase("restore-plan"):
+        try:
+            manifest = cluster.find_manifest(rank, dump_id)
+            own_node = cluster.node_of(rank)
+            for fp in manifest.fingerprints:
+                if fp in needed:
+                    continue
+                if own_node.alive and own_node.chunks.has(fp):
+                    needed[fp] = rank
+                    report.local_chunks += 1
+                    continue
+                source = None
+                for peer in range(world):
+                    node = cluster.node_of(peer)
+                    if node.alive and node.chunks.has(fp):
+                        source = peer
+                        break
+                if source is None:
+                    raise StorageError(
+                        f"rank {rank}: chunk {fp.hex()[:12]}... unrecoverable"
+                    )
+                needed[fp] = source
+        except StorageError as exc:
+            error = str(exc)
+        statuses = collectives.allgather(comm, error)
+        failed = [s for s in statuses if s]
+        if failed:
+            raise StorageError(
+                f"collective restore of dump {dump_id} aborted; "
+                f"{len(failed)} rank(s) unrecoverable: {failed[0]}"
+            )
+        own_node = cluster.node_of(rank)
+
+    # Round 1: ship request lists (fingerprints only) to their holders.
+    requests: List[List[Fingerprint]] = [[] for _ in range(world)]
+    for fp, source in needed.items():
+        if source != rank:
+            requests[source].append(fp)
+    with comm.trace.phase("restore-request"):
+        incoming_requests = collectives.alltoall(comm, requests)
+
+    # Round 2: serve payloads for what we were asked.
+    replies: List[List[bytes]] = []
+    serving_node = cluster.node_of(rank)
+    for peer, asked in enumerate(incoming_requests):
+        payloads = []
+        for fp in asked:
+            if not serving_node.alive:
+                raise StorageError(
+                    f"rank {rank}: asked to serve from failed node "
+                    f"{serving_node.node_id}"
+                )
+            chunk = serving_node.chunks.get(fp)
+            payloads.append(chunk)
+            report.served_chunks += 1
+            report.served_bytes += len(chunk)
+        replies.append(payloads)
+    with comm.trace.phase("restore-reply"):
+        incoming_replies = collectives.alltoall(comm, replies)
+
+    # Merge local and pulled chunks, then reassemble the segment structure.
+    if manifest.compressed:
+        from repro.compress.codecs import decode_auto
+    else:
+        decode_auto = None
+    payload_of: Dict[Fingerprint, bytes] = {}
+    for fp, source in needed.items():
+        if source == rank:
+            frame = own_node.chunks.get(fp)
+            payload_of[fp] = decode_auto(frame) if decode_auto else frame
+    for peer in range(world):
+        for fp, chunk in zip(requests[peer], incoming_replies[peer]):
+            report.pulled_chunks += 1
+            report.pulled_bytes += len(chunk)
+            report.pulled_from[peer] = report.pulled_from.get(peer, 0) + 1
+            payload_of[fp] = decode_auto(chunk) if decode_auto else chunk
+
+    stream = b"".join(payload_of[fp] for fp in manifest.fingerprints)
+    segments: List[bytes] = []
+    cursor = 0
+    for length in manifest.segment_lengths:
+        segments.append(stream[cursor : cursor + length])
+        cursor += length
+    if cursor != len(stream):
+        raise StorageError(
+            f"rank {rank}: manifest inconsistent — segments cover {cursor}B "
+            f"but chunks supply {len(stream)}B"
+        )
+    report.total_bytes = cursor
+    comm.barrier()
+    return Dataset(segments), report

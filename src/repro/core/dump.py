@@ -1,0 +1,285 @@
+"""The collective write primitive: ``DUMP_OUTPUT(buffer, K)`` (Algorithm 1).
+
+This is the SPMD entry point of the library.  All ranks call
+:func:`dump_output` collectively; afterwards every rank's dataset is stored
+on its node and replicated toward the configured factor, and a
+:class:`DumpReport` describes exactly what moved where — the raw material
+for every figure in the evaluation.
+
+Phases (each bracketed by a trace phase so the cost model can price them):
+
+1. ``hash``       — chunk + fingerprint + local dedup (phase 1 dedup).
+2. ``reduction``  — ALLREDUCE(HMERGE) global view (coll-dedup only).
+3. ``allgather``  — gather every rank's Load vector (single-sided planning
+                    needs the full SendLoad matrix under every strategy).
+4. ``exchange``   — one-sided puts into partner windows at Algorithm 3
+                    offsets, closed by a fence.
+5. ``write``      — commit designated + received chunks to local storage,
+                    replicate the (tiny) manifest to partners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.chunking import Dataset
+from repro.core.config import DumpConfig, Strategy
+from repro.core.fingerprint import Fingerprint, Fingerprinter
+from repro.core.global_dedup import build_global_view
+from repro.core.hmerge import GlobalView
+from repro.core.local_dedup import LocalIndex, local_dedup
+from repro.core.offsets import WindowLayout, window_layout
+from repro.core.planner import ReplicationPlan, build_plan
+from repro.core.shuffle import (
+    identity_shuffle,
+    inverse_positions,
+    node_aware_shuffle,
+    partners_of,
+    rank_shuffle,
+    senders_to,
+)
+from repro.core.wire import decode_region, encode_record, slot_nbytes
+from repro.simmpi import collectives
+from repro.simmpi.comm import Communicator
+from repro.simmpi.window import Window
+from repro.storage.local_store import Cluster
+from repro.storage.manifest import Manifest
+
+
+@dataclass
+class DumpReport:
+    """Per-rank outcome of one collective dump.
+
+    All byte counts are *logical* (pre store-side dedup); chunk counts refer
+    to chunk records.  ``sent_per_partner[j]`` is what went to the partner
+    at distance ``j+1`` in the agreed order.
+    """
+
+    rank: int
+    strategy: str
+    k: int
+    n_chunks: int = 0
+    dataset_bytes: int = 0
+    hashed_bytes: int = 0
+    local_unique_chunks: int = 0
+    local_unique_bytes: int = 0
+    view_entries: int = 0
+    view_bytes: int = 0
+    reduction_rounds: int = 0
+    discarded_chunks: int = 0
+    stored_chunks: int = 0
+    stored_bytes: int = 0
+    received_chunks: int = 0
+    received_bytes: int = 0
+    sent_chunks: int = 0
+    sent_bytes: int = 0
+    sent_per_partner: List[int] = field(default_factory=list)
+    load: List[int] = field(default_factory=list)
+    shuffle_position: int = 0
+    partners: List[int] = field(default_factory=list)
+    manifest_bytes: int = 0
+    parity_stripes: int = 0
+
+    @property
+    def total_stored_bytes(self) -> int:
+        """Everything this rank's node must write for this rank: own stored
+        chunks plus replicas received from partners."""
+        return self.stored_bytes + self.received_bytes
+
+    @property
+    def replicated_bytes(self) -> int:
+        """The paper's 'amount of replicated data per process': what this
+        rank ships to its partners."""
+        return self.sent_bytes
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rank": self.rank,
+            "strategy": self.strategy,
+            "k": self.k,
+            "n_chunks": self.n_chunks,
+            "dataset_bytes": self.dataset_bytes,
+            "local_unique_chunks": self.local_unique_chunks,
+            "local_unique_bytes": self.local_unique_bytes,
+            "stored_bytes": self.stored_bytes,
+            "received_bytes": self.received_bytes,
+            "sent_bytes": self.sent_bytes,
+            "load": list(self.load),
+        }
+
+
+def dump_output(
+    comm: Communicator,
+    dataset: Dataset,
+    config: DumpConfig,
+    cluster: Cluster,
+    dump_id: int = 0,
+) -> DumpReport:
+    """Collectively dump ``dataset`` with replication factor ``config.K``.
+
+    Parameters
+    ----------
+    comm:
+        This rank's communicator; all ranks must call with consistent
+        ``config`` and ``dump_id``.
+    dataset:
+        The rank-local dataset (the paper's possibly non-contiguous
+        ``buffer``).
+    cluster:
+        Storage cluster to commit chunks/manifests to.  For faithful
+        no-dedup accounting create it with ``dedup=False``.
+    """
+    rank, world = comm.rank, comm.size
+    k_eff = config.effective_k(world)
+    strategy = config.strategy
+    fingerprinter = Fingerprinter(config.hash_name)
+    report = DumpReport(rank=rank, strategy=strategy.value, k=k_eff)
+
+    # Phase 1: chunk, fingerprint, local dedup.
+    chunker = config.make_chunker() if config.chunking != "fixed" else None
+    with comm.trace.phase("hash"):
+        index = local_dedup(
+            dataset, fingerprinter, config.chunk_size, chunker=chunker
+        )
+
+    # Optional compression: payloads become self-describing frames; the
+    # fingerprint (of the *uncompressed* chunk) remains the identity.
+    if config.compress is not None:
+        from repro.compress.codecs import get_codec
+
+        codec = get_codec(config.compress)
+        with comm.trace.phase("compress"):
+            payload_of = {fp: codec.encode(raw) for fp, raw in index.unique.items()}
+    else:
+        payload_of = index.unique
+    payload_size = {fp: len(p) for fp, p in payload_of.items()}
+    report.n_chunks = index.total_chunks
+    report.dataset_bytes = dataset.nbytes
+    report.hashed_bytes = fingerprinter.hashed_bytes
+    report.local_unique_chunks = index.unique_chunks
+    report.local_unique_bytes = index.unique_bytes
+
+    # Phase 2: collective reduction (coll-dedup only).  Node-aware mode
+    # feeds the static rank->node mapping into designation and top-up
+    # decisions (extension, paper Sec. VI).
+    node_of = list(cluster.rank_to_node) if config.node_aware else None
+    view: Optional[GlobalView] = None
+    if strategy is Strategy.COLL_DEDUP:
+        with comm.trace.phase("reduction") as counters:
+            reduction_comm = comm
+            if config.dedup_domain_size is not None:
+                # Dedup domains: reduce within groups of consecutive ranks
+                # (designated-rank ids stay global via world_rank).
+                reduction_comm = comm.split(rank // config.dedup_domain_size)
+            view, _table = build_global_view(
+                reduction_comm, index.counts.keys(), k_eff, config.f_threshold,
+                node_of=node_of,
+            )
+            report.reduction_rounds = counters.rounds
+        report.view_entries = len(view)
+        report.view_bytes = view.nbytes_estimate()
+
+    # Plan: what to store, discard, and send to which partner slot.
+    parity_mode = config.redundancy == "parity"
+    plan = build_plan(
+        rank,
+        index,
+        view,
+        k_eff,
+        world,
+        dedup_local=strategy is not Strategy.NO_DEDUP,
+        node_of=node_of if strategy is Strategy.COLL_DEDUP else None,
+        topup=not parity_mode,
+    )
+    report.discarded_chunks = len(plan.discarded_fps)
+    report.load = plan.load
+
+    # Phase 3: gather the SendLoad matrix (needed by every strategy for the
+    # single-sided planning; coll-dedup additionally shuffles on it).
+    with comm.trace.phase("allgather"):
+        send_load = collectives.allgather(comm, plan.load)
+
+    if strategy is Strategy.COLL_DEDUP and config.shuffle:
+        totals = [sum(row[1:]) for row in send_load]
+        if config.node_aware:
+            shuffle = node_aware_shuffle(totals, k_eff, cluster.rank_to_node)
+        else:
+            shuffle = rank_shuffle(totals, k_eff)
+    else:
+        shuffle = identity_shuffle(world)
+    positions = inverse_positions(shuffle)
+    my_pos = positions[rank]
+    report.shuffle_position = my_pos
+    report.partners = partners_of(my_pos, shuffle, k_eff)
+
+    layout = window_layout(shuffle, send_load, k_eff)
+    slot = slot_nbytes(fingerprinter.digest_size, config.wire_payload_capacity)
+
+    # Phase 4: one-sided exchange.
+    with comm.trace.phase("exchange"):
+        window = Window.create(comm, layout.window_slots[rank] * slot)
+        capacity = config.wire_payload_capacity
+        for p, fps in enumerate(plan.partner_chunks):
+            target = shuffle[(my_pos + p + 1) % world]
+            base = layout.offset_of(rank, target)
+            for i, fp in enumerate(fps):
+                record = encode_record(fp, payload_of[fp], capacity)
+                window.put(record, target, (base + i) * slot)
+            count = len(fps)
+            report.sent_per_partner.append(count)
+            report.sent_chunks += count
+            report.sent_bytes += sum(payload_size[fp] for fp in fps)
+        window.fence()
+        incoming = window.local_view()
+        received = []
+        for sender, start, count in layout.regions[rank]:
+            received.extend(
+                decode_region(
+                    incoming, fingerprinter.digest_size, capacity, start, count
+                )
+            )
+        window.free()
+
+    # Phase 5: commit to local storage and replicate the manifest.
+    with comm.trace.phase("write"):
+        node = cluster.storage_for(rank)
+        for fp in plan.store_fps:
+            node.chunks.put(fp, payload_of[fp])
+            report.stored_chunks += 1
+            report.stored_bytes += payload_size[fp]
+        for fp, payload in received:
+            node.chunks.put(fp, payload)
+            report.received_chunks += 1
+            report.received_bytes += len(payload)
+
+        manifest = Manifest(
+            rank=rank,
+            dump_id=dump_id,
+            segment_lengths=dataset.segment_lengths,
+            fingerprints=index.order,
+            chunk_size=config.chunk_size,
+            compressed=config.compress is not None,
+        )
+        node.put_manifest(manifest)
+        blob = manifest.to_bytes()
+        report.manifest_bytes = len(blob)
+        manifest_tag = comm.next_collective_tag()
+        for partner in report.partners:
+            comm.send(blob, partner, tag=manifest_tag)
+        for sender in senders_to(my_pos, shuffle, k_eff):
+            incoming_blob = comm.recv(sender, tag=manifest_tag)
+            node.put_manifest(Manifest.from_bytes(incoming_blob))
+
+    # Parity redundancy (extension): cross-rank stripe groups with rotating
+    # parity holders replace the replica top-ups (see repro.erasure.ec_dump).
+    if parity_mode:
+        from repro.erasure.ec_dump import ship_parity
+
+        with comm.trace.phase("parity"):
+            ship_parity(
+                comm, cluster, config, plan, payload_of, shuffle, my_pos,
+                dump_id, report, k_eff,
+            )
+    comm.barrier()
+    return report

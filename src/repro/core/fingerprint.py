@@ -1,0 +1,69 @@
+"""Chunk fingerprints.
+
+The paper uses SHA-1 ("a crypto-grade hash function specifically designed to
+minimize the chance of collisions") but notes the library "fully supports
+other hash functions if a better trade-off between performance and collision
+chance is desired".  :class:`Fingerprinter` is that pluggable point; the
+supported algorithms cover the spectrum from crypto-grade (sha1, sha256) to
+fast (blake2b with a 16-byte digest, md5).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple
+
+Fingerprint = bytes
+
+_ALGORITHMS: Dict[str, Tuple[Callable[[bytes], "hashlib._Hash"], int]] = {
+    "sha1": (lambda data: hashlib.sha1(data), 20),
+    "sha256": (lambda data: hashlib.sha256(data), 32),
+    "md5": (lambda data: hashlib.md5(data), 16),
+    "blake2b": (lambda data: hashlib.blake2b(data, digest_size=16), 16),
+}
+
+
+class Fingerprinter:
+    """Computes fixed-size fingerprints of chunks and accounts hashed bytes.
+
+    The byte counter feeds the cost model's hash phase; reset it per dump
+    with :meth:`reset_counter`.
+    """
+
+    def __init__(self, hash_name: str = "sha1") -> None:
+        try:
+            self._factory, self._digest_size = _ALGORITHMS[hash_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown hash {hash_name!r}; supported: {sorted(_ALGORITHMS)}"
+            ) from None
+        self.hash_name = hash_name
+        self.hashed_bytes = 0
+
+    @property
+    def digest_size(self) -> int:
+        """Fingerprint length in bytes."""
+        return self._digest_size
+
+    def __call__(self, chunk: bytes) -> Fingerprint:
+        self.hashed_bytes += len(chunk)
+        return self._factory(chunk).digest()
+
+    def fingerprint_all(self, chunks: Iterable[bytes]) -> List[Fingerprint]:
+        """Fingerprints for a chunk sequence, in order."""
+        return [self(chunk) for chunk in chunks]
+
+    def iter_fingerprints(
+        self, chunks: Iterable[bytes]
+    ) -> Iterator[Tuple[Fingerprint, bytes]]:
+        """Yield ``(fingerprint, chunk)`` pairs streaming."""
+        for chunk in chunks:
+            yield self(chunk), chunk
+
+    def reset_counter(self) -> None:
+        self.hashed_bytes = 0
+
+
+def supported_hashes() -> List[str]:
+    """Names accepted by :class:`Fingerprinter` and ``DumpConfig.hash_name``."""
+    return sorted(_ALGORITHMS)

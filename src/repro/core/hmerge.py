@@ -1,0 +1,410 @@
+"""Phase 2's merge operator: top-F frequency counting with designated ranks.
+
+The collective deduplication runs ``ALLREDUCE(HMERGE, LHashes)``: given two
+fingerprint tables (each mapping fingerprints to their frequency and a list
+of at most K *designated ranks*), :func:`hmerge` outputs the F most frequent
+fingerprints of the union.  Two properties from Section III-B are encoded
+here:
+
+* **Bounded complexity** — each merge keeps at most ``F`` fingerprints; the
+  rest are "considered unique even if they are not" (a correctness-neutral
+  relaxation).
+* **Load balancing by uniform rank assignment** — when a merged rank list
+  exceeds K it is truncated "in such way that the most loaded ranks are
+  eliminated first", where a rank's load is the number of fingerprints it is
+  currently designated for.
+
+:func:`hmerge` is deterministic and symmetric (``hmerge(a, b)`` equals
+``hmerge(b, a)``).  That matters: in a recursive-doubling allreduce the two
+sides of every exchange apply the operator with swapped arguments, and
+symmetry is exactly what guarantees every rank ends up with the identical
+global view without a final broadcast.
+
+Implementation note: this is the system's hot kernel (the paper implements
+it in C++ over Boost containers).  Tables are stored as parallel numpy
+arrays — fingerprints as fixed-width byte strings kept sorted, frequencies
+as int64, designated ranks as a (n, K) int32 matrix padded with a sentinel —
+so a merge is a handful of vectorised set operations instead of per-entry
+dictionary work.  The per-round eviction of over-designated ranks processes
+all overflowing entries simultaneously (one eviction per entry per round),
+which keeps the operator symmetric and runs in O(K) vectorised rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fingerprint import Fingerprint
+
+#: padding sentinel for unused designated-rank slots (sorts after any rank)
+PAD = np.iinfo(np.int32).max
+
+
+@dataclass(frozen=True)
+class MergeEntry:
+    """One fingerprint's global state during/after the reduction.
+
+    ``ranks`` is kept sorted by rank id; the round-robin assignment of
+    missing replicas indexes into this sorted tuple, so keeping a canonical
+    order makes the assignment identical on every rank with no extra
+    communication.
+    """
+
+    freq: int
+    ranks: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.freq < 1:
+            raise ValueError(f"frequency must be >= 1, got {self.freq}")
+        if tuple(sorted(self.ranks)) != self.ranks:
+            object.__setattr__(self, "ranks", tuple(sorted(self.ranks)))
+
+
+class MergeTable:
+    """A bounded fingerprint-frequency table flowing through the reduction.
+
+    Array storage (internal): ``fps`` (sorted ``S<digest>`` array), ``freq``
+    (int64), ``ranks`` ((n, K) int32, valid ranks sorted first, ``PAD``
+    after), ``load_arr`` (int64 per rank id).  The dictionary views
+    ``entries`` / ``rank_load`` are materialised on demand for inspection
+    and tests; algorithms use the arrays.
+    """
+
+    __slots__ = ("fps", "freq", "ranks", "load_arr", "k", "f", "node_of")
+
+    def __init__(self, k: int, f: int, node_of: Optional[Sequence[int]] = None) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if f < 1:
+            raise ValueError(f"f must be >= 1, got {f}")
+        self.k = k
+        self.f = f
+        #: optional rank -> node mapping (static configuration, identical on
+        #: every rank, NOT wire data): when set, rank-list truncation prefers
+        #: evicting ranks whose node is already represented, so the surviving
+        #: designated set spans as many distinct nodes as possible
+        #: (node-aware extension, paper Sec. VI).
+        self.node_of = node_of
+        self.fps = np.empty(0, dtype="S1")
+        self.freq = np.empty(0, dtype=np.int64)
+        self.ranks = np.full((0, k), PAD, dtype=np.int32)
+        self.load_arr = np.empty(0, dtype=np.int64)
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_local(
+        cls,
+        fingerprints: Iterable[Fingerprint],
+        rank: int,
+        k: int,
+        f: int,
+        node_of: Optional[Sequence[int]] = None,
+    ) -> "MergeTable":
+        """Initial table of one rank: every locally unique fingerprint with
+        frequency 1 and itself as the only designated rank.
+
+        If a rank holds more than F locally unique fingerprints, a
+        deterministic subset (smallest fingerprints) is selected — the same
+        relaxation the merge applies, pushed to the leaves.
+        """
+        table = cls(k, f, node_of=node_of)
+        unique = sorted(set(fingerprints))
+        if len(unique) > f:
+            unique = unique[:f]
+        n = len(unique)
+        if n:
+            digest = len(unique[0])
+            if any(len(u) != digest for u in unique):
+                raise ValueError("fingerprints must have a uniform width")
+            table.fps = np.array(unique, dtype=f"S{digest}")
+            table.freq = np.ones(n, dtype=np.int64)
+            table.ranks = np.full((n, k), PAD, dtype=np.int32)
+            table.ranks[:, 0] = rank
+            table.load_arr = np.zeros(rank + 1, dtype=np.int64)
+            table.load_arr[rank] = n
+        return table
+
+    # -- dict views (inspection/tests; algorithms use the arrays) ---------------
+    @property
+    def digest_size(self) -> int:
+        """Fingerprint width in bytes (0 for an empty table)."""
+        return self.fps.dtype.itemsize if len(self.fps) else 0
+
+    @property
+    def entries(self) -> Dict[Fingerprint, MergeEntry]:
+        # numpy's S dtype strips trailing NULs on readback (storage and
+        # ordering are unaffected for fixed-width inputs, since NUL is the
+        # smallest byte); restore the fixed width here.
+        width = self.digest_size
+        out: Dict[Fingerprint, MergeEntry] = {}
+        for i in range(len(self.fps)):
+            row = self.ranks[i]
+            ranks = tuple(int(r) for r in row[row != PAD])
+            fp = bytes(self.fps[i]).ljust(width, b"\x00")
+            out[fp] = MergeEntry(freq=int(self.freq[i]), ranks=ranks)
+        return out
+
+    @property
+    def rank_load(self) -> Dict[int, int]:
+        nz = np.nonzero(self.load_arr)[0]
+        return {int(r): int(self.load_arr[r]) for r in nz}
+
+    # -- size accounting (feeds the network trace / cost model) ---------------
+    def nbytes_estimate(self) -> int:
+        """Approximate wire size: digest + u32 freq + u32 per designated rank,
+        plus the per-rank load vector."""
+        if not len(self.fps):
+            return 0
+        digest = self.fps.dtype.itemsize
+        designated = int((self.ranks != PAD).sum())
+        return len(self.fps) * (digest + 4) + 4 * designated + 8 * int(
+            (self.load_arr > 0).sum()
+        )
+
+    def __len__(self) -> int:
+        return len(self.fps)
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        if not len(self.fps):
+            return False
+        query = np.bytes_(bytes(fp).rstrip(b"\x00"))  # match S-dtype storage
+        i = np.searchsorted(self.fps, query)
+        return i < len(self.fps) and self.fps[i] == query
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if internal bookkeeping drifted (test hook)."""
+        assert len(self.fps) <= self.f
+        assert (np.sort(self.fps) == self.fps).all(), "fps not sorted"
+        assert len(np.unique(self.fps)) == len(self.fps), "duplicate fps"
+        recount: Dict[int, int] = {}
+        for i in range(len(self.fps)):
+            row = self.ranks[i]
+            valid = row[row != PAD]
+            assert 1 <= len(valid) <= self.k
+            assert len(set(valid.tolist())) == len(valid)
+            for r in valid.tolist():
+                recount[r] = recount.get(r, 0) + 1
+        assert recount == self.rank_load, (recount, self.rank_load)
+
+
+def _merge_loads(a: MergeTable, b: MergeTable) -> np.ndarray:
+    size = max(len(a.load_arr), len(b.load_arr))
+    load = np.zeros(size, dtype=np.int64)
+    load[: len(a.load_arr)] += a.load_arr
+    load[: len(b.load_arr)] += b.load_arr
+    return load
+
+
+def _evict_overflow(
+    ranks: np.ndarray,
+    k: int,
+    load: np.ndarray,
+    node_of: Optional[Sequence[int]],
+) -> np.ndarray:
+    """Reduce every row of ``ranks`` to at most ``k`` valid entries.
+
+    Each vectorised round evicts, from every still-overflowing row, the
+    designated rank with the highest load — restricted, in node-aware mode,
+    to ranks on already-duplicated nodes when any exist.  Equal loads are
+    tie-broken by a deterministic per-(entry, rank) hash: without it every
+    row of a round would evict the *same* rank (rows see identical loads),
+    which is exactly the herding the load balancing exists to avoid.
+    Evictions of one round are applied to ``load`` simultaneously; rows are
+    ordered by fingerprint (the caller passes them sorted), so the result
+    is symmetric in the merge arguments.
+    """
+    if not len(ranks):
+        return ranks
+    node_map = None
+    if node_of is not None:
+        node_map = np.asarray(node_of, dtype=np.int64)
+    counts = (ranks != PAD).sum(axis=1)
+    int_min = np.iinfo(np.int64).min
+
+    def evict_one(rows: np.ndarray) -> None:
+        """Evict one rank from each of ``rows`` against the current loads."""
+        sub = ranks[rows]  # (m, width), rows sorted ascending, PAD last
+        valid = sub != PAD
+        safe = np.where(valid, sub, 0)
+        loads = np.where(valid, load[safe], int_min)
+        if node_map is not None:
+            nodes = np.where(valid, node_map[safe], -1)
+            # Mark ranks whose node appears more than once in the row.
+            dup = np.zeros_like(valid)
+            for col in range(sub.shape[1]):
+                same = (nodes == nodes[:, col : col + 1]) & valid
+                dup[:, col] = valid[:, col] & (same.sum(axis=1) > 1)
+            if_any = dup.any(axis=1)
+            # Restrict the victim pool to duplicated-node ranks where any.
+            loads = np.where(if_any[:, None] & ~dup & valid, int_min, loads)
+        # Deterministic per-(row, rank) tie-break hash; row ids index the
+        # fingerprint-sorted entry order, so the result is argument-order
+        # independent.  Murmur-style mixing avalanches the row term —
+        # otherwise every row of a batch would evict the same rank.
+        h = (sub.astype(np.int64) + 1) * 2654435761 ^ (
+            (rows[:, None].astype(np.int64) + 1) * 2246822519
+        )
+        h &= 0xFFFFFFFF
+        h ^= h >> 16
+        h = (h * 2246822519) & 0xFFFFFFFF
+        h ^= h >> 13
+        tie = np.where(loads != int_min, h & 0x7FFFFFFF, -1)
+        max_load = loads.max(axis=1)
+        cand = loads == max_load[:, None]
+        tie_masked = np.where(cand, tie, -1)
+        best_tie = tie_masked.max(axis=1)
+        victim_mask = cand & (tie_masked == best_tie[:, None])
+        victim = np.where(victim_mask, sub, -1).max(axis=1)
+        cell = (sub == victim[:, None]).argmax(axis=1)
+        ranks[rows, cell] = PAD
+        np.subtract.at(load, victim, 1)
+        resort = ranks[rows]
+        resort.sort(axis=1)
+        ranks[rows] = resort
+        counts[rows] -= 1
+
+    while True:
+        over = np.nonzero(counts > k)[0]
+        if not len(over):
+            break
+        # Batched eviction: loads refresh between batches, so victim choice
+        # tracks the evolving balance closely (fully sequential for small
+        # merges, 8 vectorised batches for large ones) — the stale-load
+        # herding a single whole-round eviction would cause stays bounded.
+        batch = max(1, len(over) // 8)
+        for start in range(0, len(over), batch):
+            evict_one(over[start : start + batch])
+    return ranks
+
+
+def hmerge(a: MergeTable, b: MergeTable) -> MergeTable:
+    """Merge two tables: sum frequencies, bound rank lists to K dropping the
+    most-loaded ranks first, keep the F most frequent fingerprints.
+
+    Pure (inputs are not mutated) — required because the threads-based
+    substrate passes objects by reference, so a mutating operator would
+    corrupt sibling reduction lanes.  Deterministic and symmetric.
+    """
+    if a.k != b.k or a.f != b.f:
+        raise ValueError(
+            f"cannot merge tables with different bounds: "
+            f"(k={a.k}, f={a.f}) vs (k={b.k}, f={b.f})"
+        )
+    k, f = a.k, a.f
+    node_of = a.node_of if a.node_of is not None else b.node_of
+    out = MergeTable(k, f, node_of=node_of)
+    load = _merge_loads(a, b)
+
+    if not len(a.fps) and not len(b.fps):
+        out.load_arr = load
+        return out
+    if not len(a.fps) or not len(b.fps):
+        src = a if len(a.fps) else b
+        out.fps = src.fps.copy()
+        out.freq = src.freq.copy()
+        out.ranks = src.ranks.copy()
+        out.load_arr = load
+        return out
+
+    # Align dtypes (digest widths must agree across ranks).
+    if a.fps.dtype != b.fps.dtype:
+        raise ValueError(
+            f"fingerprint widths differ: {a.fps.dtype} vs {b.fps.dtype}"
+        )
+
+    common, ia, ib = np.intersect1d(
+        a.fps, b.fps, assume_unique=True, return_indices=True
+    )
+    only_a = np.ones(len(a.fps), dtype=bool)
+    only_a[ia] = False
+    only_b = np.ones(len(b.fps), dtype=bool)
+    only_b[ib] = False
+
+    # Overlapping entries: sum frequencies, union + bound the rank lists.
+    freq_c = a.freq[ia] + b.freq[ib]
+    ranks_c = np.concatenate([a.ranks[ia], b.ranks[ib]], axis=1)
+    ranks_c.sort(axis=1)
+    if len(ranks_c):
+        # De-duplicate ranks designated on both sides (impossible inside a
+        # reduction — subtrees are rank-disjoint — but legal via the public
+        # API); the duplicate slot is PADded and the double-counted load
+        # released.
+        dup = (ranks_c[:, 1:] == ranks_c[:, :-1]) & (ranks_c[:, 1:] != PAD)
+        if dup.any():
+            rows, cols = np.nonzero(dup)
+            np.subtract.at(load, ranks_c[rows, cols + 1], 1)
+            ranks_c[rows, cols + 1] = PAD
+            ranks_c.sort(axis=1)
+    ranks_c = _evict_overflow(ranks_c, k, load, node_of)
+
+    fps_all = np.concatenate([a.fps[only_a], b.fps[only_b], common])
+    freq_all = np.concatenate([a.freq[only_a], b.freq[only_b], freq_c])
+    width = ranks_c.shape[1]
+
+    def pad_to(mat: np.ndarray) -> np.ndarray:
+        if mat.shape[1] == width:
+            return mat
+        extra = np.full((mat.shape[0], width - mat.shape[1]), PAD, dtype=np.int32)
+        return np.concatenate([mat, extra], axis=1)
+
+    ranks_all = np.concatenate(
+        [pad_to(a.ranks[only_a]), pad_to(b.ranks[only_b]), ranks_c], axis=0
+    )
+
+    # Top-F selection: keep the F most frequent; ties broken by fingerprint
+    # bytes (larger wins), matching a total (freq, fp) order.
+    if len(fps_all) > f:
+        order = np.lexsort((fps_all, freq_all))  # ascending (freq, fp)
+        dropped = order[: len(fps_all) - f]
+        dropped_ranks = ranks_all[dropped]
+        np.subtract.at(load, dropped_ranks[dropped_ranks != PAD], 1)
+        keep = order[len(fps_all) - f :]
+        fps_all = fps_all[keep]
+        freq_all = freq_all[keep]
+        ranks_all = ranks_all[keep]
+
+    final = np.argsort(fps_all)
+    out.fps = fps_all[final]
+    out.freq = freq_all[final]
+    out.ranks = np.ascontiguousarray(ranks_all[final][:, :k])
+    out.load_arr = load
+    return out
+
+
+@dataclass
+class GlobalView:
+    """The broadcast result of the reduction: the global fingerprint view.
+
+    Every rank consults this to decide, per chunk: discard (enough natural
+    replicas exist elsewhere), store locally, and/or top up missing replicas.
+    """
+
+    entries: Dict[Fingerprint, MergeEntry] = field(default_factory=dict)
+    k: int = 1
+
+    @classmethod
+    def from_table(cls, table: MergeTable) -> "GlobalView":
+        return cls(entries=table.entries, k=table.k)
+
+    def get(self, fp: Fingerprint) -> Optional[MergeEntry]:
+        return self.entries.get(fp)
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        return fp in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def designated(self, fp: Fingerprint) -> Tuple[int, ...]:
+        """Designated ranks of ``fp`` (empty tuple when not in the view)."""
+        entry = self.entries.get(fp)
+        return entry.ranks if entry is not None else ()
+
+    def nbytes_estimate(self) -> int:
+        total = 0
+        for fp, entry in self.entries.items():
+            total += len(fp) + 4 + 4 * len(entry.ranks)
+        return total

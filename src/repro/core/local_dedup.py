@@ -1,0 +1,128 @@
+"""Phase 1 of the two-phase deduplication: per-rank duplicate elimination.
+
+"each process identifies the duplicate chunks of its own dataset and keeps
+only one copy, which results in a set of locally unique fingerprints."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.chunking import Dataset
+from repro.core.fingerprint import Fingerprint, Fingerprinter
+
+
+@dataclass
+class LocalIndex:
+    """Result of local deduplication of one rank's dataset.
+
+    Attributes
+    ----------
+    order:
+        Fingerprint of every chunk in original dataset order (duplicates
+        included) — this is the recipe for reassembling the dataset.
+    unique:
+        First-occurrence chunk payload for each distinct fingerprint, in
+        first-occurrence order (Python dicts preserve insertion order).
+        May be empty when the index was built fingerprints-only.
+    counts:
+        Local multiplicity of each distinct fingerprint.
+    chunk_sizes:
+        Payload length of each distinct fingerprint (needed for byte
+        accounting when ``unique`` carries no data).
+    """
+
+    order: List[Fingerprint] = field(default_factory=list)
+    unique: Dict[Fingerprint, bytes] = field(default_factory=dict)
+    counts: Dict[Fingerprint, int] = field(default_factory=dict)
+    chunk_sizes: Dict[Fingerprint, int] = field(default_factory=dict)
+
+    @property
+    def total_chunks(self) -> int:
+        """Chunk count before dedup."""
+        return len(self.order)
+
+    @property
+    def unique_chunks(self) -> int:
+        """Distinct chunk count after local dedup."""
+        return len(self.counts)
+
+    @property
+    def total_bytes(self) -> int:
+        """Dataset bytes before dedup."""
+        return sum(self.chunk_sizes[fp] * self.counts[fp] for fp in self.counts)
+
+    @property
+    def unique_bytes(self) -> int:
+        """Bytes of the locally unique chunks."""
+        return sum(self.chunk_sizes.values())
+
+    def unique_fingerprints(self) -> List[Fingerprint]:
+        """Distinct fingerprints in first-occurrence order."""
+        return list(self.counts.keys())
+
+
+def local_dedup(
+    dataset: Dataset,
+    fingerprinter: Fingerprinter,
+    chunk_size: int,
+    keep_payloads: bool = True,
+    chunker=None,
+) -> LocalIndex:
+    """Chunk + fingerprint a dataset and collapse local duplicates.
+
+    ``keep_payloads=False`` builds a fingerprints-only index (used by the
+    deterministic global simulator, which never moves real chunk bytes).
+    ``chunker`` overrides the fixed-size chunking with any callable mapping
+    a segment to an iterable of chunks (e.g. content-defined chunking via
+    ``DumpConfig.make_chunker()``); chunks must not exceed ``chunk_size``.
+    """
+    if chunker is not None:
+        chunks = (
+            chunk
+            for i in range(dataset.num_segments)
+            for chunk in chunker(dataset.segment(i))
+        )
+    else:
+        chunks = dataset.chunks(chunk_size)
+    index = LocalIndex()
+    for chunk in chunks:
+        fp = fingerprinter(chunk)
+        index.order.append(fp)
+        count = index.counts.get(fp)
+        if count is None:
+            index.counts[fp] = 1
+            index.chunk_sizes[fp] = len(chunk)
+            if keep_payloads:
+                index.unique[fp] = chunk
+        else:
+            index.counts[fp] = count + 1
+    return index
+
+
+def index_from_fingerprints(
+    fingerprints: List[Fingerprint], chunk_size: int, last_chunk_size: Optional[int] = None
+) -> LocalIndex:
+    """Build a fingerprints-only :class:`LocalIndex` from a precomputed list.
+
+    Used by workload generators that hash streams without retaining data.
+    ``last_chunk_size`` gives the (possibly short) size of the final chunk.
+    """
+    index = LocalIndex()
+    n = len(fingerprints)
+    for pos, fp in enumerate(fingerprints):
+        size = chunk_size
+        if pos == n - 1 and last_chunk_size is not None:
+            size = last_chunk_size
+        index.order.append(fp)
+        count = index.counts.get(fp)
+        if count is None:
+            index.counts[fp] = 1
+            index.chunk_sizes[fp] = size
+        else:
+            index.counts[fp] = count + 1
+            # A duplicate of the tail chunk must have the tail's size; keep
+            # the first-seen size (identical fingerprints imply identical
+            # payloads, hence identical sizes, for a collision-free hash).
+    return index

@@ -1,0 +1,73 @@
+"""Wire format of chunk records inside one-sided windows.
+
+Each window slot has a fixed size (digest + u32 payload length + payload
+padded to the chunk size), so that slot offsets computed by Algorithm 3 map
+linearly to byte offsets.  The fingerprint travels with the payload because
+the receiver stores incoming chunks keyed by fingerprint — that is what
+makes a received chunk a usable *replica* rather than anonymous bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Tuple
+
+from repro.core.fingerprint import Fingerprint
+
+_LEN = struct.Struct("<I")
+
+
+def slot_nbytes(digest_size: int, chunk_size: int) -> int:
+    """Fixed byte size of one window slot."""
+    return digest_size + _LEN.size + chunk_size
+
+
+def encode_record(fp: Fingerprint, chunk: bytes, chunk_size: int) -> bytes:
+    """Encode one (fingerprint, chunk) pair into a fixed-size slot."""
+    if len(chunk) > chunk_size:
+        raise ValueError(
+            f"chunk of {len(chunk)}B exceeds the slot payload size {chunk_size}B"
+        )
+    pad = chunk_size - len(chunk)
+    return b"".join((fp, _LEN.pack(len(chunk)), chunk, b"\x00" * pad))
+
+
+def decode_region(
+    buffer: bytes,
+    digest_size: int,
+    chunk_size: int,
+    start_slot: int,
+    slot_count: int,
+) -> List[Tuple[Fingerprint, bytes]]:
+    """Decode ``slot_count`` records starting at ``start_slot``."""
+    slot = slot_nbytes(digest_size, chunk_size)
+    out: List[Tuple[Fingerprint, bytes]] = []
+    for i in range(start_slot, start_slot + slot_count):
+        base = i * slot
+        record = buffer[base : base + slot]
+        if len(record) < slot:
+            raise ValueError(
+                f"window truncated: slot {i} needs {slot}B, have {len(record)}B"
+            )
+        fp = record[:digest_size]
+        (length,) = _LEN.unpack_from(record, digest_size)
+        if length > chunk_size:
+            raise ValueError(f"corrupt record in slot {i}: length {length}")
+        payload = record[digest_size + _LEN.size : digest_size + _LEN.size + length]
+        out.append((fp, payload))
+    return out
+
+
+def iter_window_records(
+    buffer: bytes, digest_size: int, chunk_size: int
+) -> Iterator[Tuple[Fingerprint, bytes]]:
+    """Decode every slot of a fully packed window."""
+    slot = slot_nbytes(digest_size, chunk_size)
+    if len(buffer) % slot:
+        raise ValueError(
+            f"window of {len(buffer)}B is not a multiple of the slot size {slot}B"
+        )
+    for fp, payload in decode_region(
+        buffer, digest_size, chunk_size, 0, len(buffer) // slot
+    ):
+        yield fp, payload

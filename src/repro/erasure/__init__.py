@@ -1,0 +1,28 @@
+"""Erasure coding: the paper's named future-work direction (Section VI).
+
+"One interesting direction is to combine our approach with other redundancy
+mechanisms, in particular erasure codes, which would act as a replacement
+for replication."  This package provides that combination:
+
+* :mod:`~repro.erasure.gf256` — GF(2^8) arithmetic (log/antilog tables).
+* :mod:`~repro.erasure.reed_solomon` — systematic RS(n, k): any k of the n
+  shards reconstruct the data.
+* :mod:`~repro.erasure.hybrid` — the hybrid policy: chunks that are
+  naturally duplicated keep counting as replicas, while rare chunks are
+  striped with parity instead of being copied K-D more times, trading
+  storage/traffic for reconstruction cost.
+"""
+
+from repro.erasure.gf256 import GF256
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.erasure.hybrid import HybridPolicy, HybridPlanSummary
+from repro.erasure.ec_dump import ParityRecord, reconstruct_chunk
+
+__all__ = [
+    "GF256",
+    "HybridPolicy",
+    "HybridPlanSummary",
+    "ParityRecord",
+    "ReedSolomon",
+    "reconstruct_chunk",
+]

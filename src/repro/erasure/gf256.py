@@ -1,0 +1,130 @@
+"""GF(2^8) arithmetic with the AES/RS polynomial 0x11d.
+
+Multiplication uses log/antilog tables; bulk operations over byte arrays
+are vectorised with numpy gathers so parity computation runs at array
+speed, per the HPC guides' "vectorise the inner loop" rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POLY = 0x11D  # x^8 + x^4 + x^3 + x^2 + 1, generator 2
+
+
+def _build_tables():
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _POLY
+    exp[255:510] = exp[0:255]  # avoid modular reduction in hot paths
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+class GF256:
+    """Namespace of GF(2^8) operations (all static, table-driven)."""
+
+    EXP = _EXP
+    LOG = _LOG
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Addition is XOR in characteristic 2."""
+        return a ^ b
+
+    @staticmethod
+    def mul(a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(_EXP[int(_LOG[a]) + int(_LOG[b])])
+
+    @staticmethod
+    def inv(a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return int(_EXP[255 - int(_LOG[a])])
+
+    @staticmethod
+    def div(a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return int(_EXP[(int(_LOG[a]) - int(_LOG[b])) % 255])
+
+    @staticmethod
+    def pow(a: int, n: int) -> int:
+        if n == 0:
+            return 1
+        if a == 0:
+            return 0
+        return int(_EXP[(int(_LOG[a]) * n) % 255])
+
+    # -- vectorised bulk operations ------------------------------------------
+    @staticmethod
+    def mul_scalar_vec(scalar: int, vec: np.ndarray) -> np.ndarray:
+        """scalar * vec elementwise over a uint8 array."""
+        if scalar == 0:
+            return np.zeros_like(vec)
+        if scalar == 1:
+            return vec.copy()
+        out = _EXP[int(_LOG[scalar]) + _LOG[vec.astype(np.intp)]]
+        out[vec == 0] = 0
+        return out.astype(np.uint8)
+
+    @staticmethod
+    def matmul(matrix: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """GF(256) matrix product: (r x c) @ (c x width) over uint8."""
+        r, c = matrix.shape
+        if data.shape[0] != c:
+            raise ValueError(f"shape mismatch: {matrix.shape} @ {data.shape}")
+        out = np.zeros((r, data.shape[1]), dtype=np.uint8)
+        for i in range(r):
+            acc = np.zeros(data.shape[1], dtype=np.uint8)
+            for j in range(c):
+                coeff = int(matrix[i, j])
+                if coeff:
+                    acc ^= GF256.mul_scalar_vec(coeff, data[j])
+            out[i] = acc
+        return out
+
+    # -- small dense linear algebra (decode path) --------------------------------
+    @staticmethod
+    def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Solve M x = rhs over GF(256) by Gaussian elimination.
+
+        ``matrix`` is k x k uint8; ``rhs`` is k x width uint8.  Raises
+        ValueError if the matrix is singular (cannot happen for RS
+        submatrices, which are MDS by construction).
+        """
+        k = matrix.shape[0]
+        m = matrix.astype(np.uint8).copy()
+        b = rhs.astype(np.uint8).copy()
+        for col in range(k):
+            pivot = None
+            for row in range(col, k):
+                if m[row, col]:
+                    pivot = row
+                    break
+            if pivot is None:
+                raise ValueError("singular matrix in GF(256) solve")
+            if pivot != col:
+                m[[col, pivot]] = m[[pivot, col]]
+                b[[col, pivot]] = b[[pivot, col]]
+            inv = GF256.inv(int(m[col, col]))
+            m[col] = GF256.mul_scalar_vec(inv, m[col])
+            b[col] = GF256.mul_scalar_vec(inv, b[col])
+            for row in range(k):
+                if row != col and m[row, col]:
+                    factor = int(m[row, col])
+                    m[row] ^= GF256.mul_scalar_vec(factor, m[col])
+                    b[row] ^= GF256.mul_scalar_vec(factor, b[col])
+        return b

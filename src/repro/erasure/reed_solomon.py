@@ -1,0 +1,114 @@
+"""Systematic Reed-Solomon erasure coding over GF(2^8).
+
+RS(n, k): ``k`` data shards are extended with ``n - k`` parity shards;
+*any* k of the n shards reconstruct the data (MDS property).  The
+generator matrix is a Vandermonde matrix brought to systematic form (top k
+rows = identity), the standard construction whose every k x k submatrix is
+invertible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.erasure.gf256 import GF256
+
+
+def _vandermonde(rows: int, cols: int) -> np.ndarray:
+    """V[i, j] = i^j over GF(256); any ``cols`` rows are independent."""
+    v = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            v[i, j] = GF256.pow(i, j) if i else (1 if j == 0 else 0)
+    # row 0 is [1, 0, 0, ...]; rows i >= 1 use base i.  Distinct bases keep
+    # every cols x cols submatrix Vandermonde-invertible.
+    return v
+
+
+def _to_systematic(v: np.ndarray, k: int) -> np.ndarray:
+    """Right-multiply by inv(top k rows) so the top becomes the identity."""
+    top = v[:k]
+    inv_top = GF256.solve(top, np.eye(k, dtype=np.uint8))
+    out = np.zeros_like(v)
+    for i in range(v.shape[0]):
+        for j in range(k):
+            acc = 0
+            for t in range(k):
+                acc ^= GF256.mul(int(v[i, t]), int(inv_top[t, j]))
+            out[i, j] = acc
+    return out
+
+
+class ReedSolomon:
+    """RS(n, k) codec for equal-length byte shards.
+
+    >>> rs = ReedSolomon(n=6, k=4)
+    >>> shards = rs.encode([b"aaaa", b"bbbb", b"cccc", b"dddd"])
+    >>> rs.decode({0: shards[0], 3: shards[3], 4: shards[4], 5: shards[5]})[1]
+    b'bbbb'
+    """
+
+    def __init__(self, n: int, k: int) -> None:
+        if not 1 <= k <= n <= 256:
+            raise ValueError(f"need 1 <= k <= n <= 256, got n={n}, k={k}")
+        self.n = n
+        self.k = k
+        self.matrix = _to_systematic(_vandermonde(n, k), k)
+
+    @property
+    def parity_shards(self) -> int:
+        return self.n - self.k
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra storage relative to the data itself (e.g. 0.5 for 6,4)."""
+        return (self.n - self.k) / self.k
+
+    # -- encode ---------------------------------------------------------------
+    def encode(self, data_shards: Sequence[bytes]) -> List[bytes]:
+        """All n shards (the first k are the data, verbatim: systematic)."""
+        if len(data_shards) != self.k:
+            raise ValueError(f"need exactly {self.k} data shards")
+        width = len(data_shards[0])
+        if any(len(s) != width for s in data_shards):
+            raise ValueError("data shards must have equal length")
+        data = np.frombuffer(b"".join(data_shards), dtype=np.uint8).reshape(
+            self.k, width
+        )
+        parity = GF256.matmul(self.matrix[self.k :], data)
+        return [bytes(s) for s in data] + [bytes(p) for p in parity]
+
+    # -- decode ---------------------------------------------------------------
+    def decode(self, available: Dict[int, bytes]) -> List[bytes]:
+        """Reconstruct the k data shards from any k available shards.
+
+        ``available`` maps shard index (0..n-1) -> shard bytes.  Extra
+        shards beyond k are ignored deterministically (lowest indices win).
+        """
+        if len(available) < self.k:
+            raise ValueError(
+                f"need at least {self.k} shards to decode, have {len(available)}"
+            )
+        idx = sorted(available)[: self.k]
+        width = len(available[idx[0]])
+        if any(len(available[i]) != width for i in idx):
+            raise ValueError("shards must have equal length")
+        if all(i < self.k for i in idx):
+            return [available[i] for i in range(self.k)]
+        sub = self.matrix[idx]
+        rhs = np.frombuffer(
+            b"".join(available[i] for i in idx), dtype=np.uint8
+        ).reshape(self.k, width)
+        data = GF256.solve(sub, rhs)
+        return [bytes(row) for row in data]
+
+    def reconstruct_shard(self, available: Dict[int, bytes], index: int) -> bytes:
+        """Rebuild one shard (data or parity) from any k survivors."""
+        data = self.decode(available)
+        if index < self.k:
+            return data[index]
+        arr = np.frombuffer(b"".join(data), dtype=np.uint8).reshape(self.k, -1)
+        row = GF256.matmul(self.matrix[index : index + 1], arr)
+        return bytes(row[0])

@@ -1,0 +1,22 @@
+"""Checkpoint-restart runtime (the paper's AC-FTE integration point).
+
+The paper plugs its I/O library into AC-FTE's transparent mode: all memory
+pages allocated by the application are captured and handed to
+``DUMP_OUTPUT`` whenever a checkpoint is due.  Here
+:class:`~repro.ftrt.memory.MemoryRegistry` plays the page-capture role
+(registered numpy arrays / buffers are the "heap"), and
+:class:`~repro.ftrt.runtime.CheckpointRuntime` schedules interval
+checkpoints, performs restarts and survives injected node failures.
+"""
+
+from repro.ftrt.memory import MemoryRegistry
+from repro.ftrt.runtime import CheckpointRuntime, CheckpointStats
+from repro.ftrt.multilevel import MultiLevelRuntime, MultiLevelStats
+
+__all__ = [
+    "CheckpointRuntime",
+    "CheckpointStats",
+    "MemoryRegistry",
+    "MultiLevelRuntime",
+    "MultiLevelStats",
+]

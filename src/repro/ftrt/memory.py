@@ -1,0 +1,76 @@
+"""Memory capture: the transparent-checkpointing stand-in.
+
+AC-FTE intercepts jemalloc to capture every allocated page.  Here the
+application *registers* its long-lived buffers (numpy arrays, bytearrays);
+:meth:`MemoryRegistry.capture` snapshots them as a
+:class:`~repro.core.chunking.Dataset` (one segment per region, page-aligned
+by construction since each region is chunked independently), and
+:meth:`MemoryRegistry.restore` writes a restored dataset back *in place* —
+the application's arrays keep their identity across a restart, exactly like
+pages being repopulated at their old addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.core.chunking import Dataset, as_bytes_view
+
+
+class MemoryRegistry:
+    """Ordered registry of checkpointable memory regions."""
+
+    def __init__(self) -> None:
+        self._regions: Dict[str, Union[np.ndarray, bytearray, memoryview]] = {}
+
+    def register(self, name: str, region) -> None:
+        """Register a mutable buffer (ndarray/bytearray/writable memoryview).
+
+        Registration order defines the segment order of every capture, so
+        all ranks must register in the same order for a consistent restart.
+        """
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already registered")
+        if isinstance(region, bytes):
+            raise TypeError("regions must be mutable (bytes cannot be restored)")
+        if isinstance(region, np.ndarray) and not region.flags.writeable:
+            raise TypeError(f"region {name!r} is a read-only array")
+        self._regions[name] = region
+
+    def unregister(self, name: str) -> None:
+        try:
+            del self._regions[name]
+        except KeyError:
+            raise KeyError(f"region {name!r} not registered") from None
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._regions.keys())
+
+    @property
+    def nbytes(self) -> int:
+        return sum(len(as_bytes_view(r)) for r in self._regions.values())
+
+    def capture(self) -> Dataset:
+        """Snapshot all registered regions (zero-copy views; the dump reads
+        them synchronously, mirroring AC-FTE's stop-and-dump mode)."""
+        return Dataset(list(self._regions.values()))
+
+    def restore(self, dataset: Dataset) -> None:
+        """Write a restored dataset back into the registered regions."""
+        if dataset.num_segments != len(self._regions):
+            raise ValueError(
+                f"restore mismatch: {dataset.num_segments} segments for "
+                f"{len(self._regions)} registered regions"
+            )
+        for i, (name, region) in enumerate(self._regions.items()):
+            target = as_bytes_view(region)
+            source = dataset.segment(i)
+            if len(target) != len(source):
+                raise ValueError(
+                    f"region {name!r}: size changed "
+                    f"({len(source)}B checkpointed, {len(target)}B now)"
+                )
+            target[:] = source

@@ -1,0 +1,23 @@
+"""Analytic performance model of the collective dump.
+
+The functional simulation measures exactly *what* moves (bytes hashed,
+reduced, exchanged, written, per rank and per round); this package prices
+those volumes on a machine profile — by default
+:meth:`~repro.netsim.machine.MachineProfile.shamrock`, matching the paper's
+testbed (34 nodes, 12 ranks/node, GbE, local HDD) — to regenerate the
+paper's timing results.  Volumes can be rescaled (``volume_scale``) so that
+scaled-down working sets are priced at paper-scale sizes; the model is
+linear in volume, so this is exact under the model.
+"""
+
+from repro.netsim.machine import MachineProfile
+from repro.netsim.cost_model import DumpTimeBreakdown, dump_time
+from repro.netsim.timeline import AppTimeline, completion_time
+
+__all__ = [
+    "AppTimeline",
+    "DumpTimeBreakdown",
+    "MachineProfile",
+    "completion_time",
+    "dump_time",
+]

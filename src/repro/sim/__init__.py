@@ -1,0 +1,13 @@
+"""Deterministic global simulator.
+
+Runs every phase of ``DUMP_OUTPUT`` for all ranks in a single process,
+operating on fingerprints only (no chunk payloads, no threads).  It
+reproduces bit-identically what the threaded SPMD path computes — the
+integration tests pin that equivalence — while scaling to the paper's 408
+ranks, which is how every evaluation figure is regenerated.
+"""
+
+from repro.sim.driver import SimResult, simulate_dump
+from repro.sim.metrics import DumpMetrics, compute_metrics
+
+__all__ = ["DumpMetrics", "SimResult", "compute_metrics", "simulate_dump"]

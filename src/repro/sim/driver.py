@@ -1,0 +1,221 @@
+"""Single-process simulation of one collective dump across all ranks.
+
+The threaded path in :mod:`repro.core.dump` moves real bytes through real
+windows; this driver computes the *same decisions* (global view, plans,
+shuffle, window layout, per-rank traffic) from per-rank
+:class:`~repro.core.local_dedup.LocalIndex` objects alone.  Fingerprint
+lists are cheap (tens of bytes per 4 KB of simulated data), so the paper's
+full 408-rank configurations fit comfortably in one process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import DumpConfig, Strategy
+from repro.core.dump import DumpReport
+from repro.core.fingerprint import Fingerprint
+from repro.core.global_dedup import simulate_global_view
+from repro.core.hmerge import GlobalView
+from repro.core.local_dedup import LocalIndex
+from repro.core.offsets import WindowLayout, window_layout
+from repro.core.planner import ReplicationPlan, build_plan
+from repro.core.shuffle import (
+    identity_shuffle,
+    inverse_positions,
+    node_aware_shuffle,
+    partners_of,
+    rank_shuffle,
+)
+
+
+@dataclass
+class SimResult:
+    """Everything the benchmarks need about one simulated dump."""
+
+    config: DumpConfig
+    reports: List[DumpReport] = field(default_factory=list)
+    plans: List[ReplicationPlan] = field(default_factory=list)
+    placements: Dict[Fingerprint, Set[int]] = field(default_factory=dict)
+    shuffle: List[int] = field(default_factory=list)
+    layout: Optional[WindowLayout] = None
+    view: Optional[GlobalView] = None
+    reduction_level_nbytes: List[int] = field(default_factory=list)
+
+    @property
+    def world_size(self) -> int:
+        return len(self.reports)
+
+    def report(self, rank: int) -> DumpReport:
+        return self.reports[rank]
+
+
+def simulate_dump(
+    indices: Sequence[LocalIndex],
+    config: DumpConfig,
+    rank_to_node: Optional[Sequence[int]] = None,
+) -> SimResult:
+    """Simulate ``DUMP_OUTPUT`` for all ranks given their local indices.
+
+    ``indices[r]`` must be rank r's :class:`LocalIndex` (payloads optional —
+    only ``order``, ``counts`` and ``chunk_sizes`` are consulted).
+    ``rank_to_node`` is only consulted by the node-aware partner selection
+    (``config.node_aware``); it defaults to one rank per node.
+    """
+    world = len(indices)
+    if world < 1:
+        raise ValueError("need at least one rank")
+    if config.compress is not None:
+        raise ValueError(
+            "compression requires real payloads: use the threaded dump_output "
+            "path (the fingerprints-only simulator cannot know frame sizes)"
+        )
+    if config.redundancy != "replication":
+        raise ValueError(
+            "parity redundancy requires real payloads: use the threaded "
+            "dump_output path"
+        )
+    k_eff = config.effective_k(world)
+    strategy = config.strategy
+    result = SimResult(config=config)
+
+    # Phase 2: collective reduction (coll-dedup only), replayed on the exact
+    # merge tree of the recursive-doubling allreduce.
+    node_of = None
+    if config.node_aware:
+        node_of = (
+            list(range(world)) if rank_to_node is None else list(rank_to_node)
+        )
+    view: Optional[GlobalView] = None
+    view_of_rank: Optional[List[GlobalView]] = None
+    if strategy is Strategy.COLL_DEDUP:
+        if config.dedup_domain_size is None:
+            view, _table, level_nbytes = simulate_global_view(
+                [idx.counts.keys() for idx in indices], k_eff, config.f_threshold,
+                node_of=node_of,
+            )
+            result.reduction_level_nbytes = level_nbytes
+        else:
+            # Dedup domains: one independent reduction per group of
+            # consecutive ranks; concurrent domains cost the max per round.
+            d_size = config.dedup_domain_size
+            view_of_rank = [None] * world  # type: ignore[list-item]
+            level_max: List[int] = []
+            for start in range(0, world, d_size):
+                ranks = list(range(start, min(start + d_size, world)))
+                domain_view, _t, levels = simulate_global_view(
+                    [indices[r].counts.keys() for r in ranks],
+                    k_eff,
+                    config.f_threshold,
+                    node_of=node_of,
+                    rank_ids=ranks,
+                )
+                for r in ranks:
+                    view_of_rank[r] = domain_view
+                for i, nbytes in enumerate(levels):
+                    if i < len(level_max):
+                        level_max[i] = max(level_max[i], nbytes)
+                    else:
+                        level_max.append(nbytes)
+            result.reduction_level_nbytes = level_max
+            view = view_of_rank[0]  # representative (result.view diagnostics)
+        result.view = view
+
+    def rank_view(rank: int) -> Optional[GlobalView]:
+        return view_of_rank[rank] if view_of_rank is not None else view
+
+    # Per-rank plans and the SendLoad matrix.
+    plans = [
+        build_plan(
+            rank,
+            indices[rank],
+            rank_view(rank),
+            k_eff,
+            world,
+            dedup_local=strategy is not Strategy.NO_DEDUP,
+            node_of=node_of if strategy is Strategy.COLL_DEDUP else None,
+        )
+        for rank in range(world)
+    ]
+    result.plans = plans
+    send_load = [plan.load for plan in plans]
+
+    if strategy is Strategy.COLL_DEDUP and config.shuffle:
+        totals = [sum(row[1:]) for row in send_load]
+        if config.node_aware:
+            mapping = (
+                list(range(world)) if rank_to_node is None else list(rank_to_node)
+            )
+            shuffle = node_aware_shuffle(totals, k_eff, mapping)
+        else:
+            shuffle = rank_shuffle(totals, k_eff)
+    else:
+        shuffle = identity_shuffle(world)
+    result.shuffle = shuffle
+    positions = inverse_positions(shuffle)
+    layout = window_layout(shuffle, send_load, k_eff)
+    result.layout = layout
+
+    # Per-rank reports + the global placement map.  View stats are memoised
+    # per distinct view object (one per dedup domain, or one global).
+    view_stats: Dict[int, Tuple[int, int]] = {}
+
+    def stats_of(v: Optional[GlobalView]) -> Tuple[int, int]:
+        if v is None:
+            return 0, 0
+        key = id(v)
+        if key not in view_stats:
+            view_stats[key] = (len(v), v.nbytes_estimate())
+        return view_stats[key]
+    placements: Dict[Fingerprint, Set[int]] = {}
+    result.placements = placements
+    reports: List[DumpReport] = []
+    for rank in range(world):
+        idx = indices[rank]
+        plan = plans[rank]
+        report = DumpReport(rank=rank, strategy=strategy.value, k=k_eff)
+        report.n_chunks = idx.total_chunks
+        report.dataset_bytes = idx.total_bytes
+        report.hashed_bytes = idx.total_bytes
+        report.local_unique_chunks = idx.unique_chunks
+        report.local_unique_bytes = idx.unique_bytes
+        if rank_view(rank) is not None:
+            report.view_entries, report.view_bytes = stats_of(rank_view(rank))
+        report.discarded_chunks = len(plan.discarded_fps)
+        report.load = plan.load
+        report.shuffle_position = positions[rank]
+        report.partners = partners_of(positions[rank], shuffle, k_eff)
+
+        for fp in plan.store_fps:
+            report.stored_chunks += 1
+            report.stored_bytes += idx.chunk_sizes[fp]
+            placements.setdefault(fp, set()).add(rank)
+        for p, fps in enumerate(plan.partner_chunks):
+            target = shuffle[(positions[rank] + p + 1) % world]
+            count = len(fps)
+            nbytes = sum(idx.chunk_sizes[fp] for fp in fps)
+            report.sent_per_partner.append(count)
+            report.sent_chunks += count
+            report.sent_bytes += nbytes
+            for fp in fps:
+                placements.setdefault(fp, set()).add(target)
+        reports.append(report)
+
+    # Receive side: every region of a rank's window maps back to a sender's
+    # partner slot; sizes come from the sender's chunk-size table.
+    for t in range(world):
+        target = shuffle[t]
+        report = reports[target]
+        for sender, _start, count in layout.regions[target]:
+            if count == 0:
+                continue
+            sender_pos = positions[sender]
+            distance = (t - sender_pos) % world
+            fps = plans[sender].partner_chunks[distance - 1]
+            report.received_chunks += count
+            report.received_bytes += sum(
+                indices[sender].chunk_sizes[fp] for fp in fps
+            )
+    result.reports = reports
+    return result

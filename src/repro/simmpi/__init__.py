@@ -1,0 +1,41 @@
+"""MPI-like SPMD substrate used as the communication layer of the library.
+
+The paper's algorithms are expressed against MPI (allreduce with a custom
+merge operator, allgather, one-sided windows).  This package provides an
+in-process, threads-based implementation of that API surface so the
+algorithms run unmodified without an MPI installation:
+
+* :class:`~repro.simmpi.world.World` — spawns ``N`` rank threads running an
+  SPMD function and hands each a :class:`~repro.simmpi.comm.Communicator`.
+* :mod:`~repro.simmpi.collectives` — tree-structured collective algorithms
+  (binomial broadcast, recursive-doubling allreduce with arbitrary reduction
+  operators, ring allgather, pairwise alltoall) built on point-to-point
+  send/recv, so the number of communication rounds matches what a real MPI
+  implementation would perform (this is what the paper's "logarithmic in the
+  number of processes" overhead argument relies on).
+* :class:`~repro.simmpi.window.Window` — MPI-3 style one-sided windows with
+  ``put`` + ``fence``, used by the single-sided communication planning phase.
+* :class:`~repro.simmpi.trace.Trace` — per-rank byte/round accounting that
+  feeds the :mod:`repro.netsim` performance model.
+"""
+
+from repro.simmpi.errors import DeadlockError, SimMPIError, WorldError
+from repro.simmpi.trace import Trace, nbytes_of
+from repro.simmpi.comm import Communicator, Request
+from repro.simmpi.window import Window
+from repro.simmpi.world import World, run_spmd
+from repro.simmpi import collectives
+
+__all__ = [
+    "Communicator",
+    "DeadlockError",
+    "Request",
+    "SimMPIError",
+    "Trace",
+    "Window",
+    "World",
+    "WorldError",
+    "collectives",
+    "nbytes_of",
+    "run_spmd",
+]

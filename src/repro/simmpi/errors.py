@@ -1,0 +1,37 @@
+"""Exceptions raised by the SPMD substrate."""
+
+
+class SimMPIError(Exception):
+    """Base class for all substrate errors."""
+
+
+class DeadlockError(SimMPIError):
+    """A blocking receive or barrier did not complete within the timeout.
+
+    In a correct SPMD program every ``recv`` is matched by a ``send`` and all
+    ranks reach every collective; hitting this error in a test almost always
+    means mismatched tags or a rank that exited early.
+    """
+
+
+class WorldError(SimMPIError):
+    """One or more ranks raised inside :meth:`repro.simmpi.world.World.run`.
+
+    Attributes
+    ----------
+    failures:
+        Mapping of rank -> exception instance for every rank that failed.
+    """
+
+    def __init__(self, failures):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first = self.failures[min(self.failures)]
+        super().__init__(
+            f"{len(self.failures)} rank(s) failed (ranks {ranks}); "
+            f"first failure: {first!r}"
+        )
+
+
+class WindowError(SimMPIError):
+    """Out-of-bounds or mis-sequenced one-sided window access."""

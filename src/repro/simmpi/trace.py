@@ -1,0 +1,162 @@
+"""Per-rank communication accounting.
+
+Every message that flows through the substrate is charged to the sender's
+and receiver's :class:`Trace`, bucketed by the currently active *phase*
+(e.g. ``"reduction"``, ``"exchange"``).  The :mod:`repro.netsim` cost model
+converts these volumes into modelled wall-clock times, so the accounting
+here is the ground truth for every timing figure the benchmarks regenerate.
+"""
+
+from __future__ import annotations
+
+import pickle
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+DEFAULT_PHASE = "default"
+
+
+def nbytes_of(obj) -> int:
+    """Estimate the wire size of a payload in bytes.
+
+    Buffer-like payloads (``bytes``, ``bytearray``, ``memoryview``, numpy
+    arrays) are charged their exact byte length, mirroring mpi4py's
+    buffer-protocol fast path.  Scalars are charged 8 bytes.  Containers are
+    charged recursively with a small per-element framing overhead.  Objects
+    exposing ``nbytes_estimate()`` (e.g. the HMERGE tables) self-report.
+    Anything else falls back to its pickled length, mirroring mpi4py's
+    lowercase (pickle-based) path.
+    """
+    if obj is None:
+        return 1
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, int):  # numpy arrays and friends
+        return nbytes
+    estimate = getattr(obj, "nbytes_estimate", None)
+    if callable(estimate):
+        return int(estimate())
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="replace"))
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(nbytes_of(item) for item in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(nbytes_of(k) + nbytes_of(v) for k, v in obj.items())
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        # Unpicklable payloads (only possible in-process) get a nominal size.
+        return 64
+
+
+@dataclass
+class PhaseCounters:
+    """Raw communication totals accumulated within one phase."""
+
+    sent_bytes: int = 0
+    recv_bytes: int = 0
+    sent_msgs: int = 0
+    recv_msgs: int = 0
+    put_bytes: int = 0
+    put_msgs: int = 0
+    got_bytes: int = 0
+    rounds: int = 0
+
+    def merge(self, other: "PhaseCounters") -> None:
+        self.sent_bytes += other.sent_bytes
+        self.recv_bytes += other.recv_bytes
+        self.sent_msgs += other.sent_msgs
+        self.recv_msgs += other.recv_msgs
+        self.put_bytes += other.put_bytes
+        self.put_msgs += other.put_msgs
+        self.got_bytes += other.got_bytes
+        self.rounds += other.rounds
+
+
+@dataclass
+class Trace:
+    """Communication trace for a single rank.
+
+    Volumes are bucketed under the phase name that was active when the
+    operation happened; use :meth:`phase` to scope a block of work::
+
+        with comm.trace.phase("reduction"):
+            result = collectives.allreduce(comm, table, op)
+    """
+
+    rank: int = 0
+    phases: Dict[str, PhaseCounters] = field(default_factory=dict)
+    _active: str = DEFAULT_PHASE
+
+    def counters(self, phase: str | None = None) -> PhaseCounters:
+        name = self._active if phase is None else phase
+        if name not in self.phases:
+            self.phases[name] = PhaseCounters()
+        return self.phases[name]
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseCounters]:
+        previous = self._active
+        self._active = name
+        try:
+            yield self.counters(name)
+        finally:
+            self._active = previous
+
+    # -- recording hooks used by the substrate ------------------------------
+    def record_send(self, nbytes: int) -> None:
+        c = self.counters()
+        c.sent_bytes += nbytes
+        c.sent_msgs += 1
+
+    def record_recv(self, nbytes: int) -> None:
+        c = self.counters()
+        c.recv_bytes += nbytes
+        c.recv_msgs += 1
+
+    def record_put(self, nbytes: int) -> None:
+        c = self.counters()
+        c.put_bytes += nbytes
+        c.put_msgs += 1
+        c.sent_bytes += nbytes
+        c.sent_msgs += 1
+
+    def record_put_received(self, nbytes: int) -> None:
+        c = self.counters()
+        c.recv_bytes += nbytes
+        c.recv_msgs += 1
+
+    def record_get(self, nbytes: int) -> None:
+        c = self.counters()
+        c.got_bytes += nbytes
+        c.recv_bytes += nbytes
+        c.recv_msgs += 1
+
+    def record_round(self, count: int = 1) -> None:
+        self.counters().rounds += count
+
+    # -- aggregate views -----------------------------------------------------
+    def total(self) -> PhaseCounters:
+        """Sum of all phases."""
+        agg = PhaseCounters()
+        for counters in self.phases.values():
+            agg.merge(counters)
+        return agg
+
+    @property
+    def sent_bytes(self) -> int:
+        return self.total().sent_bytes
+
+    @property
+    def recv_bytes(self) -> int:
+        return self.total().recv_bytes
+
+    @property
+    def rounds(self) -> int:
+        return self.total().rounds

@@ -1,0 +1,127 @@
+"""MPI-3 style one-sided communication windows.
+
+The paper's exchange phase relies on every rank exposing a window sized
+*exactly* to the data it will receive, with each partner writing at an
+offset it computed independently (Algorithm 3).  This module provides that
+primitive: collective window creation, ``put`` into a remote window at a
+byte offset, and ``fence`` epochs separating accumulation from local reads.
+
+Out-of-bounds puts raise :class:`~repro.simmpi.errors.WindowError` — in the
+reproduction this is the safety net that catches any error in the offset
+calculation, exactly the class of bug the paper's planning phase must avoid.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.simmpi.errors import WindowError
+from repro.simmpi.comm import Communicator
+
+
+class _WindowSlot:
+    """One rank's exposed memory region plus its access lock."""
+
+    __slots__ = ("buffer", "lock", "filled")
+
+    def __init__(self, nbytes: int) -> None:
+        self.buffer = bytearray(nbytes)
+        self.lock = threading.Lock()
+        self.filled = 0
+
+
+class Window:
+    """A collectively created one-sided window.
+
+    Every rank calls :meth:`create` with its own exposure size (possibly 0).
+    After creation the window is in an *exposure epoch*: any rank may
+    :meth:`put` into any other rank's region.  A :meth:`fence` closes the
+    epoch; afterwards :meth:`local_view` returns the accumulated bytes.
+    """
+
+    def __init__(self, comm: Communicator, window_id: int, nbytes: int) -> None:
+        self._comm = comm
+        self._id = window_id
+        self._nbytes = int(nbytes)
+
+    # -- lifecycle -------------------------------------------------------------
+    @classmethod
+    def create(cls, comm: Communicator, nbytes: int) -> "Window":
+        """Collectively create a window exposing ``nbytes`` on this rank."""
+        if nbytes < 0:
+            raise WindowError(f"window size must be >= 0, got {nbytes}")
+        window_id = comm.next_collective_tag()
+        comm.world.register_window(window_id, comm.world_rank, _WindowSlot(nbytes))
+        win = cls(comm, window_id, nbytes)
+        comm.barrier()  # all ranks registered before any put can target them
+        return win
+
+    def free(self) -> None:
+        """Collectively tear the window down."""
+        self._comm.barrier()
+        self._comm.world.unregister_window(self._id, self._comm.world_rank)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the locally exposed region."""
+        return self._nbytes
+
+    # -- one sided access --------------------------------------------------------
+    def put(self, data, target_rank: int, offset: int) -> None:
+        """Write ``data`` into ``target_rank``'s region at byte ``offset``.
+
+        Single-sided: the target takes no action.  Overlapping concurrent
+        puts to disjoint ranges are safe (per-slot lock serialises the
+        memcpy); overlapping *ranges* indicate a planning bug upstream and
+        are not detected here — tests cover that via exact-packing checks.
+        """
+        payload = bytes(data)
+        target_world = self._comm.world_rank_of(target_rank)
+        slot = self._comm.world.window_slot(self._id, target_world)
+        end = offset + len(payload)
+        if offset < 0 or end > len(slot.buffer):
+            raise WindowError(
+                f"put of {len(payload)}B at offset {offset} exceeds rank "
+                f"{target_rank}'s window of {len(slot.buffer)}B"
+            )
+        with slot.lock:
+            slot.buffer[offset:end] = payload
+            slot.filled += len(payload)
+        if target_rank != self._comm.rank:
+            self._comm.trace.record_put(len(payload))
+            target_comm = self._comm.world.comm_for(target_world)
+            with slot.lock:
+                target_comm.trace.record_put_received(len(payload))
+
+    def get(self, target_rank: int, offset: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` from ``target_rank``'s region at ``offset``."""
+        slot = self._comm.world.window_slot(
+            self._id, self._comm.world_rank_of(target_rank)
+        )
+        end = offset + nbytes
+        if offset < 0 or nbytes < 0 or end > len(slot.buffer):
+            raise WindowError(
+                f"get of {nbytes}B at offset {offset} exceeds rank "
+                f"{target_rank}'s window of {len(slot.buffer)}B"
+            )
+        with slot.lock:
+            data = bytes(slot.buffer[offset:end])
+        if target_rank != self._comm.rank:
+            self._comm.trace.record_get(nbytes)
+        return data
+
+    def fence(self) -> None:
+        """Close the current access epoch (collective)."""
+        self._comm.barrier()
+
+    def local_view(self) -> bytes:
+        """Bytes accumulated in this rank's own region (call after fence)."""
+        slot = self._comm.world.window_slot(self._id, self._comm.world_rank)
+        with slot.lock:
+            return bytes(slot.buffer)
+
+    def local_filled(self) -> int:
+        """Total bytes written into the local region so far."""
+        slot = self._comm.world.window_slot(self._id, self._comm.world_rank)
+        with slot.lock:
+            return slot.filled

@@ -1,0 +1,122 @@
+"""SPMD execution: run one function on N rank threads.
+
+Usage::
+
+    def program(comm, payload):
+        ...
+        return result
+
+    results = run_spmd(4, program, payload)   # [r0, r1, r2, r3]
+
+The world owns everything shared between ranks: mailboxes, the barrier and
+the one-sided window registry.  Exceptions raised by any rank abort the run
+and are re-raised as a :class:`~repro.simmpi.errors.WorldError` carrying
+every rank's failure, so a mismatched collective surfaces as one readable
+error instead of a hang.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.simmpi.comm import Communicator, _Mailbox
+from repro.simmpi.errors import SimMPIError, WorldError
+
+DEFAULT_TIMEOUT = 60.0
+
+
+class World:
+    """Shared state for one SPMD execution of ``size`` ranks."""
+
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT) -> None:
+        if size < 1:
+            raise SimMPIError(f"world size must be >= 1, got {size}")
+        self.size = int(size)
+        self.timeout = float(timeout)
+        self.barrier = threading.Barrier(self.size)
+        self._mailboxes = [_Mailbox() for _ in range(self.size)]
+        self._comms: List[Optional[Communicator]] = [None] * self.size
+        self._windows: Dict[int, Dict[int, Any]] = {}
+        self._windows_lock = threading.Lock()
+
+    # -- plumbing used by Communicator/Window ---------------------------------
+    def mailbox(self, rank: int) -> _Mailbox:
+        return self._mailboxes[rank]
+
+    def comm_for(self, rank: int) -> Communicator:
+        comm = self._comms[rank]
+        if comm is None:
+            comm = self._comms[rank] = Communicator(self, rank)
+        return comm
+
+    def register_window(self, window_id: int, rank: int, slot) -> None:
+        with self._windows_lock:
+            self._windows.setdefault(window_id, {})[rank] = slot
+
+    def unregister_window(self, window_id: int, rank: int) -> None:
+        with self._windows_lock:
+            slots = self._windows.get(window_id)
+            if slots is not None:
+                slots.pop(rank, None)
+                if not slots:
+                    del self._windows[window_id]
+
+    def window_slot(self, window_id: int, rank: int):
+        with self._windows_lock:
+            try:
+                return self._windows[window_id][rank]
+            except KeyError:
+                raise SimMPIError(
+                    f"window {window_id} not exposed by rank {rank} "
+                    "(put before collective create completed?)"
+                ) from None
+
+    # -- execution ---------------------------------------------------------------
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+        """Run ``fn(comm, *args, **kwargs)`` on every rank; return results.
+
+        Each rank gets its own :class:`Communicator` (created lazily so that
+        traces survive in ``self.comms`` for post-mortem inspection).
+        """
+        results: List[Any] = [None] * self.size
+        failures: Dict[int, BaseException] = {}
+        failures_lock = threading.Lock()
+
+        def runner(rank: int) -> None:
+            comm = self.comm_for(rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported via WorldError
+                with failures_lock:
+                    failures[rank] = exc
+                # Release peers stuck in the barrier so the run fails fast.
+                self.barrier.abort()
+
+        threads = [
+            threading.Thread(target=runner, args=(rank,), name=f"simmpi-rank-{rank}")
+            for rank in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if failures:
+            raise WorldError(failures)
+        return results
+
+    @property
+    def comms(self) -> List[Optional[Communicator]]:
+        """Communicators of the last run (for trace inspection)."""
+        return self._comms
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = DEFAULT_TIMEOUT,
+    **kwargs: Any,
+) -> List[Any]:
+    """One-shot convenience wrapper: create a world, run, return results."""
+    return World(size, timeout=timeout).run(fn, *args, **kwargs)

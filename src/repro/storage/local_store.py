@@ -1,0 +1,244 @@
+"""Content-addressed node-local chunk stores and the cluster that groups them.
+
+Accounting distinguishes *logical* bytes (what the application asked to
+store — the paper's replication workload) from *physical* bytes (what
+actually lands on the device).  A deduplicating store writes each distinct
+fingerprint once, so physical <= logical; the no-dedup strategy opts out of
+store-side dedup (``dedup=False``) so both counters advance together, which
+is exactly how Figure 3(a)'s "total size of unique content" baseline is
+defined.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.fingerprint import Fingerprint
+from repro.storage.manifest import Manifest
+
+
+class StorageError(Exception):
+    """Raised on access to failed nodes or missing chunks/manifests."""
+
+
+class ChunkStore:
+    """One node-local device: fingerprint-addressed chunk storage.
+
+    Parameters
+    ----------
+    dedup:
+        When True (default) a fingerprint is written physically once and
+        reference-counted.  When False every put writes physically (models
+        the no-dedup strategy's raw stream).
+    directory:
+        Optional backing directory; chunks are persisted as files named by
+        the hex fingerprint (useful for the on-disk examples).  Default is
+        in-memory.
+    """
+
+    def __init__(self, dedup: bool = True, directory: Optional[str] = None) -> None:
+        self.dedup = dedup
+        self._directory = directory
+        self._chunks: Dict[Fingerprint, bytes] = {}
+        self._refcounts: Dict[Fingerprint, int] = {}
+        self.logical_bytes = 0
+        self.physical_bytes = 0
+        self.put_count = 0
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    # -- chunk operations --------------------------------------------------------
+    def put(self, fp: Fingerprint, data: bytes) -> bool:
+        """Store a chunk; returns True if it was physically written."""
+        self.put_count += 1
+        self.logical_bytes += len(data)
+        present = fp in self._refcounts
+        if present:
+            self._refcounts[fp] += 1
+            if self.dedup:
+                return False
+            self.physical_bytes += len(data)
+            return True
+        self._refcounts[fp] = 1
+        self._chunks[fp] = bytes(data)
+        self.physical_bytes += len(data)
+        if self._directory is not None:
+            path = os.path.join(self._directory, fp.hex())
+            with open(path, "wb") as fh:
+                fh.write(data)
+        return True
+
+    def get(self, fp: Fingerprint) -> bytes:
+        try:
+            return self._chunks[fp]
+        except KeyError:
+            if self._directory is not None:
+                path = os.path.join(self._directory, fp.hex())
+                if os.path.exists(path):
+                    with open(path, "rb") as fh:
+                        return fh.read()
+            raise StorageError(f"chunk {fp.hex()[:12]}... not in store") from None
+
+    def has(self, fp: Fingerprint) -> bool:
+        return fp in self._refcounts
+
+    def refcount(self, fp: Fingerprint) -> int:
+        return self._refcounts.get(fp, 0)
+
+    def fingerprints(self) -> Iterable[Fingerprint]:
+        return self._refcounts.keys()
+
+    @property
+    def chunk_count(self) -> int:
+        """Distinct fingerprints stored."""
+        return len(self._refcounts)
+
+    def clear(self) -> None:
+        self._chunks.clear()
+        self._refcounts.clear()
+        self.logical_bytes = 0
+        self.physical_bytes = 0
+        self.put_count = 0
+
+
+class NodeStorage:
+    """One node's local storage: chunk store, manifest area and (for the
+    erasure-coded redundancy mode) a parity-shard area."""
+
+    def __init__(self, node_id: int, dedup: bool = True, directory: Optional[str] = None):
+        self.node_id = node_id
+        chunk_dir = os.path.join(directory, f"node{node_id:04d}") if directory else None
+        self.chunks = ChunkStore(dedup=dedup, directory=chunk_dir)
+        self._manifests: Dict[Tuple[int, int], bytes] = {}
+        self._parity: List = []  # ParityRecord instances (see repro.erasure)
+        self._parity_by_fp: Dict[Tuple[Fingerprint, int], object] = {}
+        self.alive = True
+
+    # -- parity area (erasure-coded redundancy mode) ---------------------------
+    def put_parity(self, record) -> None:
+        """Store one :class:`~repro.erasure.ec_dump.ParityRecord`."""
+        self._parity.append(record)
+        for fp in record.fingerprints:
+            if fp:  # skip NO_CHUNK placeholders
+                self._parity_by_fp.setdefault((fp, record.dump_id), record)
+
+    def find_parity(self, fp: Fingerprint, dump_id: int):
+        """A parity record covering ``fp`` for ``dump_id``, or None."""
+        return self._parity_by_fp.get((fp, dump_id))
+
+    def parity_for_stripe(self, stripe_key) -> List:
+        """All locally stored shards of one stripe (see
+        :meth:`~repro.erasure.ec_dump.ParityRecord.stripe_key`)."""
+        return [r for r in self._parity if r.stripe_key() == stripe_key]
+
+    @property
+    def parity_bytes(self) -> int:
+        return sum(len(r.shard) for r in self._parity)
+
+    def put_manifest(self, manifest: Manifest) -> None:
+        self._manifests[manifest.key()] = manifest.to_bytes()
+
+    def get_manifest(self, rank: int, dump_id: int) -> Manifest:
+        try:
+            return Manifest.from_bytes(self._manifests[(rank, dump_id)])
+        except KeyError:
+            raise StorageError(
+                f"node {self.node_id}: no manifest for rank {rank}, dump {dump_id}"
+            ) from None
+
+    def has_manifest(self, rank: int, dump_id: int) -> bool:
+        return (rank, dump_id) in self._manifests
+
+    @property
+    def manifest_bytes(self) -> int:
+        return sum(len(blob) for blob in self._manifests.values())
+
+
+class Cluster:
+    """All nodes of the machine; the restore path's lookup service.
+
+    One node per rank by default (the paper runs 12 ranks/node; pass a
+    ``rank_to_node`` map to model that — used by the node-distinct
+    replication metric, while placement itself stays rank-granular like the
+    paper's library).
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        dedup: bool = True,
+        directory: Optional[str] = None,
+        rank_to_node: Optional[List[int]] = None,
+    ) -> None:
+        if rank_to_node is None:
+            rank_to_node = list(range(n_ranks))
+        if len(rank_to_node) != n_ranks:
+            raise ValueError("rank_to_node must map every rank")
+        self.n_ranks = n_ranks
+        self.rank_to_node = list(rank_to_node)
+        n_nodes = max(rank_to_node) + 1
+        self._nodes = [NodeStorage(i, dedup=dedup, directory=directory) for i in range(n_nodes)]
+
+    @property
+    def nodes(self) -> List[NodeStorage]:
+        return self._nodes
+
+    def node_of(self, rank: int) -> NodeStorage:
+        return self._nodes[self.rank_to_node[rank]]
+
+    def storage_for(self, rank: int) -> NodeStorage:
+        """The store a rank writes to; raises if its node failed."""
+        node = self.node_of(rank)
+        if not node.alive:
+            raise StorageError(f"node {node.node_id} (rank {rank}) has failed")
+        return node
+
+    # -- failure handling ----------------------------------------------------
+    def fail_node(self, node_id: int) -> None:
+        self._nodes[node_id].alive = False
+
+    def fail_rank(self, rank: int) -> None:
+        self.node_of(rank).alive = False
+
+    def revive_all(self) -> None:
+        for node in self._nodes:
+            node.alive = True
+
+    @property
+    def alive_nodes(self) -> List[NodeStorage]:
+        return [n for n in self._nodes if n.alive]
+
+    # -- lookup (the restore path's directory service) -------------------------
+    def locate(self, fp: Fingerprint) -> List[int]:
+        """Live node ids holding the fingerprint."""
+        return [n.node_id for n in self._nodes if n.alive and n.chunks.has(fp)]
+
+    def locate_any(self, fp: Fingerprint) -> bytes:
+        """Fetch a chunk from any live holder."""
+        for node in self._nodes:
+            if node.alive and node.chunks.has(fp):
+                return node.chunks.get(fp)
+        raise StorageError(f"chunk {fp.hex()[:12]}... unrecoverable (no live holder)")
+
+    def find_manifest(self, rank: int, dump_id: int) -> Manifest:
+        """Fetch a rank's manifest from any live node (owner first)."""
+        owner = self.node_of(rank)
+        if owner.alive and owner.has_manifest(rank, dump_id):
+            return owner.get_manifest(rank, dump_id)
+        for node in self._nodes:
+            if node.alive and node.has_manifest(rank, dump_id):
+                return node.get_manifest(rank, dump_id)
+        raise StorageError(f"manifest of rank {rank}, dump {dump_id} unrecoverable")
+
+    def replica_nodes(self, fp: Fingerprint) -> Set[int]:
+        """All node ids (live or dead) holding the fingerprint."""
+        return {n.node_id for n in self._nodes if n.chunks.has(fp)}
+
+    @property
+    def total_physical_bytes(self) -> int:
+        return sum(n.chunks.physical_bytes for n in self._nodes)
+
+    @property
+    def total_logical_bytes(self) -> int:
+        return sum(n.chunks.logical_bytes for n in self._nodes)

@@ -1,0 +1,107 @@
+"""Dataset manifests: the recipe for reassembling a dumped dataset.
+
+A manifest records, for one rank's dataset, the segment structure and the
+ordered fingerprint list (duplicates included).  Chunk payloads live in the
+content-addressed stores; the manifest is what turns them back into the
+original buffer.  Manifests are tiny compared to the data, so every dump
+replicates the manifest to all partners unconditionally — losing the
+manifest would otherwise make the rank's replicas unusable.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.fingerprint import Fingerprint
+
+_HEADER = struct.Struct("<IIIIII")  # version, rank, dump_id, n_segments, digest_size, flags
+_U64 = struct.Struct("<Q")
+_VERSION = 2
+_FLAG_COMPRESSED = 1
+
+
+@dataclass
+class Manifest:
+    """Reassembly recipe for one rank's dataset in one dump."""
+
+    rank: int
+    dump_id: int
+    segment_lengths: List[int] = field(default_factory=list)
+    fingerprints: List[Fingerprint] = field(default_factory=list)
+    chunk_size: int = 4096
+    #: chunks are stored as self-describing compressed frames (decode with
+    #: :func:`repro.compress.codecs.decode_auto` on restore)
+    compressed: bool = False
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.segment_lengths)
+
+    @property
+    def total_chunks(self) -> int:
+        return len(self.fingerprints)
+
+    def key(self) -> tuple:
+        """Store key identifying this manifest."""
+        return (self.rank, self.dump_id)
+
+    # -- serialization ----------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        if not self.fingerprints:
+            digest_size = 0
+        else:
+            digest_size = len(self.fingerprints[0])
+            if any(len(fp) != digest_size for fp in self.fingerprints):
+                raise ValueError("mixed fingerprint sizes in manifest")
+        flags = _FLAG_COMPRESSED if self.compressed else 0
+        parts = [
+            _HEADER.pack(
+                _VERSION,
+                self.rank,
+                self.dump_id,
+                len(self.segment_lengths),
+                digest_size,
+                flags,
+            ),
+            _U64.pack(self.chunk_size),
+            _U64.pack(len(self.fingerprints)),
+        ]
+        parts.extend(_U64.pack(length) for length in self.segment_lengths)
+        parts.extend(self.fingerprints)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Manifest":
+        version, rank, dump_id, n_segments, digest_size, flags = _HEADER.unpack_from(
+            data, 0
+        )
+        if version != _VERSION:
+            raise ValueError(f"unsupported manifest version {version}")
+        offset = _HEADER.size
+        (chunk_size,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        (n_fps,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        segment_lengths = []
+        for _ in range(n_segments):
+            (length,) = _U64.unpack_from(data, offset)
+            segment_lengths.append(length)
+            offset += _U64.size
+        fingerprints = []
+        for _ in range(n_fps):
+            fingerprints.append(bytes(data[offset : offset + digest_size]))
+            offset += digest_size
+        if offset != len(data):
+            raise ValueError(
+                f"trailing bytes in manifest: consumed {offset} of {len(data)}"
+            )
+        return cls(
+            rank=rank,
+            dump_id=dump_id,
+            segment_lengths=segment_lengths,
+            fingerprints=fingerprints,
+            chunk_size=chunk_size,
+            compressed=bool(flags & _FLAG_COMPRESSED),
+        )

@@ -1,0 +1,92 @@
+"""A decoupled parallel file system (GPFS-style) substrate.
+
+The paper's motivation: "a decoupled storage system (e.g. a parallel file
+system such as GPFS) does not provide sufficient I/O bandwidth to handle
+the explosion of data sizes".  This module provides that slow-but-durable
+tier so the claim can be measured (bench X8) and so multi-level
+checkpointing (local+partner for frequent checkpoints, PFS for rare ones —
+the Moody et al. scheme the paper cites) has something to flush to.
+
+The PFS survives any compute-node failure; its aggregate bandwidth is
+shared by all writers, which is exactly what makes collective dumps to it
+slow at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.chunking import Dataset
+from repro.storage.local_store import StorageError
+
+
+@dataclass
+class PFSStats:
+    """Aggregate I/O accounting of the shared file system."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    files_written: int = 0
+    files_read: int = 0
+
+
+class ParallelFileSystem:
+    """Shared, durable object store keyed by (rank, dump_id).
+
+    Stores full per-rank checkpoint images (no dedup — a PFS sees opaque
+    files).  ``aggregate_bandwidth`` is the modelled sustained write rate
+    shared across all concurrent writers (bytes/s); the cost helpers in
+    :mod:`repro.netsim` use it together with :class:`PFSStats`.
+    """
+
+    def __init__(self, aggregate_bandwidth: float = 2e9) -> None:
+        if aggregate_bandwidth <= 0:
+            raise ValueError("aggregate_bandwidth must be positive")
+        self.aggregate_bandwidth = aggregate_bandwidth
+        self.stats = PFSStats()
+        self._objects: Dict[Tuple[int, int], List[bytes]] = {}
+
+    # -- object I/O -----------------------------------------------------------
+    def write_dataset(self, rank: int, dump_id: int, dataset: Dataset) -> int:
+        """Persist a rank's full checkpoint image; returns bytes written."""
+        segments = [bytes(dataset.segment(i)) for i in range(dataset.num_segments)]
+        self._objects[(rank, dump_id)] = segments
+        nbytes = sum(len(s) for s in segments)
+        self.stats.bytes_written += nbytes
+        self.stats.files_written += 1
+        return nbytes
+
+    def read_dataset(self, rank: int, dump_id: int) -> Dataset:
+        try:
+            segments = self._objects[(rank, dump_id)]
+        except KeyError:
+            raise StorageError(
+                f"PFS: no checkpoint for rank {rank}, dump {dump_id}"
+            ) from None
+        self.stats.bytes_read += sum(len(s) for s in segments)
+        self.stats.files_read += 1
+        return Dataset(list(segments))
+
+    def has(self, rank: int, dump_id: int) -> bool:
+        return (rank, dump_id) in self._objects
+
+    def dumps_for(self, rank: int) -> List[int]:
+        """Dump ids available for a rank, ascending."""
+        return sorted(d for (r, d) in self._objects if r == rank)
+
+    def latest_complete_dump(self, n_ranks: int) -> Optional[int]:
+        """Highest dump id present for *every* rank (restart candidate)."""
+        complete: Optional[int] = None
+        if not self._objects:
+            return None
+        candidates = {d for (_r, d) in self._objects}
+        for dump_id in sorted(candidates):
+            if all(self.has(rank, dump_id) for rank in range(n_ranks)):
+                complete = dump_id
+        return complete
+
+    # -- modelled time ---------------------------------------------------------
+    def flush_time(self, total_bytes: float) -> float:
+        """Wall-clock to collectively write ``total_bytes`` (shared link)."""
+        return total_bytes / self.aggregate_bandwidth

@@ -1,0 +1,53 @@
+"""The repro-eval command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.app == "hpccg"
+        assert args.n == [64]
+        assert args.k == 3
+
+    def test_multi_n(self):
+        args = build_parser().parse_args(["fig3a", "--app", "cm1", "--n", "12", "120"])
+        assert args.n == [12, 120]
+
+    def test_bad_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--app", "lammps"])
+
+
+class TestCommands:
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "200" in out and "110" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--app", "hpccg", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "no-dedup" in out and "baseline" in out
+
+    def test_fig3a_small(self, capsys):
+        assert main(["fig3a", "--app", "cm1", "--n", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "unique content" in out
+        assert "%" in out
+
+    def test_sweep_k_small(self, capsys):
+        assert main(["sweep-k", "--app", "cm1", "--n", "9", "--k", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "coll-dedup" in out
+
+    def test_shuffle_small(self, capsys):
+        assert main(["shuffle", "--app", "cm1", "--n", "9", "--k", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "coll-no-shuffle" in out

@@ -1,0 +1,42 @@
+"""Table/series formatting."""
+
+from repro.analysis.tables import format_series, format_table, human_bytes
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "value"], [["a", 1], ["bbbb", 22.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        # Every line is padded to the same total width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.12345], [1234.5], [5.25], [0]])
+        assert "0.123" in out
+        assert "1234" in out or "1235" in out
+        assert "5.2" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        out = format_series("K", [1, 2], {"coll": [10, 20], "local": [30, 40]})
+        lines = out.splitlines()
+        assert "coll" in lines[0] and "local" in lines[0]
+        assert "10" in lines[2] and "30" in lines[2]
+        assert "20" in lines[3] and "40" in lines[3]
+
+
+class TestHumanBytes:
+    def test_units(self):
+        assert human_bytes(500) == "500.0 B"
+        assert human_bytes(1_500) == "1.5 KB"
+        assert human_bytes(2_500_000) == "2.5 MB"
+        assert human_bytes(3.2e9) == "3.2 GB"
+        assert human_bytes(1e16) == "10.0 PB"

@@ -1,0 +1,150 @@
+"""CM1 mini-model: vortex dynamics and checkpoint redundancy structure."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cm1 import CM1, CM1RankModel, VortexSpec
+from repro.core import DumpConfig, Strategy
+from repro.sim import compute_metrics, simulate_dump
+
+
+class TestRankModel:
+    def test_calm_subdomain_stays_zero(self):
+        m = CM1RankModel(8, 8, 4, origin=(0, 0), vortex=None)
+        m.step(20)
+        assert not m.active
+        for arr in m.state_arrays().values():
+            assert not arr.any()
+
+    def test_vortex_initializes_fields(self):
+        vortex = VortexSpec(center_x=8, center_y=8, radius=6)
+        m = CM1RankModel(16, 16, 4, origin=(0, 0), vortex=vortex)
+        assert m.active
+        assert m.fields["u"].any() and m.fields["v"].any()
+        assert m.fields["theta"].max() > 0
+
+    def test_vortex_outside_subdomain_is_noop(self):
+        vortex = VortexSpec(center_x=100, center_y=100, radius=5)
+        m = CM1RankModel(8, 8, 4, origin=(0, 0), vortex=vortex)
+        assert not m.active
+
+    def test_stepping_changes_active_fields(self):
+        vortex = VortexSpec(center_x=8, center_y=8, radius=6)
+        m = CM1RankModel(16, 16, 4, origin=(0, 0), vortex=vortex)
+        before = m.fields["theta"].copy()
+        m.step(10)
+        assert m.steps_done == 10
+        assert not np.array_equal(before, m.fields["theta"])
+
+    def test_diffusion_spreads_but_preserves_sign(self):
+        vortex = VortexSpec(center_x=8, center_y=8, radius=4, theta_anomaly=5.0)
+        m = CM1RankModel(16, 16, 2, origin=(0, 0), vortex=vortex)
+        m.step(15)
+        assert m.fields["theta"].max() < 5.0  # diffusion decays the peak
+        assert m.fields["theta"].max() > 0
+
+    def test_deterministic(self):
+        vortex = VortexSpec(center_x=5, center_y=5, radius=4)
+        a = CM1RankModel(12, 12, 3, origin=(0, 0), vortex=vortex)
+        b = CM1RankModel(12, 12, 3, origin=(0, 0), vortex=vortex)
+        a.step(7)
+        b.step(7)
+        assert np.array_equal(a.fields["u"], b.fields["u"])
+
+    def test_global_coordinates_used(self):
+        """Two ranks covering different parts of the same vortex see
+        different slices of it."""
+        vortex = VortexSpec(center_x=16, center_y=8, radius=10)
+        left = CM1RankModel(16, 16, 2, origin=(0, 0), vortex=vortex)
+        right = CM1RankModel(16, 16, 2, origin=(16, 0), vortex=vortex)
+        assert left.active and right.active
+        assert not np.array_equal(left.fields["u"], right.fields["u"])
+
+
+class TestWorkload:
+    def test_tables_identical_across_ranks(self):
+        app = CM1(nx=8, ny=8, nz=4)
+        segs0 = app.rank_segments(0, 16)
+        segs5 = app.rank_segments(5, 16)
+        assert segs0[0][0] == segs5[0][0]  # same cache key
+        assert np.array_equal(segs0[0][1], segs5[0][1])
+
+    def test_table_fraction_sizing(self):
+        app = CM1(nx=8, ny=8, nz=4, table_fraction=0.25)
+        total = app.per_rank_bytes(16)
+        tables = app.tables().nbytes
+        assert tables / total == pytest.approx(0.25, abs=0.02)
+
+    def test_vortex_scales_with_domain(self):
+        app = CM1(nx=8, ny=8, nz=2)
+        small = app.vortex(16).radius
+        large = app.vortex(64).radius
+        assert large == pytest.approx(2 * small)
+
+    def test_active_fraction_roughly_constant_weak_scaling(self):
+        app = CM1(nx=8, ny=8, nz=2, vortex_radius_frac=0.2)
+        fracs = [app.active_rank_count(n) / n for n in (16, 64, 144)]
+        assert max(fracs) < 4 * min(fracs) + 0.1
+
+    def test_active_ranks_have_unique_content(self):
+        app = CM1(nx=8, ny=8, nz=4)
+        n = 64
+        active = [r for r in range(n) if app.rank_intersects_vortex(r, n)]
+        assert len(active) >= 2
+        s0 = app.rank_segments(active[0], n)
+        s1 = app.rank_segments(active[1], n)
+        u0 = next(b for k, b in s0 if k[-1] == "u")
+        u1 = next(b for k, b in s1 if k[-1] == "u")
+        assert not np.array_equal(u0, u1)
+
+    def test_calm_ranks_share_cache_key(self):
+        app = CM1(nx=8, ny=8, nz=4)
+        n = 64
+        calm = [r for r in range(n) if not app.rank_intersects_vortex(r, n)]
+        keys0 = [k for k, _ in app.rank_segments(calm[0], n)]
+        keys1 = [k for k, _ in app.rank_segments(calm[1], n)]
+        assert keys0 == keys1
+
+
+class TestRedundancyCharacter:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        app = CM1(nx=16, ny=16, nz=8, vortex_radius_frac=0.12)
+        n = 64
+        indices = app.build_indices(n)
+        out = {}
+        for strategy in Strategy:
+            cfg = DumpConfig(replication_factor=3, strategy=strategy,
+                             f_threshold=1 << 17)
+            out[strategy] = compute_metrics(indices, simulate_dump(indices, cfg))
+        return out
+
+    def test_local_band(self, metrics):
+        frac = metrics[Strategy.LOCAL_DEDUP].unique_fraction
+        assert 0.15 < frac < 0.55  # paper: 30%
+
+    def test_coll_band(self, metrics):
+        frac = metrics[Strategy.COLL_DEDUP].unique_fraction
+        assert frac < 0.20  # paper: 5%
+        assert frac < metrics[Strategy.LOCAL_DEDUP].unique_fraction / 2
+
+    def test_ordering(self, metrics):
+        assert (
+            metrics[Strategy.COLL_DEDUP].unique_content_bytes
+            < metrics[Strategy.LOCAL_DEDUP].unique_content_bytes
+            < metrics[Strategy.NO_DEDUP].unique_content_bytes
+        )
+
+
+class TestLongRunStability:
+    def test_stepping_stays_bounded(self):
+        """The upwind+diffusion scheme must not blow up over a long run
+        (dt, diffusivity and steering defaults are within the stable CFL
+        region by construction)."""
+        vortex = VortexSpec(center_x=12, center_y=12, radius=8)
+        model = CM1RankModel(24, 24, 6, origin=(0, 0), vortex=vortex)
+        peak0 = max(abs(model.fields[f]).max() for f in model.FIELDS)
+        model.step(200)
+        peak = max(abs(model.fields[f]).max() for f in model.FIELDS)
+        assert np.isfinite(peak)
+        assert peak <= peak0 * 1.5  # dissipative, not explosive

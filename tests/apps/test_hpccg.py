@@ -1,0 +1,168 @@
+"""HPCCG mini-app: solver correctness and checkpoint redundancy structure."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hpccg import HPCCG, HPCCGRankSolver
+from repro.core import DumpConfig, Strategy
+from repro.sim import compute_metrics, simulate_dump
+
+
+class TestSolver:
+    def test_matrix_structure_interior_rows(self):
+        s = HPCCGRankSolver(5, 5, 5)
+        # A fully interior row has the 27.0 diagonal and 26 off-diagonals.
+        interior = 2 + 2 * 5 + 2 * 25  # linear index of (2,2,2)
+        row = s.values[interior]
+        assert np.count_nonzero(row == 27.0) == 1
+        assert np.count_nonzero(row == -1.0) == 26
+
+    def test_global_boundary_pads_rows(self):
+        s = HPCCGRankSolver(4, 4, 4, boundary=(True,) * 6)
+        corner = 0
+        # Corner of an all-boundary block: 7 neighbours + diagonal.
+        assert np.count_nonzero(s.values[corner]) == 8
+        assert s.n_ghosts == 0
+
+    def test_interior_block_has_ghosts(self):
+        s = HPCCGRankSolver(4, 4, 4, boundary=(False,) * 6)
+        assert s.n_ghosts > 0
+        # Every row of a fully interior block has all 27 entries.
+        assert np.count_nonzero(s.values) == s.nrows * 27
+        assert s.indices.max() == s.nrows + s.n_ghosts - 1
+
+    def test_matvec_matches_scipy(self):
+        import scipy.sparse as sp
+
+        s = HPCCGRankSolver(4, 3, 5, boundary=(True, False, True, False, True, True))
+        n_cols = s.nrows + s.n_ghosts
+        rows = np.repeat(np.arange(s.nrows), 27)
+        a = sp.csr_matrix(
+            (s.values.ravel(), (rows, s.indices.ravel())), shape=(s.nrows, n_cols)
+        )
+        vec = np.random.RandomState(0).standard_normal(s.nrows)
+        extended = np.concatenate([vec, np.zeros(s.n_ghosts)])
+        assert np.allclose(s.matvec(vec), a @ extended)
+
+    def test_cg_converges(self):
+        s = HPCCGRankSolver(6, 6, 6)
+        initial = s.residual_norm()
+        s.iterate(60)
+        assert s.residual_norm() < initial * 1e-8
+
+    def test_all_boundary_block_solution_is_ones(self):
+        """With no ghosts, b is the exact row sum for x*=1."""
+        s = HPCCGRankSolver(5, 5, 5, boundary=(True,) * 6)
+        s.iterate(80)
+        assert np.allclose(s.x, 1.0, atol=1e-6)
+
+    def test_deterministic(self):
+        a = HPCCGRankSolver(4, 4, 4)
+        b = HPCCGRankSolver(4, 4, 4)
+        a.iterate(10)
+        b.iterate(10)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.values, b.values)
+
+    def test_solver_arrays_complete(self):
+        s = HPCCGRankSolver(3, 3, 3)
+        arrays = s.solver_arrays()
+        assert set(arrays) == {"values", "indices", "b", "x", "r", "p", "Ap"}
+
+
+class TestWorkload:
+    def test_placement_boundary_classes(self):
+        app = HPCCG(nx=4)
+        n = 27  # 3x3x3 grid
+        classes = {app.placement(r, n).boundary for r in range(n)}
+        assert len(classes) == 27  # corner/edge/face/interior all distinct
+        center = app.placement(13, n)
+        assert center.boundary == (False,) * 6
+
+    def test_same_class_ranks_share_state_bytes(self):
+        app = HPCCG(nx=4)
+        n = 64  # 4x4x4: interior ranks exist
+        interiors = [
+            r for r in range(n) if app.placement(r, n).boundary == (False,) * 6
+        ]
+        assert len(interiors) == 8
+        seg_a = dict_of(app.rank_segments(interiors[0], n))
+        seg_b = dict_of(app.rank_segments(interiors[1], n))
+        for name in ("values", "indices", "x"):
+            assert np.array_equal(seg_a[name], seg_b[name])
+        # ... but their geometry differs (rank-unique)
+        assert not np.array_equal(seg_a["geom"], seg_b["geom"])
+
+    def test_geometry_is_rank_unique(self):
+        app = HPCCG(nx=4)
+        geoms = [dict_of(app.rank_segments(r, 8))["geom"].tobytes() for r in range(8)]
+        assert len(set(geoms)) == 8
+
+    def test_slack_fraction_sizing(self):
+        app = HPCCG(nx=4, slack_fraction=0.5)
+        segs = app.rank_segments(0, 8)
+        slack = next(buf for key, buf in segs if key[0] == "hpccg-slack")
+        live = sum(
+            len(memoryview(b).cast("B")) if not hasattr(b, "nbytes") else b.nbytes
+            for key, b in segs
+            if key[0] != "hpccg-slack"
+        )
+        assert len(slack) == pytest.approx(live, rel=0.01)
+
+    def test_no_slack_option(self):
+        app = HPCCG(nx=4, slack_fraction=0.0)
+        assert all(key[0] != "hpccg-slack" for key, _ in app.rank_segments(0, 8))
+
+    def test_invalid_slack(self):
+        with pytest.raises(ValueError):
+            HPCCG(slack_fraction=1.0)
+
+    def test_scale_factor(self):
+        app = HPCCG(nx=8)
+        assert app.scale_factor(8) == pytest.approx(
+            1.5e9 / app.per_rank_bytes(8)
+        )
+
+
+class TestRedundancyCharacter:
+    """The dedup ratios must land in the paper's measured bands."""
+
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        app = HPCCG(nx=12)
+        n = 64
+        indices = app.build_indices(n)
+        out = {}
+        for strategy in Strategy:
+            cfg = DumpConfig(replication_factor=3, strategy=strategy,
+                             f_threshold=1 << 17)
+            out[strategy] = compute_metrics(indices, simulate_dump(indices, cfg))
+        return out
+
+    def test_local_dedup_band(self, metrics):
+        frac = metrics[Strategy.LOCAL_DEDUP].unique_fraction
+        assert 0.15 < frac < 0.55  # paper: 33% at 408 ranks
+
+    def test_coll_dedup_band(self, metrics):
+        frac = metrics[Strategy.COLL_DEDUP].unique_fraction
+        assert frac < 0.30
+        assert frac < metrics[Strategy.LOCAL_DEDUP].unique_fraction
+
+    def test_ordering(self, metrics):
+        assert (
+            metrics[Strategy.COLL_DEDUP].unique_content_bytes
+            < metrics[Strategy.LOCAL_DEDUP].unique_content_bytes
+            < metrics[Strategy.NO_DEDUP].unique_content_bytes
+        )
+
+
+def dict_of(segments):
+    out = {}
+    for key, buf in segments:
+        if key[0] == "hpccg-geom":
+            out["geom"] = buf
+        elif key[0] == "hpccg-slack":
+            out["slack"] = buf
+        else:
+            out[key[-1]] = buf
+    return out

@@ -1,0 +1,115 @@
+"""Content-defined chunking: bounds, determinism, insert-shift locality."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cdc.chunker import CDCChunker, CDCParams, cdc_split
+
+
+def pseudo_random(n, seed=7):
+    """Deterministic byte stream with enough entropy to hit boundaries.
+
+    (Hash-based — an LCG's low byte has period 256, which starves the
+    content-defined boundary condition of entropy.)
+    """
+    import hashlib
+
+    out = bytearray()
+    i = 0
+    tag = seed.to_bytes(4, "little")
+    while len(out) < n:
+        out.extend(hashlib.blake2b(tag + i.to_bytes(4, "little")).digest())
+        i += 1
+    return bytes(out[:n])
+
+
+class TestBasics:
+    def test_join_identity(self):
+        data = pseudo_random(50_000)
+        chunks = cdc_split(data, 64, 256, 1024)
+        assert b"".join(chunks) == data
+
+    def test_size_bounds_respected(self):
+        data = pseudo_random(50_000)
+        chunks = cdc_split(data, 64, 256, 1024)
+        for chunk in chunks[:-1]:
+            assert 64 <= len(chunk) <= 1024
+        assert len(chunks[-1]) <= 1024
+
+    def test_average_size_near_target(self):
+        data = pseudo_random(200_000)
+        chunks = cdc_split(data, 64, 256, 4096)
+        avg = len(data) / len(chunks)
+        assert 128 < avg < 768  # within 2x of the 256 target
+
+    def test_empty_input(self):
+        assert cdc_split(b"") == []
+
+    def test_deterministic(self):
+        data = pseudo_random(10_000)
+        assert cdc_split(data, 64, 256, 1024) == cdc_split(data, 64, 256, 1024)
+
+    def test_low_entropy_hits_max_size(self):
+        """Constant data never matches the magic: every chunk is max-sized."""
+        data = b"\x00" * 10_000
+        chunks = cdc_split(data, 64, 256, 512)
+        for chunk in chunks[:-1]:
+            assert len(chunk) == 512
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            CDCParams(min_size=10, avg_size=4, max_size=100)
+        with pytest.raises(ValueError):
+            CDCParams(min_size=1, avg_size=100, max_size=1000)  # not power of 2
+
+    def test_boundaries_end_at_len(self):
+        data = pseudo_random(5000)
+        bounds = CDCChunker(CDCParams(64, 256, 1024)).boundaries(data)
+        assert bounds[-1] == len(data)
+        assert bounds == sorted(bounds)
+
+
+class TestInsertShiftRobustness:
+    """The reason CDC exists: a local edit must only re-chunk its
+    neighbourhood, unlike fixed-size chunking where everything after the
+    edit shifts."""
+
+    def test_insertion_preserves_most_chunks(self):
+        data = pseudo_random(100_000)
+        edited = data[:50_000] + b"INSERTED BYTES" + data[50_000:]
+        params = (64, 256, 1024)
+        original = set(cdc_split(data, *params))
+        changed = cdc_split(edited, *params)
+        unchanged = sum(1 for c in changed if c in original)
+        assert unchanged / len(changed) > 0.8
+
+    def test_fixed_size_chunking_shifts_everything(self):
+        """Contrast baseline: the same edit destroys almost all fixed-size
+        chunks after the insertion point."""
+        from repro.core.chunking import split_chunks
+
+        data = pseudo_random(100_000)
+        edited = data[:50_000] + b"X" + data[50_000:]
+        original = set(split_chunks(data, 256))
+        changed = split_chunks(edited, 256)
+        unchanged = sum(1 for c in changed if c in original)
+        assert unchanged / len(changed) < 0.55
+
+    def test_resynchronization_after_edit(self):
+        """Far from the edit the chunk streams must be identical again."""
+        data = pseudo_random(80_000)
+        edited = data[:10_000] + b"@@@" + data[10_000:]
+        a = cdc_split(data, 64, 256, 1024)
+        b = cdc_split(edited, 64, 256, 1024)
+        # The tails (last 20 chunks) must match exactly.
+        assert a[-20:] == b[-20:]
+
+    @given(st.integers(0, 49_999), st.binary(min_size=1, max_size=20))
+    @settings(max_examples=10)
+    def test_edit_locality_property(self, pos, insert):
+        data = pseudo_random(50_000)
+        edited = data[:pos] + insert + data[pos:]
+        original = set(cdc_split(data, 64, 256, 1024))
+        changed = cdc_split(edited, 64, 256, 1024)
+        unchanged = sum(1 for c in changed if c in original)
+        assert unchanged / max(len(changed), 1) > 0.5

@@ -1,0 +1,62 @@
+"""Rabin rolling fingerprint: the rolling value must equal a from-scratch
+recomputation of the current window at every position."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cdc.rabin import RabinFingerprint
+
+
+class TestRolling:
+    def test_matches_oracle_on_fixed_input(self):
+        rf = RabinFingerprint(window_size=8)
+        data = bytes(range(1, 64))
+        for i, byte in enumerate(data):
+            rolled = rf.push(byte)
+            window = data[max(0, i + 1 - 8) : i + 1]
+            assert rolled == rf.fingerprint_of(window), i
+
+    @given(st.binary(min_size=1, max_size=300), st.integers(2, 32))
+    @settings(max_examples=20)
+    def test_matches_oracle_property(self, data, window_size):
+        rf = RabinFingerprint(window_size=window_size)
+        for i, byte in enumerate(data):
+            rolled = rf.push(byte)
+            window = data[max(0, i + 1 - window_size) : i + 1]
+            assert rolled == rf.fingerprint_of(window)
+
+    def test_window_locality(self):
+        """The fingerprint depends only on the last window_size bytes."""
+        rf_a = RabinFingerprint(window_size=16)
+        rf_b = RabinFingerprint(window_size=16)
+        tail = bytes(range(100, 116))
+        rf_a.update(b"PREFIX-ONE-" + tail)
+        rf_b.update(b"completely different prefix " + tail)
+        assert rf_a.value == rf_b.value
+
+    def test_fingerprint_stays_in_field(self):
+        rf = RabinFingerprint(window_size=48)
+        for byte in bytes(range(256)) * 4:
+            fp = rf.push(byte)
+            assert 0 <= fp < (1 << rf.degree)
+
+    def test_reset(self):
+        rf = RabinFingerprint(window_size=4)
+        rf.update(b"abcdef")
+        rf.reset()
+        assert rf.value == 0
+        first = rf.push(ord("x"))
+        rf2 = RabinFingerprint(window_size=4)
+        assert rf2.push(ord("x")) == first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RabinFingerprint(window_size=0)
+        with pytest.raises(ValueError):
+            RabinFingerprint(poly=1)
+
+    def test_different_polys_differ(self):
+        a = RabinFingerprint(window_size=8, poly=0x3DA3358B4DC173)
+        b = RabinFingerprint(window_size=8, poly=0x1FFFFFFFFFE5)  # other poly
+        data = b"some test data!"
+        assert a.update(data) != b.update(data)

@@ -1,0 +1,82 @@
+"""Chunk codecs: roundtrips, raw fallback, routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compress.codecs import (
+    available_codecs,
+    decode_auto,
+    get_codec,
+    _rle_decode,
+    _rle_encode,
+)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_codecs()) == {"none", "zlib-1", "zlib-6", "rle"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            get_codec("zstd")
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize("name", ["none", "zlib-1", "zlib-6", "rle"])
+    @pytest.mark.parametrize(
+        "payload",
+        [b"", b"a", b"\x00" * 4096, bytes(range(256)) * 16, b"abab" * 1000],
+    )
+    def test_roundtrip(self, name, payload):
+        codec = get_codec(name)
+        assert codec.decode(codec.encode(payload)) == payload
+
+    @pytest.mark.parametrize("name", available_codecs())
+    @given(st.binary(max_size=2048))
+    def test_roundtrip_property(self, name, payload):
+        codec = get_codec(name)
+        assert decode_auto(codec.encode(payload)) == payload
+
+    def test_zero_page_compresses_hard(self):
+        codec = get_codec("zlib-1")
+        assert codec.ratio(b"\x00" * 4096) < 0.02
+
+    def test_rle_zero_page(self):
+        codec = get_codec("rle")
+        # 4096 zeros -> 16 runs of 256 -> 32 bytes + marker.
+        assert len(codec.encode(b"\x00" * 4096)) == 33
+
+    def test_incompressible_stored_raw(self):
+        import hashlib
+
+        noise = b"".join(
+            hashlib.blake2b(i.to_bytes(4, "little")).digest() for i in range(64)
+        )
+        for name in available_codecs():
+            frame = get_codec(name).encode(noise)
+            assert len(frame) == len(noise) + 1  # raw marker fallback
+            assert decode_auto(frame) == noise
+
+    def test_decode_errors(self):
+        with pytest.raises(ValueError):
+            decode_auto(b"")
+        with pytest.raises(ValueError):
+            decode_auto(bytes([99]) + b"body")
+
+
+class TestRLE:
+    def test_encode_pairs(self):
+        assert _rle_encode(b"aaab") == bytes([2, ord("a"), 0, ord("b")])
+
+    def test_long_run_split(self):
+        encoded = _rle_encode(b"\x00" * 600)
+        assert _rle_decode(encoded) == b"\x00" * 600
+        assert len(encoded) == 6  # runs of 256, 256, 88
+
+    def test_corrupt_stream(self):
+        with pytest.raises(ValueError):
+            _rle_decode(b"\x01")
+
+    @given(st.binary(max_size=1000))
+    def test_rle_roundtrip(self, payload):
+        assert _rle_decode(_rle_encode(payload)) == payload

@@ -1,0 +1,123 @@
+"""Compression in the dump path: roundtrips, storage savings, accounting."""
+
+import pytest
+
+from repro.core import DumpConfig, Strategy, dump_output, restore_dataset
+from repro.core.collective_restore import load_input
+from repro.simmpi import World
+from repro.storage import Cluster
+
+from tests.conftest import make_rank_dataset
+
+CS = 64
+
+
+def run_dump(n, compress, strategy=Strategy.COLL_DEDUP, k=3):
+    cfg = DumpConfig(replication_factor=k, chunk_size=CS, strategy=strategy,
+                     f_threshold=4096, compress=compress)
+    cluster = Cluster(n, dedup=(strategy is not Strategy.NO_DEDUP))
+    reports = World(n).run(
+        lambda comm: dump_output(comm, make_rank_dataset(comm.rank), cfg, cluster)
+    )
+    return reports, cluster, cfg
+
+
+class TestConfig:
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            DumpConfig(compress="paq9")
+
+    def test_wire_capacity_accounts_marker(self):
+        assert DumpConfig(chunk_size=64).wire_payload_capacity == 64
+        assert DumpConfig(chunk_size=64, compress="rle").wire_payload_capacity == 65
+
+    def test_simulator_rejects_compression(self):
+        from repro.core.local_dedup import index_from_fingerprints
+        from repro.sim import simulate_dump
+
+        idx = index_from_fingerprints([b"x" * 20], 64)
+        with pytest.raises(ValueError, match="threaded"):
+            simulate_dump([idx], DumpConfig(compress="zlib-1"))
+
+
+class TestCompressedDump:
+    @pytest.mark.parametrize("codec", ["zlib-1", "zlib-6", "rle", "none"])
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_roundtrip(self, codec, strategy):
+        n = 5
+        _reports, cluster, _cfg = run_dump(n, codec, strategy=strategy)
+        for rank in range(n):
+            restored, _ = restore_dataset(cluster, rank)
+            assert restored == make_rank_dataset(rank)
+
+    def test_roundtrip_after_failures(self):
+        n = 6
+        _reports, cluster, _cfg = run_dump(n, "zlib-1", k=3)
+        cluster.fail_node(0)
+        cluster.fail_node(3)
+        for rank in range(n):
+            restored, _ = restore_dataset(cluster, rank)
+            assert restored == make_rank_dataset(rank)
+
+    def test_collective_restore_roundtrip(self):
+        n = 5
+        _reports, cluster, cfg = run_dump(n, "rle")
+        results = World(n).run(lambda comm: load_input(comm, cluster, cfg))
+        for rank, (dataset, _rep) in enumerate(results):
+            assert dataset == make_rank_dataset(rank)
+
+    def test_compression_shrinks_traffic_and_storage(self):
+        """The test datasets carry zero pages and constant runs: compressed
+        dumps must move and store fewer bytes."""
+        n = 6
+        raw_reports, raw_cluster, _ = run_dump(n, None)
+        zip_reports, zip_cluster, _ = run_dump(n, "zlib-1")
+        assert sum(r.sent_bytes for r in zip_reports) < sum(
+            r.sent_bytes for r in raw_reports
+        )
+        assert zip_cluster.total_physical_bytes < raw_cluster.total_physical_bytes
+
+    def test_fingerprints_unchanged_by_compression(self):
+        """Dedup identity stays content-based: the same chunks dedup the
+        same way whether or not frames are compressed."""
+        n = 6
+        raw_reports, _c1, _ = run_dump(n, None)
+        zip_reports, _c2, _ = run_dump(n, "zlib-6")
+        for raw, comp in zip(raw_reports, zip_reports):
+            assert raw.sent_chunks == comp.sent_chunks
+            assert raw.stored_chunks == comp.stored_chunks
+            assert raw.discarded_chunks == comp.discarded_chunks
+
+    def test_manifest_flags_compression(self):
+        n = 4
+        _r, cluster, _cfg = run_dump(n, "zlib-1")
+        assert cluster.nodes[0].get_manifest(0, 0).compressed is True
+        _r2, cluster2, _cfg2 = run_dump(n, None)
+        assert cluster2.nodes[0].get_manifest(0, 0).compressed is False
+
+
+class TestCompressionStats:
+    def test_measure_on_workload(self):
+        from repro.compress import get_codec, measure_codec
+
+        ds = make_rank_dataset(0)
+        stats = measure_codec(get_codec("zlib-1"), ds.chunks(CS))
+        assert stats.chunks == ds.chunk_count(CS)
+        assert stats.raw_bytes == ds.nbytes
+        assert 0.0 < stats.ratio < 1.0  # zero pages compress
+
+    def test_incompressible_counted(self):
+        from repro.compress import get_codec, measure_codec
+
+        import hashlib
+
+        noise = [hashlib.blake2b(bytes([i])).digest() for i in range(10)]
+        stats = measure_codec(get_codec("zlib-6"), noise)
+        assert stats.incompressible_chunks == 10
+        assert stats.ratio > 1.0  # marker byte overhead
+
+    def test_limit(self):
+        from repro.compress import get_codec, measure_codec
+
+        stats = measure_codec(get_codec("rle"), (b"\x00" * 10 for _ in range(100)), limit=7)
+        assert stats.chunks == 7

@@ -1,0 +1,125 @@
+"""Chunk split/join and Dataset semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.chunking import (
+    Dataset,
+    as_bytes_view,
+    iter_chunks,
+    join_chunks,
+    num_chunks,
+    split_chunks,
+)
+
+
+class TestSplitJoin:
+    def test_exact_multiple(self):
+        chunks = split_chunks(b"abcdefgh", 4)
+        assert chunks == [b"abcd", b"efgh"]
+
+    def test_short_tail(self):
+        chunks = split_chunks(b"abcdefghi", 4)
+        assert chunks == [b"abcd", b"efgh", b"i"]
+
+    def test_empty(self):
+        assert split_chunks(b"", 16) == []
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            split_chunks(b"xx", 0)
+        with pytest.raises(ValueError):
+            num_chunks(10, 0)
+
+    def test_iter_matches_split(self):
+        data = bytes(range(256)) * 3
+        assert list(iter_chunks(data, 100)) == split_chunks(data, 100)
+
+    def test_ndarray_input(self):
+        arr = np.arange(32, dtype=np.int32)
+        chunks = split_chunks(arr, 64)
+        assert join_chunks(chunks) == arr.tobytes()
+
+    def test_non_contiguous_ndarray(self):
+        arr = np.arange(100, dtype=np.float64)[::2]
+        assert join_chunks(split_chunks(arr, 32)) == np.ascontiguousarray(arr).tobytes()
+
+    @given(st.binary(max_size=2000), st.integers(1, 300))
+    def test_split_join_identity(self, data, chunk_size):
+        chunks = split_chunks(data, chunk_size)
+        assert join_chunks(chunks) == data
+        assert len(chunks) == num_chunks(len(data), chunk_size)
+        if chunks:
+            assert all(len(c) == chunk_size for c in chunks[:-1])
+            assert 1 <= len(chunks[-1]) <= chunk_size
+
+
+class TestNumChunks:
+    @pytest.mark.parametrize(
+        "nbytes,chunk,expected",
+        [(0, 4, 0), (1, 4, 1), (4, 4, 1), (5, 4, 2), (4096, 4096, 1)],
+    )
+    def test_values(self, nbytes, chunk, expected):
+        assert num_chunks(nbytes, chunk) == expected
+
+
+class TestDataset:
+    def test_segments_preserved(self):
+        ds = Dataset([b"aaaa", b"bb", b"cccccc"])
+        assert ds.segment_lengths == [4, 2, 6]
+        assert ds.nbytes == 12
+        assert ds.num_segments == 3
+        assert ds.to_bytes() == b"aaaabbcccccc"
+
+    def test_from_buffer(self):
+        ds = Dataset.from_buffer(b"hello")
+        assert ds.num_segments == 1
+        assert ds.to_bytes() == b"hello"
+
+    def test_chunks_respect_segment_boundaries(self):
+        """No chunk straddles two segments (page-aligned capture model)."""
+        ds = Dataset([b"aaaaa", b"bbb"])
+        chunks = list(ds.chunks(4))
+        assert chunks == [b"aaaa", b"a", b"bbb"]
+
+    def test_chunk_count(self):
+        ds = Dataset([b"aaaaa", b"bbb", b""])
+        assert ds.chunk_count(4) == 3
+        assert ds.chunk_count(1) == 8
+
+    def test_equality(self):
+        assert Dataset([b"ab", b"cd"]) == Dataset([b"ab", b"cd"])
+        assert Dataset([b"ab", b"cd"]) != Dataset([b"abcd"])  # structure matters
+        assert Dataset([b"ab"]) != Dataset([b"ba"])
+
+    def test_equality_with_non_dataset(self):
+        assert Dataset([b"x"]).__eq__(42) is NotImplemented
+
+    def test_ndarray_segments(self):
+        a = np.ones(10)
+        b = np.zeros(5, dtype=np.int32)
+        ds = Dataset([a, b])
+        assert ds.nbytes == 80 + 20
+        assert ds.to_bytes() == a.tobytes() + b.tobytes()
+
+    @given(
+        st.lists(st.binary(min_size=0, max_size=200), min_size=1, max_size=5),
+        st.integers(1, 64),
+    )
+    def test_chunks_reassemble_per_segment(self, segments, chunk_size):
+        ds = Dataset(segments)
+        rebuilt = join_chunks(ds.chunks(chunk_size))
+        assert rebuilt == b"".join(segments)
+
+
+class TestAsBytesView:
+    def test_zero_copy_for_bytes(self):
+        data = b"abc"
+        view = as_bytes_view(data)
+        assert view.obj is data
+
+    def test_memoryview_cast(self):
+        arr = np.arange(4, dtype=np.int64)
+        view = as_bytes_view(memoryview(arr))
+        assert len(view) == 32

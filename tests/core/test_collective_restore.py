@@ -1,0 +1,100 @@
+"""LOAD_INPUT: the collective restart path."""
+
+import pytest
+
+from repro.core import DumpConfig, Strategy, dump_output
+from repro.core.collective_restore import load_input
+from repro.simmpi import World
+from repro.storage import Cluster
+
+from tests.conftest import make_rank_dataset
+
+CS = 64
+
+
+def dump_and_load(n, strategy, k=3, fail_nodes=()):
+    cfg = DumpConfig(replication_factor=k, chunk_size=CS, strategy=strategy,
+                     f_threshold=4096)
+    cluster = Cluster(n, dedup=(strategy is not Strategy.NO_DEDUP))
+
+    def dump_prog(comm):
+        return dump_output(comm, make_rank_dataset(comm.rank), cfg, cluster)
+
+    World(n).run(dump_prog)
+    for node_id in fail_nodes:
+        cluster.fail_node(node_id)
+
+    def load_prog(comm):
+        dataset, report = load_input(comm, cluster, cfg)
+        return dataset, report
+
+    return World(n).run(load_prog)
+
+
+class TestCollectiveRestore:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_roundtrip_all_ranks(self, strategy):
+        n = 6
+        results = dump_and_load(n, strategy)
+        for rank, (dataset, report) in enumerate(results):
+            assert dataset == make_rank_dataset(rank)
+            assert report.total_bytes == make_rank_dataset(rank).nbytes
+
+    def test_local_dedup_pulls_nothing(self):
+        """With local-dedup every rank stored all its chunks: zero traffic."""
+        results = dump_and_load(5, Strategy.LOCAL_DEDUP)
+        for _dataset, report in results:
+            assert report.pulled_chunks == 0
+            assert report.served_chunks == 0
+
+    def test_coll_dedup_pulls_discarded_chunks(self):
+        """coll-dedup ranks that discarded chunks must pull them back."""
+        n = 6
+        results = dump_and_load(n, Strategy.COLL_DEDUP, k=2)
+        pulled = sum(report.pulled_chunks for _d, report in results)
+        served = sum(report.served_chunks for _d, report in results)
+        assert pulled == served
+        assert pulled > 0
+
+    def test_restore_after_failures(self):
+        n, k = 7, 3
+        results = dump_and_load(n, Strategy.COLL_DEDUP, k=k, fail_nodes=(2, 5))
+        for rank, (dataset, report) in enumerate(results):
+            assert dataset == make_rank_dataset(rank)
+            # Dead nodes serve nothing.
+            assert 2 not in report.pulled_from
+            assert 5 not in report.pulled_from
+        # The failed ranks' datasets were rebuilt entirely from peers.
+        assert results[2][1].local_chunks == 0
+        assert results[2][1].pulled_chunks > 0
+
+    def test_unrecoverable_aborts_world(self):
+        n = 4
+        with pytest.raises(Exception) as exc_info:
+            dump_and_load(n, Strategy.COLL_DEDUP, k=1, fail_nodes=(1,))
+        assert "unrecoverable" in str(exc_info.value)
+
+    def test_traffic_is_only_the_missing_chunks(self):
+        """Restart traffic must cover exactly the non-local distinct chunks —
+        the locality the paper's local-storage design is about."""
+        n = 6
+        results = dump_and_load(n, Strategy.COLL_DEDUP, k=3)
+        for rank, (_dataset, report) in enumerate(results):
+            ds = make_rank_dataset(rank)
+            distinct = len({bytes(c) for c in ds.chunks(CS)})
+            assert report.local_chunks + report.pulled_chunks == distinct
+
+    def test_matches_serial_restore(self):
+        """LOAD_INPUT and restore_dataset rebuild identical datasets."""
+        from repro.core import restore_dataset
+
+        n = 6
+        cfg = DumpConfig(replication_factor=3, chunk_size=CS, f_threshold=4096)
+        cluster = Cluster(n)
+        World(n).run(
+            lambda comm: dump_output(comm, make_rank_dataset(comm.rank), cfg, cluster)
+        )
+        collective = World(n).run(lambda comm: load_input(comm, cluster, cfg))
+        for rank in range(n):
+            serial, _ = restore_dataset(cluster, rank)
+            assert collective[rank][0] == serial

@@ -1,0 +1,70 @@
+"""Per-phase trace accounting of DUMP_OUTPUT: what the cost model consumes
+must reflect what the phases actually moved."""
+
+import pytest
+
+from repro.core import DumpConfig, Strategy, dump_output
+from repro.simmpi import World
+from repro.storage import Cluster
+
+from tests.conftest import make_rank_dataset
+
+CS = 64
+
+
+def run_traced(n, strategy, k=3):
+    cfg = DumpConfig(replication_factor=k, chunk_size=CS, strategy=strategy,
+                     f_threshold=4096)
+    cluster = Cluster(n, dedup=(strategy is not Strategy.NO_DEDUP))
+    world = World(n)
+    reports = world.run(
+        lambda comm: dump_output(comm, make_rank_dataset(comm.rank), cfg, cluster)
+    )
+    return reports, [world.comms[r].trace for r in range(n)]
+
+
+class TestPhaseTraces:
+    def test_reduction_phase_only_for_coll(self):
+        for strategy in (Strategy.NO_DEDUP, Strategy.LOCAL_DEDUP):
+            _reports, traces = run_traced(5, strategy)
+            for trace in traces:
+                assert trace.counters("reduction").sent_bytes == 0
+        _reports, traces = run_traced(5, Strategy.COLL_DEDUP)
+        assert any(t.counters("reduction").sent_bytes > 0 for t in traces)
+
+    def test_exchange_put_bytes_cover_wire_records(self):
+        """Every sent chunk becomes one window put of one slot; the traced
+        put bytes must equal sent_chunks x slot size."""
+        from repro.core.wire import slot_nbytes
+
+        n = 6
+        reports, traces = run_traced(n, Strategy.COLL_DEDUP)
+        slot = slot_nbytes(20, CS)
+        for report, trace in zip(reports, traces):
+            exchange = trace.counters("exchange")
+            assert exchange.put_msgs == report.sent_chunks
+            assert exchange.put_bytes == report.sent_chunks * slot
+
+    def test_allgather_phase_small(self):
+        """The Load allgather must stay tiny relative to the exchange —
+        the premise of the single-sided planning design."""
+        n = 6
+        reports, traces = run_traced(n, Strategy.NO_DEDUP)
+        for report, trace in zip(reports, traces):
+            allgather = trace.counters("allgather").sent_bytes
+            exchange = trace.counters("exchange").sent_bytes
+            if exchange:
+                assert allgather < exchange / 10
+
+    def test_hash_phase_moves_no_bytes(self):
+        _reports, traces = run_traced(4, Strategy.COLL_DEDUP)
+        for trace in traces:
+            assert trace.counters("hash").sent_bytes == 0
+            assert trace.counters("hash").recv_bytes == 0
+
+    def test_total_sent_equals_total_received(self):
+        for strategy in Strategy:
+            _reports, traces = run_traced(6, strategy)
+            sent = sum(t.sent_bytes for t in traces)
+            recv = sum(t.recv_bytes for t in traces)
+            assert sent == recv

@@ -1,0 +1,57 @@
+"""Fingerprint functions and accounting."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fingerprint import Fingerprinter, supported_hashes
+
+
+class TestFingerprinter:
+    def test_sha1_matches_hashlib(self):
+        fp = Fingerprinter("sha1")
+        assert fp(b"hello") == hashlib.sha1(b"hello").digest()
+        assert fp.digest_size == 20
+
+    @pytest.mark.parametrize(
+        "name,size", [("sha1", 20), ("sha256", 32), ("md5", 16), ("blake2b", 16)]
+    )
+    def test_digest_sizes(self, name, size):
+        fp = Fingerprinter(name)
+        assert fp.digest_size == size
+        assert len(fp(b"x")) == size
+
+    def test_unknown_hash_raises(self):
+        with pytest.raises(ValueError, match="unknown hash"):
+            Fingerprinter("crc32")
+
+    def test_supported_hashes_lists_all(self):
+        assert set(supported_hashes()) == {"sha1", "sha256", "md5", "blake2b"}
+
+    def test_hashed_bytes_counter(self):
+        fp = Fingerprinter("sha1")
+        fp(b"abcd")
+        fp(b"efg")
+        assert fp.hashed_bytes == 7
+        fp.reset_counter()
+        assert fp.hashed_bytes == 0
+
+    def test_fingerprint_all_preserves_order(self):
+        fp = Fingerprinter("md5")
+        chunks = [b"a", b"b", b"a"]
+        fps = fp.fingerprint_all(chunks)
+        assert fps[0] == fps[2] != fps[1]
+
+    def test_iter_fingerprints_pairs(self):
+        fp = Fingerprinter("sha1")
+        pairs = list(fp.iter_fingerprints([b"x", b"y"]))
+        assert [c for _f, c in pairs] == [b"x", b"y"]
+        assert pairs[0][0] == hashlib.sha1(b"x").digest()
+
+    @given(st.binary(max_size=512), st.binary(max_size=512))
+    def test_determinism_and_discrimination(self, a, b):
+        fp = Fingerprinter("blake2b")
+        assert fp(a) == fp(a)
+        if a != b:
+            assert fp(a) != fp(b)  # no collisions in practice

@@ -1,0 +1,113 @@
+"""The ALLREDUCE(HMERGE) reduction: threaded vs replayed merge tree."""
+
+import pytest
+
+from repro.core.global_dedup import (
+    build_global_view,
+    reduction_merge_tree,
+    simulate_global_view,
+)
+from repro.core.hmerge import MergeTable
+from repro.simmpi import run_spmd
+
+
+def fp(i):
+    return bytes([i % 251]) * 20
+
+
+def make_inputs(n, spread=4):
+    """Rank r holds fingerprints {r, r+1, ..., r+spread-1}: overlapping
+    windows give a rich frequency distribution."""
+    return [[fp(r + j) for j in range(spread)] for r in range(n)]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 12, 16])
+    @pytest.mark.parametrize("k,f", [(1, 100), (3, 100), (3, 5), (2, 3)])
+    def test_threaded_matches_simulated(self, n, k, f):
+        inputs = make_inputs(n)
+        sim_view, sim_table, _levels = simulate_global_view(inputs, k, f)
+
+        def prog(comm):
+            view, table = build_global_view(comm, inputs[comm.rank], k, f)
+            return view.entries, table.rank_load
+
+        results = run_spmd(n, prog)
+        for entries, rank_load in results:
+            assert entries == sim_view.entries
+            assert rank_load == sim_table.rank_load
+
+    def test_all_ranks_identical_view(self):
+        inputs = make_inputs(11, spread=6)
+
+        def prog(comm):
+            view, _ = build_global_view(comm, inputs[comm.rank], 3, 8)
+            return view.entries
+
+        results = run_spmd(11, prog)
+        assert all(r == results[0] for r in results)
+
+
+class TestViewSemantics:
+    def test_frequencies_exact_without_cap(self):
+        n = 9
+        inputs = make_inputs(n, spread=3)
+        view, _t, _l = simulate_global_view(inputs, k=3, f=10_000)
+        # fingerprint fp(i) appears on ranks max(0,i-2)..min(i,n-1)
+        for i in range(n + 2):
+            holders = [r for r in range(n) if i - 2 <= r <= i]
+            entry = view.get(fp(i))
+            assert entry is not None
+            assert entry.freq == len(holders)
+            assert set(entry.ranks).issubset(set(holders))
+            assert len(entry.ranks) == min(3, len(holders))
+
+    def test_designated_ranks_hold_the_fingerprint(self):
+        inputs = make_inputs(8, spread=5)
+        view, _t, _l = simulate_global_view(inputs, k=3, f=10_000)
+        for f_, entry in view.entries.items():
+            for rank in entry.ranks:
+                assert f_ in inputs[rank]
+
+    def test_cap_limits_view_size(self):
+        view, table, _ = simulate_global_view(make_inputs(10, spread=8), k=2, f=6)
+        assert len(view) <= 6
+        table.check_invariants()
+
+    def test_load_balance_spreads_designations(self):
+        """All ranks hold the same 12 fingerprints, K=2: with 8 ranks and 24
+        designation slots, no rank should hoard them (max load close to the
+        ideal 3)."""
+        n, n_fps = 8, 12
+        inputs = [[fp(i) for i in range(n_fps)] for _ in range(n)]
+        _view, table, _ = simulate_global_view(inputs, k=2, f=1000)
+        loads = table.rank_load
+        assert sum(loads.values()) == n_fps * 2
+        assert max(loads.values()) <= 2 * (n_fps * 2 // n)
+
+
+class TestReductionMergeTree:
+    def test_single_table(self):
+        t = MergeTable.from_local([fp(1)], 0, 2, 10)
+        merged, levels = reduction_merge_tree([t])
+        assert merged is t
+        assert levels == []
+
+    def test_level_sizes_reported(self):
+        tables = [
+            MergeTable.from_local([fp(r + j) for j in range(3)], r, 3, 100)
+            for r in range(6)
+        ]
+        _merged, levels = reduction_merge_tree(tables)
+        # 6 ranks: fold round + 2 doubling rounds + return round
+        assert len(levels) == 4
+        assert all(size > 0 for size in levels)
+
+    def test_power_of_two_no_fold_rounds(self):
+        tables = [MergeTable.from_local([fp(r)], r, 2, 100) for r in range(8)]
+        _merged, levels = reduction_merge_tree(tables)
+        assert len(levels) == 3  # log2(8)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            reduction_merge_tree([])

@@ -1,0 +1,134 @@
+"""Replication planning: store/discard/send decisions and Load vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hmerge import GlobalView, MergeEntry
+from repro.core.local_dedup import index_from_fingerprints
+from repro.core.planner import ReplicationPlan, build_plan, round_robin_share
+
+
+def fp(i):
+    return bytes([i]) * 20
+
+
+def view_of(entries, k=3):
+    return GlobalView(entries={f: e for f, e in entries.items()}, k=k)
+
+
+class TestRoundRobinShare:
+    def test_even_split(self):
+        # 4 extra copies over 2 designated ranks -> 2 each
+        assert round_robin_share(4, 2, 0) == 2
+        assert round_robin_share(4, 2, 1) == 2
+
+    def test_uneven_split_front_loaded(self):
+        # 3 extra over 2 ranks -> 2 for index 0, 1 for index 1
+        assert round_robin_share(3, 2, 0) == 2
+        assert round_robin_share(3, 2, 1) == 1
+
+    def test_fewer_copies_than_ranks(self):
+        assert round_robin_share(1, 3, 0) == 1
+        assert round_robin_share(1, 3, 1) == 0
+        assert round_robin_share(1, 3, 2) == 0
+
+    def test_no_extra(self):
+        assert round_robin_share(0, 2, 0) == 0
+
+    def test_out_of_range_index(self):
+        assert round_robin_share(2, 2, 5) == 0
+
+    @given(st.integers(0, 20), st.integers(1, 10))
+    def test_shares_sum_to_extra(self, extra, d):
+        assert sum(round_robin_share(extra, d, j) for j in range(d)) == extra
+
+
+class TestBuildPlanCollDedup:
+    def test_unique_chunk_stored_and_fully_replicated(self):
+        idx = index_from_fingerprints([fp(1)], 64)
+        plan = build_plan(0, idx, view_of({}), k=3, world_size=5)
+        assert plan.store_fps == [fp(1)]
+        assert [len(p) for p in plan.partner_chunks] == [1, 1]
+        assert plan.load == [1, 1, 1]
+
+    def test_not_designated_discards(self):
+        idx = index_from_fingerprints([fp(1)], 64)
+        view = view_of({fp(1): MergeEntry(freq=5, ranks=(1, 2, 3))})
+        plan = build_plan(0, idx, view, k=3, world_size=5)
+        assert plan.store_fps == []
+        assert plan.discarded_fps == [fp(1)]
+        assert plan.load == [0, 0, 0]
+
+    def test_designated_with_enough_replicas_stores_only(self):
+        idx = index_from_fingerprints([fp(1)], 64)
+        view = view_of({fp(1): MergeEntry(freq=5, ranks=(0, 1, 2))})
+        plan = build_plan(0, idx, view, k=3, world_size=5)
+        assert plan.store_fps == [fp(1)]
+        assert plan.send_total == 0
+
+    def test_designated_tops_up_missing_replicas(self):
+        """D=1 < K=3: the single designated rank sends K-D=2 copies."""
+        idx = index_from_fingerprints([fp(1)], 64)
+        view = view_of({fp(1): MergeEntry(freq=1, ranks=(0,))})
+        plan = build_plan(0, idx, view, k=3, world_size=5)
+        assert plan.load == [1, 1, 1]
+
+    def test_topup_round_robin_between_designated(self):
+        """D=2 < K=4: 2 extra copies, one per designated rank, each going
+        to that rank's first partner slot."""
+        idx = index_from_fingerprints([fp(1)], 64)
+        view = view_of({fp(1): MergeEntry(freq=2, ranks=(0, 3))}, k=4)
+        plan0 = build_plan(0, idx, view, k=4, world_size=6)
+        plan3 = build_plan(3, idx, view, k=4, world_size=6)
+        assert plan0.load == [1, 1, 0, 0]
+        assert plan3.load == [1, 1, 0, 0]
+
+    def test_topup_uneven_assignment(self):
+        """D=2 < K=5: 3 extra copies -> designated index 0 sends 2, index 1
+        sends 1."""
+        idx = index_from_fingerprints([fp(1)], 64)
+        view = view_of({fp(1): MergeEntry(freq=2, ranks=(2, 4))}, k=5)
+        plan2 = build_plan(2, idx, view, k=5, world_size=8)
+        plan4 = build_plan(4, idx, view, k=5, world_size=8)
+        assert plan2.load == [1, 1, 1, 0, 0]
+        assert plan4.load == [1, 1, 0, 0, 0]
+
+    def test_k_capped_by_world_size(self):
+        idx = index_from_fingerprints([fp(1)], 64)
+        plan = build_plan(0, idx, view_of({}), k=10, world_size=3)
+        assert plan.k == 3
+        assert plan.load == [1, 1, 1]
+
+    def test_k1_local_only(self):
+        idx = index_from_fingerprints([fp(1), fp(2)], 64)
+        plan = build_plan(0, idx, view_of({}), k=1, world_size=4)
+        assert plan.load == [2]
+        assert plan.partner_chunks == []
+
+
+class TestBuildPlanBaselines:
+    def test_local_dedup_sends_unique_to_all_partners(self):
+        idx = index_from_fingerprints([fp(1), fp(1), fp(2)], 64)
+        plan = build_plan(0, idx, None, k=3, world_size=4)
+        assert plan.load == [2, 2, 2]
+
+    def test_no_dedup_replicates_every_occurrence(self):
+        idx = index_from_fingerprints([fp(1), fp(1), fp(2)], 64)
+        plan = build_plan(0, idx, None, k=3, world_size=4, dedup_local=False)
+        assert plan.load == [3, 3, 3]
+        assert plan.store_fps == [fp(1), fp(1), fp(2)]
+
+
+class TestPlanAccounting:
+    def test_byte_helpers(self):
+        idx = index_from_fingerprints([fp(1), fp(2)], 64, last_chunk_size=10)
+        plan = build_plan(0, idx, view_of({}), k=2, world_size=3)
+        sizes = idx.chunk_sizes
+        assert plan.store_bytes(sizes) == 74
+        assert plan.send_bytes(sizes) == 74
+        assert plan.send_total == 2
+
+    def test_load_padded_to_k(self):
+        plan = ReplicationPlan(rank=0, k=4)
+        plan.partner_chunks = [[fp(1)]]
+        assert plan.load == [0, 1, 0, 0]

@@ -1,0 +1,75 @@
+"""Window wire format: fixed slots, roundtrips, corruption detection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.wire import decode_region, encode_record, iter_window_records, slot_nbytes
+
+DIGEST = 20
+CHUNK = 64
+
+
+def fp_of(i):
+    return bytes([i]) * DIGEST
+
+
+class TestEncodeRecord:
+    def test_slot_size_constant(self):
+        full = encode_record(fp_of(1), b"x" * CHUNK, CHUNK)
+        short = encode_record(fp_of(1), b"x", CHUNK)
+        assert len(full) == len(short) == slot_nbytes(DIGEST, CHUNK)
+
+    def test_oversized_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            encode_record(fp_of(1), b"y" * (CHUNK + 1), CHUNK)
+
+    def test_empty_payload(self):
+        record = encode_record(fp_of(2), b"", CHUNK)
+        (got_fp, got), = decode_region(record, DIGEST, CHUNK, 0, 1)
+        assert got_fp == fp_of(2)
+        assert got == b""
+
+
+class TestDecodeRegion:
+    def test_multi_slot_roundtrip(self):
+        records = b"".join(
+            encode_record(fp_of(i), bytes([i]) * (i + 1), CHUNK) for i in range(5)
+        )
+        decoded = decode_region(records, DIGEST, CHUNK, 1, 3)
+        assert decoded == [(fp_of(i), bytes([i]) * (i + 1)) for i in (1, 2, 3)]
+
+    def test_truncated_buffer_raises(self):
+        record = encode_record(fp_of(1), b"a", CHUNK)
+        with pytest.raises(ValueError, match="truncated"):
+            decode_region(record[:-1], DIGEST, CHUNK, 0, 1)
+
+    def test_corrupt_length_raises(self):
+        record = bytearray(encode_record(fp_of(1), b"a", CHUNK))
+        record[DIGEST : DIGEST + 4] = (CHUNK + 99).to_bytes(4, "little")
+        with pytest.raises(ValueError, match="corrupt"):
+            decode_region(bytes(record), DIGEST, CHUNK, 0, 1)
+
+
+class TestIterWindowRecords:
+    def test_full_window(self):
+        window = b"".join(encode_record(fp_of(i), b"z" * i, CHUNK) for i in range(4))
+        decoded = list(iter_window_records(window, DIGEST, CHUNK))
+        assert [payload for _f, payload in decoded] == [b"z" * i for i in range(4)]
+
+    def test_misaligned_window_raises(self):
+        with pytest.raises(ValueError, match="multiple"):
+            list(iter_window_records(b"\x00" * 13, DIGEST, CHUNK))
+
+    def test_empty_window(self):
+        assert list(iter_window_records(b"", DIGEST, CHUNK)) == []
+
+
+@given(
+    st.lists(
+        st.tuples(st.binary(min_size=DIGEST, max_size=DIGEST), st.binary(max_size=CHUNK)),
+        max_size=10,
+    )
+)
+def test_roundtrip_property(records):
+    window = b"".join(encode_record(f, c, CHUNK) for f, c in records)
+    assert list(iter_window_records(window, DIGEST, CHUNK)) == records

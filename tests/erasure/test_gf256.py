@@ -1,0 +1,102 @@
+"""GF(2^8) field axioms and bulk operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.erasure.gf256 import GF256
+
+bytes_st = st.integers(0, 255)
+nonzero_st = st.integers(1, 255)
+
+
+class TestFieldAxioms:
+    @given(bytes_st, bytes_st)
+    def test_mul_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(bytes_st, bytes_st, bytes_st)
+    def test_mul_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(bytes_st, bytes_st, bytes_st)
+    def test_distributive(self, a, b, c):
+        left = GF256.mul(a, GF256.add(b, c))
+        right = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+        assert left == right
+
+    @given(bytes_st)
+    def test_mul_identity(self, a):
+        assert GF256.mul(a, 1) == a
+        assert GF256.mul(a, 0) == 0
+
+    @given(nonzero_st)
+    def test_inverse(self, a):
+        assert GF256.mul(a, GF256.inv(a)) == 1
+
+    @given(bytes_st, nonzero_st)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert GF256.div(a, b) == GF256.mul(a, GF256.inv(b))
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(5, 0)
+
+    @given(nonzero_st, st.integers(0, 20))
+    def test_pow_matches_repeated_mul(self, a, n):
+        expected = 1
+        for _ in range(n):
+            expected = GF256.mul(expected, a)
+        assert GF256.pow(a, n) == expected
+
+    def test_exp_log_tables_consistent(self):
+        for a in range(1, 256):
+            assert GF256.EXP[GF256.LOG[a]] == a
+
+
+class TestBulkOperations:
+    @given(bytes_st, st.binary(min_size=1, max_size=64))
+    def test_mul_scalar_vec_matches_scalar(self, scalar, data):
+        vec = np.frombuffer(data, dtype=np.uint8)
+        out = GF256.mul_scalar_vec(scalar, vec)
+        for i, v in enumerate(vec):
+            assert out[i] == GF256.mul(scalar, int(v))
+
+    def test_matmul_identity(self):
+        data = np.arange(32, dtype=np.uint8).reshape(4, 8)
+        identity = np.eye(4, dtype=np.uint8)
+        assert np.array_equal(GF256.matmul(identity, data), data)
+
+    def test_matmul_shape_validation(self):
+        with pytest.raises(ValueError):
+            GF256.matmul(np.eye(2, dtype=np.uint8), np.zeros((3, 4), dtype=np.uint8))
+
+
+class TestSolve:
+    def test_identity_solve(self):
+        rhs = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        out = GF256.solve(np.eye(3, dtype=np.uint8), rhs)
+        assert np.array_equal(out, rhs)
+
+    @given(st.integers(1, 5), st.data())
+    def test_solve_inverts_random_systems(self, k, data):
+        rng = np.random.RandomState(data.draw(st.integers(0, 1000)))
+        # Build a guaranteed-invertible matrix: random until nonsingular.
+        for _ in range(50):
+            m = rng.randint(0, 256, size=(k, k)).astype(np.uint8)
+            x = rng.randint(0, 256, size=(k, 3)).astype(np.uint8)
+            rhs = GF256.matmul(m, x)
+            try:
+                solved = GF256.solve(m, rhs)
+            except ValueError:
+                continue  # singular draw; try another
+            assert np.array_equal(solved, x)
+            return
+        pytest.skip("no invertible matrix drawn")
+
+    def test_singular_matrix_raises(self):
+        m = np.zeros((2, 2), dtype=np.uint8)
+        with pytest.raises(ValueError, match="singular"):
+            GF256.solve(m, np.zeros((2, 1), dtype=np.uint8))

@@ -1,0 +1,94 @@
+"""Hybrid replication+EC policy: analytics and functional recovery."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticWorkload
+from repro.core import DumpConfig, Strategy
+from repro.core.fingerprint import Fingerprinter
+from repro.erasure.hybrid import HybridPolicy
+from repro.sim import simulate_dump
+
+CS = 256
+
+
+class TestSummarize:
+    def make_inputs(self, n=8, k=3):
+        w = SyntheticWorkload(chunks_per_rank=30, chunk_size=CS, frac_global=0.4,
+                              frac_zero=0.1)
+        indices = w.build_indices(n, chunk_size=CS)
+        cfg = DumpConfig(replication_factor=k, chunk_size=CS,
+                         strategy=Strategy.COLL_DEDUP, f_threshold=10_000)
+        result = simulate_dump(indices, cfg)
+        return indices, result.view, k
+
+    def test_parity_cheaper_than_topup(self):
+        indices, view, k = self.make_inputs()
+        policy = HybridPolicy(stripe_data=8, stripe_parity=2)
+        summary = policy.summarize(indices, view, k)
+        assert summary.short_chunks > 0
+        assert summary.parity_bytes < summary.replication_topup_bytes
+        assert 0 < summary.savings_fraction < 1
+
+    def test_fully_replicated_needs_nothing(self):
+        w = SyntheticWorkload(chunks_per_rank=10, chunk_size=CS, frac_global=1.0,
+                              frac_zero=0.0, frac_local_dup=0.0)
+        indices = w.build_indices(6, chunk_size=CS)
+        cfg = DumpConfig(replication_factor=3, chunk_size=CS,
+                         strategy=Strategy.COLL_DEDUP, f_threshold=10_000)
+        view = simulate_dump(indices, cfg).view
+        summary = HybridPolicy().summarize(indices, view, 3)
+        assert summary.short_chunks == 0
+        assert summary.replication_topup_bytes == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HybridPolicy(stripe_data=0)
+        with pytest.raises(ValueError):
+            HybridPolicy(stripe_parity=0)
+
+
+class TestFunctionalRecovery:
+    def chunks_of(self, rank, count=10):
+        fpr = Fingerprinter("sha1")
+        payloads = [bytes([rank, i]) * (CS // 2) for i in range(count)]
+        return {fpr(p): p for p in payloads}
+
+    def test_protect_and_recover_single_loss(self):
+        policy = HybridPolicy(stripe_data=4, stripe_parity=2)
+        chunks = self.chunks_of(1, count=7)
+        sizes = {fp: len(p) for fp, p in chunks.items()}
+        stripes = policy.protect_rank(chunks, CS)
+        assert len(stripes) == 2  # ceil(7/4)
+        victim_fp = stripes[0].fingerprints[2]
+        surviving = {fp: p for fp, p in chunks.items() if fp != victim_fp}
+        recovered = policy.recover_chunks(stripes[0], surviving, sizes)
+        assert recovered == {victim_fp: chunks[victim_fp]}
+
+    def test_recover_up_to_parity_losses(self):
+        policy = HybridPolicy(stripe_data=4, stripe_parity=2)
+        chunks = self.chunks_of(2, count=4)
+        sizes = {fp: len(p) for fp, p in chunks.items()}
+        (stripe,) = policy.protect_rank(chunks, CS)
+        victims = stripe.fingerprints[:2]
+        surviving = {fp: p for fp, p in chunks.items() if fp not in victims}
+        recovered = policy.recover_chunks(stripe, surviving, sizes)
+        assert set(recovered) == set(victims)
+        for fp in victims:
+            assert recovered[fp] == chunks[fp]
+
+    def test_short_final_stripe_padded(self):
+        policy = HybridPolicy(stripe_data=8, stripe_parity=1)
+        chunks = self.chunks_of(3, count=3)  # one partial stripe
+        sizes = {fp: len(p) for fp, p in chunks.items()}
+        (stripe,) = policy.protect_rank(chunks, CS)
+        victim = stripe.fingerprints[0]
+        surviving = {fp: p for fp, p in chunks.items() if fp != victim}
+        recovered = policy.recover_chunks(stripe, surviving, sizes)
+        assert recovered[victim] == chunks[victim]
+
+    def test_nothing_missing_returns_empty(self):
+        policy = HybridPolicy(stripe_data=4, stripe_parity=1)
+        chunks = self.chunks_of(4, count=4)
+        sizes = {fp: len(p) for fp, p in chunks.items()}
+        (stripe,) = policy.protect_rank(chunks, CS)
+        assert policy.recover_chunks(stripe, chunks, sizes) == {}

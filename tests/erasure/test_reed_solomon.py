@@ -1,0 +1,103 @@
+"""Reed-Solomon MDS property: any k of n shards reconstruct the data."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.erasure.reed_solomon import ReedSolomon
+
+
+class TestEncode:
+    def test_systematic_prefix(self):
+        rs = ReedSolomon(6, 4)
+        data = [bytes([i]) * 8 for i in range(4)]
+        shards = rs.encode(data)
+        assert shards[:4] == data
+        assert len(shards) == 6
+
+    def test_parity_differs_from_data(self):
+        rs = ReedSolomon(5, 3)
+        shards = rs.encode([b"aa", b"bb", b"cc"])
+        assert shards[3] not in shards[:3]
+
+    def test_wrong_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(4, 2).encode([b"a"])
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(4, 2).encode([b"aa", b"a"])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(2, 3)
+        with pytest.raises(ValueError):
+            ReedSolomon(300, 4)
+
+    def test_storage_overhead(self):
+        assert ReedSolomon(6, 4).storage_overhead == pytest.approx(0.5)
+        assert ReedSolomon(6, 4).parity_shards == 2
+
+
+class TestDecode:
+    def test_every_erasure_pattern_exhaustive(self):
+        """RS(6,4): all C(6,4) survivor subsets must reconstruct exactly."""
+        rs = ReedSolomon(6, 4)
+        data = [bytes([10 + i, 20 + i, 30 + i]) for i in range(4)]
+        shards = rs.encode(data)
+        for keep in itertools.combinations(range(6), 4):
+            available = {i: shards[i] for i in keep}
+            assert rs.decode(available) == data, keep
+
+    def test_too_few_shards_raises(self):
+        rs = ReedSolomon(6, 4)
+        shards = rs.encode([b"a", b"b", b"c", b"d"])
+        with pytest.raises(ValueError, match="at least"):
+            rs.decode({0: shards[0], 1: shards[1]})
+
+    def test_all_data_shortcut(self):
+        rs = ReedSolomon(6, 4)
+        data = [b"w", b"x", b"y", b"z"]
+        shards = rs.encode(data)
+        assert rs.decode({i: shards[i] for i in range(4)}) == data
+
+    def test_reconstruct_parity_shard(self):
+        rs = ReedSolomon(5, 3)
+        data = [b"abc", b"def", b"ghi"]
+        shards = rs.encode(data)
+        rebuilt = rs.reconstruct_shard(
+            {0: shards[0], 2: shards[2], 4: shards[4]}, index=3
+        )
+        assert rebuilt == shards[3]
+
+    def test_reconstruct_data_shard(self):
+        rs = ReedSolomon(5, 3)
+        shards = rs.encode([b"abc", b"def", b"ghi"])
+        rebuilt = rs.reconstruct_shard(
+            {1: shards[1], 3: shards[3], 4: shards[4]}, index=0
+        )
+        assert rebuilt == b"abc"
+
+    @given(
+        st.integers(1, 6),
+        st.integers(0, 4),
+        st.binary(min_size=1, max_size=32),
+        st.data(),
+    )
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, k, parity, payload, data):
+        n = k + parity
+        rs = ReedSolomon(n, k)
+        width = len(payload)
+        shards_in = [
+            bytes((b + i) % 256 for b in payload) for i in range(k)
+        ]
+        encoded = rs.encode(shards_in)
+        keep = sorted(
+            data.draw(
+                st.sets(st.integers(0, n - 1), min_size=k, max_size=k)
+            )
+        )
+        decoded = rs.decode({i: encoded[i] for i in keep})
+        assert decoded == shards_in

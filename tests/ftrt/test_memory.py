@@ -1,0 +1,82 @@
+"""MemoryRegistry: capture/restore of registered regions."""
+
+import numpy as np
+import pytest
+
+from repro.ftrt import MemoryRegistry
+
+
+class TestRegistration:
+    def test_register_and_names(self):
+        reg = MemoryRegistry()
+        reg.register("a", np.zeros(4))
+        reg.register("b", bytearray(8))
+        assert reg.names == ["a", "b"]
+        assert reg.nbytes == 40
+
+    def test_duplicate_name_rejected(self):
+        reg = MemoryRegistry()
+        reg.register("a", np.zeros(1))
+        with pytest.raises(ValueError):
+            reg.register("a", np.zeros(1))
+
+    def test_immutable_bytes_rejected(self):
+        reg = MemoryRegistry()
+        with pytest.raises(TypeError):
+            reg.register("a", b"immutable")
+
+    def test_readonly_array_rejected(self):
+        arr = np.zeros(4)
+        arr.flags.writeable = False
+        with pytest.raises(TypeError):
+            MemoryRegistry().register("a", arr)
+
+    def test_unregister(self):
+        reg = MemoryRegistry()
+        reg.register("a", np.zeros(1))
+        reg.unregister("a")
+        assert reg.names == []
+        with pytest.raises(KeyError):
+            reg.unregister("a")
+
+
+class TestCaptureRestore:
+    def test_capture_reflects_current_values(self):
+        reg = MemoryRegistry()
+        arr = np.arange(8, dtype=np.float64)
+        reg.register("x", arr)
+        ds = reg.capture()
+        assert ds.to_bytes() == arr.tobytes()
+        arr[0] = 99.0  # capture is a live view: dump reads current state
+        assert reg.capture().to_bytes() == arr.tobytes()
+
+    def test_restore_roundtrip_in_place(self):
+        reg = MemoryRegistry()
+        arr = np.arange(6, dtype=np.int64)
+        buf = bytearray(b"hello!")
+        reg.register("arr", arr)
+        reg.register("buf", buf)
+        from repro.core.chunking import Dataset
+
+        snapshot = Dataset([bytes(arr.tobytes()), bytes(buf)])
+        arr[:] = -1
+        buf[:] = b"XXXXXX"
+        reg.restore(snapshot)
+        assert list(arr) == [0, 1, 2, 3, 4, 5]
+        assert buf == b"hello!"
+
+    def test_restore_segment_count_mismatch(self):
+        from repro.core.chunking import Dataset
+
+        reg = MemoryRegistry()
+        reg.register("a", np.zeros(2))
+        with pytest.raises(ValueError, match="mismatch"):
+            reg.restore(Dataset([b"x", b"y"]))
+
+    def test_restore_size_mismatch(self):
+        from repro.core.chunking import Dataset
+
+        reg = MemoryRegistry()
+        reg.register("a", np.zeros(2))
+        with pytest.raises(ValueError, match="size changed"):
+            reg.restore(Dataset([b"abc"]))

@@ -1,0 +1,166 @@
+"""CheckpointRuntime: interval scheduling, restart, failure survival."""
+
+import numpy as np
+import pytest
+
+from repro.core import DumpConfig, Strategy
+from repro.ftrt import CheckpointRuntime
+from repro.simmpi import World
+from repro.storage import Cluster
+
+
+def spmd_app(cluster, cfg, n_steps, interval, fail_after=None, fail_nodes=()):
+    """A toy SPMD iterative app with checkpoint-restart."""
+
+    def prog(comm):
+        rt = CheckpointRuntime(comm, cluster, cfg, interval=interval)
+        state = np.full(64, float(comm.rank))
+        shared = np.zeros(128)  # identical across ranks -> natural replicas
+        rt.memory.register("state", state)
+        rt.memory.register("shared", shared)
+        for step in range(1, n_steps + 1):
+            state += 1.0
+            shared[:] = step
+            rt.maybe_checkpoint(step)
+        if fail_after is not None:
+            comm.barrier()
+            if comm.rank == 0:
+                for node in fail_nodes:
+                    cluster.fail_node(node)
+            comm.barrier()
+            rt.restart()
+        return state.copy(), shared.copy(), rt.stats
+
+    return prog
+
+
+class TestScheduling:
+    def test_checkpoints_at_interval_multiples(self):
+        cluster = Cluster(4)
+        cfg = DumpConfig(replication_factor=2, chunk_size=64, f_threshold=1024)
+        results = World(4).run(spmd_app(cluster, cfg, n_steps=10, interval=3))
+        for _state, _shared, stats in results:
+            assert stats.checkpoints_taken == 3  # steps 3, 6, 9
+
+    def test_step_zero_not_checkpointed(self):
+        cluster = Cluster(2)
+        cfg = DumpConfig(replication_factor=2, chunk_size=64, f_threshold=1024)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=5)
+            rt.memory.register("x", np.zeros(4))
+            assert rt.maybe_checkpoint(0) is None
+            assert rt.last_dump_id is None
+            return True
+
+        assert all(World(2).run(prog))
+
+    def test_invalid_interval(self):
+        cluster = Cluster(1)
+        cfg = DumpConfig(replication_factor=1)
+
+        def prog(comm):
+            CheckpointRuntime(comm, cluster, cfg, interval=0)
+
+        with pytest.raises(Exception):
+            World(1).run(prog)
+
+    def test_restart_without_checkpoint_raises(self):
+        cluster = Cluster(1)
+        cfg = DumpConfig(replication_factor=1, chunk_size=64)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=1)
+            rt.memory.register("x", np.zeros(2))
+            rt.restart()
+
+        with pytest.raises(Exception):
+            World(1).run(prog)
+
+
+class TestRestart:
+    def test_restart_restores_last_checkpoint(self):
+        cluster = Cluster(4)
+        cfg = DumpConfig(replication_factor=2, chunk_size=64, f_threshold=1024)
+        results = World(4).run(
+            spmd_app(cluster, cfg, n_steps=10, interval=4, fail_after=10)
+        )
+        for rank, (state, shared, stats) in enumerate(results):
+            # Last checkpoint at step 8: state was rank + 8.
+            assert np.all(state == rank + 8)
+            assert np.all(shared == 8)
+            assert stats.restarts == 1
+
+    def test_restart_after_node_failures(self):
+        n, k = 6, 3
+        cluster = Cluster(n)
+        cfg = DumpConfig(replication_factor=k, chunk_size=64, f_threshold=1024)
+        results = World(n).run(
+            spmd_app(cluster, cfg, n_steps=6, interval=3, fail_after=6,
+                     fail_nodes=(1, 4))
+        )
+        for rank, (state, shared, stats) in enumerate(results):
+            if rank in (1, 4):
+                continue  # their nodes are gone; survivors must restore
+            assert np.all(state == rank + 6)
+
+    def test_restart_specific_dump_id(self):
+        cluster = Cluster(3)
+        cfg = DumpConfig(replication_factor=2, chunk_size=64, f_threshold=1024)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=1)
+            state = np.zeros(16)
+            rt.memory.register("s", state)
+            for step in (1, 2, 3):
+                state[:] = step
+                rt.maybe_checkpoint(step)
+            used = rt.restart(dump_id=0)  # roll back to the first checkpoint
+            return used, state.copy()
+
+        for used, state in World(3).run(prog):
+            assert used == 0
+            assert np.all(state == 1.0)
+
+    def test_stats_accumulate(self):
+        cluster = Cluster(2)
+        cfg = DumpConfig(replication_factor=2, chunk_size=64, f_threshold=1024)
+        results = World(2).run(spmd_app(cluster, cfg, n_steps=4, interval=2))
+        for _s, _sh, stats in results:
+            assert stats.checkpoints_taken == 2
+            assert stats.bytes_captured == 2 * (64 * 8 + 128 * 8)
+            assert len(stats.reports) == 2
+
+
+class TestCollectiveRestart:
+    def test_restart_collective_restores_state(self):
+        n, k = 5, 3
+        cluster = Cluster(n)
+        cfg = DumpConfig(replication_factor=k, chunk_size=64, f_threshold=1024)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=2)
+            state = np.full(32, float(comm.rank))
+            rt.memory.register("state", state)
+            for step in (1, 2, 3, 4):
+                state += 1.0
+                rt.maybe_checkpoint(step)
+            state[:] = -99.0  # diverge, then roll back collectively
+            used = rt.restart_collective()
+            return used, state.copy()
+
+        for rank, (used, state) in enumerate(World(n).run(prog)):
+            assert used == 1  # checkpoint at step 4 has dump_id 1
+            assert np.all(state == rank + 4)
+
+    def test_restart_collective_without_checkpoint_raises(self):
+        cluster = Cluster(1)
+        cfg = DumpConfig(replication_factor=1, chunk_size=64)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=1)
+            rt.memory.register("x", np.zeros(2))
+            rt.restart_collective()
+
+        with pytest.raises(Exception):
+            World(1).run(prog)

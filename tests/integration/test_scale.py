@@ -1,0 +1,118 @@
+"""Moderate-scale sanity: the simulator at O(100) ranks, fast.
+
+These are the smoke versions of the 408-rank benchmark sweeps — they run
+in seconds inside the unit suite and pin the orderings that every figure
+depends on, so a regression shows up here before a long bench run.
+"""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticWorkload
+from repro.core import DumpConfig, Strategy
+from repro.netsim import MachineProfile, dump_time
+from repro.sim import compute_metrics, simulate_dump
+
+CS = 256
+N = 96
+
+
+@pytest.fixture(scope="module")
+def workload_indices():
+    w = SyntheticWorkload(
+        chunks_per_rank=48, chunk_size=CS,
+        frac_global=0.3, frac_group=0.1, group_size=8,
+        frac_zero=0.1, frac_local_dup=0.2,
+    )
+    return w.build_indices(N, chunk_size=CS)
+
+
+def run(indices, strategy, k=3, shuffle=True):
+    cfg = DumpConfig(replication_factor=k, chunk_size=CS, strategy=strategy,
+                     f_threshold=1 << 17, shuffle=shuffle)
+    result = simulate_dump(indices, cfg)
+    return result, compute_metrics(indices, result)
+
+
+class TestOrderings:
+    def test_unique_content_ordering(self, workload_indices):
+        values = {
+            s: run(workload_indices, s)[1].unique_content_bytes for s in Strategy
+        }
+        assert values[Strategy.COLL_DEDUP] < values[Strategy.LOCAL_DEDUP]
+        assert values[Strategy.LOCAL_DEDUP] < values[Strategy.NO_DEDUP]
+
+    def test_traffic_ordering(self, workload_indices):
+        values = {
+            s: run(workload_indices, s)[1].sent_total_bytes for s in Strategy
+        }
+        assert values[Strategy.COLL_DEDUP] < values[Strategy.LOCAL_DEDUP]
+        assert values[Strategy.LOCAL_DEDUP] < values[Strategy.NO_DEDUP]
+
+    # Scale the 12 KB/rank synthetic state to ~1 GB/rank (paper-sized):
+    # at realistic dump volumes the data phases dominate the (F-capped)
+    # reduction cost, which is when coll-dedup pays off — tiny dumps would
+    # not amortise the reduction, exactly the paper's N=1 row.
+    VOLUME_SCALE = 80_000
+
+    def test_modelled_time_ordering(self, workload_indices):
+        machine = MachineProfile.shamrock()
+        times = {
+            s: dump_time(
+                run(workload_indices, s)[0], machine, volume_scale=self.VOLUME_SCALE
+            ).total
+            for s in Strategy
+        }
+        assert times[Strategy.COLL_DEDUP] < times[Strategy.LOCAL_DEDUP]
+        assert times[Strategy.LOCAL_DEDUP] < times[Strategy.NO_DEDUP]
+
+    def test_small_dumps_do_not_amortise_the_reduction(self, workload_indices):
+        """The flip side (paper Table I, N=1): when the dump is tiny, the
+        collective reduction costs more than it saves."""
+        machine = MachineProfile.shamrock()
+        coll = dump_time(
+            run(workload_indices, Strategy.COLL_DEDUP)[0], machine, volume_scale=100
+        )
+        local = dump_time(
+            run(workload_indices, Strategy.LOCAL_DEDUP)[0], machine, volume_scale=100
+        )
+        assert coll.reduction > 0
+        assert coll.total > local.total
+
+    def test_k_monotonicity(self, workload_indices):
+        times = []
+        machine = MachineProfile.shamrock()
+        for k in (1, 2, 4, 6):
+            result, _ = run(workload_indices, Strategy.COLL_DEDUP, k=k)
+            times.append(dump_time(result, machine, volume_scale=self.VOLUME_SCALE).total)
+        assert times == sorted(times)
+
+    def test_replication_reached_at_scale(self, workload_indices):
+        _result, metrics = run(workload_indices, Strategy.COLL_DEDUP, k=3)
+        assert metrics.effective_replication_min >= 3
+
+    def test_shuffle_does_not_change_volume(self, workload_indices):
+        _r_on, m_on = run(workload_indices, Strategy.COLL_DEDUP, shuffle=True)
+        _r_off, m_off = run(workload_indices, Strategy.COLL_DEDUP, shuffle=False)
+        assert m_on.sent_total_bytes == m_off.sent_total_bytes
+        assert m_on.recv_max <= m_off.recv_max
+
+
+class TestHashVariants:
+    @pytest.mark.parametrize("hash_name", ["sha1", "blake2b", "md5", "sha256"])
+    def test_dedup_results_hash_independent(self, hash_name):
+        """Dedup structure depends on content, not on the hash function."""
+        from repro.apps.synthetic import SyntheticWorkload
+
+        w = SyntheticWorkload(chunks_per_rank=24, chunk_size=CS, frac_global=0.5)
+        indices = w.build_indices(12, chunk_size=CS, hash_name=hash_name)
+        cfg = DumpConfig(replication_factor=3, chunk_size=CS,
+                         hash_name=hash_name, f_threshold=4096)
+        result = simulate_dump(indices, cfg)
+        metrics = compute_metrics(indices, result)
+        # Identical dedup outcome regardless of the hash function used.
+        ref = SyntheticWorkload(chunks_per_rank=24, chunk_size=CS, frac_global=0.5)
+        ref_idx = ref.build_indices(12, chunk_size=CS, hash_name="sha1")
+        ref_res = simulate_dump(ref_idx, cfg.with_(hash_name="sha1"))
+        ref_m = compute_metrics(ref_idx, ref_res)
+        assert metrics.unique_content_bytes == ref_m.unique_content_bytes
+        assert metrics.sent_total_bytes == ref_m.sent_total_bytes

@@ -1,0 +1,123 @@
+"""Cost model: phase pricing, scaling laws, strategy-dependent charges."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticWorkload
+from repro.core import DumpConfig, Strategy
+from repro.netsim.cost_model import dump_time, reduction_cap_bytes
+from repro.netsim.machine import MachineProfile
+from repro.sim import simulate_dump
+
+CS = 256
+
+
+def result_for(strategy, n=8, k=3, **workload_kwargs):
+    w = SyntheticWorkload(chunks_per_rank=40, chunk_size=CS, **workload_kwargs)
+    indices = w.build_indices(n, chunk_size=CS)
+    cfg = DumpConfig(replication_factor=k, chunk_size=CS, strategy=strategy,
+                     f_threshold=100_000)
+    return simulate_dump(indices, cfg)
+
+
+MACHINE = MachineProfile(ranks_per_node=2, node_net_bandwidth=1e8,
+                         node_storage_bandwidth=1e8, hash_bandwidth=4e8)
+
+
+class TestPhaseCharges:
+    def test_no_dedup_pays_no_hash_or_reduction(self):
+        bd = dump_time(result_for(Strategy.NO_DEDUP), MACHINE)
+        assert bd.hash == 0.0
+        assert bd.reduction == 0.0
+        assert bd.exchange > 0.0
+        assert bd.write > 0.0
+
+    def test_local_dedup_pays_hash_not_reduction(self):
+        bd = dump_time(result_for(Strategy.LOCAL_DEDUP), MACHINE)
+        assert bd.hash > 0.0
+        assert bd.reduction == 0.0
+
+    def test_coll_dedup_pays_both(self):
+        bd = dump_time(result_for(Strategy.COLL_DEDUP), MACHINE)
+        assert bd.hash > 0.0
+        assert bd.reduction > 0.0
+        assert bd.dedup_overhead == pytest.approx(bd.hash + bd.reduction)
+
+    def test_total_is_sum_of_phases(self):
+        bd = dump_time(result_for(Strategy.COLL_DEDUP), MACHINE)
+        assert bd.total == pytest.approx(
+            bd.hash + bd.reduction + bd.allgather + bd.exchange + bd.write
+        )
+
+    def test_single_rank_no_communication(self):
+        bd = dump_time(result_for(Strategy.COLL_DEDUP, n=1, k=1), MACHINE)
+        assert bd.reduction == 0.0
+        assert bd.allgather == 0.0
+        assert bd.exchange == 0.0
+        assert bd.write > 0.0
+
+
+class TestScalingLaws:
+    def test_volume_scale_is_linear_in_data_phases(self):
+        result = result_for(Strategy.NO_DEDUP)
+        bd1 = dump_time(result, MACHINE, volume_scale=1.0)
+        bd2 = dump_time(result, MACHINE, volume_scale=2.0)
+        assert bd2.exchange == pytest.approx(2 * (bd1.exchange - _put_part(result)) + _put_part(result))
+        assert bd2.write == pytest.approx(2 * bd1.write)
+
+    def test_volume_scale_validation(self):
+        with pytest.raises(ValueError):
+            dump_time(result_for(Strategy.NO_DEDUP), MACHINE, volume_scale=0)
+
+    def test_more_replication_costs_more(self):
+        times = [
+            dump_time(result_for(Strategy.NO_DEDUP, k=k), MACHINE).total
+            for k in (1, 2, 3, 4)
+        ]
+        assert times == sorted(times)
+        assert times[-1] > times[0]
+
+    def test_strategy_ordering_with_redundancy(self):
+        """With heavy natural redundancy the paper's ordering must emerge."""
+        kwargs = dict(frac_global=0.5, frac_zero=0.2, frac_local_dup=0.2)
+        totals = {
+            s: dump_time(result_for(s, **kwargs), MACHINE).total for s in Strategy
+        }
+        assert totals[Strategy.COLL_DEDUP] < totals[Strategy.LOCAL_DEDUP]
+        assert totals[Strategy.LOCAL_DEDUP] < totals[Strategy.NO_DEDUP]
+
+    def test_reduction_capped_by_f_threshold(self):
+        """Pricing the reduction beyond F entries per table would violate
+        the bounded-complexity design; the cap must bind."""
+        result = result_for(Strategy.COLL_DEDUP)
+        small_cap = dump_time(result, MACHINE, volume_scale=1e6)
+        cap = reduction_cap_bytes(100_000, 3)
+        rounds = len(result.reduction_level_nbytes)
+        bound = rounds * (
+            MACHINE.network_latency + cap * 2 / MACHINE.node_net_bandwidth
+        )
+        assert small_cap.reduction <= bound * 1.01
+
+    def test_faster_machine_is_faster(self):
+        result = result_for(Strategy.COLL_DEDUP)
+        slow = dump_time(result, MachineProfile.shamrock(), volume_scale=1000)
+        fast = dump_time(result, MachineProfile.flash_cluster(), volume_scale=1000)
+        assert fast.total < slow.total
+
+
+class TestBreakdownHelpers:
+    def test_scaled(self):
+        from repro.netsim.cost_model import DumpTimeBreakdown
+
+        bd = DumpTimeBreakdown(hash=1, reduction=2, allgather=3, exchange=4, write=5)
+        half = bd.scaled(0.5)
+        assert half.total == pytest.approx(7.5)
+
+
+def _put_part(result):
+    """Per-put CPU overhead component of the exchange phase (not volume-
+    scaled), for the busiest node."""
+    per_node = {}
+    for r in result.reports:
+        node = r.rank // MACHINE.ranks_per_node
+        per_node[node] = per_node.get(node, 0) + r.sent_chunks
+    return max(per_node.values()) * MACHINE.put_overhead

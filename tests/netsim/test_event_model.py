@@ -1,0 +1,95 @@
+"""Flow-level dump pricing vs the analytic model (cross-validation)."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticWorkload
+from repro.core import DumpConfig, Strategy
+from repro.netsim.cost_model import dump_time
+from repro.netsim.event_model import flow_dump_time
+from repro.netsim.machine import MachineProfile
+from repro.sim import simulate_dump
+
+CS = 256
+MACHINE = MachineProfile(ranks_per_node=4, node_net_bandwidth=1e8,
+                         node_storage_bandwidth=1e8, hash_bandwidth=4e8)
+
+
+def result_for(strategy, n=16, k=3, **kwargs):
+    w = SyntheticWorkload(chunks_per_rank=40, chunk_size=CS,
+                          frac_global=0.3, frac_zero=0.1, **kwargs)
+    indices = w.build_indices(n, chunk_size=CS)
+    cfg = DumpConfig(replication_factor=k, chunk_size=CS, strategy=strategy,
+                     f_threshold=100_000)
+    return simulate_dump(indices, cfg)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_models_agree_within_bounds(self, strategy):
+        """The flow model can only be <= the analytic per-phase bound on
+        writes, and within a small factor on the exchange (it relaxes the
+        max(tx, rx) assumption but adds cross-flow contention)."""
+        result = result_for(strategy)
+        analytic = dump_time(result, MACHINE, volume_scale=1000)
+        flow = flow_dump_time(result, MACHINE, volume_scale=1000)
+        assert flow.write == pytest.approx(analytic.write, rel=1e-6)
+        assert flow.hash == analytic.hash
+        if analytic.exchange:
+            assert 0.5 * analytic.exchange <= flow.exchange <= 3.0 * analytic.exchange
+
+    def test_strategy_ordering_preserved(self):
+        totals = {}
+        for strategy in Strategy:
+            result = result_for(strategy)
+            totals[strategy] = flow_dump_time(result, MACHINE, volume_scale=5e4).total
+        assert totals[Strategy.COLL_DEDUP] < totals[Strategy.LOCAL_DEDUP]
+        assert totals[Strategy.LOCAL_DEDUP] < totals[Strategy.NO_DEDUP]
+
+    def test_reduction_priced_only_for_coll(self):
+        for strategy in (Strategy.NO_DEDUP, Strategy.LOCAL_DEDUP):
+            flow = flow_dump_time(result_for(strategy), MACHINE)
+            assert flow.reduction == 0.0
+        assert flow_dump_time(result_for(Strategy.COLL_DEDUP), MACHINE).reduction > 0
+
+    def test_single_rank(self):
+        result = result_for(Strategy.COLL_DEDUP, n=1, k=1)
+        flow = flow_dump_time(result, MACHINE)
+        assert flow.exchange == 0.0
+        assert flow.write > 0.0
+
+    def test_volume_scale_validation(self):
+        with pytest.raises(ValueError):
+            flow_dump_time(result_for(Strategy.NO_DEDUP), MACHINE, volume_scale=0)
+
+    def test_intra_node_traffic_free(self):
+        """With everyone on one node there is no NIC traffic at all."""
+        machine = MachineProfile(ranks_per_node=16, node_net_bandwidth=1e8,
+                                 node_storage_bandwidth=1e8)
+        result = result_for(Strategy.NO_DEDUP, n=8)
+        flow = flow_dump_time(result, machine)
+        put_part = sum(r.sent_chunks for r in result.reports) * machine.put_overhead
+        assert flow.exchange == pytest.approx(put_part)
+
+    def test_skewed_sender_finishes_last(self):
+        """A single heavy sender serialises on its TX link; the flow model
+        must price at least its solo drain time."""
+        class Skewed(SyntheticWorkload):
+            def rank_segments(self, rank, n_ranks):
+                segs = super().rank_segments(rank, n_ranks)
+                if rank == 0:
+                    import numpy as np
+
+                    segs.append((("heavy", 0), np.random.RandomState(0).bytes(CS * 200)))
+                return segs
+
+        w = Skewed(chunks_per_rank=8, chunk_size=CS, frac_global=0.0,
+                   frac_zero=0.0, frac_local_dup=0.0)
+        indices = w.build_indices(8, chunk_size=CS)
+        cfg = DumpConfig(replication_factor=3, chunk_size=CS,
+                         strategy=Strategy.LOCAL_DEDUP, f_threshold=10_000)
+        result = simulate_dump(indices, cfg)
+        machine = MachineProfile(ranks_per_node=1, node_net_bandwidth=1e8,
+                                 node_storage_bandwidth=1e9)
+        flow = flow_dump_time(result, machine)
+        solo = result.reports[0].sent_bytes / machine.node_net_bandwidth
+        assert flow.exchange >= solo * 0.99

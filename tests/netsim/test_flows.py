@@ -1,0 +1,122 @@
+"""Max-min fair flow simulation primitives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.flows import Flow, max_min_rates, simulate_flows
+
+
+class TestMaxMinRates:
+    def test_single_flow_gets_full_capacity(self):
+        flows = [Flow(links=("a",), nbytes=100)]
+        assert max_min_rates(flows, {"a": 10.0}) == [10.0]
+
+    def test_two_flows_share_equally(self):
+        flows = [Flow(links=("a",), nbytes=1), Flow(links=("a",), nbytes=1)]
+        assert max_min_rates(flows, {"a": 10.0}) == [5.0, 5.0]
+
+    def test_bottleneck_frees_capacity_elsewhere(self):
+        """Flow 1 crosses the narrow link; flow 2 gets the leftovers of the
+        wide link (the defining max-min property)."""
+        flows = [
+            Flow(links=("narrow", "wide"), nbytes=1),
+            Flow(links=("wide",), nbytes=1),
+        ]
+        rates = max_min_rates(flows, {"narrow": 2.0, "wide": 10.0})
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(8.0)
+
+    def test_two_link_flow_constrained_by_min(self):
+        flows = [Flow(links=("tx", "rx"), nbytes=1)]
+        rates = max_min_rates(flows, {"tx": 3.0, "rx": 7.0})
+        assert rates[0] == pytest.approx(3.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            max_min_rates([Flow(links=("a",), nbytes=1)], {"a": 0.0})
+
+    @given(
+        st.lists(st.integers(1, 3), min_size=1, max_size=8),
+        st.floats(1.0, 100.0),
+    )
+    @settings(max_examples=30)
+    def test_no_link_oversubscribed(self, flow_links, cap):
+        flows = [Flow(links=tuple(range(links)), nbytes=1) for links in flow_links]
+        caps = {link: cap for link in range(3)}
+        rates = max_min_rates(flows, caps)
+        for link in caps:
+            used = sum(r for f, r in zip(flows, rates) if link in f.links)
+            assert used <= cap * (1 + 1e-9)
+        assert all(r > 0 for r in rates)
+
+
+class TestSimulateFlows:
+    def test_single_flow_time(self):
+        flows = [Flow(links=("a",), nbytes=100)]
+        assert simulate_flows(flows, {"a": 10.0}) == pytest.approx(10.0)
+        assert flows[0].finish_time == pytest.approx(10.0)
+
+    def test_shared_then_solo(self):
+        """Two flows share; when the short one drains, the long one speeds
+        up: 10+10 bytes at cap 2 -> short done at t=10, long at t=15."""
+        flows = [
+            Flow(links=("a",), nbytes=10, name="short"),
+            Flow(links=("a",), nbytes=20, name="long"),
+        ]
+        total = simulate_flows(flows, {"a": 2.0})
+        assert flows[0].finish_time == pytest.approx(10.0)
+        assert flows[1].finish_time == pytest.approx(15.0)
+        assert total == pytest.approx(15.0)
+
+    def test_empty(self):
+        assert simulate_flows([], {}) == 0.0
+
+    def test_zero_byte_flow(self):
+        flows = [Flow(links=("a",), nbytes=0)]
+        assert simulate_flows(flows, {"a": 1.0}) == 0.0
+
+    def test_latency_added(self):
+        flows = [Flow(links=("a",), nbytes=10)]
+        assert simulate_flows(flows, {"a": 10.0}, latency=0.5) == pytest.approx(1.5)
+
+    def test_disjoint_links_run_in_parallel(self):
+        flows = [
+            Flow(links=("a",), nbytes=100),
+            Flow(links=("b",), nbytes=100),
+        ]
+        assert simulate_flows(flows, {"a": 10.0, "b": 10.0}) == pytest.approx(10.0)
+
+    @given(st.lists(st.floats(1.0, 1000.0), min_size=1, max_size=10))
+    @settings(max_examples=30)
+    def test_conservation_property(self, sizes):
+        """Total time >= total bytes / capacity (work conservation) and
+        <= serial time."""
+        flows = [Flow(links=("a",), nbytes=s) for s in sizes]
+        t = simulate_flows(flows, {"a": 7.0})
+        assert t == pytest.approx(sum(sizes) / 7.0)
+
+
+class TestReductionRoundPairs:
+    def test_power_of_two(self):
+        from repro.netsim.event_model import reduction_round_pairs
+
+        rounds = reduction_round_pairs(8)
+        assert len(rounds) == 3
+        assert rounds[0] == [(0, 1), (2, 3), (4, 5), (6, 7)]
+        for pairs in rounds:
+            flat = [r for pair in pairs for r in pair]
+            assert len(set(flat)) == len(flat)  # disjoint pairs per round
+
+    def test_non_power_of_two_has_fold_and_return(self):
+        from repro.netsim.event_model import reduction_round_pairs
+
+        rounds = reduction_round_pairs(6)
+        assert len(rounds) == 1 + 2 + 1  # fold + log2(4) + return
+        assert rounds[0] == [(1, 0), (3, 2)]
+        assert rounds[-1] == [(0, 1), (2, 3)]
+
+    def test_trivial_worlds(self):
+        from repro.netsim.event_model import reduction_round_pairs
+
+        assert reduction_round_pairs(1) == []
+        assert reduction_round_pairs(2) == [[(0, 1)]]

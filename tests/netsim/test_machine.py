@@ -1,0 +1,55 @@
+"""Machine profiles."""
+
+import pytest
+
+from repro.netsim.machine import MachineProfile
+
+
+class TestMachineProfile:
+    def test_shamrock_matches_paper_testbed(self):
+        m = MachineProfile.shamrock()
+        assert m.ranks_per_node == 12  # 408 procs on 34 nodes
+        assert m.node_net_bandwidth == pytest.approx(117e6)  # GbE
+        assert m.node_storage_bandwidth == pytest.approx(100e6)  # local HDD
+
+    def test_rank_to_node_cyclic_default(self):
+        """Cyclic placement is the default: the paper requires replicas on
+        'K-1 other remote nodes', which the naive i+1..i+K-1 partners only
+        deliver when consecutive ranks sit on different nodes."""
+        m = MachineProfile(ranks_per_node=4)
+        assert m.rank_to_node(10) == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+        assert m.n_nodes(10) == 3
+        assert m.n_nodes(8) == 2
+
+    def test_rank_to_node_block_mapping(self):
+        m = MachineProfile(ranks_per_node=4, placement="block")
+        assert m.rank_to_node(10) == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+
+    def test_placement_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            MachineProfile(placement="random")
+
+    def test_with_overrides(self):
+        m = MachineProfile.shamrock().with_(node_net_bandwidth=1e9)
+        assert m.node_net_bandwidth == 1e9
+        assert m.ranks_per_node == 12
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ranks_per_node": 0},
+            {"node_net_bandwidth": 0},
+            {"node_storage_bandwidth": -1},
+            {"hash_bandwidth": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MachineProfile(**kwargs)
+
+    def test_flash_profile_is_faster(self):
+        slow, fast = MachineProfile.shamrock(), MachineProfile.flash_cluster()
+        assert fast.node_net_bandwidth > slow.node_net_bandwidth
+        assert fast.node_storage_bandwidth > slow.node_storage_bandwidth

@@ -1,0 +1,49 @@
+"""Application timelines: baselines and completion."""
+
+import pytest
+
+from repro.netsim.cost_model import DumpTimeBreakdown
+from repro.netsim.timeline import AppTimeline, completion_time, execution_increase
+
+
+class TestBaselines:
+    def test_hpccg_table1_points(self):
+        tl = AppTimeline.hpccg()
+        assert tl.baseline(1) == 82.0
+        assert tl.baseline(64) == 152.0
+        assert tl.baseline(196) == 186.0
+        assert tl.baseline(408) == 279.0
+
+    def test_cm1_table1_points(self):
+        tl = AppTimeline.cm1()
+        assert tl.baseline(12) == 178.0
+        assert tl.baseline(408) == 382.0
+
+    def test_interpolation_monotone(self):
+        tl = AppTimeline.hpccg()
+        previous = 0.0
+        for n in (1, 8, 32, 64, 100, 196, 300, 408):
+            value = tl.baseline(n)
+            assert value >= previous
+            previous = value
+
+    def test_extrapolation_clamps(self):
+        tl = AppTimeline.hpccg()
+        assert tl.baseline(1000) == 279.0
+        assert tl.baseline(1) == 82.0
+
+    def test_checkpoint_counts_match_paper(self):
+        assert AppTimeline.hpccg().checkpoints_per_run == 1  # iter 100 of 127
+        assert AppTimeline.cm1().checkpoints_per_run == 2  # steps 30, 60 of 70
+
+
+class TestCompletion:
+    def test_completion_adds_dump_per_checkpoint(self):
+        dump = DumpTimeBreakdown(exchange=10.0, write=5.0)
+        assert completion_time(AppTimeline.hpccg(), 408, dump) == pytest.approx(294.0)
+        assert completion_time(AppTimeline.cm1(), 408, dump) == pytest.approx(412.0)
+
+    def test_execution_increase(self):
+        dump = DumpTimeBreakdown(exchange=7.0)
+        assert execution_increase(AppTimeline.cm1(), dump) == pytest.approx(14.0)
+        assert execution_increase(AppTimeline.hpccg(), dump) == pytest.approx(7.0)

@@ -1,0 +1,126 @@
+"""DumpMetrics: the paper's plotted quantities, checked exactly on
+synthetic workloads with known redundancy structure."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticWorkload
+from repro.core import DumpConfig, Strategy
+from repro.sim import compute_metrics, simulate_dump
+
+CS = 256
+
+
+def metrics_for(workload, n, strategy, k=3, shuffle=True, rank_to_node=None):
+    indices = workload.build_indices(n, chunk_size=CS)
+    cfg = DumpConfig(
+        replication_factor=k, chunk_size=CS, strategy=strategy,
+        f_threshold=100_000, shuffle=shuffle,
+    )
+    result = simulate_dump(indices, cfg)
+    return compute_metrics(indices, result, rank_to_node=rank_to_node), result
+
+
+class TestUniqueContent:
+    """Figure 3(a) semantics, validated against analytic expectations."""
+
+    def make(self):
+        return SyntheticWorkload(
+            chunks_per_rank=40,
+            chunk_size=CS,
+            frac_global=0.25,
+            frac_zero=0.1,
+            frac_local_dup=0.2,
+            local_dup_degree=4,
+        )
+
+    def test_no_dedup_counts_everything(self):
+        w = self.make()
+        m, _ = metrics_for(w, 6, Strategy.NO_DEDUP)
+        assert m.unique_content_bytes == 6 * 40 * CS
+        assert m.unique_fraction == 1.0
+
+    def test_local_dedup_counts_per_rank_unique(self):
+        w = self.make()
+        m, _ = metrics_for(w, 6, Strategy.LOCAL_DEDUP)
+        assert m.unique_content_bytes == 6 * w.expected_local_unique_chunks() * CS
+
+    def test_coll_dedup_counts_global_distinct(self):
+        w = self.make()
+        n = 6
+        m, _ = metrics_for(w, n, Strategy.COLL_DEDUP)
+        assert m.unique_content_bytes == w.expected_global_distinct_chunks(n) * CS
+
+    def test_strategy_ordering(self):
+        w = self.make()
+        vals = {
+            s: metrics_for(w, 8, s)[0].unique_content_bytes for s in Strategy
+        }
+        assert vals[Strategy.COLL_DEDUP] < vals[Strategy.LOCAL_DEDUP]
+        assert vals[Strategy.LOCAL_DEDUP] < vals[Strategy.NO_DEDUP]
+
+
+class TestTrafficStats:
+    def test_send_stats_consistent(self):
+        w = SyntheticWorkload(chunks_per_rank=30, chunk_size=CS, frac_global=0.5)
+        m, result = metrics_for(w, 7, Strategy.COLL_DEDUP)
+        assert m.sent_total_bytes == sum(m.per_rank_sent)
+        assert m.sent_max == max(m.per_rank_sent)
+        assert m.sent_avg == pytest.approx(m.sent_total_bytes / 7)
+        assert m.recv_avg == pytest.approx(sum(m.per_rank_recv) / 7)
+
+    def test_send_equals_recv_in_aggregate(self):
+        w = SyntheticWorkload(chunks_per_rank=30, chunk_size=CS)
+        for strategy in Strategy:
+            m, _ = metrics_for(w, 6, strategy)
+            assert sum(m.per_rank_sent) == sum(m.per_rank_recv)
+
+
+class TestEffectiveReplication:
+    def test_full_replication_reaches_k(self):
+        w = SyntheticWorkload(chunks_per_rank=10, chunk_size=CS, frac_global=0.0)
+        m, _ = metrics_for(w, 6, Strategy.NO_DEDUP, k=3)
+        assert m.effective_replication_min == 3
+
+    def test_coll_dedup_caps_overreplication(self):
+        """A chunk on all 8 ranks must end up on exactly K nodes."""
+        w = SyntheticWorkload(
+            chunks_per_rank=10, chunk_size=CS, frac_global=1.0, frac_zero=0.0,
+            frac_local_dup=0.0,
+        )
+        m, result = metrics_for(w, 8, Strategy.COLL_DEDUP, k=3)
+        counts = {len(h) for h in result.placements.values()}
+        assert counts == {3}
+
+    def test_node_replication_with_shared_nodes(self):
+        """With 2 ranks per node, rank-level replicas can share a node; the
+        node-distinct metric must be <= the rank-level one."""
+        w = SyntheticWorkload(chunks_per_rank=12, chunk_size=CS, frac_global=0.5)
+        rank_to_node = [r // 2 for r in range(8)]
+        m, _ = metrics_for(
+            w, 8, Strategy.COLL_DEDUP, k=3, rank_to_node=rank_to_node
+        )
+        assert m.node_replication_min <= m.effective_replication_min
+
+
+class TestShuffleEffect:
+    def test_shuffle_never_worse_on_skewed_load(self):
+        """Heavily skewed unique content: shuffling must not increase the
+        max receive size."""
+        class Skewed(SyntheticWorkload):
+            def rank_segments(self, rank, n_ranks):
+                segs = super().rank_segments(rank, n_ranks)
+                if rank < 2:  # two heavy ranks with extra unique data
+                    import numpy as np
+
+                    extra = np.random.RandomState(rank).bytes(CS * 60)
+                    segs.append((("heavy", rank), extra))
+                return segs
+
+        w = Skewed(chunks_per_rank=10, chunk_size=CS, frac_global=0.8,
+                   frac_zero=0.0, frac_local_dup=0.0)
+        m_on, _ = metrics_for(w, 8, Strategy.COLL_DEDUP, k=3, shuffle=True)
+        w2 = Skewed(chunks_per_rank=10, chunk_size=CS, frac_global=0.8,
+                    frac_zero=0.0, frac_local_dup=0.0)
+        m_off, _ = metrics_for(w2, 8, Strategy.COLL_DEDUP, k=3, shuffle=False)
+        assert m_on.recv_max <= m_off.recv_max
+        assert m_on.sent_total_bytes == m_off.sent_total_bytes  # volume unchanged

@@ -1,0 +1,155 @@
+"""Collective algorithms at every tree shape (powers of two and not)."""
+
+import operator
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simmpi import World, collectives, run_spmd
+
+SIZES = [1, 2, 3, 4, 5, 6, 7, 8, 11, 16]
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestAllSizes:
+    def test_allreduce_sum(self, size):
+        results = run_spmd(size, lambda c: collectives.allreduce(c, c.rank + 1, operator.add))
+        assert results == [size * (size + 1) // 2] * size
+
+    def test_allreduce_set_union(self, size):
+        """Non-numeric commutative operator."""
+
+        def prog(comm):
+            return collectives.allreduce(comm, {comm.rank}, lambda a, b: a | b)
+
+        assert run_spmd(size, prog) == [set(range(size))] * size
+
+    def test_allgather(self, size):
+        results = run_spmd(size, lambda c: collectives.allgather(c, c.rank * 2))
+        assert results == [[r * 2 for r in range(size)]] * size
+
+    def test_bcast_from_every_root(self, size):
+        for root in {0, size // 2, size - 1}:
+            def prog(comm, root=root):
+                payload = ("data", root) if comm.rank == root else None
+                return collectives.bcast(comm, payload, root=root)
+
+            assert run_spmd(size, prog) == [("data", root)] * size
+
+    def test_reduce_at_root(self, size):
+        root = size - 1
+
+        def prog(comm):
+            return collectives.reduce(comm, comm.rank, operator.add, root=root)
+
+        results = run_spmd(size, prog)
+        for rank, value in enumerate(results):
+            if rank == root:
+                assert value == size * (size - 1) // 2
+            else:
+                assert value is None
+
+    def test_gather(self, size):
+        def prog(comm):
+            return collectives.gather(comm, chr(ord("a") + comm.rank), root=0)
+
+        results = run_spmd(size, prog)
+        assert results[0] == [chr(ord("a") + r) for r in range(size)]
+        assert all(r is None for r in results[1:])
+
+    def test_scatter(self, size):
+        def prog(comm):
+            values = [r * 10 for r in range(comm.size)] if comm.rank == 0 else None
+            return collectives.scatter(comm, values, root=0)
+
+        assert run_spmd(size, prog) == [r * 10 for r in range(size)]
+
+    def test_alltoall(self, size):
+        def prog(comm):
+            return collectives.alltoall(
+                comm, [(comm.rank, dest) for dest in range(comm.size)]
+            )
+
+        results = run_spmd(size, prog)
+        for rank, got in enumerate(results):
+            assert got == [(src, rank) for src in range(size)]
+
+
+class TestScatterValidation:
+    def test_scatter_wrong_length_raises(self):
+        def prog(comm):
+            values = [1] if comm.rank == 0 else None
+            return collectives.scatter(comm, values, root=0)
+
+        with pytest.raises(Exception):
+            run_spmd(3, prog, timeout=2)
+
+    def test_bad_root_raises(self):
+        with pytest.raises(Exception):
+            run_spmd(2, lambda c: collectives.bcast(c, 1, root=9), timeout=2)
+
+
+class TestReductionShape:
+    """The allreduce must be logarithmic — that's the paper's scalability
+    argument for the fingerprint reduction."""
+
+    @pytest.mark.parametrize("size", [4, 8, 16])
+    def test_power_of_two_rounds(self, size):
+        world = World(size)
+
+        def prog(comm):
+            collectives.allreduce(comm, 1, operator.add)
+            return comm.trace.counters("default").sent_msgs
+
+        msgs = world.run(prog)
+        # Recursive doubling: exactly log2(size) messages per rank.
+        assert all(m == size.bit_length() - 1 for m in msgs)
+
+    @pytest.mark.parametrize("size", [3, 5, 6, 7, 12])
+    def test_non_power_of_two_rounds_bounded(self, size):
+        world = World(size)
+
+        def prog(comm):
+            collectives.allreduce(comm, 1, operator.add)
+            return comm.trace.counters("default").sent_msgs
+
+        msgs = world.run(prog)
+        import math
+
+        bound = math.floor(math.log2(size)) + 2
+        assert max(msgs) <= bound
+
+    def test_allgather_is_a_ring(self):
+        size = 6
+        world = World(size)
+
+        def prog(comm):
+            collectives.allgather(comm, comm.rank)
+            return comm.trace.counters("default").sent_msgs
+
+        assert world.run(prog) == [size - 1] * size
+
+
+class TestOperatorContract:
+    def test_allreduce_argument_order_consistency(self):
+        """With a symmetric deterministic op, every rank must converge to
+        the same value — this is what lets coll-dedup skip the final
+        broadcast of the global view."""
+
+        def sym_op(a, b):
+            return tuple(sorted(set(a) | set(b)))
+
+        for size in (2, 3, 5, 8, 13):
+            results = run_spmd(
+                size, lambda c: collectives.allreduce(c, (c.rank,), sym_op)
+            )
+            assert all(r == results[0] for r in results)
+            assert results[0] == tuple(range(size))
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=9))
+    def test_allreduce_matches_serial_fold(self, values):
+        size = len(values)
+        results = run_spmd(
+            size, lambda c: collectives.allreduce(c, values[c.rank], operator.add)
+        )
+        assert results == [sum(values)] * size

@@ -1,0 +1,147 @@
+"""Point-to-point semantics: matching, ordering, errors, timeouts."""
+
+import pytest
+
+from repro.simmpi import DeadlockError, SimMPIError, World, run_spmd
+
+
+class TestSendRecv:
+    def test_basic_pair(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        results = run_spmd(2, prog)
+        assert results[1] == {"x": 1}
+
+    def test_tag_matching_is_selective(self):
+        """A recv on tag B must not consume a message sent on tag A."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("on-tag-1", dest=1, tag=1)
+                comm.send("on-tag-2", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        results = run_spmd(2, prog)
+        assert results[1] == ("on-tag-1", "on-tag-2")
+
+    def test_non_overtaking_same_tag(self):
+        """Messages between one pair on one tag arrive in send order."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(20):
+                    comm.send(i, dest=1)
+                return None
+            return [comm.recv(source=0) for _ in range(20)]
+
+        assert run_spmd(2, prog)[1] == list(range(20))
+
+    def test_source_matching(self):
+        def prog(comm):
+            if comm.rank in (0, 1):
+                comm.send(f"from-{comm.rank}", dest=2)
+                return None
+            b = comm.recv(source=1)
+            a = comm.recv(source=0)
+            return (a, b)
+
+        assert run_spmd(3, prog)[2] == ("from-0", "from-1")
+
+    def test_self_send(self):
+        def prog(comm):
+            comm.send("loop", dest=comm.rank, tag=3)
+            return comm.recv(source=comm.rank, tag=3)
+
+        assert run_spmd(1, prog) == ["loop"]
+
+    def test_self_send_not_charged(self):
+        world = World(1)
+
+        def prog(comm):
+            comm.send(b"x" * 100, dest=0)
+            comm.recv(source=0)
+            return comm.trace.sent_bytes
+
+        assert world.run(prog) == [0]
+
+    def test_send_out_of_range_dest(self):
+        def prog(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(Exception) as exc_info:
+            run_spmd(2, prog)
+        assert "out of range" in str(exc_info.value.failures[0])
+
+    def test_recv_timeout_raises_deadlock(self):
+        def prog(comm):
+            comm.recv(source=0 if comm.rank else comm.rank, timeout=0.05)
+
+        with pytest.raises(Exception) as exc_info:
+            run_spmd(2, prog, timeout=0.05)
+        assert any(
+            isinstance(e, DeadlockError) for e in exc_info.value.failures.values()
+        )
+
+    def test_sendrecv_ring(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        results = run_spmd(5, prog)
+        assert results == [(r - 1) % 5 for r in range(5)]
+
+    def test_trace_charges_both_ends(self):
+        world = World(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(b"z" * 77, dest=1)
+            else:
+                comm.recv(source=0)
+            return (comm.trace.sent_bytes, comm.trace.recv_bytes)
+
+        sent0, recv1 = world.run(prog)
+        assert sent0 == (77, 0)
+        assert recv1 == (0, 77)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        import threading
+
+        flag = threading.Event()
+
+        def prog(comm):
+            if comm.rank == 0:
+                flag.set()
+            comm.barrier()
+            # After the barrier every rank must observe rank 0's write.
+            return flag.is_set()
+
+        assert all(run_spmd(4, prog))
+
+    def test_repeated_barriers(self):
+        def prog(comm):
+            for _ in range(10):
+                comm.barrier()
+            return comm.rank
+
+        assert run_spmd(3, prog) == [0, 1, 2]
+
+
+class TestCollectiveTags:
+    def test_tags_advance_in_lockstep(self):
+        def prog(comm):
+            return [comm.next_collective_tag() for _ in range(3)]
+
+        results = run_spmd(4, prog)
+        assert all(tags == results[0] for tags in results)
+        assert results[0] == [-1, -2, -3]

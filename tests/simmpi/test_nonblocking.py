@@ -1,0 +1,94 @@
+"""Nonblocking point-to-point (isend/irecv/probe/Request)."""
+
+import pytest
+
+from repro.simmpi import run_spmd
+from repro.simmpi.errors import SimMPIError
+
+
+class TestIsendIrecv:
+    def test_basic_overlap(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend({"payload": 42}, dest=1, tag=5)
+                req.wait()
+                return None
+            req = comm.irecv(source=0, tag=5)
+            return req.wait()
+
+        assert run_spmd(2, prog)[1] == {"payload": 42}
+
+    def test_test_polls_without_blocking(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()  # let rank 1 poll first
+                comm.send("late", dest=1)
+                comm.barrier()
+                return None
+            req = comm.irecv(source=0)
+            done_before, _ = req.test()
+            comm.barrier()
+            comm.barrier()
+            done_after, value = req.test()
+            return done_before, done_after, value
+
+        _none, (before, after, value) = run_spmd(2, prog)
+        assert before is False
+        assert after is True
+        assert value == "late"
+
+    def test_wait_after_test_completion_returns_value(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(7, dest=1)
+                comm.barrier()
+                return None
+            comm.barrier()  # message is in flight (delivered) by now
+            req = comm.irecv(source=0)
+            done, value = req.test()
+            assert done
+            return req.wait()  # idempotent
+
+        assert run_spmd(2, prog)[1] == 7
+
+    def test_multiple_outstanding_requests(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.isend(i * i, dest=1, tag=i)
+                return None
+            reqs = [comm.irecv(source=0, tag=i) for i in range(5)]
+            return [r.wait() for r in reversed(reqs)]
+
+        assert run_spmd(2, prog)[1] == [16, 9, 4, 1, 0]
+
+    def test_probe(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=9)
+                comm.barrier()
+                return None
+            comm.barrier()
+            has_tag9 = comm.probe(source=0, tag=9)
+            has_tag8 = comm.probe(source=0, tag=8)
+            comm.recv(source=0, tag=9)
+            empty_after = comm.probe(source=0, tag=9)
+            return has_tag9, has_tag8, empty_after
+
+        assert run_spmd(2, prog)[1] == (True, False, False)
+
+    def test_out_of_range_sources(self):
+        def prog(comm):
+            comm.irecv(source=7)
+
+        with pytest.raises(Exception):
+            run_spmd(2, prog)
+
+    def test_isend_request_completes_immediately(self):
+        def prog(comm):
+            req = comm.isend(1, dest=comm.rank)
+            done, _ = req.test()
+            comm.recv(source=comm.rank)
+            return done
+
+        assert run_spmd(1, prog) == [True]

@@ -1,0 +1,130 @@
+"""Unit tests for per-rank communication accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simmpi.trace import PhaseCounters, Trace, nbytes_of
+
+
+class TestNbytesOf:
+    def test_bytes_exact(self):
+        assert nbytes_of(b"abcd") == 4
+        assert nbytes_of(bytearray(10)) == 10
+        assert nbytes_of(memoryview(b"xyz")) == 3
+
+    def test_none_is_one_byte(self):
+        assert nbytes_of(None) == 1
+
+    def test_ndarray_uses_nbytes(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert nbytes_of(arr) == 800
+
+    def test_scalars(self):
+        assert nbytes_of(5) == 8
+        assert nbytes_of(3.14) == 8
+        assert nbytes_of(True) == 1
+
+    def test_string_utf8(self):
+        assert nbytes_of("abc") == 3
+        assert nbytes_of("é") == 2
+
+    def test_containers_recursive(self):
+        assert nbytes_of([1, 2, 3]) == 8 + 24
+        assert nbytes_of((b"ab", b"cd")) == 8 + 4
+        assert nbytes_of({1: b"xx"}) == 8 + 8 + 2
+
+    def test_self_reporting_object(self):
+        class Table:
+            def nbytes_estimate(self):
+                return 1234
+
+        assert nbytes_of(Table()) == 1234
+
+    def test_fallback_pickles(self):
+        class Opaque:
+            pass
+
+        assert nbytes_of(Opaque()) > 0
+
+    @given(st.binary(max_size=4096))
+    def test_bytes_property(self, data):
+        assert nbytes_of(data) == len(data)
+
+
+class TestTrace:
+    def test_records_accumulate_in_default_phase(self):
+        t = Trace(rank=0)
+        t.record_send(100)
+        t.record_recv(50)
+        assert t.sent_bytes == 100
+        assert t.recv_bytes == 50
+        assert t.counters("default").sent_msgs == 1
+
+    def test_phase_scoping(self):
+        t = Trace(rank=1)
+        with t.phase("reduction"):
+            t.record_send(10)
+        with t.phase("exchange"):
+            t.record_send(20)
+        assert t.counters("reduction").sent_bytes == 10
+        assert t.counters("exchange").sent_bytes == 20
+        assert t.sent_bytes == 30
+
+    def test_nested_phases_restore_outer(self):
+        t = Trace()
+        with t.phase("outer"):
+            with t.phase("inner"):
+                t.record_send(1)
+            t.record_send(2)
+        assert t.counters("inner").sent_bytes == 1
+        assert t.counters("outer").sent_bytes == 2
+
+    def test_phase_restored_after_exception(self):
+        t = Trace()
+        with pytest.raises(RuntimeError):
+            with t.phase("failing"):
+                raise RuntimeError("boom")
+        t.record_send(7)
+        assert t.counters("default").sent_bytes == 7
+
+    def test_put_counts_both_sides(self):
+        sender, receiver = Trace(rank=0), Trace(rank=1)
+        sender.record_put(64)
+        receiver.record_put_received(64)
+        assert sender.sent_bytes == 64
+        assert sender.counters().put_msgs == 1
+        assert receiver.recv_bytes == 64
+
+    def test_rounds(self):
+        t = Trace()
+        t.record_round()
+        t.record_round(3)
+        assert t.rounds == 4
+
+    def test_total_merges_all_phases(self):
+        t = Trace()
+        with t.phase("a"):
+            t.record_send(5)
+            t.record_round()
+        with t.phase("b"):
+            t.record_recv(6)
+        total = t.total()
+        assert (total.sent_bytes, total.recv_bytes, total.rounds) == (5, 6, 1)
+
+    def test_get_accounting(self):
+        t = Trace()
+        t.record_get(128)
+        assert t.counters().got_bytes == 128
+        assert t.recv_bytes == 128
+
+
+class TestPhaseCounters:
+    def test_merge(self):
+        a = PhaseCounters(sent_bytes=1, recv_bytes=2, rounds=3)
+        b = PhaseCounters(sent_bytes=10, sent_msgs=1)
+        a.merge(b)
+        assert a.sent_bytes == 11
+        assert a.recv_bytes == 2
+        assert a.rounds == 3
+        assert a.sent_msgs == 1

@@ -1,0 +1,78 @@
+"""SPMD execution harness: results, failure propagation, traces."""
+
+import pytest
+
+from repro.simmpi import World, WorldError, run_spmd
+from repro.simmpi.errors import SimMPIError
+
+
+class TestRun:
+    def test_results_in_rank_order(self):
+        assert run_spmd(5, lambda c: c.rank ** 2) == [0, 1, 4, 9, 16]
+
+    def test_args_and_kwargs_forwarded(self):
+        def prog(comm, base, mult=1):
+            return base + comm.rank * mult
+
+        assert run_spmd(3, prog, 100, mult=10) == [100, 110, 120]
+
+    def test_single_rank(self):
+        assert run_spmd(1, lambda c: (c.rank, c.size)) == [(0, 1)]
+
+    def test_invalid_size(self):
+        with pytest.raises(SimMPIError):
+            World(0)
+
+    def test_rank_and_size_visible(self):
+        results = run_spmd(4, lambda c: (c.rank, c.size))
+        assert results == [(r, 4) for r in range(4)]
+
+
+class TestFailurePropagation:
+    def test_single_rank_failure_becomes_world_error(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("rank 2 exploded")
+            comm.barrier()
+
+        with pytest.raises(WorldError) as exc_info:
+            run_spmd(4, prog, timeout=5)
+        assert 2 in exc_info.value.failures
+        assert "exploded" in str(exc_info.value.failures[2])
+
+    def test_failure_releases_peers_blocked_in_barrier(self):
+        """A crash must not leave other ranks hanging until timeout."""
+        import time
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("early crash")
+            comm.barrier()
+
+        start = time.time()
+        with pytest.raises(WorldError):
+            run_spmd(3, prog, timeout=30)
+        assert time.time() - start < 10
+
+    def test_multiple_failures_all_reported(self):
+        def prog(comm):
+            raise RuntimeError(f"rank {comm.rank}")
+
+        with pytest.raises(WorldError) as exc_info:
+            run_spmd(3, prog)
+        assert set(exc_info.value.failures) == {0, 1, 2}
+
+
+class TestTraces:
+    def test_comms_exposed_after_run(self):
+        world = World(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(b"abc", dest=1)
+            else:
+                comm.recv(source=0)
+
+        world.run(prog)
+        assert world.comms[0].trace.sent_bytes == 3
+        assert world.comms[1].trace.recv_bytes == 3

@@ -1,0 +1,84 @@
+"""ChunkStore accounting, dedup vs raw mode, directory backend."""
+
+import os
+
+import pytest
+
+from repro.storage.local_store import ChunkStore, StorageError
+
+
+def fp(i):
+    return bytes([i]) * 20
+
+
+class TestDedupStore:
+    def test_first_put_is_physical(self):
+        store = ChunkStore()
+        assert store.put(fp(1), b"abcd") is True
+        assert store.physical_bytes == 4
+        assert store.logical_bytes == 4
+
+    def test_duplicate_put_is_logical_only(self):
+        store = ChunkStore()
+        store.put(fp(1), b"abcd")
+        assert store.put(fp(1), b"abcd") is False
+        assert store.physical_bytes == 4
+        assert store.logical_bytes == 8
+        assert store.refcount(fp(1)) == 2
+
+    def test_get_returns_payload(self):
+        store = ChunkStore()
+        store.put(fp(2), b"data")
+        assert store.get(fp(2)) == b"data"
+
+    def test_get_missing_raises(self):
+        with pytest.raises(StorageError):
+            ChunkStore().get(fp(9))
+
+    def test_has_and_count(self):
+        store = ChunkStore()
+        store.put(fp(1), b"a")
+        store.put(fp(1), b"a")
+        store.put(fp(2), b"b")
+        assert store.has(fp(1)) and store.has(fp(2))
+        assert not store.has(fp(3))
+        assert store.chunk_count == 2
+        assert store.put_count == 3
+
+    def test_clear(self):
+        store = ChunkStore()
+        store.put(fp(1), b"a")
+        store.clear()
+        assert store.chunk_count == 0
+        assert store.physical_bytes == 0
+        assert not store.has(fp(1))
+
+
+class TestRawStore:
+    def test_every_put_physical(self):
+        store = ChunkStore(dedup=False)
+        store.put(fp(1), b"xxxx")
+        assert store.put(fp(1), b"xxxx") is True
+        assert store.physical_bytes == 8
+        assert store.logical_bytes == 8
+
+    def test_content_still_addressable(self):
+        store = ChunkStore(dedup=False)
+        store.put(fp(1), b"xxxx")
+        store.put(fp(1), b"xxxx")
+        assert store.get(fp(1)) == b"xxxx"
+
+
+class TestDirectoryBackend:
+    def test_chunks_persisted_as_files(self, tmp_path):
+        store = ChunkStore(directory=str(tmp_path))
+        store.put(fp(7), b"persisted")
+        path = tmp_path / fp(7).hex()
+        assert path.exists()
+        assert path.read_bytes() == b"persisted"
+
+    def test_get_falls_back_to_disk(self, tmp_path):
+        store = ChunkStore(directory=str(tmp_path))
+        store.put(fp(7), b"persisted")
+        store._chunks.clear()  # simulate memory eviction
+        assert store.get(fp(7)) == b"persisted"

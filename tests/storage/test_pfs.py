@@ -1,0 +1,80 @@
+"""Parallel file system substrate."""
+
+import pytest
+
+from repro.core.chunking import Dataset
+from repro.storage.local_store import StorageError
+from repro.storage.pfs import ParallelFileSystem
+
+
+class TestObjects:
+    def test_roundtrip_preserves_segments(self):
+        pfs = ParallelFileSystem()
+        ds = Dataset([b"aaaa", b"bb"])
+        nbytes = pfs.write_dataset(0, 0, ds)
+        assert nbytes == 6
+        out = pfs.read_dataset(0, 0)
+        assert out == ds
+
+    def test_missing_raises(self):
+        with pytest.raises(StorageError, match="no checkpoint"):
+            ParallelFileSystem().read_dataset(0, 0)
+
+    def test_has_and_dumps_for(self):
+        pfs = ParallelFileSystem()
+        pfs.write_dataset(1, 0, Dataset([b"x"]))
+        pfs.write_dataset(1, 4, Dataset([b"y"]))
+        assert pfs.has(1, 0) and pfs.has(1, 4)
+        assert not pfs.has(1, 2)
+        assert pfs.dumps_for(1) == [0, 4]
+        assert pfs.dumps_for(2) == []
+
+    def test_overwrite_same_key(self):
+        pfs = ParallelFileSystem()
+        pfs.write_dataset(0, 0, Dataset([b"old"]))
+        pfs.write_dataset(0, 0, Dataset([b"new!"]))
+        assert pfs.read_dataset(0, 0).to_bytes() == b"new!"
+
+    def test_snapshot_is_deep(self):
+        """The PFS must not alias live application memory."""
+        import numpy as np
+
+        pfs = ParallelFileSystem()
+        arr = np.zeros(8)
+        pfs.write_dataset(0, 0, Dataset([arr]))
+        arr[:] = 7.0
+        assert pfs.read_dataset(0, 0).to_bytes() == b"\x00" * 64
+
+
+class TestCompleteness:
+    def test_latest_complete_dump(self):
+        pfs = ParallelFileSystem()
+        for rank in range(3):
+            pfs.write_dataset(rank, 0, Dataset([b"a"]))
+        pfs.write_dataset(0, 4, Dataset([b"b"]))  # incomplete dump 4
+        assert pfs.latest_complete_dump(3) == 0
+        for rank in range(1, 3):
+            pfs.write_dataset(rank, 4, Dataset([b"b"]))
+        assert pfs.latest_complete_dump(3) == 4
+
+    def test_no_dumps(self):
+        assert ParallelFileSystem().latest_complete_dump(4) is None
+
+
+class TestAccounting:
+    def test_stats(self):
+        pfs = ParallelFileSystem()
+        pfs.write_dataset(0, 0, Dataset([b"abcd"]))
+        pfs.read_dataset(0, 0)
+        assert pfs.stats.bytes_written == 4
+        assert pfs.stats.bytes_read == 4
+        assert pfs.stats.files_written == 1
+        assert pfs.stats.files_read == 1
+
+    def test_flush_time_linear(self):
+        pfs = ParallelFileSystem(aggregate_bandwidth=100.0)
+        assert pfs.flush_time(1000) == pytest.approx(10.0)
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            ParallelFileSystem(aggregate_bandwidth=0)
