@@ -1,0 +1,207 @@
+"""Hot-path scaling: batched dump pipeline and cross-dump fingerprint cache.
+
+Not a paper artifact: this pins the speedups the batched hot path
+(``DumpConfig.batched``) and the incremental :class:`FingerprintCache`
+deliver over the seed per-chunk implementation (``batched=False``), so
+regressions show up as hard failures.
+
+Two scenarios, both small-chunk so the per-chunk Python overhead that
+batching removes — not raw SHA-1 throughput — is the measured quantity:
+
+* **cold** — a first-time dump under the paper's no-dedup replication
+  baseline (every chunk shipped to K-1 partners).  Exchange and write
+  dominate; the batched path must win >= 2x from batching alone: packed
+  per-partner puts (one lock, one trace record), vectorised region
+  decode collapsed to distinct fingerprints, and batched store commits.
+* **warm** — a second local-dedup dump whose workload declares most
+  chunks clean via ``dirty_regions``.  The cache skips re-hashing clean
+  chunks; together with batching the second dump must run >= 5x faster
+  than the seed path doing full per-chunk work.
+
+Both scenarios also cross-check that the fast paths change *nothing*
+observable: DumpReport byte accounting must match the legacy run field
+for field (hash-work fields excepted for the warm dump, which is the
+cache's whole point).
+
+Results land in ``BENCH_hotpath.json`` at the repo root.  Set
+``HOTPATH_SMOKE=1`` to run a fast correctness-only pass (CI smoke): sizes
+shrink and the speedup floors are reported but not asserted.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DumpConfig, Strategy, dump_output
+from repro.core.chunking import Dataset
+from repro.core.fpcache import FingerprintCache
+from repro.simmpi import World
+from repro.storage import Cluster
+
+SMOKE = bool(int(os.environ.get("HOTPATH_SMOKE", "0")))
+
+CS = 256                                 # small chunks -> per-chunk overhead dominates
+N_RANKS = 4
+REPS = 2 if SMOKE else 3
+COLD_CHUNKS = 2048 if SMOKE else 16384   # per rank
+WARM_CHUNKS = 4096 if SMOKE else 32768
+COLD_MIN_SPEEDUP = 2.0
+WARM_MIN_SPEEDUP = 5.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+_results = {}
+
+
+def _rank_dataset(rank: int, n_chunks: int) -> Dataset:
+    """Replication-friendly data: a shared 32-chunk pool tiled across the
+    segment plus a short rank-unique tail (the paper's redundancy premise)."""
+    pool_rng = np.random.RandomState(7)
+    pool = [pool_rng.bytes(CS) for _ in range(32)]
+    body = b"".join(pool[i % 32] for i in range(n_chunks - 8))
+    tail = np.random.RandomState(1000 + rank).bytes(8 * CS)
+    return Dataset([bytearray(body + tail)])
+
+
+def _run_dump(datasets, strategy, k, batched, caches=None, dirty=None, dump_id=0):
+    cfg = DumpConfig(
+        replication_factor=k, chunk_size=CS, strategy=strategy, batched=batched
+    )
+    cluster = Cluster(N_RANKS, dedup=(strategy is not Strategy.NO_DEDUP))
+    world = World(N_RANKS, timeout=600)
+    start = time.perf_counter()
+    reports = world.run(
+        lambda comm: dump_output(
+            comm,
+            datasets[comm.rank],
+            cfg,
+            cluster,
+            dump_id,
+            fpcache=caches[comm.rank] if caches else None,
+            dirty_regions=dirty[comm.rank] if dirty else None,
+        )
+    )
+    return time.perf_counter() - start, reports
+
+
+def _best(fn, reps=REPS):
+    """Best-of-N wall time (first result kept for accounting checks)."""
+    wall, reports = fn()
+    for _ in range(reps - 1):
+        w, _r = fn()
+        wall = min(wall, w)
+    return wall, reports
+
+
+def _accounting(report, ignore_hash_work=False):
+    d = dict(vars(report))
+    d.pop("cache_hits")
+    d.pop("cache_bytes_skipped")
+    if ignore_hash_work:
+        d.pop("hashed_bytes")
+    return d
+
+
+def _emit(key, payload):
+    _results[key] = payload
+    merged = {}
+    if RESULT_PATH.exists():
+        merged = json.loads(RESULT_PATH.read_text())
+    merged.update(_results)
+    merged["smoke"] = SMOKE
+    RESULT_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+
+def test_cold_dump_batching_speedup():
+    """Batching alone: no-dedup replication (K = world size), cold caches."""
+    datasets = [_rank_dataset(r, COLD_CHUNKS) for r in range(N_RANKS)]
+    k = N_RANKS
+
+    _run_dump(datasets, Strategy.NO_DEDUP, k, batched=True)  # warm-up
+    legacy_wall, legacy_reports = _best(
+        lambda: _run_dump(datasets, Strategy.NO_DEDUP, k, batched=False)
+    )
+    batched_wall, batched_reports = _best(
+        lambda: _run_dump(datasets, Strategy.NO_DEDUP, k, batched=True)
+    )
+
+    for lr, br in zip(legacy_reports, batched_reports):
+        assert _accounting(lr) == _accounting(br)
+
+    speedup = legacy_wall / batched_wall
+    _emit(
+        "cold_batching",
+        {
+            "strategy": "no-dedup",
+            "ranks": N_RANKS,
+            "replication_factor": k,
+            "chunk_size": CS,
+            "chunks_per_rank": COLD_CHUNKS,
+            "legacy_seconds": round(legacy_wall, 4),
+            "batched_seconds": round(batched_wall, 4),
+            "speedup": round(speedup, 2),
+            "min_required": COLD_MIN_SPEEDUP,
+        },
+    )
+    if not SMOKE:
+        assert speedup >= COLD_MIN_SPEEDUP, (
+            f"cold batched dump only {speedup:.2f}x faster than the "
+            f"per-chunk path (need >= {COLD_MIN_SPEEDUP}x)"
+        )
+
+
+def test_warm_cached_dump_speedup():
+    """Second dump with a warm fingerprint cache and mostly-clean data."""
+    k = 2
+    datasets = [_rank_dataset(r, WARM_CHUNKS) for r in range(N_RANKS)]
+
+    legacy_wall, legacy_reports = _best(
+        lambda: _run_dump(datasets, Strategy.LOCAL_DEDUP, k, batched=False)
+    )
+
+    def warm_run():
+        caches = [FingerprintCache(CS) for _ in range(N_RANKS)]
+        _run_dump(
+            datasets, Strategy.LOCAL_DEDUP, k, batched=True,
+            caches=caches, dump_id=0,
+        )
+        # Iterate the "application": 8 chunks of each rank's segment dirty.
+        dirty = [[[(100 * CS, 108 * CS)]] for _ in range(N_RANKS)]
+        return _run_dump(
+            datasets, Strategy.LOCAL_DEDUP, k, batched=True,
+            caches=caches, dirty=dirty, dump_id=1,
+        )
+
+    warm_wall, warm_reports = _best(warm_run)
+
+    clean_bytes = (WARM_CHUNKS - 8) * CS
+    for lr, wr in zip(legacy_reports, warm_reports):
+        assert _accounting(lr, ignore_hash_work=True) == _accounting(
+            wr, ignore_hash_work=True
+        )
+        assert wr.cache_bytes_skipped >= clean_bytes
+        assert wr.hashed_bytes <= 8 * CS
+
+    speedup = legacy_wall / warm_wall
+    _emit(
+        "warm_cache",
+        {
+            "strategy": "local-dedup",
+            "ranks": N_RANKS,
+            "replication_factor": k,
+            "chunk_size": CS,
+            "chunks_per_rank": WARM_CHUNKS,
+            "dirty_chunks_per_rank": 8,
+            "legacy_seconds": round(legacy_wall, 4),
+            "warm_seconds": round(warm_wall, 4),
+            "speedup": round(speedup, 2),
+            "min_required": WARM_MIN_SPEEDUP,
+        },
+    )
+    if not SMOKE:
+        assert speedup >= WARM_MIN_SPEEDUP, (
+            f"warm cached dump only {speedup:.2f}x faster than the "
+            f"per-chunk path (need >= {WARM_MIN_SPEEDUP}x)"
+        )

@@ -41,6 +41,24 @@ class SegmentedWorkload(abc.ABC):
         always-unique segments.
         """
 
+    def dirty_regions(
+        self, rank: int, n_ranks: int
+    ) -> Optional[List[Optional[List[Tuple[int, int]]]]]:
+        """Byte ranges the application may have written since the previous
+        checkpoint, one list per segment of :meth:`rank_segments`.
+
+        The contract of the cross-dump fingerprint cache
+        (:class:`repro.core.fpcache.FingerprintCache`): a chunk overlapping
+        no declared range is assumed bitwise unchanged and its cached
+        fingerprint is reused without re-hashing.  ``[]`` marks a segment
+        fully clean, ``[(0, nbytes)]`` fully dirty; ``None`` (the default,
+        and the valid answer for any workload that can't track its writes)
+        means "unknown" and falls back to hashing everything.  Declaring
+        too much dirty costs only time; declaring a written range clean is
+        a correctness bug in the workload.
+        """
+        return None
+
     # -- dataset construction (threaded paths, examples) ------------------------
     def build_dataset(self, rank: int, n_ranks: int) -> Dataset:
         """The rank's checkpoint as a :class:`Dataset` with real payloads."""

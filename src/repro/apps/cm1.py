@@ -291,6 +291,24 @@ class CM1(SegmentedWorkload):
             segments.append((key, np.ascontiguousarray(arr.transpose(2, 1, 0))))
         return segments
 
+    def dirty_regions(
+        self, rank: int, n_ranks: int
+    ) -> Optional[List[Optional[List[Tuple[int, int]]]]]:
+        """Tables are broadcast once (clean); prognostic fields are rewritten
+        by the time-stepper only where the storm lives, so calm subdomains
+        stay bitwise constant; tendency arrays are re-assigned every step but
+        with exact-zero content, leaving their pages unchanged."""
+        active = self.rank_intersects_vortex(rank, n_ranks)
+        state = self._rank_state(rank, n_ranks)
+        regions: List[Optional[List[Tuple[int, int]]]] = [[]]  # tables
+        for name, arr in state.items():
+            prognostic = name in CM1RankModel.FIELDS
+            if active and prognostic:
+                regions.append([(0, arr.nbytes)])
+            else:
+                regions.append([])
+        return regions
+
     def active_rank_count(self, n_ranks: int) -> int:
         return sum(
             1 for r in range(n_ranks) if self.rank_intersects_vortex(r, n_ranks)

@@ -31,7 +31,7 @@ the redundancy in the real application.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -301,6 +301,26 @@ class HPCCG(SegmentedWorkload):
             slack = int(live * self.slack_fraction / (1.0 - self.slack_fraction))
             segments.append((("hpccg-slack", slack), b"\x00" * slack))
         return segments
+
+    #: solver arrays CG iterations rewrite between two checkpoints; the
+    #: operator (values/indices), rhs, geometry and slack pages are
+    #: write-once, so their chunks stay fingerprint-cache clean.
+    _MUTABLE_ARRAYS = frozenset({"x", "r", "p", "Ap"})
+
+    def dirty_regions(
+        self, rank: int, n_ranks: int
+    ) -> Optional[List[Optional[List[Tuple[int, int]]]]]:
+        placement = self.placement(rank, n_ranks)
+        state = self._class_state(placement.boundary)
+        regions: List[Optional[List[Tuple[int, int]]]] = [
+            [(0, arr.nbytes)] if name in self._MUTABLE_ARRAYS else []
+            for name, arr in state.items()
+        ]
+        if self._geometry(placement.coords).size:
+            regions.append([])
+        if self.slack_fraction > 0.0:
+            regions.append([])
+        return regions
 
     def scale_factor(self, n_ranks: int) -> float:
         """paper-scale bytes / simulated bytes (feeds ``volume_scale``)."""

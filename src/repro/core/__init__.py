@@ -19,9 +19,10 @@ The public entry point is :func:`repro.core.dump.dump_output` — the paper's
 """
 
 from repro.core.config import DumpConfig, Strategy
-from repro.core.chunking import Dataset, join_chunks, split_chunks
+from repro.core.chunking import Dataset, iter_chunk_views, join_chunks, split_chunks
 from repro.core.fingerprint import Fingerprinter
-from repro.core.local_dedup import LocalIndex, local_dedup
+from repro.core.fpcache import FingerprintCache
+from repro.core.local_dedup import LocalIndex, local_dedup, local_dedup_batched
 from repro.core.hmerge import GlobalView, MergeTable, hmerge
 from repro.core.shuffle import (
     identity_shuffle,
@@ -40,6 +41,7 @@ __all__ = [
     "Dataset",
     "DumpConfig",
     "DumpReport",
+    "FingerprintCache",
     "Fingerprinter",
     "GlobalView",
     "LocalIndex",
@@ -51,9 +53,11 @@ __all__ = [
     "dump_output",
     "hmerge",
     "identity_shuffle",
+    "iter_chunk_views",
     "join_chunks",
     "load_input",
     "local_dedup",
+    "local_dedup_batched",
     "node_aware_shuffle",
     "partners_of",
     "rank_shuffle",

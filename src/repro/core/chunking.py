@@ -29,21 +29,31 @@ def as_bytes_view(buffer: BufferLike) -> memoryview:
     return memoryview(buffer)
 
 
-def split_chunks(buffer: BufferLike, chunk_size: int) -> List[bytes]:
-    """Split one contiguous buffer into fixed-size chunks (tail may be short)."""
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-    view = as_bytes_view(buffer)
-    return [bytes(view[i : i + chunk_size]) for i in range(0, len(view), chunk_size)]
+def iter_chunk_views(buffer: BufferLike, chunk_size: int) -> Iterator[memoryview]:
+    """Zero-copy fixed-size chunk views of one buffer (tail may be short).
 
-
-def iter_chunks(buffer: BufferLike, chunk_size: int) -> Iterator[bytes]:
-    """Streaming variant of :func:`split_chunks` (no list materialisation)."""
+    The single source of truth for fixed-size chunk boundaries: every other
+    chunk iterator (and the batch fingerprint kernel) is built on it, so a
+    boundary change cannot desynchronise hashing from reassembly.  The
+    yielded views alias ``buffer`` — materialise with ``bytes(view)`` only
+    when a copy is actually needed.
+    """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     view = as_bytes_view(buffer)
     for i in range(0, len(view), chunk_size):
-        yield bytes(view[i : i + chunk_size])
+        yield view[i : i + chunk_size]
+
+
+def split_chunks(buffer: BufferLike, chunk_size: int) -> List[bytes]:
+    """Split one contiguous buffer into fixed-size chunks (tail may be short)."""
+    return [bytes(v) for v in iter_chunk_views(buffer, chunk_size)]
+
+
+def iter_chunks(buffer: BufferLike, chunk_size: int) -> Iterator[bytes]:
+    """Streaming variant of :func:`split_chunks` (no list materialisation)."""
+    for v in iter_chunk_views(buffer, chunk_size):
+        yield bytes(v)
 
 
 def join_chunks(chunks: Iterable[bytes]) -> bytes:
@@ -91,9 +101,13 @@ class Dataset:
 
     def chunks(self, chunk_size: int) -> Iterator[bytes]:
         """All chunks of all segments, in dataset order."""
+        for view in self.chunk_views(chunk_size):
+            yield bytes(view)
+
+    def chunk_views(self, chunk_size: int) -> Iterator[memoryview]:
+        """Zero-copy variant of :meth:`chunks` (views alias the segments)."""
         for segment in self._segments:
-            for i in range(0, len(segment), chunk_size):
-                yield bytes(segment[i : i + chunk_size])
+            yield from iter_chunk_views(segment, chunk_size)
 
     def chunk_count(self, chunk_size: int) -> int:
         return sum(num_chunks(len(s), chunk_size) for s in self._segments)

@@ -92,6 +92,12 @@ class DumpConfig:
     node_aware: bool = False
     chunking: str = "fixed"
     compress: Optional[str] = None
+    #: Batched hot path (default): zero-copy batch fingerprinting,
+    #: array-backed local dedup and one window put per partner region.
+    #: ``False`` selects the legacy per-chunk path (kept as the reference
+    #: for equivalence tests and the hot-path benchmarks); CDC chunking
+    #: always takes the legacy per-chunk hash path.
+    batched: bool = True
     #: "replication" (the paper) or "parity" (§VI extension): chunks without
     #: natural replicas are protected with RS(d + K-1, d) stripes shipped to
     #: the K-1 partners instead of K-1 full copies.  coll-dedup + threaded

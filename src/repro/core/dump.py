@@ -21,14 +21,15 @@ Phases (each bracketed by a trace phase so the cost model can price them):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.chunking import Dataset
 from repro.core.config import DumpConfig, Strategy
 from repro.core.fingerprint import Fingerprint, Fingerprinter
+from repro.core.fpcache import DirtyRegions, FingerprintCache
 from repro.core.global_dedup import build_global_view
 from repro.core.hmerge import GlobalView
-from repro.core.local_dedup import LocalIndex, local_dedup
+from repro.core.local_dedup import LocalIndex, local_dedup, local_dedup_batched
 from repro.core.offsets import WindowLayout, window_layout
 from repro.core.planner import ReplicationPlan, build_plan
 from repro.core.shuffle import (
@@ -39,7 +40,13 @@ from repro.core.shuffle import (
     rank_shuffle,
     senders_to,
 )
-from repro.core.wire import decode_region, encode_record, slot_nbytes
+from repro.core.wire import (
+    decode_region,
+    decode_region_unique,
+    encode_record,
+    encode_records_into,
+    slot_nbytes,
+)
 from repro.simmpi import collectives
 from repro.simmpi.comm import Communicator
 from repro.simmpi.window import Window
@@ -80,6 +87,10 @@ class DumpReport:
     partners: List[int] = field(default_factory=list)
     manifest_bytes: int = 0
     parity_stripes: int = 0
+    #: chunks whose fingerprint came from the cross-dump cache (no re-hash)
+    cache_hits: int = 0
+    #: dataset bytes the hash phase skipped thanks to those hits
+    cache_bytes_skipped: int = 0
 
     @property
     def total_stored_bytes(self) -> int:
@@ -115,6 +126,8 @@ def dump_output(
     config: DumpConfig,
     cluster: Cluster,
     dump_id: int = 0,
+    fpcache: Optional[FingerprintCache] = None,
+    dirty_regions: DirtyRegions = None,
 ) -> DumpReport:
     """Collectively dump ``dataset`` with replication factor ``config.K``.
 
@@ -129,6 +142,13 @@ def dump_output(
     cluster:
         Storage cluster to commit chunks/manifests to.  For faithful
         no-dedup accounting create it with ``dedup=False``.
+    fpcache:
+        Optional per-rank :class:`~repro.core.fpcache.FingerprintCache`
+        carried across dumps.  With ``dirty_regions`` (see
+        :meth:`repro.apps.base.SegmentedWorkload.dirty_regions`) chunks
+        outside the declared dirty ranges reuse their cached fingerprint
+        and skip hashing; ``report.cache_hits``/``cache_bytes_skipped``
+        account the savings.  Batched fixed-size path only.
     """
     rank, world = comm.rank, comm.size
     k_eff = config.effective_k(world)
@@ -138,10 +158,27 @@ def dump_output(
 
     # Phase 1: chunk, fingerprint, local dedup.
     chunker = config.make_chunker() if config.chunking != "fixed" else None
+    batched = config.batched and chunker is None
     with comm.trace.phase("hash"):
-        index = local_dedup(
-            dataset, fingerprinter, config.chunk_size, chunker=chunker
-        )
+        if batched:
+            if fpcache is not None:
+                fpcache.ensure_compatible(config.chunk_size, config.hash_name)
+            index = local_dedup_batched(
+                dataset,
+                fingerprinter,
+                config.chunk_size,
+                cache=fpcache,
+                dirty_regions=dirty_regions,
+            )
+            if fpcache is not None:
+                stats = fpcache.take_stats()
+                report.cache_hits = stats.hits
+                report.cache_bytes_skipped = stats.bytes_skipped
+        else:
+            index = local_dedup(
+                dataset, fingerprinter, config.chunk_size, chunker=chunker
+            )
+        comm.trace.record_chunks(index.total_chunks, dataset.nbytes)
 
     # Optional compression: payloads become self-describing frames; the
     # fingerprint (of the *uncompressed* chunk) remains the identity.
@@ -216,42 +253,94 @@ def dump_output(
     layout = window_layout(shuffle, send_load, k_eff)
     slot = slot_nbytes(fingerprinter.digest_size, config.wire_payload_capacity)
 
-    # Phase 4: one-sided exchange.
+    # Phase 4: one-sided exchange.  Batched: each partner's whole region is
+    # packed into one reused buffer and shipped with a single put (one lock
+    # acquisition + one trace record per partner); legacy: one put per chunk.
     with comm.trace.phase("exchange"):
         window = Window.create(comm, layout.window_slots[rank] * slot)
         capacity = config.wire_payload_capacity
+        digest_size = fingerprinter.digest_size
+        sendbuf: Optional[bytearray] = None
+        if batched:
+            max_region = max(
+                (len(fps) for fps in plan.partner_chunks), default=0
+            )
+            sendbuf = bytearray(max_region * slot)
         for p, fps in enumerate(plan.partner_chunks):
             target = shuffle[(my_pos + p + 1) % world]
             base = layout.offset_of(rank, target)
-            for i, fp in enumerate(fps):
-                record = encode_record(fp, payload_of[fp], capacity)
-                window.put(record, target, (base + i) * slot)
             count = len(fps)
+            if batched and count:
+                encode_records_into(
+                    sendbuf,
+                    ((fp, payload_of[fp]) for fp in fps),
+                    digest_size,
+                    capacity,
+                )
+                window.put_many(
+                    [(base * slot, memoryview(sendbuf)[: count * slot])],
+                    target,
+                )
+            elif not batched:
+                for i, fp in enumerate(fps):
+                    record = encode_record(fp, payload_of[fp], capacity)
+                    window.put(record, target, (base + i) * slot)
             report.sent_per_partner.append(count)
             report.sent_chunks += count
             report.sent_bytes += sum(payload_size[fp] for fp in fps)
+        comm.trace.record_chunks(report.sent_chunks, report.sent_bytes)
         window.fence()
         incoming = window.local_view()
-        received = []
+        received: List[Tuple[Fingerprint, bytes]] = []
+        received_unique: List[Tuple[Fingerprint, bytes, int]] = []
+        received_records = received_nbytes = 0
         for sender, start, count in layout.regions[rank]:
-            received.extend(
-                decode_region(
-                    incoming, fingerprinter.digest_size, capacity, start, count
+            if batched:
+                # Replicated regions repeat few distinct fingerprints;
+                # collapse each region in one vectorised sweep instead of
+                # materialising a payload per slot.
+                pairs, mults, nbytes = decode_region_unique(
+                    incoming, digest_size, capacity, start, count
                 )
-            )
+                received_unique.extend(
+                    (fp, payload, m)
+                    for (fp, payload), m in zip(pairs, mults)
+                )
+                received_records += sum(mults)
+                received_nbytes += nbytes
+            else:
+                received.extend(
+                    decode_region(incoming, digest_size, capacity, start, count)
+                )
         window.free()
 
     # Phase 5: commit to local storage and replicate the manifest.
     with comm.trace.phase("write"):
         node = cluster.storage_for(rank)
-        for fp in plan.store_fps:
-            node.chunks.put(fp, payload_of[fp])
-            report.stored_chunks += 1
-            report.stored_bytes += payload_size[fp]
-        for fp, payload in received:
-            node.chunks.put(fp, payload)
-            report.received_chunks += 1
-            report.received_bytes += len(payload)
+        if batched:
+            node.chunks.put_many(
+                (fp, payload_of[fp]) for fp in plan.store_fps
+            )
+            report.stored_chunks += len(plan.store_fps)
+            report.stored_bytes += sum(
+                map(payload_size.__getitem__, plan.store_fps)
+            )
+            node.chunks.put_counted(received_unique)
+            report.received_chunks += received_records
+            report.received_bytes += received_nbytes
+        else:
+            for fp in plan.store_fps:
+                node.chunks.put(fp, payload_of[fp])
+                report.stored_chunks += 1
+                report.stored_bytes += payload_size[fp]
+            for fp, payload in received:
+                node.chunks.put(fp, payload)
+                report.received_chunks += 1
+                report.received_bytes += len(payload)
+        comm.trace.record_chunks(
+            report.stored_chunks + report.received_chunks,
+            report.stored_bytes + report.received_bytes,
+        )
 
         manifest = Manifest(
             rank=rank,
@@ -261,15 +350,14 @@ def dump_output(
             chunk_size=config.chunk_size,
             compressed=config.compress is not None,
         )
-        node.put_manifest(manifest)
         blob = manifest.to_bytes()
+        node.put_manifest(manifest, blob=blob)
         report.manifest_bytes = len(blob)
         manifest_tag = comm.next_collective_tag()
         for partner in report.partners:
             comm.send(blob, partner, tag=manifest_tag)
         for sender in senders_to(my_pos, shuffle, k_eff):
-            incoming_blob = comm.recv(sender, tag=manifest_tag)
-            node.put_manifest(Manifest.from_bytes(incoming_blob))
+            node.put_manifest_blob(comm.recv(sender, tag=manifest_tag))
 
     # Parity redundancy (extension): cross-rank stripe groups with rotating
     # parity holders replace the replica top-ups (see repro.erasure.ec_dump).

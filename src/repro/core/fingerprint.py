@@ -11,7 +11,7 @@ fast (blake2b with a 16-byte digest, md5).
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, Iterable, Iterator, List, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 Fingerprint = bytes
 
@@ -59,6 +59,38 @@ class Fingerprinter:
         """Yield ``(fingerprint, chunk)`` pairs streaming."""
         for chunk in chunks:
             yield self(chunk), chunk
+
+    # -- batch (zero-copy) kernel -------------------------------------------
+    def fingerprint_segment(
+        self, buffer, chunk_size: int
+    ) -> List[Fingerprint]:
+        """Fingerprints of every fixed-size chunk of one segment.
+
+        The hot-path variant of chunk-at-a-time hashing: the segment is
+        walked as ``memoryview`` slices (see
+        :func:`repro.core.chunking.iter_chunk_views`), so no per-chunk
+        ``bytes`` object is ever materialised — hashlib consumes the views
+        directly.  Chunk boundaries are identical to
+        :meth:`repro.core.chunking.Dataset.chunks`.
+        """
+        from repro.core.chunking import as_bytes_view, iter_chunk_views
+
+        view = as_bytes_view(buffer)
+        factory = self._factory
+        out = [factory(v).digest() for v in iter_chunk_views(view, chunk_size)]
+        self.hashed_bytes += len(view)
+        return out
+
+    def fingerprint_views(self, views: Sequence) -> List[Fingerprint]:
+        """Batch-hash an explicit sequence of buffer views (zero-copy)."""
+        factory = self._factory
+        out = []
+        hashed = 0
+        for v in views:
+            hashed += len(v)
+            out.append(factory(v).digest())
+        self.hashed_bytes += hashed
+        return out
 
     def reset_counter(self) -> None:
         self.hashed_bytes = 0

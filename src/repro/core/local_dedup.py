@@ -6,10 +6,13 @@ only one copy, which results in a set of locally unique fingerprints."
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.chunking import Dataset
+import numpy as np
+
+from repro.core.chunking import Dataset, num_chunks
 from repro.core.fingerprint import Fingerprint, Fingerprinter
 
 
@@ -98,6 +101,76 @@ def local_dedup(
                 index.unique[fp] = chunk
         else:
             index.counts[fp] = count + 1
+    return index
+
+
+def local_dedup_batched(
+    dataset: Dataset,
+    fingerprinter: Fingerprinter,
+    chunk_size: int,
+    keep_payloads: bool = True,
+    cache=None,
+    dirty_regions=None,
+) -> LocalIndex:
+    """Array-backed fixed-size-chunking variant of :func:`local_dedup`.
+
+    Produces a :class:`LocalIndex` bit-identical to the per-chunk path
+    (same ``order``, same first-occurrence dict ordering) but with the two
+    per-chunk costs removed:
+
+    * chunks are hashed as ``memoryview`` slices (no ``bytes`` copy per
+      chunk; see :meth:`Fingerprinter.fingerprint_segment`), and only the
+      locally *unique* chunks are ever materialised as payload bytes;
+    * duplicate collapse runs as one sorted-``np.unique`` over the packed
+      fingerprint array instead of a dict probe per chunk.
+
+    ``cache``/``dirty_regions`` plug in a cross-dump
+    :class:`~repro.core.fpcache.FingerprintCache`: clean chunks reuse their
+    cached fingerprint and skip hashing entirely (differential-checkpointing
+    style); payloads still come from the live dataset views.
+    """
+    if cache is not None:
+        fps = cache.fingerprint_dataset(dataset, fingerprinter, dirty_regions)
+    else:
+        fps = []
+        for i in range(dataset.num_segments):
+            fps.extend(
+                fingerprinter.fingerprint_segment(dataset.segment(i), chunk_size)
+            )
+
+    index = LocalIndex()
+    index.order = fps
+    if not fps:
+        return index
+
+    # Chunk-index -> segment resolution for the few first-occurrence
+    # payload slices below (duplicates never get materialised, and neither
+    # do the non-first copies of unique chunks).
+    seg_views = [dataset.segment(i) for i in range(dataset.num_segments)]
+    starts = [0]
+    for view in seg_views:
+        starts.append(starts[-1] + num_chunks(len(view), chunk_size))
+
+    def chunk_view_at(i: int) -> memoryview:
+        s = bisect_right(starts, i) - 1
+        offset = (i - starts[s]) * chunk_size
+        return seg_views[s][offset : offset + chunk_size]
+
+    digest = fingerprinter.digest_size
+    arr = np.frombuffer(b"".join(fps), dtype=np.dtype((np.void, digest)))
+    _uniq, first_idx, counts = np.unique(
+        arr, return_index=True, return_counts=True
+    )
+    # np.unique sorts by fingerprint value; re-walk in first-occurrence
+    # order so the dicts iterate exactly like the per-chunk builder's.
+    for u in np.argsort(first_idx):
+        i = int(first_idx[u])
+        fp = fps[i]
+        view = chunk_view_at(i)
+        index.counts[fp] = int(counts[u])
+        index.chunk_sizes[fp] = len(view)
+        if keep_payloads:
+            index.unique[fp] = bytes(view)
     return index
 
 

@@ -10,7 +10,9 @@ makes a received chunk a usable *replica* rather than anonymous bytes.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Tuple
+
+import numpy as np
 
 from repro.core.fingerprint import Fingerprint
 
@@ -30,6 +32,197 @@ def encode_record(fp: Fingerprint, chunk: bytes, chunk_size: int) -> bytes:
         )
     pad = chunk_size - len(chunk)
     return b"".join((fp, _LEN.pack(len(chunk)), chunk, b"\x00" * pad))
+
+
+def encode_records_into(
+    out: bytearray,
+    records: Iterable[Tuple[Fingerprint, bytes]],
+    digest_size: int,
+    chunk_size: int,
+    start_slot: int = 0,
+) -> int:
+    """Pack records into consecutive slots of a preallocated buffer.
+
+    The batched sibling of :func:`encode_record`: one partner's whole
+    region is assembled in place (no per-record ``bytes`` concatenation)
+    and shipped with a single window put.  Byte-identical to concatenating
+    ``encode_record`` outputs.  Returns the number of records packed.
+
+    ``out`` may be reused across partners: padding after each payload is
+    zeroed explicitly, so stale bytes from a previous, longer region cannot
+    leak into this one's slots (bytes beyond the packed region are the
+    caller's responsibility).
+    """
+    slot = slot_nbytes(digest_size, chunk_size)
+    view = memoryview(out)
+    pos = start_slot * slot
+    count = 0
+    hdr = digest_size + _LEN.size
+    if not isinstance(records, (list, tuple)):
+        records = list(records)
+    # Fast path: a uniform region of full-size records (the common case
+    # for interior chunks) packs as three C-speed column assignments.
+    n_rec = len(records)
+    if (
+        n_rec
+        and all(len(fp) == digest_size for fp, _ in records)
+        and all(len(chunk) == chunk_size for _, chunk in records)
+    ):
+        if pos + n_rec * slot > len(out):
+            raise ValueError(
+                f"record {n_rec - 1} overflows the {len(out)}B buffer"
+            )
+        region = np.frombuffer(out, dtype=np.uint8)[
+            pos : pos + n_rec * slot
+        ].reshape(n_rec, slot)
+        region[:, :digest_size] = np.frombuffer(
+            b"".join(fp for fp, _ in records), dtype=np.uint8
+        ).reshape(n_rec, digest_size)
+        region[:, digest_size:hdr] = np.frombuffer(
+            _LEN.pack(chunk_size), dtype=np.uint8
+        )
+        region[:, hdr:] = np.frombuffer(
+            b"".join(chunk for _, chunk in records), dtype=np.uint8
+        ).reshape(n_rec, chunk_size)
+        return n_rec
+    for fp, chunk in records:
+        if len(fp) != digest_size:
+            raise ValueError(
+                f"fingerprint of {len(fp)}B in a {digest_size}B-digest slot"
+            )
+        n = len(chunk)
+        if n > chunk_size:
+            raise ValueError(
+                f"chunk of {n}B exceeds the slot payload size {chunk_size}B"
+            )
+        if pos + slot > len(out):
+            raise ValueError(
+                f"record {count} overflows the {len(out)}B buffer"
+            )
+        view[pos : pos + digest_size] = fp
+        _LEN.pack_into(view, pos + digest_size, n)
+        view[pos + hdr : pos + hdr + n] = chunk
+        if n < chunk_size:
+            view[pos + hdr + n : pos + slot] = bytes(chunk_size - n)
+        pos += slot
+        count += 1
+    return count
+
+
+def decode_region_batch(
+    buffer: bytes,
+    digest_size: int,
+    chunk_size: int,
+    start_slot: int,
+    slot_count: int,
+) -> List[Tuple[Fingerprint, bytes]]:
+    """Vectorised :func:`decode_region`: identical output, one pass.
+
+    Slot headers are validated in one numpy sweep over the region instead
+    of one ``unpack_from`` per record; the per-record work left is exactly
+    the two ``bytes`` slices the caller keeps.
+    """
+    if slot_count <= 0:
+        return []
+    slot = slot_nbytes(digest_size, chunk_size)
+    base = start_slot * slot
+    end = base + slot_count * slot
+    if end > len(buffer):
+        short = next(
+            i for i in range(start_slot, start_slot + slot_count)
+            if (i + 1) * slot > len(buffer)
+        )
+        raise ValueError(
+            f"window truncated: slot {short} needs {slot}B, have "
+            f"{max(0, len(buffer) - short * slot)}B"
+        )
+    region = bytes(buffer[base:end])
+    lengths = (
+        np.frombuffer(region, dtype=np.uint8)
+        .reshape(slot_count, slot)[:, digest_size : digest_size + _LEN.size]
+        .copy()
+        .view("<u4")
+        .ravel()
+    )
+    bad = np.nonzero(lengths > chunk_size)[0]
+    if bad.size:
+        raise ValueError(
+            f"corrupt record in slot {start_slot + int(bad[0])}: "
+            f"length {int(lengths[bad[0]])}"
+        )
+    hdr = digest_size + _LEN.size
+    return [
+        (region[pos : pos + digest_size], region[pos + hdr : pos + hdr + n])
+        for pos, n in zip(
+            range(0, slot_count * slot, slot), lengths.tolist()
+        )
+    ]
+
+
+def decode_region_unique(
+    buffer: bytes,
+    digest_size: int,
+    chunk_size: int,
+    start_slot: int,
+    slot_count: int,
+) -> Tuple[List[Tuple[Fingerprint, bytes]], List[int], int]:
+    """Decode a region collapsed to its *distinct* fingerprints.
+
+    Returns ``(pairs, multiplicities, total_payload_bytes)``: the distinct
+    ``(fingerprint, payload)`` records in first-occurrence order, how many
+    times each fingerprint appeared in the region, and the summed payload
+    length of every record (duplicates included).
+
+    Replicated regions are dominated by repeated fingerprints, so the
+    receiver's store only ever needs one payload per distinct fingerprint;
+    collapsing in one ``np.unique`` sweep avoids materialising a payload
+    ``bytes`` per slot.  Precondition (guaranteed by content addressing):
+    slots sharing a fingerprint carry identical payloads.  Validation is
+    identical to :func:`decode_region_batch`.
+    """
+    if slot_count <= 0:
+        return [], [], 0
+    slot = slot_nbytes(digest_size, chunk_size)
+    base = start_slot * slot
+    end = base + slot_count * slot
+    if end > len(buffer):
+        short = next(
+            i for i in range(start_slot, start_slot + slot_count)
+            if (i + 1) * slot > len(buffer)
+        )
+        raise ValueError(
+            f"window truncated: slot {short} needs {slot}B, have "
+            f"{max(0, len(buffer) - short * slot)}B"
+        )
+    region = bytes(buffer[base:end])
+    arr = np.frombuffer(region, dtype=np.uint8).reshape(slot_count, slot)
+    lengths = (
+        arr[:, digest_size : digest_size + _LEN.size].copy().view("<u4").ravel()
+    )
+    bad = np.nonzero(lengths > chunk_size)[0]
+    if bad.size:
+        raise ValueError(
+            f"corrupt record in slot {start_slot + int(bad[0])}: "
+            f"length {int(lengths[bad[0]])}"
+        )
+    fp_col = np.ascontiguousarray(arr[:, :digest_size]).view(
+        np.dtype((np.void, digest_size))
+    ).ravel()
+    _uniq, first_idx, counts = np.unique(
+        fp_col, return_index=True, return_counts=True
+    )
+    hdr = digest_size + _LEN.size
+    pairs: List[Tuple[Fingerprint, bytes]] = []
+    multiplicities: List[int] = []
+    for u in np.argsort(first_idx):
+        i = int(first_idx[u])
+        pos = i * slot
+        n = int(lengths[i])
+        pairs.append(
+            (region[pos : pos + digest_size], region[pos + hdr : pos + hdr + n])
+        )
+        multiplicities.append(int(counts[u]))
+    return pairs, multiplicities, int(lengths.sum())
 
 
 def decode_region(

@@ -10,6 +10,7 @@ here is the ground truth for every timing figure the benchmarks regenerate.
 from __future__ import annotations
 
 import pickle
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
@@ -67,6 +68,14 @@ class PhaseCounters:
     put_msgs: int = 0
     got_bytes: int = 0
     rounds: int = 0
+    #: logical chunks processed in this phase (hashed, packed, decoded, …)
+    chunks: int = 0
+    #: payload bytes those chunks carried (pre-padding, pre-framing)
+    chunk_bytes: int = 0
+    #: wall-clock seconds spent inside ``trace.phase(name)`` blocks —
+    #: together with ``chunks``/``chunk_bytes`` this yields the per-phase
+    #: throughput the hot-path benchmarks track.
+    seconds: float = 0.0
 
     def merge(self, other: "PhaseCounters") -> None:
         self.sent_bytes += other.sent_bytes
@@ -77,6 +86,19 @@ class PhaseCounters:
         self.put_msgs += other.put_msgs
         self.got_bytes += other.got_bytes
         self.rounds += other.rounds
+        self.chunks += other.chunks
+        self.chunk_bytes += other.chunk_bytes
+        self.seconds += other.seconds
+
+    @property
+    def chunk_throughput(self) -> float:
+        """Chunks per second of phase wall-clock (0 when untimed)."""
+        return self.chunks / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def byte_throughput(self) -> float:
+        """Payload bytes per second of phase wall-clock (0 when untimed)."""
+        return self.chunk_bytes / self.seconds if self.seconds > 0 else 0.0
 
 
 @dataclass
@@ -104,9 +126,12 @@ class Trace:
     def phase(self, name: str) -> Iterator[PhaseCounters]:
         previous = self._active
         self._active = name
+        counters = self.counters(name)
+        start = time.perf_counter()
         try:
-            yield self.counters(name)
+            yield counters
         finally:
+            counters.seconds += time.perf_counter() - start
             self._active = previous
 
     # -- recording hooks used by the substrate ------------------------------
@@ -140,6 +165,13 @@ class Trace:
 
     def record_round(self, count: int = 1) -> None:
         self.counters().rounds += count
+
+    def record_chunks(self, count: int, nbytes: int) -> None:
+        """Charge ``count`` logical chunks of ``nbytes`` total payload to the
+        active phase (hot-path throughput accounting)."""
+        c = self.counters()
+        c.chunks += count
+        c.chunk_bytes += nbytes
 
     # -- aggregate views -----------------------------------------------------
     def total(self) -> PhaseCounters:

@@ -84,14 +84,51 @@ class Window:
                 f"put of {len(payload)}B at offset {offset} exceeds rank "
                 f"{target_rank}'s window of {len(slot.buffer)}B"
             )
+        remote = target_rank != self._comm.rank
+        # The slot lock also serialises concurrent senders charging the
+        # target's trace, so both counters ride the single memcpy critical
+        # section instead of re-acquiring the lock per trace record.
         with slot.lock:
             slot.buffer[offset:end] = payload
             slot.filled += len(payload)
-        if target_rank != self._comm.rank:
+            if remote:
+                self._comm.world.comm_for(
+                    target_world
+                ).trace.record_put_received(len(payload))
+        if remote:
             self._comm.trace.record_put(len(payload))
-            target_comm = self._comm.world.comm_for(target_world)
-            with slot.lock:
-                target_comm.trace.record_put_received(len(payload))
+
+    def put_many(self, parts, target_rank: int) -> None:
+        """Write several ``(offset, data)`` regions into ``target_rank``'s
+        window under one lock acquisition and one trace record.
+
+        The batched exchange primitive: a sender packs a partner's whole
+        region (or several disjoint ones) and ships it with a single
+        synchronised access, so the exchange critical section is entered
+        once per partner instead of once per chunk.  Traced as one put of
+        the total byte count.
+        """
+        staged = [(int(offset), bytes(data)) for offset, data in parts]
+        target_world = self._comm.world_rank_of(target_rank)
+        slot = self._comm.world.window_slot(self._id, target_world)
+        for offset, payload in staged:
+            if offset < 0 or offset + len(payload) > len(slot.buffer):
+                raise WindowError(
+                    f"put of {len(payload)}B at offset {offset} exceeds rank "
+                    f"{target_rank}'s window of {len(slot.buffer)}B"
+                )
+        total = sum(len(payload) for _offset, payload in staged)
+        remote = target_rank != self._comm.rank
+        with slot.lock:
+            for offset, payload in staged:
+                slot.buffer[offset : offset + len(payload)] = payload
+            slot.filled += total
+            if remote and total:
+                self._comm.world.comm_for(
+                    target_world
+                ).trace.record_put_received(total)
+        if remote and total:
+            self._comm.trace.record_put(total)
 
     def get(self, target_rank: int, offset: int, nbytes: int) -> bytes:
         """Read ``nbytes`` from ``target_rank``'s region at ``offset``."""

@@ -18,10 +18,11 @@ error instead of a hang.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.simmpi.comm import Communicator, _Mailbox
-from repro.simmpi.errors import SimMPIError, WorldError
+from repro.simmpi.errors import DeadlockError, SimMPIError, WorldError
 
 DEFAULT_TIMEOUT = 60.0
 
@@ -94,13 +95,44 @@ class World:
                 self.barrier.abort()
 
         threads = [
-            threading.Thread(target=runner, args=(rank,), name=f"simmpi-rank-{rank}")
+            threading.Thread(
+                target=runner,
+                args=(rank,),
+                name=f"simmpi-rank-{rank}",
+                # Daemonic: a rank that outlives the configured timeout must
+                # not keep the interpreter alive after we report it stuck.
+                daemon=True,
+            )
             for rank in range(self.size)
         ]
         for t in threads:
             t.start()
+        # Join against the world's timeout budget instead of forever: every
+        # blocking primitive inside a rank already times out, but a rank
+        # spinning in application code (or blocked outside the substrate)
+        # would otherwise hang the whole run with no diagnosis.
+        deadline = time.monotonic() + self.timeout
         for t in threads:
-            t.join()
+            t.join(max(0.0, deadline - time.monotonic()))
+        stuck = [rank for rank, t in enumerate(threads) if t.is_alive()]
+        if stuck:
+            # Release peers waiting on the barrier, then give every rank a
+            # short grace period to unwind before reporting.
+            self.barrier.abort()
+            grace = time.monotonic() + 1.0
+            for t in threads:
+                t.join(max(0.0, grace - time.monotonic()))
+            stuck = [rank for rank, t in enumerate(threads) if t.is_alive()]
+        if stuck:
+            with failures_lock:
+                for rank in stuck:
+                    failures.setdefault(
+                        rank,
+                        DeadlockError(
+                            f"rank {rank} did not finish within the world "
+                            f"timeout of {self.timeout}s"
+                        ),
+                    )
         if failures:
             raise WorldError(failures)
         return results

@@ -12,6 +12,7 @@ defined.
 from __future__ import annotations
 
 import os
+from collections import Counter
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.fingerprint import Fingerprint
@@ -68,6 +69,94 @@ class ChunkStore:
             with open(path, "wb") as fh:
                 fh.write(data)
         return True
+
+    def put_many(self, pairs: Iterable[Tuple[Fingerprint, bytes]]) -> int:
+        """Batch :meth:`put`; returns how many chunks were physically written.
+
+        Semantically identical to calling :meth:`put` per pair (same stored
+        payloads, same counters), but the multiplicity bookkeeping runs at
+        C speed (``Counter`` over the fingerprint column) and only *new*
+        fingerprints — a handful per dump for redundant data — pay the
+        payload-materialisation scan.  This sits on the dump's write phase,
+        which commits every stored and received chunk of a checkpoint.
+        """
+        pairs = pairs if isinstance(pairs, (list, tuple)) else list(pairs)
+        if not pairs:
+            return 0
+        refcounts = self._refcounts
+        chunks = self._chunks
+        fps, payloads = zip(*pairs)
+        counts = Counter(fps)
+        logical = sum(map(len, payloads))
+        new_fps = [fp for fp in counts if fp not in refcounts]
+        if new_fps:
+            # Store the first-occurrence payload of each new fingerprint;
+            # the scan stops as soon as every new fingerprint is covered.
+            needed = set(new_fps)
+            for fp, data in pairs:
+                if fp in needed:
+                    chunks[fp] = bytes(data)
+                    needed.discard(fp)
+                    if self._directory is not None:
+                        path = os.path.join(self._directory, fp.hex())
+                        with open(path, "wb") as fh:
+                            fh.write(data)
+                    if not needed:
+                        break
+        for fp, c in counts.items():
+            refcounts[fp] = refcounts.get(fp, 0) + c
+        if self.dedup:
+            physical = sum(len(chunks[fp]) for fp in new_fps)
+            written = len(new_fps)
+        else:
+            physical = logical
+            written = len(pairs)
+        self.put_count += len(pairs)
+        self.logical_bytes += logical
+        self.physical_bytes += physical
+        return written
+
+    def put_counted(
+        self, items: Iterable[Tuple[Fingerprint, bytes, int]]
+    ) -> int:
+        """Batch :meth:`put` over pre-collapsed duplicates.
+
+        Each item is a distinct ``(fingerprint, payload, multiplicity)``
+        triple — e.g. from
+        :func:`~repro.core.wire.decode_region_unique` — and accounts like
+        ``multiplicity`` identical puts of that payload.  Returns the
+        number of chunks physically written.
+        """
+        refcounts = self._refcounts
+        chunks = self._chunks
+        dedup = self.dedup
+        n_put = logical = physical = written = 0
+        for fp, data, count in items:
+            size = len(data)
+            n_put += count
+            logical += count * size
+            if fp in refcounts:
+                refcounts[fp] += count
+                if not dedup:
+                    physical += count * size
+                    written += count
+                continue
+            refcounts[fp] = count
+            chunks[fp] = bytes(data)
+            if dedup:
+                physical += size
+                written += 1
+            else:
+                physical += count * size
+                written += count
+            if self._directory is not None:
+                path = os.path.join(self._directory, fp.hex())
+                with open(path, "wb") as fh:
+                    fh.write(data)
+        self.put_count += n_put
+        self.logical_bytes += logical
+        self.physical_bytes += physical
+        return written
 
     def get(self, fp: Fingerprint) -> bytes:
         try:
@@ -136,8 +225,15 @@ class NodeStorage:
     def parity_bytes(self) -> int:
         return sum(len(r.shard) for r in self._parity)
 
-    def put_manifest(self, manifest: Manifest) -> None:
-        self._manifests[manifest.key()] = manifest.to_bytes()
+    def put_manifest(self, manifest: Manifest, blob: Optional[bytes] = None) -> None:
+        """Store a manifest; pass ``blob`` to reuse an existing serialization."""
+        self._manifests[manifest.key()] = (
+            blob if blob is not None else manifest.to_bytes()
+        )
+
+    def put_manifest_blob(self, blob: bytes) -> None:
+        """Store a serialized manifest verbatim (no deserialization)."""
+        self._manifests[Manifest.key_of_blob(blob)] = bytes(blob)
 
     def get_manifest(self, rank: int, dump_id: int) -> Manifest:
         try:

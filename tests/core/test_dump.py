@@ -134,6 +134,22 @@ class TestStorageOutcomes:
         )
         for rank, r in enumerate(reports):
             exchange = world.comms[rank].trace.counters("exchange")
+            # Batched hot path: one put per non-empty partner region; every
+            # sent chunk still accounts for exactly one wire slot.
+            assert exchange.put_msgs == sum(1 for c in r.sent_per_partner if c)
+            assert exchange.chunks == r.sent_chunks
+
+    def test_window_traffic_matches_report_legacy(self):
+        n = 5
+        cfg = DumpConfig(replication_factor=3, chunk_size=CS, strategy=Strategy.COLL_DEDUP,
+                         f_threshold=4096, batched=False)
+        cluster = Cluster(n)
+        world = World(n)
+        reports = world.run(
+            lambda comm: dump_output(comm, make_rank_dataset(comm.rank), cfg, cluster)
+        )
+        for rank, r in enumerate(reports):
+            exchange = world.comms[rank].trace.counters("exchange")
             assert exchange.put_msgs == r.sent_chunks
 
     def test_dump_ids_keep_checkpoints_separate(self):

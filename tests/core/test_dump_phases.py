@@ -33,8 +33,10 @@ class TestPhaseTraces:
         assert any(t.counters("reduction").sent_bytes > 0 for t in traces)
 
     def test_exchange_put_bytes_cover_wire_records(self):
-        """Every sent chunk becomes one window put of one slot; the traced
-        put bytes must equal sent_chunks x slot size."""
+        """Every sent chunk occupies one wire slot, so the traced put bytes
+        must equal sent_chunks x slot size; the batched hot path ships each
+        partner's region with a single put (one message per non-empty
+        partner), while the chunk counter still tracks per-chunk volume."""
         from repro.core.wire import slot_nbytes
 
         n = 6
@@ -42,8 +44,12 @@ class TestPhaseTraces:
         slot = slot_nbytes(20, CS)
         for report, trace in zip(reports, traces):
             exchange = trace.counters("exchange")
-            assert exchange.put_msgs == report.sent_chunks
+            assert exchange.put_msgs == sum(
+                1 for c in report.sent_per_partner if c
+            )
             assert exchange.put_bytes == report.sent_chunks * slot
+            assert exchange.chunks == report.sent_chunks
+            assert exchange.chunk_bytes == report.sent_bytes
 
     def test_allgather_phase_small(self):
         """The Load allgather must stay tiny relative to the exchange —

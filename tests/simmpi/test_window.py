@@ -161,3 +161,81 @@ class TestWindowTrace:
 
         results = run_spmd(2, prog)
         assert results[0] == [b"\x00", b"\x01", b"\x02"]
+
+
+class TestPutMany:
+    def test_single_region_equals_put(self):
+        def prog(comm):
+            win = Window.create(comm, 8 if comm.rank == 0 else 0)
+            if comm.rank == 1:
+                win.put_many([(4, b"ABCD")], target_rank=0)
+            win.fence()
+            view = win.local_view()
+            win.free()
+            return view
+
+        results = run_spmd(2, prog)
+        assert results[0] == b"\x00\x00\x00\x00ABCD"
+
+    def test_multiple_disjoint_regions(self):
+        def prog(comm):
+            win = Window.create(comm, 10 if comm.rank == 0 else 0)
+            if comm.rank == 1:
+                win.put_many([(0, b"AA"), (6, b"BB"), (3, b"C")], target_rank=0)
+            win.fence()
+            view = win.local_view()
+            win.free()
+            return view
+
+        results = run_spmd(2, prog)
+        assert results[0] == b"AA\x00C\x00\x00BB\x00\x00"
+
+    def test_traced_as_one_message_of_total_bytes(self):
+        world = World(2)
+
+        def prog(comm):
+            win = Window.create(comm, 8)
+            peer = (comm.rank + 1) % comm.size
+            win.put_many([(0, b"abc"), (4, b"de")], target_rank=peer)
+            win.fence()
+            win.free()
+
+        world.run(prog)
+        for rank in range(2):
+            trace = world.comms[rank].trace.total()
+            assert trace.put_msgs == 1
+            assert trace.put_bytes == 5
+            assert trace.recv_msgs == 1
+            assert trace.recv_bytes == 5
+
+    def test_out_of_bounds_rejected_before_any_write(self):
+        def prog(comm):
+            win = Window.create(comm, 4 if comm.rank == 0 else 0)
+            err = None
+            if comm.rank == 1:
+                try:
+                    win.put_many([(0, b"ok"), (3, b"overflow")], target_rank=0)
+                except WindowError as exc:
+                    err = exc
+            win.fence()
+            view = win.local_view()
+            win.free()
+            return err, view
+
+        results = run_spmd(2, prog)
+        assert results[1][0] is not None
+        # The in-bounds part must not have been applied either.
+        assert results[0][1] == b"\x00\x00\x00\x00"
+
+    def test_empty_parts_are_a_traced_noop(self):
+        world = World(2)
+
+        def prog(comm):
+            win = Window.create(comm, 4)
+            peer = (comm.rank + 1) % comm.size
+            win.put_many([], target_rank=peer)
+            win.fence()
+            win.free()
+
+        world.run(prog)
+        assert world.comms[0].trace.total().put_msgs == 0

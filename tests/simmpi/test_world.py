@@ -76,3 +76,26 @@ class TestTraces:
         world.run(prog)
         assert world.comms[0].trace.sent_bytes == 3
         assert world.comms[1].trace.recv_bytes == 3
+
+
+class TestJoinTimeout:
+    def test_stuck_rank_reported_instead_of_hanging(self):
+        import time as _time
+
+        def prog(comm):
+            if comm.rank == 1:
+                _time.sleep(30)  # well past the world timeout
+            return comm.rank
+
+        start = _time.time()
+        with pytest.raises(WorldError) as exc_info:
+            run_spmd(3, prog, timeout=0.5)
+        assert _time.time() - start < 10
+        assert 1 in exc_info.value.failures
+        assert "did not finish" in str(exc_info.value.failures[1])
+        # Well-behaved ranks are not blamed.
+        assert 0 not in exc_info.value.failures
+        assert 2 not in exc_info.value.failures
+
+    def test_fast_ranks_unaffected_by_timeout_join(self):
+        assert run_spmd(4, lambda c: c.rank, timeout=5) == [0, 1, 2, 3]
