@@ -112,6 +112,16 @@ class DumpConfig:
     #: complexity bound to the F threshold (ablation bench X10).
     #: Replication partners remain global.
     dedup_domain_size: Optional[int] = None
+    #: Degraded operation: the dump tolerates dead nodes instead of raising.
+    #: Designations held by ranks on dead nodes are reassigned to live
+    #: holders, partner windows skip dead nodes (each rank replicates to its
+    #: nearest *live* successors in shuffled order), and a node that dies
+    #: mid-dump has its would-be commits dropped and accounted
+    #: (``DumpReport.dropped_chunks``/``dropped_bytes``) rather than
+    #: aborting the collective.  Data of ranks on dead nodes ends one
+    #: replica short of K (no local copy); a follow-up repair
+    #: (:func:`repro.repair.repair_cluster`) tops it up.
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.replication_factor < 1:
@@ -146,6 +156,11 @@ class DumpConfig:
         object.__setattr__(self, "strategy", Strategy.parse(self.strategy))
         if self.redundancy == "parity" and self.strategy is not Strategy.COLL_DEDUP:
             raise ValueError("parity redundancy requires the coll-dedup strategy")
+        if self.degraded and self.redundancy == "parity":
+            raise ValueError(
+                "degraded mode is not supported with parity redundancy: "
+                "stripe groups assume every member rank can commit shards"
+            )
 
     @property
     def wire_payload_capacity(self) -> int:

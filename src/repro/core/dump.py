@@ -21,7 +21,7 @@ Phases (each bracketed by a trace phase so the cost model can price them):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.chunking import Dataset
 from repro.core.config import DumpConfig, Strategy
@@ -30,11 +30,13 @@ from repro.core.fpcache import DirtyRegions, FingerprintCache
 from repro.core.global_dedup import build_global_view
 from repro.core.hmerge import GlobalView
 from repro.core.local_dedup import LocalIndex, local_dedup, local_dedup_batched
-from repro.core.offsets import WindowLayout, window_layout
+from repro.core.offsets import WindowLayout, window_layout, window_layout_degraded
 from repro.core.planner import ReplicationPlan, build_plan
 from repro.core.shuffle import (
     identity_shuffle,
     inverse_positions,
+    live_partners_of,
+    live_senders_to,
     node_aware_shuffle,
     partners_of,
     rank_shuffle,
@@ -91,6 +93,14 @@ class DumpReport:
     cache_hits: int = 0
     #: dataset bytes the hash phase skipped thanks to those hits
     cache_bytes_skipped: int = 0
+    #: True when the dump planned around dead nodes (degraded mode with at
+    #: least one node down at dump start)
+    degraded: bool = False
+    #: chunk records this rank could not commit because its node was dead at
+    #: write time (mid-dump failure under degraded mode), and their payload
+    #: bytes — the honest accounting of what the failure cost
+    dropped_chunks: int = 0
+    dropped_bytes: int = 0
 
     @property
     def total_stored_bytes(self) -> int:
@@ -128,6 +138,7 @@ def dump_output(
     dump_id: int = 0,
     fpcache: Optional[FingerprintCache] = None,
     dirty_regions: DirtyRegions = None,
+    phase_hook: Optional[Callable[[str, int], None]] = None,
 ) -> DumpReport:
     """Collectively dump ``dataset`` with replication factor ``config.K``.
 
@@ -149,6 +160,11 @@ def dump_output(
         outside the declared dirty ranges reuse their cached fingerprint
         and skip hashing; ``report.cache_hits``/``cache_bytes_skipped``
         account the savings.  Batched fixed-size path only.
+    phase_hook:
+        Optional callback invoked as ``hook(phase_name, rank)`` when this
+        rank enters each trace phase — the failure-injection seam
+        (:meth:`repro.storage.failures.FailureInjector.mid_dump_hook`) and a
+        generic progress probe.
     """
     rank, world = comm.rank, comm.size
     k_eff = config.effective_k(world)
@@ -156,10 +172,26 @@ def dump_output(
     fingerprinter = Fingerprinter(config.hash_name)
     report = DumpReport(rank=rank, strategy=strategy.value, k=k_eff)
 
+    # Degraded mode: agree on one liveness snapshot before planning.  Rank
+    # 0's view wins (broadcast), so a node dying *during* the dump cannot
+    # split the ranks between two layouts — its rank keeps participating
+    # under the agreed layout and the write phase drops its commits.
+    alive: Optional[List[bool]] = None
+    if config.degraded:
+        snapshot = [cluster.node_of(r).alive for r in range(world)]
+        alive = collectives.bcast(comm, snapshot)
+    degraded_layout = alive is not None and not all(alive)
+    report.degraded = degraded_layout
+
+    def enter_phase(name: str) -> None:
+        if phase_hook is not None:
+            phase_hook(name, rank)
+
     # Phase 1: chunk, fingerprint, local dedup.
     chunker = config.make_chunker() if config.chunking != "fixed" else None
     batched = config.batched and chunker is None
     with comm.trace.phase("hash"):
+        enter_phase("hash")
         if batched:
             if fpcache is not None:
                 fpcache.ensure_compatible(config.chunk_size, config.hash_name)
@@ -204,6 +236,7 @@ def dump_output(
     view: Optional[GlobalView] = None
     if strategy is Strategy.COLL_DEDUP:
         with comm.trace.phase("reduction") as counters:
+            enter_phase("reduction")
             reduction_comm = comm
             if config.dedup_domain_size is not None:
                 # Dedup domains: reduce within groups of consecutive ranks
@@ -228,6 +261,7 @@ def dump_output(
         dedup_local=strategy is not Strategy.NO_DEDUP,
         node_of=node_of if strategy is Strategy.COLL_DEDUP else None,
         topup=not parity_mode,
+        alive=alive,
     )
     report.discarded_chunks = len(plan.discarded_fps)
     report.load = plan.load
@@ -235,6 +269,7 @@ def dump_output(
     # Phase 3: gather the SendLoad matrix (needed by every strategy for the
     # single-sided planning; coll-dedup additionally shuffles on it).
     with comm.trace.phase("allgather"):
+        enter_phase("allgather")
         send_load = collectives.allgather(comm, plan.load)
 
     if strategy is Strategy.COLL_DEDUP and config.shuffle:
@@ -248,15 +283,19 @@ def dump_output(
     positions = inverse_positions(shuffle)
     my_pos = positions[rank]
     report.shuffle_position = my_pos
-    report.partners = partners_of(my_pos, shuffle, k_eff)
-
-    layout = window_layout(shuffle, send_load, k_eff)
+    if degraded_layout:
+        report.partners = live_partners_of(my_pos, shuffle, k_eff, alive)
+        layout = window_layout_degraded(shuffle, send_load, k_eff, alive)
+    else:
+        report.partners = partners_of(my_pos, shuffle, k_eff)
+        layout = window_layout(shuffle, send_load, k_eff)
     slot = slot_nbytes(fingerprinter.digest_size, config.wire_payload_capacity)
 
     # Phase 4: one-sided exchange.  Batched: each partner's whole region is
     # packed into one reused buffer and shipped with a single put (one lock
     # acquisition + one trace record per partner); legacy: one put per chunk.
     with comm.trace.phase("exchange"):
+        enter_phase("exchange")
         window = Window.create(comm, layout.window_slots[rank] * slot)
         capacity = config.wire_payload_capacity
         digest_size = fingerprinter.digest_size
@@ -267,7 +306,18 @@ def dump_output(
             )
             sendbuf = bytearray(max_region * slot)
         for p, fps in enumerate(plan.partner_chunks):
-            target = shuffle[(my_pos + p + 1) % world]
+            if p >= len(report.partners):
+                # Degraded: fewer live partners than slots; the planner kept
+                # these slots empty.
+                if fps:
+                    raise RuntimeError(
+                        f"rank {rank}: planned chunks for partner slot "
+                        f"{p + 1} but only {len(report.partners)} live "
+                        f"partners exist"
+                    )
+                report.sent_per_partner.append(0)
+                continue
+            target = report.partners[p]
             base = layout.offset_of(rank, target)
             count = len(fps)
             if batched and count:
@@ -316,27 +366,48 @@ def dump_output(
 
     # Phase 5: commit to local storage and replicate the manifest.
     with comm.trace.phase("write"):
-        node = cluster.storage_for(rank)
-        if batched:
-            node.chunks.put_many(
-                (fp, payload_of[fp]) for fp in plan.store_fps
-            )
-            report.stored_chunks += len(plan.store_fps)
-            report.stored_bytes += sum(
-                map(payload_size.__getitem__, plan.store_fps)
-            )
-            node.chunks.put_counted(received_unique)
-            report.received_chunks += received_records
-            report.received_bytes += received_nbytes
+        enter_phase("write")
+        if config.degraded:
+            # Re-check liveness at commit time: a node that died after the
+            # liveness snapshot (mid-dump) kept its rank in the collective,
+            # but nothing may land on its storage — drop and account.
+            node = cluster.node_of(rank)
+            commit_ok = node.alive
         else:
-            for fp in plan.store_fps:
-                node.chunks.put(fp, payload_of[fp])
-                report.stored_chunks += 1
-                report.stored_bytes += payload_size[fp]
-            for fp, payload in received:
-                node.chunks.put(fp, payload)
-                report.received_chunks += 1
-                report.received_bytes += len(payload)
+            node = cluster.storage_for(rank)
+            commit_ok = True
+        if commit_ok:
+            if batched:
+                node.chunks.put_many(
+                    (fp, payload_of[fp]) for fp in plan.store_fps
+                )
+                report.stored_chunks += len(plan.store_fps)
+                report.stored_bytes += sum(
+                    map(payload_size.__getitem__, plan.store_fps)
+                )
+                node.chunks.put_counted(received_unique)
+                report.received_chunks += received_records
+                report.received_bytes += received_nbytes
+            else:
+                for fp in plan.store_fps:
+                    node.chunks.put(fp, payload_of[fp])
+                    report.stored_chunks += 1
+                    report.stored_bytes += payload_size[fp]
+                for fp, payload in received:
+                    node.chunks.put(fp, payload)
+                    report.received_chunks += 1
+                    report.received_bytes += len(payload)
+        else:
+            if batched:
+                recv_records, recv_nbytes = received_records, received_nbytes
+            else:
+                recv_records = len(received)
+                recv_nbytes = sum(len(payload) for _fp, payload in received)
+            report.dropped_chunks = len(plan.store_fps) + recv_records
+            report.dropped_bytes = (
+                sum(map(payload_size.__getitem__, plan.store_fps))
+                + recv_nbytes
+            )
         comm.trace.record_chunks(
             report.stored_chunks + report.received_chunks,
             report.stored_bytes + report.received_bytes,
@@ -351,13 +422,21 @@ def dump_output(
             compressed=config.compress is not None,
         )
         blob = manifest.to_bytes()
-        node.put_manifest(manifest, blob=blob)
+        if commit_ok:
+            node.put_manifest(manifest, blob=blob)
         report.manifest_bytes = len(blob)
         manifest_tag = comm.next_collective_tag()
         for partner in report.partners:
             comm.send(blob, partner, tag=manifest_tag)
-        for sender in senders_to(my_pos, shuffle, k_eff):
-            node.put_manifest_blob(comm.recv(sender, tag=manifest_tag))
+        manifest_senders = (
+            live_senders_to(my_pos, shuffle, k_eff, alive)
+            if degraded_layout
+            else senders_to(my_pos, shuffle, k_eff)
+        )
+        for sender in manifest_senders:
+            incoming_blob = comm.recv(sender, tag=manifest_tag)
+            if commit_ok:
+                node.put_manifest_blob(incoming_blob)
 
     # Parity redundancy (extension): cross-rank stripe groups with rotating
     # parity holders replace the replica top-ups (see repro.erasure.ec_dump).

@@ -18,7 +18,7 @@ exactly which chunks it stores, discards, and sends to which partner slot:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.fingerprint import Fingerprint
 from repro.core.hmerge import GlobalView
@@ -88,6 +88,7 @@ def build_plan(
     dedup_local: bool = True,
     node_of=None,
     topup: bool = True,
+    alive: Optional[Sequence[bool]] = None,
 ) -> ReplicationPlan:
     """Build the replication plan for one rank under any strategy.
 
@@ -109,11 +110,30 @@ def build_plan(
         copies are sent; instead the chunks needing protection land in
         ``plan.short_fps`` — attributed to the first designated holder so
         each stripe member is protected exactly once globally.
+    alive:
+        Degraded mode: per-rank node liveness.  Dead ranks neither store nor
+        count toward coverage — designations they hold are effectively
+        reassigned: coverage is recounted over *live* designated ranks, the
+        resulting shortfall is topped up round-robin over the full
+        designated list (dead members still *send* — their process holds
+        the data even though their store is gone), and a live natural
+        holder whose designated list died entirely steps up as if the chunk
+        were unique.  ``None`` or all-True is exactly the healthy plan.
     """
     k_eff = min(k, world_size)
     nparts = k_eff - 1
     plan = ReplicationPlan(rank=rank, k=k_eff)
     plan.partner_chunks = [[] for _ in range(nparts)]
+
+    degraded = alive is not None and not all(alive)
+    if degraded:
+        n_live = sum(1 for a in alive if a)
+        self_alive = bool(alive[rank])
+        # Cannot ship more copies than there are live partners to take them.
+        max_parts = min(nparts, n_live - (1 if self_alive else 0))
+    else:
+        self_alive = True
+        max_parts = nparts
 
     if dedup_local:
         fps = local_index.unique_fingerprints()
@@ -124,14 +144,46 @@ def build_plan(
     for fp in fps:
         entry = view.get(fp) if view is not None else None
         if entry is None:
-            plan.store_fps.append(fp)
+            if self_alive:
+                plan.store_fps.append(fp)
             if topup:
-                for p in range(nparts):
+                for p in range(max_parts):
                     plan.partner_chunks[p].append(fp)
             else:
                 plan.short_fps.append(fp)
             continue
         ranks = entry.ranks
+        if degraded:
+            live_designated = [r for r in ranks if alive[r]]
+            if rank not in ranks:
+                if live_designated:
+                    plan.discarded_fps.append(fp)
+                else:
+                    # Every designated holder died: this live natural holder
+                    # steps up and re-seeds the chunk as if it were unique.
+                    if self_alive:
+                        plan.store_fps.append(fp)
+                    for p in range(max_parts):
+                        plan.partner_chunks[p].append(fp)
+                continue
+            if self_alive:
+                plan.store_fps.append(fp)
+            coverage = (
+                len({node_of[r] for r in live_designated})
+                if node_of is not None
+                else len(live_designated)
+            )
+            if coverage >= k_eff:
+                continue
+            d = len(ranks)
+            j = ranks.index(rank)
+            if topup:
+                copies = round_robin_share(k_eff - coverage, d, j)
+                for p in range(min(copies, max_parts)):
+                    plan.partner_chunks[p].append(fp)
+            elif j == 0:
+                plan.short_fps.append(fp)
+            continue
         if rank not in ranks:
             plan.discarded_fps.append(fp)
             continue

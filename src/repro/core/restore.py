@@ -64,7 +64,14 @@ def restore_dataset(
             else:
                 holders = cluster.locate(fp)
                 if holders:
-                    source = holders[0]
+                    # Least-loaded live holder (fewest chunks served so far,
+                    # ties by node id): a mass restore after failures spreads
+                    # its reads across every surviving replica holder instead
+                    # of hammering the lowest-numbered node.
+                    source = min(
+                        holders,
+                        key=lambda h: (report.source_nodes.get(h, 0), h),
+                    )
                     payload = cluster.nodes[source].chunks.get(fp)
                     report.source_nodes[source] = (
                         report.source_nodes.get(source, 0) + 1

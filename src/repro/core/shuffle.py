@@ -128,3 +128,58 @@ def senders_to(position: int, shuffle: Sequence[int], k: int) -> List[int]:
     increasing distance order (distance j sender sends via its j-th slot)."""
     n = len(shuffle)
     return [shuffle[(position - j) % n] for j in range(1, min(k, n))]
+
+
+def live_partners_of(
+    position: int, shuffle: Sequence[int], k: int, alive: Sequence[bool]
+) -> List[int]:
+    """Degraded-mode partners: the nearest *live* successors in shuffled
+    order, up to ``min(k, N) - 1`` of them.
+
+    Replicas on dead nodes protect nothing, so dead ranks are skipped
+    outright — the successor walk simply reaches further.  Ranks whose own
+    node is dead still get a partner list: their storage failed but their
+    process holds the data, and shipping it to live partners is the only
+    way that data survives the dump at all.  Reduces to
+    :func:`partners_of` when every node is alive.
+    """
+    n = len(shuffle)
+    want = min(k, n) - 1
+    partners: List[int] = []
+    for step in range(1, n):
+        if len(partners) >= want:
+            break
+        candidate = shuffle[(position + step) % n]
+        if alive[candidate]:
+            partners.append(candidate)
+    return partners
+
+
+def live_senders_to(
+    position: int, shuffle: Sequence[int], k: int, alive: Sequence[bool]
+) -> List[int]:
+    """Degraded-mode senders: every rank whose
+    :func:`live_partners_of` list includes the rank at ``position``.
+
+    Mirror of the partner walk: walking backward from a live target, a
+    sender at backward distance ``b`` uses its partner slot
+    ``j = (live ranks strictly between it and the target) + 1``; the walk
+    ends once ``j`` would exceed ``min(k, N) - 1``.  Dead senders are
+    *included* (they ship their data even though their store is gone);
+    dead targets receive nothing and get an empty list.  Reduces to
+    :func:`senders_to` when every node is alive.
+    """
+    n = len(shuffle)
+    if not alive[shuffle[position]]:
+        return []
+    nparts = min(k, n) - 1
+    senders: List[int] = []
+    live_between = 0
+    for back in range(1, n):
+        if live_between + 1 > nparts:
+            break
+        sender = shuffle[(position - back) % n]
+        senders.append(sender)
+        if alive[sender]:
+            live_between += 1
+    return senders

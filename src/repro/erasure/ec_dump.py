@@ -227,6 +227,43 @@ def _gather_stripe(
     return anchor, available
 
 
+def stripe_margin(
+    cluster: Cluster, fp: Fingerprint, dump_id: int
+) -> Optional[int]:
+    """How many more shard-holding nodes the stripe covering ``fp`` can
+    lose before it stops decoding; ``None`` when no live parity record
+    covers the chunk.
+
+    A margin of ``m`` (= ``stripe_parity``) is a fully intact stripe — the
+    same failure tolerance as K-replication.  The count is conservative:
+    every available shard unit (member chunk with a live holder, live
+    parity shard, known-zero pad) contributes one, even if a member chunk
+    happens to have extra natural replicas.
+    """
+    anchor: Optional[ParityRecord] = None
+    for node in cluster.nodes:
+        if not node.alive:
+            continue
+        record = node.find_parity(fp, dump_id)
+        if record is not None:
+            anchor = record
+            break
+    if anchor is None:
+        return None
+    available = 0
+    for member_fp in anchor.fingerprints:
+        if member_fp == NO_CHUNK or cluster.locate(member_fp):
+            available += 1
+    key = anchor.stripe_key()
+    shard_indices = set()
+    for node in cluster.nodes:
+        if not node.alive:
+            continue
+        for record in node.parity_for_stripe(key):
+            shard_indices.add(record.shard_index)
+    return available + len(shard_indices) - anchor.stripe_data
+
+
 def can_reconstruct(cluster: Cluster, fp: Fingerprint, dump_id: int) -> bool:
     """True iff :func:`reconstruct_chunk` would succeed (no decoding done)."""
     gathered = _gather_stripe(cluster, fp, dump_id)

@@ -11,7 +11,7 @@ only surviving replicas live on partner nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.config import DumpConfig
 from repro.core.dump import DumpReport, dump_output
@@ -27,9 +27,11 @@ class CheckpointStats:
 
     checkpoints_taken: int = 0
     restarts: int = 0
+    repairs: int = 0
     bytes_captured: int = 0
     bytes_sent: int = 0
     reports: List[DumpReport] = field(default_factory=list)
+    repair_reports: List = field(default_factory=list)  # RepairReport
 
 
 class CheckpointRuntime:
@@ -46,6 +48,11 @@ class CheckpointRuntime:
     interval:
         Checkpoint every ``interval`` application steps (the paper: every
         30 CM1 time-steps / at HPCCG iteration 100).
+    auto_repair:
+        When True, every restart is followed by a collective
+        :meth:`repair`: the surviving checkpoints are re-replicated back to
+        the configured K before the application resumes, so the restarted
+        run does not compute on top of a silently degraded safety margin.
     """
 
     def __init__(
@@ -54,6 +61,7 @@ class CheckpointRuntime:
         cluster: Cluster,
         config: DumpConfig,
         interval: int,
+        auto_repair: bool = False,
     ) -> None:
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
@@ -61,6 +69,7 @@ class CheckpointRuntime:
         self.cluster = cluster
         self.config = config
         self.interval = interval
+        self.auto_repair = auto_repair
         self.memory = MemoryRegistry()
         self.stats = CheckpointStats()
         self._next_dump_id = 0
@@ -106,6 +115,8 @@ class CheckpointRuntime:
         dataset, _report = restore_dataset(self.cluster, self.comm.rank, dump_id)
         self.memory.restore(dataset)
         self.stats.restarts += 1
+        if self.auto_repair:
+            self.repair()
         return dump_id
 
     def restart_collective(self, dump_id: Optional[int] = None) -> int:
@@ -124,4 +135,36 @@ class CheckpointRuntime:
         dataset, _report = load_input(self.comm, self.cluster, self.config, dump_id)
         self.memory.restore(dataset)
         self.stats.restarts += 1
+        if self.auto_repair:
+            self.repair()
         return dump_id
+
+    def repair(
+        self,
+        target_k: Optional[int] = None,
+        dump_ids: Optional[Sequence[int]] = None,
+    ):
+        """Collectively re-replicate surviving checkpoints back to K.
+
+        All ranks must call this together (it is a collective, like
+        :meth:`checkpoint`).  Each rank scans the shared cluster state and
+        plans independently — both steps are deterministic, so every rank
+        derives the identical schedule with no extra coordination, in the
+        spirit of the dump's offset planning — then the transfers run
+        through the one-sided window machinery.  Returns the merged
+        :class:`~repro.repair.executor.RepairReport` (same object contents
+        on every rank).
+        """
+        from repro.repair import execute_repair, plan_repair, scan_cluster
+
+        k = (
+            target_k
+            if target_k is not None
+            else self.config.effective_k(self.comm.size)
+        )
+        scan = scan_cluster(self.cluster, k, dump_ids)
+        schedule = plan_repair(self.cluster, scan)
+        report = execute_repair(self.comm, self.cluster, schedule, scan)
+        self.stats.repairs += 1
+        self.stats.repair_reports.append(report)
+        return report

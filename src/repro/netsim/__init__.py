@@ -11,13 +11,20 @@ linear in volume, so this is exact under the model.
 """
 
 from repro.netsim.machine import MachineProfile
-from repro.netsim.cost_model import DumpTimeBreakdown, dump_time
+from repro.netsim.cost_model import (
+    DumpTimeBreakdown,
+    RepairTimeBreakdown,
+    dump_time,
+    repair_time,
+)
 from repro.netsim.timeline import AppTimeline, completion_time
 
 __all__ = [
     "AppTimeline",
     "DumpTimeBreakdown",
     "MachineProfile",
+    "RepairTimeBreakdown",
     "completion_time",
     "dump_time",
+    "repair_time",
 ]

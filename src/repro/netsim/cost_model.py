@@ -120,6 +120,78 @@ def reduction_cap_bytes(f_threshold: int, k: int, digest_size: int = 20) -> floa
     return f_threshold * (digest_size + 4 + 4 * k)
 
 
+@dataclass
+class RepairTimeBreakdown:
+    """Modelled wall-clock seconds per phase of one collective repair.
+
+    Same bulk-synchronous pricing philosophy as :class:`DumpTimeBreakdown`:
+    each phase costs what its slowest node takes.
+
+    * **exchange** — repair replicas over the NIC: a node's time is the
+      larger of what it serves and what it receives (full-duplex), plus
+      per-chunk put overhead for served copies.
+    * **write** — received replicas onto the node-shared device.
+    * **manifest** — manifest blob re-replication (latency-dominated; one
+      message per blob).
+    """
+
+    exchange: float = 0.0
+    write: float = 0.0
+    manifest: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.exchange + self.write + self.manifest
+
+    def scaled(self, factor: float) -> "RepairTimeBreakdown":
+        return RepairTimeBreakdown(
+            exchange=self.exchange * factor,
+            write=self.write * factor,
+            manifest=self.manifest * factor,
+        )
+
+
+def repair_time(
+    report,
+    machine: MachineProfile,
+    volume_scale: float = 1.0,
+) -> RepairTimeBreakdown:
+    """Price a :class:`~repro.repair.executor.RepairReport` on a machine.
+
+    The report's per-node sent/received maps are the repair analogue of the
+    dump's SendLoad matrix — the planner balanced them, and this model is
+    how that balancing shows up as wall-clock: repair time is driven by the
+    *busiest* node, so spreading sources and destinations is what makes
+    repair fast.
+    """
+    if volume_scale <= 0:
+        raise ValueError("volume_scale must be positive")
+    breakdown = RepairTimeBreakdown()
+    exchange = 0.0
+    for node in set(report.sent_bytes) | set(report.recv_bytes):
+        wire = (
+            max(report.sent_bytes.get(node, 0), report.recv_bytes.get(node, 0))
+            * volume_scale
+        )
+        t = (
+            wire / machine.node_net_bandwidth
+            + report.sent_chunks.get(node, 0) * machine.put_overhead
+        )
+        exchange = max(exchange, t)
+    breakdown.exchange = exchange
+    if report.recv_bytes:
+        breakdown.write = (
+            max(report.recv_bytes.values())
+            * volume_scale
+            / machine.node_storage_bandwidth
+        )
+    if report.manifests_moved:
+        breakdown.manifest = report.manifests_moved * machine.network_latency + (
+            report.manifest_bytes_moved * volume_scale / machine.node_net_bandwidth
+        )
+    return breakdown
+
+
 def dump_time(
     result: SimResult,
     machine: MachineProfile,

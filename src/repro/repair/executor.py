@@ -1,0 +1,250 @@
+"""Repair layer 3 — the executor: collective re-replication over simmpi.
+
+Runs the planner's schedule through the same machinery the dump itself
+uses: a one-sided window per receiver sized exactly to its incoming
+repair traffic, senders writing fixed-size wire records
+(:mod:`repro.core.wire`) at slot offsets derived deterministically from
+the schedule, one fence separating the exchange epoch from the local
+commit.  Phases are traced (``repair-exchange``, ``repair-write``,
+``repair-manifest``) so :func:`repro.netsim.cost_model.repair_time` can
+price a repair exactly like a dump.
+
+One live node = one *agent* rank (the lowest rank mapped to it).  Every
+rank of the world participates in the collectives — including ranks whose
+node is dead, which expose zero-byte windows and move nothing — so the
+executor can run inside any existing SPMD program (e.g. right after a
+collective restart) without communicator surgery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.wire import decode_region_batch, encode_record, slot_nbytes
+from repro.repair.planner import RepairSchedule
+from repro.repair.scanner import RepairScan
+from repro.simmpi import collectives
+from repro.simmpi.comm import Communicator
+from repro.simmpi.trace import PhaseCounters
+from repro.simmpi.window import Window
+from repro.storage.local_store import Cluster
+
+#: trace phase names, in execution order
+REPAIR_PHASES = ("repair-exchange", "repair-write", "repair-manifest")
+
+
+@dataclass
+class RepairReport:
+    """Accounting of one collective repair, merged across every rank."""
+
+    target_k: int
+    n_live_nodes: int = 0
+    #: replica copies created / payload bytes they carried
+    chunks_moved: int = 0
+    bytes_moved: int = 0
+    #: copies whose payload had to be RS-decoded from a parity stripe first
+    reconstructed_chunks: int = 0
+    manifests_moved: int = 0
+    manifest_bytes_moved: int = 0
+    #: node id -> chunks/bytes it served as a repair source
+    sent_chunks: Dict[int, int] = field(default_factory=dict)
+    sent_bytes: Dict[int, int] = field(default_factory=dict)
+    #: node id -> replica copies/bytes that landed on it
+    recv_chunks: Dict[int, int] = field(default_factory=dict)
+    recv_bytes: Dict[int, int] = field(default_factory=dict)
+    #: unrepairable damage found by the scan (counts, not identities)
+    lost_chunks: int = 0
+    lost_ranks: int = 0
+    #: scan context: chunks the walk visited / deficit it found
+    scanned_chunks: int = 0
+    deficit_chunks: int = 0
+    deficit_bytes: int = 0
+    #: per-phase communication totals, merged across ranks
+    phases: Dict[str, PhaseCounters] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when the scan found nothing to repair and nothing lost."""
+        return not (
+            self.deficit_chunks
+            or self.manifests_moved
+            or self.lost_chunks
+            or self.lost_ranks
+            or self.chunks_moved
+        )
+
+    @property
+    def complete(self) -> bool:
+        """True when nothing was lost beyond repair."""
+        return not (self.lost_chunks or self.lost_ranks)
+
+    def merge_fragment(self, other: "RepairReport") -> None:
+        """Fold one rank's contribution into this report."""
+        self.chunks_moved += other.chunks_moved
+        self.bytes_moved += other.bytes_moved
+        self.reconstructed_chunks += other.reconstructed_chunks
+        self.manifests_moved += other.manifests_moved
+        self.manifest_bytes_moved += other.manifest_bytes_moved
+        for src, dst in (
+            (other.sent_chunks, self.sent_chunks),
+            (other.sent_bytes, self.sent_bytes),
+            (other.recv_chunks, self.recv_chunks),
+            (other.recv_bytes, self.recv_bytes),
+        ):
+            for node, v in src.items():
+                dst[node] = dst.get(node, 0) + v
+        for name, counters in other.phases.items():
+            self.phases.setdefault(name, PhaseCounters()).merge(counters)
+
+
+def base_report(scan: RepairScan) -> RepairReport:
+    """A zero-movement report carrying the scan's context and loss counts."""
+    return RepairReport(
+        target_k=scan.target_k,
+        n_live_nodes=scan.n_live_nodes,
+        lost_chunks=len(scan.lost_chunks),
+        lost_ranks=len(scan.lost_ranks),
+        scanned_chunks=scan.scanned_chunks,
+        deficit_chunks=scan.deficit_chunks,
+        deficit_bytes=scan.deficit_bytes,
+    )
+
+
+def agent_ranks(cluster: Cluster, world_size: int) -> Dict[int, int]:
+    """live node id -> the rank that acts for it (lowest rank on the node)."""
+    agents: Dict[int, int] = {}
+    for rank in range(world_size):
+        node_id = cluster.rank_to_node[rank]
+        if cluster.nodes[node_id].alive and node_id not in agents:
+            agents[node_id] = rank
+    return agents
+
+
+def execute_repair(
+    comm: Communicator,
+    cluster: Cluster,
+    schedule: RepairSchedule,
+    scan: Optional[RepairScan] = None,
+) -> RepairReport:
+    """Collectively execute ``schedule``; every rank returns the identical
+    merged :class:`RepairReport`.
+
+    Must be called by every rank of the world (it is a collective), with the
+    same ``schedule`` everywhere — which :func:`repro.repair.planner.plan_repair`
+    guarantees when each rank plans independently from the shared cluster
+    state.
+    """
+    from repro.erasure.ec_dump import reconstruct_chunk
+
+    if comm.size != cluster.n_ranks:
+        raise ValueError(
+            f"repair world of {comm.size} ranks does not match the cluster's "
+            f"{cluster.n_ranks}"
+        )
+    # When each rank planned its own schedule (the in-world path), a fast
+    # pair of agents must not start mutating cluster state while a slow rank
+    # is still scanning it — that would fork the schedules.  Hold everyone
+    # at the door until all plans are final.
+    comm.barrier()
+    agents = agent_ranks(cluster, comm.size)
+    my_node = cluster.rank_to_node[comm.rank]
+    i_am_agent = agents.get(my_node) == comm.rank
+
+    fragment = base_report(scan) if scan is not None else RepairReport(
+        target_k=schedule.target_k, n_live_nodes=len(agents)
+    )
+
+    # -- chunk replicas: one-sided exchange, then local commit ----------------
+    if schedule.transfers:
+        slot = slot_nbytes(schedule.digest_size, schedule.slot_payload)
+        incoming = schedule.incoming()
+        slot_index = schedule.slot_of()
+        my_in = incoming.get(my_node, []) if i_am_agent else []
+        with comm.trace.phase("repair-exchange"):
+            win = Window.create(comm, len(my_in) * slot)
+            if i_am_agent:
+                by_dest: Dict[int, List] = {}
+                for t in schedule.outgoing().get(my_node, []):
+                    if t.reconstruct:
+                        payload = reconstruct_chunk(cluster, t.fp, t.dump_id)
+                        fragment.reconstructed_chunks += 1
+                    else:
+                        payload = cluster.nodes[my_node].chunks.get(t.fp)
+                    record = encode_record(
+                        t.fp, payload, schedule.slot_payload
+                    )
+                    by_dest.setdefault(t.dest, []).append(
+                        (slot_index[t] * slot, record)
+                    )
+                    fragment.sent_chunks[my_node] = (
+                        fragment.sent_chunks.get(my_node, 0) + 1
+                    )
+                    fragment.sent_bytes[my_node] = (
+                        fragment.sent_bytes.get(my_node, 0) + len(payload)
+                    )
+                for dest in sorted(by_dest):
+                    win.put_many(by_dest[dest], agents[dest])
+            win.fence()
+            view = win.local_view() if my_in else b""
+        with comm.trace.phase("repair-write"):
+            if my_in:
+                records = decode_region_batch(
+                    view,
+                    schedule.digest_size,
+                    schedule.slot_payload,
+                    0,
+                    len(my_in),
+                )
+                node = cluster.nodes[my_node]
+                node.chunks.put_many(records)
+                landed = sum(len(payload) for _fp, payload in records)
+                comm.trace.record_chunks(len(records), landed)
+                fragment.chunks_moved += len(records)
+                fragment.bytes_moved += landed
+                fragment.recv_chunks[my_node] = (
+                    fragment.recv_chunks.get(my_node, 0) + len(records)
+                )
+                fragment.recv_bytes[my_node] = (
+                    fragment.recv_bytes.get(my_node, 0) + landed
+                )
+        win.free()
+
+    # -- manifests: tiny point-to-point blobs between agents ------------------
+    with comm.trace.phase("repair-manifest"):
+        # Collective tag advance: every rank calls this exactly once whether
+        # or not it moves a manifest, keeping tag counters in lockstep.
+        tag = comm.next_collective_tag()
+        for mt in schedule.manifest_transfers:
+            src_agent = agents[mt.source]
+            dst_agent = agents[mt.dest]
+            if comm.rank == src_agent:
+                blob = cluster.nodes[mt.source].get_manifest_blob(
+                    mt.rank, mt.dump_id
+                )
+                comm.send(blob, dst_agent, tag=tag)
+                fragment.sent_bytes[mt.source] = (
+                    fragment.sent_bytes.get(mt.source, 0) + len(blob)
+                )
+            if comm.rank == dst_agent:
+                blob = comm.recv(src_agent, tag=tag)
+                cluster.nodes[mt.dest].put_manifest_blob(blob)
+                fragment.manifests_moved += 1
+                fragment.manifest_bytes_moved += len(blob)
+                fragment.recv_bytes[mt.dest] = (
+                    fragment.recv_bytes.get(mt.dest, 0) + len(blob)
+                )
+
+    # Snapshot this rank's repair-phase counters into the fragment, then
+    # merge every fragment so all ranks return the same complete report.
+    for name in REPAIR_PHASES:
+        counters = comm.trace.phases.get(name)
+        if counters is not None:
+            fragment.phases[name] = replace(counters)
+    fragments = collectives.allgather(comm, fragment)
+    merged = base_report(scan) if scan is not None else RepairReport(
+        target_k=schedule.target_k, n_live_nodes=len(agents)
+    )
+    for frag in fragments:
+        merged.merge_fragment(frag)
+    return merged

@@ -1,0 +1,200 @@
+"""Repair layer 2 — the planner: a load-balanced, coordination-free schedule.
+
+Turns the scanner's under-replication table into an explicit list of
+transfers, applying the same load-balancing philosophy as the dump itself:
+
+* **sources spread the read load** — each copy is read from the holder with
+  the least bytes already scheduled to serve (the repair-side analogue of
+  HMERGE's designation truncation, which spreads *ownership* of popular
+  chunks over their holders);
+* **destinations are the least-loaded live nodes** — ranked by current
+  physical occupancy plus bytes already scheduled to land there (the
+  repair-side analogue of ``RANK_SHUFFLE``'s receive balancing) — and never
+  co-locate with an existing replica or another new copy of the same chunk;
+* **offsets are deterministic** — the schedule orders every destination's
+  incoming transfers canonically, so each participant of the collective
+  executor computes its one-sided window offsets from the schedule alone,
+  ``CALC_OFF``-style: no extra coordination round is needed before the
+  transfers start.
+
+Planning is a pure function of (cluster state, scan): every rank running it
+independently produces the identical schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.fingerprint import Fingerprint
+from repro.repair.scanner import RepairScan
+from repro.storage.local_store import Cluster
+
+
+@dataclass(frozen=True)
+class RepairTransfer:
+    """One replica to create: read ``fp`` at ``source``, store at ``dest``."""
+
+    fp: Fingerprint
+    dump_id: int
+    size: int
+    source: int
+    dest: int
+    #: True when ``source`` does not hold the chunk and must RS-decode it
+    #: from its parity stripe before sending
+    reconstruct: bool = False
+
+
+@dataclass(frozen=True)
+class ManifestTransfer:
+    """One manifest blob to re-replicate (sent point-to-point; tiny)."""
+
+    rank: int
+    dump_id: int
+    nbytes: int
+    source: int
+    dest: int
+
+
+@dataclass
+class RepairSchedule:
+    """The full repair plan, in canonical (deterministic) order."""
+
+    target_k: int
+    #: digest size shared by every scheduled fingerprint (0 when empty)
+    digest_size: int = 0
+    #: payload capacity of one window slot: the largest scheduled chunk
+    slot_payload: int = 0
+    transfers: List[RepairTransfer] = field(default_factory=list)
+    manifest_transfers: List[ManifestTransfer] = field(default_factory=list)
+
+    @property
+    def bytes_scheduled(self) -> int:
+        return sum(t.size for t in self.transfers)
+
+    @property
+    def chunks_scheduled(self) -> int:
+        return len(self.transfers)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.transfers or self.manifest_transfers)
+
+    def incoming(self) -> Dict[int, List[RepairTransfer]]:
+        """dest node -> its transfers in window order (schedule order).
+
+        Every participant derives the same mapping, so a sender computes its
+        put offset as the transfer's index in the destination's list — the
+        repair counterpart of Algorithm 3's prefix-sum offsets.
+        """
+        regions: Dict[int, List[RepairTransfer]] = {}
+        for t in self.transfers:
+            regions.setdefault(t.dest, []).append(t)
+        return regions
+
+    def outgoing(self) -> Dict[int, List[RepairTransfer]]:
+        """source node -> its transfers in schedule order."""
+        out: Dict[int, List[RepairTransfer]] = {}
+        for t in self.transfers:
+            out.setdefault(t.source, []).append(t)
+        return out
+
+    def slot_of(self) -> Dict[RepairTransfer, int]:
+        """transfer -> slot index inside its destination's window."""
+        slots: Dict[RepairTransfer, int] = {}
+        for _dest, region in self.incoming().items():
+            for i, t in enumerate(region):
+                slots[t] = i
+        return slots
+
+
+def plan_repair(cluster: Cluster, scan: RepairScan) -> RepairSchedule:
+    """Schedule every deficit in ``scan`` onto live sources/destinations.
+
+    Deterministic given (cluster, scan): chunks are visited in fingerprint
+    order; source/destination ties break by node id.
+    """
+    live = sorted(n.node_id for n in cluster.alive_nodes)
+    schedule = RepairSchedule(target_k=scan.target_k)
+    if not live:
+        return schedule
+
+    # Scheduled load so far, in bytes.  Destinations additionally weigh the
+    # node's current physical occupancy so repair fills the emptiest nodes
+    # first instead of amplifying existing imbalance.
+    read_load: Dict[int, int] = {n: 0 for n in live}
+    write_load: Dict[int, int] = {
+        n: cluster.nodes[n].chunks.physical_bytes for n in live
+    }
+
+    digest_sizes = set()
+    for fp in sorted(scan.chunks):
+        entry = scan.chunks[fp]
+        if entry.deficit <= 0:
+            continue
+        digest_sizes.add(len(fp))
+        holders = set(entry.holders)
+        placed: List[int] = []
+        for _copy in range(entry.deficit):
+            candidates = [
+                n for n in live if n not in holders and n not in placed
+            ]
+            if not candidates:
+                break  # fewer live nodes than the target; best effort
+            dest = min(candidates, key=lambda n: (write_load[n], n))
+            if entry.holders:
+                source = min(entry.holders, key=lambda n: (read_load[n], n))
+                reconstruct = False
+            else:
+                # Parity-only: any live node can decode the stripe; let the
+                # least read-loaded one do it (the decode re-reads surviving
+                # shards, so it is genuine read work).
+                source = min(live, key=lambda n: (read_load[n], n))
+                reconstruct = True
+            schedule.transfers.append(
+                RepairTransfer(
+                    fp=fp,
+                    dump_id=entry.dump_id,
+                    size=entry.size,
+                    source=source,
+                    dest=dest,
+                    reconstruct=reconstruct,
+                )
+            )
+            read_load[source] += entry.size
+            write_load[dest] += entry.size
+            placed.append(dest)
+
+    for deficit in sorted(
+        scan.manifests, key=lambda m: (m.dump_id, m.rank)
+    ):
+        placed_m: List[int] = []
+        holders_m = set(deficit.holders)
+        for _copy in range(deficit.deficit):
+            candidates = [
+                n for n in live if n not in holders_m and n not in placed_m
+            ]
+            if not candidates:
+                break
+            dest = min(candidates, key=lambda n: (write_load[n], n))
+            source = min(deficit.holders, key=lambda n: (read_load[n], n))
+            schedule.manifest_transfers.append(
+                ManifestTransfer(
+                    rank=deficit.rank,
+                    dump_id=deficit.dump_id,
+                    nbytes=deficit.nbytes,
+                    source=source,
+                    dest=dest,
+                )
+            )
+            read_load[source] += deficit.nbytes
+            write_load[dest] += deficit.nbytes
+            placed_m.append(dest)
+
+    if len(digest_sizes) > 1:
+        raise ValueError(
+            f"mixed fingerprint sizes in repair schedule: {sorted(digest_sizes)}"
+        )
+    schedule.digest_size = digest_sizes.pop() if digest_sizes else 0
+    schedule.slot_payload = max((t.size for t in schedule.transfers), default=0)
+    return schedule

@@ -1,0 +1,240 @@
+"""Repair layer 1 — the scanner: what is under-replicated, and by how much.
+
+After node failures the cluster silently runs below the replication factor
+K it promised at dump time.  The scanner walks every surviving manifest of
+the dumps under audit and, for each distinct fingerprint they reference,
+compares the *live* replica count (:meth:`~repro.storage.local_store.Cluster.locate`)
+against the repair target.  The result is the under-replication table the
+planner turns into a transfer schedule:
+
+* chunks with live holders but fewer than ``target`` of them — the common
+  case: replicas died with their nodes and must be re-made from survivors;
+* chunks with **no** live holder that an erasure-coded stripe can still
+  decode (parity redundancy mode) — repairable, but the payload must be
+  reconstructed before it can be re-replicated;
+* chunks with no live holder and no decodable stripe — lost; recorded so
+  the caller can report the blast radius honestly.
+
+Manifests get the same treatment: they are tiny but losing the last copy
+makes a rank's data unusable, so the scanner tracks their live-copy
+deficits too.
+
+Scanning is read-only and deterministic: every rank of a collective repair
+can run it independently and arrive at the identical table — the same
+"no extra coordination" property the dump's offset planning (Algorithm 3)
+relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.fingerprint import Fingerprint
+from repro.storage.local_store import Cluster, StorageError
+
+
+@dataclass(frozen=True)
+class ChunkDeficit:
+    """One under-replicated chunk: where it lives vs. where it should."""
+
+    fp: Fingerprint
+    #: dump whose parity records (if any) cover the chunk
+    dump_id: int
+    #: stored payload size in bytes (parity mode: the original chunk size)
+    size: int
+    #: live node ids currently holding the chunk, ascending
+    holders: Tuple[int, ...]
+    #: live replica count to restore (K capped at the live-node count)
+    target: int
+    #: True when no replica survives and the payload must be RS-decoded
+    #: from its stripe before re-replication
+    parity_only: bool = False
+
+    @property
+    def deficit(self) -> int:
+        """Replicas that must be created."""
+        return max(0, self.target - len(self.holders))
+
+    @property
+    def deficit_bytes(self) -> int:
+        return self.deficit * self.size
+
+
+@dataclass(frozen=True)
+class ManifestDeficit:
+    """A rank's manifest with fewer than ``target`` live copies."""
+
+    rank: int
+    dump_id: int
+    nbytes: int
+    holders: Tuple[int, ...]
+    target: int
+
+    @property
+    def deficit(self) -> int:
+        return max(0, self.target - len(self.holders))
+
+
+@dataclass
+class RepairScan:
+    """The under-replication table of one scan pass."""
+
+    target_k: int
+    dump_ids: List[int] = field(default_factory=list)
+    n_live_nodes: int = 0
+    #: fingerprint -> deficit entry, **only** for under-replicated chunks
+    chunks: Dict[Fingerprint, ChunkDeficit] = field(default_factory=dict)
+    #: under-replicated manifests, in (dump_id, rank) order
+    manifests: List[ManifestDeficit] = field(default_factory=list)
+    #: chunks with no live replica and no decodable stripe
+    lost_chunks: List[Tuple[Fingerprint, int]] = field(default_factory=list)
+    #: (rank, dump_id) whose manifest has no live copy at all
+    lost_ranks: List[Tuple[int, int]] = field(default_factory=list)
+    #: everything the walk visited (healthy chunks included)
+    scanned_chunks: int = 0
+    scanned_bytes: int = 0
+
+    @property
+    def deficit_chunks(self) -> int:
+        """Replica copies the repair must create."""
+        return sum(d.deficit for d in self.chunks.values())
+
+    @property
+    def deficit_bytes(self) -> int:
+        return sum(d.deficit_bytes for d in self.chunks.values())
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing needs repairing and nothing is lost."""
+        return not (
+            self.chunks or self.manifests or self.lost_chunks or self.lost_ranks
+        )
+
+
+def _parity_chunk_size(
+    cluster: Cluster, fp: Fingerprint, dump_id: int
+) -> Optional[int]:
+    """Original size of a parity-covered chunk, from any live record."""
+    for node in cluster.nodes:
+        if not node.alive:
+            continue
+        record = node.find_parity(fp, dump_id)
+        if record is not None:
+            return record.chunk_sizes[record.fingerprints.index(fp)]
+    return None
+
+
+def scan_cluster(
+    cluster: Cluster,
+    target_k: int,
+    dump_ids: Optional[Sequence[int]] = None,
+) -> RepairScan:
+    """Build the under-replication table for ``dump_ids`` (default: all
+    dumps still visible on live nodes).
+
+    ``target_k`` is the replication factor to restore; the per-chunk target
+    is capped at the live-node count (you cannot place more distinct
+    replicas than there are live nodes).
+    """
+    if target_k < 1:
+        raise ValueError(f"target_k must be >= 1, got {target_k}")
+    from repro.erasure.ec_dump import can_reconstruct, stripe_margin
+
+    if dump_ids is None:
+        dump_ids = cluster.known_dumps()
+    live_nodes = [n.node_id for n in cluster.alive_nodes]
+    target = min(target_k, len(live_nodes))
+    scan = RepairScan(
+        target_k=target_k,
+        dump_ids=list(dump_ids),
+        n_live_nodes=len(live_nodes),
+    )
+    seen: Dict[Fingerprint, bool] = {}  # fp -> is repairable (holders or stripe)
+    lost_at: Dict[Fingerprint, int] = {}  # fp -> index in scan.lost_chunks
+
+    for dump_id in scan.dump_ids:
+        for rank in range(cluster.n_ranks):
+            holders = cluster.manifest_holders(rank, dump_id)
+            if not holders:
+                # The manifest may be genuinely absent for this (rank, dump)
+                # combination — e.g. a rank that joined later — so only ranks
+                # that ever dumped are reported; without any live copy we
+                # cannot tell, which is exactly the loss being recorded.
+                scan.lost_ranks.append((rank, dump_id))
+                continue
+            if len(holders) < target:
+                node = cluster.nodes[holders[0]]
+                scan.manifests.append(
+                    ManifestDeficit(
+                        rank=rank,
+                        dump_id=dump_id,
+                        nbytes=len(node.get_manifest_blob(rank, dump_id)),
+                        holders=tuple(holders),
+                        target=target,
+                    )
+                )
+            manifest = cluster.nodes[holders[0]].get_manifest(rank, dump_id)
+            for fp in set(manifest.fingerprints):
+                if fp in seen:
+                    if not seen[fp]:
+                        # Previously unrecoverable; a later dump's stripe
+                        # may still cover it.
+                        if can_reconstruct(cluster, fp, dump_id):
+                            size = _parity_chunk_size(cluster, fp, dump_id)
+                            scan.chunks[fp] = ChunkDeficit(
+                                fp=fp,
+                                dump_id=dump_id,
+                                size=size or 0,
+                                holders=(),
+                                target=target,
+                                parity_only=True,
+                            )
+                            scan.lost_chunks.pop(lost_at.pop(fp))
+                            lost_at.update(
+                                (f, i) for i, (f, _d) in enumerate(scan.lost_chunks)
+                            )
+                            seen[fp] = True
+                    continue
+                chunk_holders = cluster.locate(fp)
+                if chunk_holders:
+                    size = cluster.nodes[chunk_holders[0]].chunks.nbytes_of(fp)
+                    scan.scanned_chunks += 1
+                    scan.scanned_bytes += size
+                    seen[fp] = True
+                    if len(chunk_holders) < target:
+                        # A stripe that can still lose target-1 shard nodes
+                        # protects the chunk as well as target replicas
+                        # would — leave it on parity.  Stripes below that
+                        # margin get the chunk re-replicated instead (parity
+                        # repair would need the whole group's cooperation;
+                        # replication only needs the bytes).
+                        margin = stripe_margin(cluster, fp, dump_id)
+                        if margin is not None and margin >= target - 1:
+                            continue
+                        scan.chunks[fp] = ChunkDeficit(
+                            fp=fp,
+                            dump_id=dump_id,
+                            size=size,
+                            holders=tuple(chunk_holders),
+                            target=target,
+                        )
+                elif can_reconstruct(cluster, fp, dump_id):
+                    size = _parity_chunk_size(cluster, fp, dump_id) or 0
+                    scan.scanned_chunks += 1
+                    scan.scanned_bytes += size
+                    seen[fp] = True
+                    scan.chunks[fp] = ChunkDeficit(
+                        fp=fp,
+                        dump_id=dump_id,
+                        size=size,
+                        holders=(),
+                        target=target,
+                        parity_only=True,
+                    )
+                else:
+                    scan.scanned_chunks += 1
+                    seen[fp] = False
+                    lost_at[fp] = len(scan.lost_chunks)
+                    scan.lost_chunks.append((fp, dump_id))
+    return scan

@@ -8,6 +8,18 @@ ranks, which is how every evaluation figure is regenerated.
 """
 
 from repro.sim.driver import SimResult, simulate_dump
-from repro.sim.metrics import DumpMetrics, compute_metrics
+from repro.sim.metrics import (
+    DumpMetrics,
+    RepairBalance,
+    compute_metrics,
+    repair_balance,
+)
 
-__all__ = ["DumpMetrics", "SimResult", "compute_metrics", "simulate_dump"]
+__all__ = [
+    "DumpMetrics",
+    "RepairBalance",
+    "SimResult",
+    "compute_metrics",
+    "repair_balance",
+    "simulate_dump",
+]

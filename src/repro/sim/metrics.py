@@ -128,3 +128,52 @@ def compute_metrics(
         else:
             metrics.node_replication_min = metrics.effective_replication_min
     return metrics
+
+
+@dataclass
+class RepairBalance:
+    """Load-spread rollup of one collective repair.
+
+    The repair analogue of ``sent_avg``/``recv_max`` above: the planner's
+    whole job is keeping these maxima close to the averages, because the
+    modelled repair time (:func:`repro.netsim.cost_model.repair_time`) is
+    driven by the busiest node.  An imbalance of 1.0 is a perfectly spread
+    repair; large values mean one node is the bottleneck.
+    """
+
+    chunks_moved: int = 0
+    bytes_moved: int = 0
+    source_nodes: int = 0
+    dest_nodes: int = 0
+    read_avg: float = 0.0
+    read_max: int = 0
+    write_avg: float = 0.0
+    write_max: int = 0
+
+    @property
+    def read_imbalance(self) -> float:
+        """max/avg bytes served per source node (1.0 = perfectly spread)."""
+        return self.read_max / self.read_avg if self.read_avg else 0.0
+
+    @property
+    def write_imbalance(self) -> float:
+        """max/avg bytes landed per destination node (1.0 = spread)."""
+        return self.write_max / self.write_avg if self.write_avg else 0.0
+
+
+def repair_balance(report) -> RepairBalance:
+    """Roll a :class:`~repro.repair.executor.RepairReport` up into its
+    load-spread summary."""
+    balance = RepairBalance(
+        chunks_moved=report.chunks_moved,
+        bytes_moved=report.bytes_moved,
+        source_nodes=len(report.sent_bytes),
+        dest_nodes=len(report.recv_bytes),
+    )
+    if report.sent_bytes:
+        balance.read_max = max(report.sent_bytes.values())
+        balance.read_avg = sum(report.sent_bytes.values()) / len(report.sent_bytes)
+    if report.recv_bytes:
+        balance.write_max = max(report.recv_bytes.values())
+        balance.write_avg = sum(report.recv_bytes.values()) / len(report.recv_bytes)
+    return balance

@@ -9,8 +9,9 @@ end-to-end property the whole library exists to provide.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.storage.local_store import Cluster, StorageError
 
@@ -55,8 +56,14 @@ class FailureInjector:
         """Check every rank's dataset for full reconstructability.
 
         A rank is recoverable iff a manifest replica survives *and* every
-        fingerprint it references has at least one live holder.
+        fingerprint it references has at least one live holder — or, under
+        the parity redundancy mode, an erasure-coded stripe with enough
+        surviving shards to decode it (consistent with
+        :func:`repro.core.restore.verify_restorable`, which drives the same
+        check before an actual restore).
         """
+        from repro.erasure.ec_dump import can_reconstruct
+
         if ranks is None:
             ranks = range(self.cluster.n_ranks)
         report = RecoverabilityReport(
@@ -71,7 +78,9 @@ class FailureInjector:
                 continue
             missing = 0
             for fp in set(manifest.fingerprints):
-                if not self.cluster.locate(fp):
+                if not self.cluster.locate(fp) and not can_reconstruct(
+                    self.cluster, fp, dump_id
+                ):
                     missing += 1
             if missing:
                 report.lost_ranks.append(rank)
@@ -79,3 +88,28 @@ class FailureInjector:
             else:
                 report.recoverable_ranks.append(rank)
         return report
+
+    def mid_dump_hook(
+        self, node_id: int, phase: str = "exchange"
+    ) -> Callable[[str, int], None]:
+        """A ``dump_output`` phase hook that kills ``node_id`` mid-dump.
+
+        The returned callable is passed as ``dump_output(...,
+        phase_hook=...)``; the first rank to enter ``phase`` fails the node
+        (exactly once, thread-safe), so the dump experiences the loss while
+        its exchange/write phases are still in flight — the scenario
+        degraded mode (``DumpConfig.degraded``) must survive.
+        """
+        lock = threading.Lock()
+        fired = [False]
+
+        def hook(phase_name: str, _rank: int) -> None:
+            if phase_name != phase:
+                return
+            with lock:
+                if fired[0]:
+                    return
+                fired[0] = True
+            self.cluster.fail_node(node_id)
+
+        return hook

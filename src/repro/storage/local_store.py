@@ -169,6 +169,13 @@ class ChunkStore:
                         return fh.read()
             raise StorageError(f"chunk {fp.hex()[:12]}... not in store") from None
 
+    def nbytes_of(self, fp: Fingerprint) -> int:
+        """Stored payload size of a chunk (no copy for in-memory stores)."""
+        data = self._chunks.get(fp)
+        if data is not None:
+            return len(data)
+        return len(self.get(fp))
+
     def has(self, fp: Fingerprint) -> bool:
         return fp in self._refcounts
 
@@ -243,8 +250,21 @@ class NodeStorage:
                 f"node {self.node_id}: no manifest for rank {rank}, dump {dump_id}"
             ) from None
 
+    def get_manifest_blob(self, rank: int, dump_id: int) -> bytes:
+        """The serialized manifest as stored (no deserialization)."""
+        try:
+            return self._manifests[(rank, dump_id)]
+        except KeyError:
+            raise StorageError(
+                f"node {self.node_id}: no manifest for rank {rank}, dump {dump_id}"
+            ) from None
+
     def has_manifest(self, rank: int, dump_id: int) -> bool:
         return (rank, dump_id) in self._manifests
+
+    def manifest_keys(self) -> List[Tuple[int, int]]:
+        """All ``(rank, dump_id)`` manifest keys stored on this node."""
+        return list(self._manifests.keys())
 
     @property
     def manifest_bytes(self) -> int:
@@ -330,6 +350,26 @@ class Cluster:
     def replica_nodes(self, fp: Fingerprint) -> Set[int]:
         """All node ids (live or dead) holding the fingerprint."""
         return {n.node_id for n in self._nodes if n.chunks.has(fp)}
+
+    def manifest_holders(self, rank: int, dump_id: int) -> List[int]:
+        """Live node ids holding the manifest of ``(rank, dump_id)``."""
+        return [
+            n.node_id
+            for n in self._nodes
+            if n.alive and n.has_manifest(rank, dump_id)
+        ]
+
+    def known_dumps(self) -> List[int]:
+        """Dump ids with at least one manifest on a live node, ascending.
+
+        The repair scanner's discovery primitive: after failures this is the
+        set of dumps that can still be audited and repaired at all.
+        """
+        dumps: Set[int] = set()
+        for node in self._nodes:
+            if node.alive:
+                dumps.update(d for _r, d in node.manifest_keys())
+        return sorted(dumps)
 
     @property
     def total_physical_bytes(self) -> int:

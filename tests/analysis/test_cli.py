@@ -51,3 +51,20 @@ class TestCommands:
         assert main(["shuffle", "--app", "cm1", "--n", "9", "--k", "2", "3"]) == 0
         out = capsys.readouterr().out
         assert "coll-no-shuffle" in out
+
+
+class TestRepairCommand:
+    def test_repair_small(self, capsys):
+        assert main(["repair", "--n", "6", "--k", "3", "--fail", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "post-repair audit: all recoverable" in out
+        assert "moved (repair)" in out
+        assert "modelled repair time" in out
+
+    def test_repair_defaults(self):
+        args = build_parser().parse_args(["repair"])
+        assert args.n == [8] and args.k == 3 and args.fail == 2
+
+    def test_repair_rejects_failing_every_node(self):
+        with pytest.raises(SystemExit):
+            main(["repair", "--n", "4", "--fail", "4"])

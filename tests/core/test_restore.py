@@ -117,3 +117,18 @@ class TestMultipleDumps:
         cluster = dump_world(3, Strategy.COLL_DEDUP, dump_id=0)
         with pytest.raises(StorageError, match="manifest"):
             restore_dataset(cluster, 0, dump_id=5)
+
+
+class TestRemoteSourceSelection:
+    def test_remote_reads_spread_across_holders(self):
+        """With the rank's own node dead, every chunk is remote; reads must
+        alternate over the surviving holders instead of hammering the
+        lowest-numbered one."""
+        n = 6
+        cluster = dump_world(n, Strategy.NO_DEDUP, k=3)
+        cluster.fail_node(1)
+        _restored, report = restore_dataset(cluster, 1)
+        assert report.local_chunks == 0
+        served = report.source_nodes
+        assert len(served) >= 2  # reads spread over surviving holders
+        assert max(served.values()) < sum(served.values())

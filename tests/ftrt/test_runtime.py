@@ -164,3 +164,78 @@ class TestCollectiveRestart:
 
         with pytest.raises(Exception):
             World(1).run(prog)
+
+
+class TestRepair:
+    def test_repair_tops_cluster_back_up_to_k(self):
+        n, k = 6, 3
+        cluster = Cluster(n)
+        cfg = DumpConfig(replication_factor=k, chunk_size=64, f_threshold=1024)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=1)
+            state = np.full(32, float(comm.rank))
+            rt.memory.register("state", state)
+            state += 1.0
+            rt.maybe_checkpoint(1)
+            comm.barrier()
+            if comm.rank == 0:
+                cluster.fail_node(4)
+            comm.barrier()
+            report = rt.repair()
+            return report, rt.stats.repairs
+
+        results = World(n).run(prog)
+        reports = [report for report, _count in results]
+        assert all(count == 1 for _r, count in results)
+        assert all(r.complete for r in reports)
+        assert reports[0].chunks_moved > 0
+        # Every rank gets the identical merged report.
+        assert all(r.chunks_moved == reports[0].chunks_moved for r in reports)
+
+        from repro.repair import scan_cluster
+        assert scan_cluster(cluster, k).clean
+
+    def test_auto_repair_runs_after_restart(self):
+        n, k = 6, 3
+        cluster = Cluster(n)
+        cfg = DumpConfig(replication_factor=k, chunk_size=64, f_threshold=1024)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=1,
+                                   auto_repair=True)
+            state = np.full(16, float(comm.rank))
+            rt.memory.register("state", state)
+            state += 1.0
+            rt.maybe_checkpoint(1)
+            comm.barrier()
+            if comm.rank == 0:
+                cluster.fail_node(2)
+            comm.barrier()
+            rt.restart()
+            return state.copy(), rt.stats
+
+        results = World(n).run(prog)
+        for rank, (state, stats) in enumerate(results):
+            if rank != 2:
+                assert np.all(state == rank + 1)
+            assert stats.repairs == 1
+            assert len(stats.repair_reports) == 1
+            assert stats.repair_reports[0].complete
+
+        from repro.repair import scan_cluster
+        assert scan_cluster(cluster, k).clean
+
+    def test_repair_without_failures_is_clean(self):
+        cluster = Cluster(4)
+        cfg = DumpConfig(replication_factor=2, chunk_size=64, f_threshold=1024)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=1)
+            rt.memory.register("x", np.ones(8) * comm.rank)
+            rt.maybe_checkpoint(1)
+            return rt.repair()
+
+        for report in World(4).run(prog):
+            assert report.clean
+            assert report.chunks_moved == 0

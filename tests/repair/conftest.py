@@ -1,0 +1,24 @@
+"""Shared helpers for the repair-engine tests."""
+
+from __future__ import annotations
+
+from repro.core import DumpConfig, Strategy, dump_output
+from repro.simmpi import World
+from repro.storage import Cluster
+
+from tests.conftest import make_rank_dataset
+
+
+def dumped_cluster(n, k=3, strategy=Strategy.COLL_DEDUP, dump_ids=(0,), **cfg):
+    """A cluster with one (or more) completed collective dumps on it."""
+    config = DumpConfig(replication_factor=k, chunk_size=64, strategy=strategy,
+                        f_threshold=4096, **cfg)
+    cluster = Cluster(n)
+    for dump_id in dump_ids:
+        World(n).run(
+            lambda comm: dump_output(
+                comm, make_rank_dataset(comm.rank), config, cluster,
+                dump_id=dump_id,
+            )
+        )
+    return cluster

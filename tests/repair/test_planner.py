@@ -1,0 +1,95 @@
+"""Repair planner: deterministic, load-balanced transfer schedules."""
+
+from repro.repair import plan_repair, scan_cluster
+
+from tests.repair.conftest import dumped_cluster
+
+
+def failed_scan(n=6, k=3, fail=(2,), **cfg):
+    cluster = dumped_cluster(n, k=k, **cfg)
+    for node in fail:
+        cluster.fail_node(node)
+    return cluster, scan_cluster(cluster, k)
+
+
+class TestScheduleShape:
+    def test_clean_scan_gives_empty_schedule(self):
+        cluster = dumped_cluster(5, k=3)
+        schedule = plan_repair(cluster, scan_cluster(cluster, 3))
+        assert schedule.empty
+        assert schedule.bytes_scheduled == 0
+
+    def test_every_deficit_copy_scheduled(self):
+        cluster, scan = failed_scan()
+        schedule = plan_repair(cluster, scan)
+        assert schedule.chunks_scheduled == scan.deficit_chunks
+        assert schedule.bytes_scheduled == scan.deficit_bytes
+
+    def test_slot_payload_is_largest_chunk(self):
+        cluster, scan = failed_scan()
+        schedule = plan_repair(cluster, scan)
+        assert schedule.slot_payload == max(t.size for t in schedule.transfers)
+        assert schedule.digest_size == len(schedule.transfers[0].fp)
+
+    def test_plan_is_deterministic(self):
+        cluster, scan = failed_scan()
+        first = plan_repair(cluster, scan)
+        second = plan_repair(cluster, scan)
+        assert first.transfers == second.transfers
+        assert first.manifest_transfers == second.manifest_transfers
+
+
+class TestPlacement:
+    def test_destinations_avoid_existing_replicas(self):
+        cluster, scan = failed_scan()
+        schedule = plan_repair(cluster, scan)
+        for t in schedule.transfers:
+            assert t.dest not in scan.chunks[t.fp].holders
+
+    def test_no_two_copies_share_a_destination(self):
+        cluster, scan = failed_scan()
+        by_fp = {}
+        for t in plan_repair(cluster, scan).transfers:
+            by_fp.setdefault(t.fp, []).append(t.dest)
+        for dests in by_fp.values():
+            assert len(dests) == len(set(dests))
+
+    def test_only_live_nodes_participate(self):
+        cluster, scan = failed_scan(fail=(1, 4))
+        live = {n.node_id for n in cluster.alive_nodes}
+        schedule = plan_repair(cluster, scan)
+        for t in schedule.transfers:
+            assert t.source in live and t.dest in live
+        for mt in schedule.manifest_transfers:
+            assert mt.source in live and mt.dest in live
+
+    def test_sources_hold_what_they_serve(self):
+        cluster, scan = failed_scan()
+        for t in plan_repair(cluster, scan).transfers:
+            if not t.reconstruct:
+                assert t.source in scan.chunks[t.fp].holders
+
+    def test_read_load_spread_over_holders(self):
+        # With every chunk at K-1 holders after one failure, a naive
+        # "first holder serves" plan would put the whole read load on the
+        # lowest node id; the planner must use more than one source.
+        cluster, scan = failed_scan()
+        sources = {t.source for t in plan_repair(cluster, scan).transfers}
+        assert len(sources) > 1
+
+
+class TestWindowOffsets:
+    def test_incoming_preserves_schedule_order(self):
+        cluster, scan = failed_scan()
+        schedule = plan_repair(cluster, scan)
+        for dest, region in schedule.incoming().items():
+            indices = [schedule.transfers.index(t) for t in region]
+            assert indices == sorted(indices)
+            assert all(t.dest == dest for t in region)
+
+    def test_slots_are_dense_per_destination(self):
+        cluster, scan = failed_scan()
+        schedule = plan_repair(cluster, scan)
+        slots = schedule.slot_of()
+        for region in schedule.incoming().values():
+            assert sorted(slots[t] for t in region) == list(range(len(region)))

@@ -1,0 +1,132 @@
+"""Repair scanner: the under-replication table."""
+
+import pytest
+
+from repro.core import Strategy
+from repro.repair import scan_cluster
+from repro.storage import FailureInjector
+
+from tests.repair.conftest import dumped_cluster
+
+
+class TestHealthyCluster:
+    def test_scan_is_clean(self):
+        cluster = dumped_cluster(6, k=3)
+        scan = scan_cluster(cluster, 3)
+        assert scan.clean
+        assert scan.deficit_chunks == 0
+        assert scan.deficit_bytes == 0
+        assert scan.scanned_chunks > 0
+        assert scan.scanned_bytes > 0
+
+    def test_healthy_parity_cluster_is_clean(self):
+        # Intact stripes protect as well as K replicas do; the scanner must
+        # not schedule blanket re-replication of parity-covered chunks.
+        cluster = dumped_cluster(6, k=3, redundancy="parity", stripe_data=4)
+        assert scan_cluster(cluster, 3).clean
+
+    def test_raising_target_creates_deficits(self):
+        cluster = dumped_cluster(6, k=2)
+        scan = scan_cluster(cluster, 3)
+        assert not scan.clean
+        assert all(d.deficit == 1 for d in scan.chunks.values())
+
+    def test_target_capped_at_live_nodes(self):
+        cluster = dumped_cluster(4, k=4)
+        scan = scan_cluster(cluster, 10)
+        assert scan.target_k == 10
+        assert scan.clean  # every chunk already on all 4 nodes
+
+    def test_invalid_target_rejected(self):
+        cluster = dumped_cluster(2, k=2)
+        with pytest.raises(ValueError):
+            scan_cluster(cluster, 0)
+
+
+class TestAfterFailures:
+    def test_deficit_matches_missing_replicas(self):
+        cluster = dumped_cluster(6, k=3)
+        cluster.fail_node(2)
+        scan = scan_cluster(cluster, 3)
+        assert not scan.clean
+        for deficit in scan.chunks.values():
+            assert len(deficit.holders) < deficit.target
+            assert deficit.deficit == deficit.target - len(deficit.holders)
+            assert 2 not in deficit.holders
+            assert deficit.deficit_bytes == deficit.deficit * deficit.size
+        assert scan.deficit_chunks == sum(
+            d.deficit for d in scan.chunks.values()
+        )
+
+    def test_chunk_with_no_surviving_holder_is_lost(self):
+        cluster = dumped_cluster(6, k=2)
+        # Kill both holders of a globally shared chunk: every surviving
+        # manifest still references it, but no replica is left anywhere.
+        holders = cluster.manifest_holders(0, 0)
+        manifest = cluster.nodes[holders[0]].get_manifest(0, 0)
+        fp = next(f for f in manifest.fingerprints
+                  if len(cluster.locate(f)) == 2)
+        for node_id in cluster.locate(fp):
+            cluster.fail_node(node_id)
+        scan = scan_cluster(cluster, 2)
+        assert any(lost_fp == fp for lost_fp, _d in scan.lost_chunks)
+        assert fp not in scan.chunks
+
+    def test_manifest_deficits_tracked(self):
+        cluster = dumped_cluster(6, k=3)
+        cluster.fail_node(0)
+        scan = scan_cluster(cluster, 3)
+        assert scan.manifests
+        for deficit in scan.manifests:
+            assert deficit.deficit >= 1
+            assert 0 not in deficit.holders
+            assert deficit.nbytes > 0
+
+    def test_fully_lost_manifest_recorded(self):
+        n, k = 4, 1
+        cluster = dumped_cluster(n, k=k, strategy=Strategy.NO_DEDUP)
+        injector = FailureInjector(cluster)
+        injector.fail_nodes([3])
+        scan = scan_cluster(cluster, k)
+        assert (3, 0) in scan.lost_ranks
+
+
+class TestParityCoverage:
+    def test_holderless_chunks_marked_parity_only(self):
+        cluster = dumped_cluster(6, k=3, redundancy="parity", stripe_data=4)
+        injector = FailureInjector(cluster, seed=7)
+        injector.fail_random_nodes(2)
+        scan = scan_cluster(cluster, 3)
+        holderless = [d for d in scan.chunks.values() if not d.holders]
+        assert holderless  # rank-unique parity-protected chunks died with nodes
+        for deficit in holderless:
+            assert deficit.parity_only
+            assert deficit.size > 0
+        # K-1 node failures never lose parity-protected data outright.
+        assert not scan.lost_chunks
+
+    def test_broken_stripes_fall_back_to_replication(self):
+        # Once a stripe has lost shards its margin is below K-1, so the
+        # chunks it covers must be re-replicated even if they still have a
+        # live holder.
+        cluster = dumped_cluster(6, k=3, redundancy="parity", stripe_data=4)
+        cluster.fail_node(5)
+        scan = scan_cluster(cluster, 3)
+        held = [d for d in scan.chunks.values() if d.holders]
+        assert held
+        assert all(not d.parity_only for d in held)
+
+
+class TestMultipleDumps:
+    def test_all_visible_dumps_scanned_by_default(self):
+        cluster = dumped_cluster(5, k=2, dump_ids=(0, 1))
+        scan = scan_cluster(cluster, 2)
+        assert scan.dump_ids == [0, 1]
+        assert scan.clean
+
+    def test_dump_filter_respected(self):
+        cluster = dumped_cluster(5, k=2, dump_ids=(0, 1))
+        cluster.fail_node(1)
+        scan = scan_cluster(cluster, 2, dump_ids=[1])
+        assert scan.dump_ids == [1]
+        assert all(d.dump_id == 1 for d in scan.manifests)

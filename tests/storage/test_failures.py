@@ -81,3 +81,34 @@ class TestRandomFailures:
             injector = FailureInjector(cluster, seed=seed)
             injector.fail_random_nodes(2)
             assert injector.audit(dump_id=0).all_recoverable
+
+
+class TestParityAudit:
+    def test_audit_consults_parity_stripes(self):
+        """A chunk whose only replica died but whose stripe still decodes is
+        recoverable, and the audit must say so."""
+        n, k = 7, 3
+        cfg = DumpConfig(replication_factor=k, chunk_size=64, f_threshold=4096,
+                         redundancy="parity", stripe_data=4)
+        cluster = Cluster(n)
+        World(n).run(
+            lambda comm: dump_output(comm, make_rank_dataset(comm.rank), cfg,
+                                     cluster)
+        )
+        injector = FailureInjector(cluster, seed=3)
+        injector.fail_random_nodes(k - 1)
+        assert injector.audit(dump_id=0).all_recoverable
+
+
+class TestMidDumpHook:
+    def test_fires_once_at_named_phase(self):
+        cluster = Cluster(3)
+        injector = FailureInjector(cluster)
+        hook = injector.mid_dump_hook(2, phase="write")
+        hook("exchange", 0)
+        assert cluster.nodes[2].alive  # wrong phase: nothing happens
+        hook("write", 0)
+        assert not cluster.nodes[2].alive
+        cluster.revive_all()
+        hook("write", 1)  # single-shot: a later entry must not re-kill
+        assert cluster.nodes[2].alive
