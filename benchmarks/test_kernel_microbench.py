@@ -71,3 +71,20 @@ def test_kernel_fingerprint_blake2b(benchmark):
 
     fps = benchmark(hash_all)
     assert len(fps) == 256
+
+
+def test_kernel_view_materialization(benchmark):
+    """GlobalView construction from a ~50k-entry merged table.
+
+    Exercises the bulk-extraction ``MergeTable.entries`` path (tobytes +
+    column tolist) plus the vectorised wire-size computation — the step
+    every rank performs right after the reduction, before chunk
+    classification.
+    """
+    from repro.core.hmerge import GlobalView
+
+    merged = hmerge(_table(0, 50_000, offset=10**6), _table(1, 50_000, offset=2 * 10**6))
+
+    view = benchmark(GlobalView.from_table, merged)
+    assert len(view) == len(merged)
+    assert view.wire_nbytes == view.nbytes_estimate()

@@ -1,0 +1,160 @@
+"""Process vs thread backend on the cold no-dedup dump.
+
+Not a paper artifact: this pins the multi-core win of the process backend
+(:class:`repro.simmpi.procworld.ProcessWorld`).  The cold no-dedup dump is
+the substrate's most compute-bound collective — every chunk is hashed,
+packed, shipped to K-1 partners through one-sided windows, decoded and
+committed — and nearly all of that work is GIL-bound Python/C-API time
+under the thread backend.  With one forked process per rank the phases run
+genuinely in parallel, so on a machine with >= ``N_RANKS`` cores the dump
+must complete >= 1.5x faster.
+
+Timing is in-rank (barrier, start, dump, barrier, stop; the slowest rank's
+elapsed counts), so process spawn/teardown and the cluster delta merge are
+excluded — the quantity measured is the collective itself, matching how
+the thread number is taken.
+
+Correctness is asserted unconditionally, on every machine: both backends
+must produce byte-identical manifests and restored datasets.  The speedup
+floor is asserted only when the host actually has >= ``N_RANKS`` CPU cores
+(a single-core container cannot speed anything up by adding processes) and
+``PROCESS_SMOKE`` is unset; the measured numbers are always emitted to
+``BENCH_process.json`` at the repo root.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DumpConfig, Strategy, dump_output, restore_dataset
+from repro.core.chunking import Dataset
+from repro.core.runner import run_collective
+from repro.storage import Cluster
+
+SMOKE = bool(int(os.environ.get("PROCESS_SMOKE", "0")))
+CORES = os.cpu_count() or 1
+
+CS = 1024
+N_RANKS = 4
+K = 4
+CHUNKS_PER_RANK = 512 if SMOKE else 4096
+REPS = 1 if SMOKE else 3
+MIN_SPEEDUP = 1.5
+ASSERT_SPEEDUP = not SMOKE and CORES >= N_RANKS
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_process.json"
+_results = {}
+
+
+def _rank_dataset(rank: int) -> Dataset:
+    """Rank-unique random data: no dedup anywhere, so every chunk pays the
+    full hash + pack + ship + commit pipeline (the all-compute worst case)."""
+    return Dataset([np.random.RandomState(100 + rank).bytes(CHUNKS_PER_RANK * CS)])
+
+
+def _timed_dump(comm, datasets, cfg, cluster):
+    comm.barrier()
+    start = time.perf_counter()
+    report = dump_output(comm, datasets[comm.rank], cfg, cluster, dump_id=0)
+    comm.barrier()
+    return time.perf_counter() - start, report
+
+
+def _run(backend, datasets):
+    cfg = DumpConfig(
+        replication_factor=K,
+        chunk_size=CS,
+        strategy=Strategy.NO_DEDUP,
+    )
+    cluster = Cluster(N_RANKS, dedup=False)
+    results, _world = run_collective(
+        N_RANKS,
+        _timed_dump,
+        datasets,
+        cfg,
+        cluster,
+        cluster=cluster,
+        backend=backend,
+        timeout=600,
+    )
+    elapsed = max(wall for wall, _report in results)
+    reports = [report for _wall, report in results]
+    return elapsed, reports, cluster
+
+
+def _best(backend, datasets):
+    elapsed, reports, cluster = _run(backend, datasets)
+    for _ in range(REPS - 1):
+        again, _r, _c = _run(backend, datasets)
+        elapsed = min(elapsed, again)
+    return elapsed, reports, cluster
+
+
+def _observable(cluster):
+    """Manifest blobs and restored datasets — what callers can see."""
+    manifests = {}
+    for node in cluster.nodes:
+        for key in node.manifest_keys():
+            manifests[(node.node_id, key)] = node.get_manifest_blob(*key)
+    restores = [
+        restore_dataset(cluster, rank, 0)[0].to_bytes() for rank in range(N_RANKS)
+    ]
+    return manifests, restores
+
+
+def _emit(key, payload):
+    _results[key] = payload
+    merged = {}
+    if RESULT_PATH.exists():
+        merged = json.loads(RESULT_PATH.read_text())
+    merged.update(_results)
+    merged["smoke"] = SMOKE
+    merged["cpu_cores"] = CORES
+    RESULT_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+
+def test_process_backend_cold_dump_scaling():
+    datasets = [_rank_dataset(r) for r in range(N_RANKS)]
+
+    # Warm-up both paths (imports, allocator, fork machinery).
+    _run("thread", datasets)
+    _run("process", datasets)
+
+    thread_wall, thread_reports, thread_cluster = _best("thread", datasets)
+    process_wall, process_reports, process_cluster = _best("process", datasets)
+
+    # Correctness on every machine: identical reports, manifests, restores.
+    for tr, pr in zip(thread_reports, process_reports):
+        assert vars(tr) == vars(pr), f"DumpReport differs on rank {tr.rank}"
+    t_manifests, t_restores = _observable(thread_cluster)
+    p_manifests, p_restores = _observable(process_cluster)
+    assert t_manifests == p_manifests, "manifests differ across backends"
+    assert t_restores == p_restores, "restores differ across backends"
+    for rank in range(N_RANKS):
+        assert t_restores[rank] == datasets[rank].to_bytes()
+
+    speedup = thread_wall / process_wall
+    _emit(
+        "process_cold_dump",
+        {
+            "strategy": "no-dedup",
+            "ranks": N_RANKS,
+            "replication_factor": K,
+            "chunk_size": CS,
+            "chunks_per_rank": CHUNKS_PER_RANK,
+            "bytes_per_rank": CHUNKS_PER_RANK * CS,
+            "thread_seconds": round(thread_wall, 4),
+            "process_seconds": round(process_wall, 4),
+            "speedup": round(speedup, 2),
+            "min_required": MIN_SPEEDUP,
+            "speedup_asserted": ASSERT_SPEEDUP,
+        },
+    )
+    if ASSERT_SPEEDUP:
+        assert speedup >= MIN_SPEEDUP, (
+            f"process backend only {speedup:.2f}x faster than thread on the "
+            f"cold no-dedup dump with {CORES} cores (need >= {MIN_SPEEDUP}x)"
+        )

@@ -101,9 +101,9 @@ def cmd_repair(args) -> None:
     from repro.core.config import DumpConfig
     from repro.core.dump import dump_output
     from repro.netsim import MachineProfile, repair_time
+    from repro.core.runner import run_collective
     from repro.repair import plan_repair, repair_cluster, scan_cluster
     from repro.sim.metrics import repair_balance
-    from repro.simmpi.world import World
     from repro.storage.failures import FailureInjector
     from repro.storage.local_store import Cluster
 
@@ -115,6 +115,7 @@ def cmd_repair(args) -> None:
         chunk_size=args.chunk_size,
         f_threshold=1 << 14,
         strategy=Strategy.parse(args.strategy),
+        spmd_backend=args.backend,
     )
     workload = SyntheticWorkload(
         chunks_per_rank=args.chunks_per_rank,
@@ -122,10 +123,13 @@ def cmd_repair(args) -> None:
         seed=args.seed,
     )
     cluster = Cluster(n)
-    World(n).run(
+    run_collective(
+        n,
         lambda comm: dump_output(
             comm, workload.build_dataset(comm.rank, n), config, cluster
-        )
+        ),
+        cluster=cluster,
+        backend=config.spmd_backend,
     )
 
     injector = FailureInjector(cluster, seed=args.seed)
@@ -133,7 +137,7 @@ def cmd_repair(args) -> None:
     lost_bytes = sum(cluster.nodes[v].chunks.physical_bytes for v in victims)
     scan = scan_cluster(cluster, k)
     schedule = plan_repair(cluster, scan)
-    report = repair_cluster(cluster, k)
+    report = repair_cluster(cluster, k, backend=config.spmd_backend)
     audit = injector.audit(0)
     balance = repair_balance(report)
     modelled = repair_time(report, MachineProfile.shamrock())
@@ -233,6 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--strategy", default=Strategy.COLL_DEDUP.value,
                     choices=[s.value for s in Strategy])
     rp.add_argument("--seed", type=int, default=0)
+    rp.add_argument(
+        "--backend",
+        default=None,
+        choices=["thread", "process"],
+        help="SPMD execution backend (default: REPRO_SPMD_BACKEND or thread)",
+    )
     rp.set_defaults(func=cmd_repair)
     return parser
 

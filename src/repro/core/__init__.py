@@ -35,6 +35,7 @@ from repro.core.planner import ReplicationPlan, build_plan
 from repro.core.dump import DumpReport, dump_output
 from repro.core.restore import restore_dataset
 from repro.core.collective_restore import CollectiveRestoreReport, load_input
+from repro.core.runner import run_collective
 
 __all__ = [
     "CollectiveRestoreReport",
@@ -62,6 +63,7 @@ __all__ = [
     "partners_of",
     "rank_shuffle",
     "restore_dataset",
+    "run_collective",
     "split_chunks",
     "window_layout",
 ]

@@ -122,6 +122,14 @@ class DumpConfig:
     #: replica short of K (no local copy); a follow-up repair
     #: (:func:`repro.repair.repair_cluster`) tops it up.
     degraded: bool = False
+    #: SPMD execution backend for drivers that spawn their own world
+    #: (:func:`repro.ftrt.runtime.run_checkpointed`, the CLI): ``"thread"``
+    #: (default) or ``"process"`` for fork-based multi-core execution.
+    #: ``None`` defers to ``REPRO_SPMD_BACKEND``, then thread.
+    spmd_backend: Optional[str] = None
+    #: World timeout in seconds for those same drivers.  ``None`` defers to
+    #: ``REPRO_SPMD_TIMEOUT``, then the 60 s default.
+    spmd_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.replication_factor < 1:
@@ -152,6 +160,20 @@ class DumpConfig:
         if self.dedup_domain_size is not None and self.dedup_domain_size < 1:
             raise ValueError(
                 f"dedup_domain_size must be >= 1, got {self.dedup_domain_size}"
+            )
+        if self.spmd_backend is not None:
+            from repro.simmpi.backend import normalize_backend
+            from repro.simmpi.errors import SimMPIError
+
+            try:
+                object.__setattr__(
+                    self, "spmd_backend", normalize_backend(self.spmd_backend)
+                )
+            except SimMPIError as exc:  # keep config errors as ValueError
+                raise ValueError(str(exc)) from None
+        if self.spmd_timeout is not None and self.spmd_timeout <= 0:
+            raise ValueError(
+                f"spmd_timeout must be > 0, got {self.spmd_timeout}"
             )
         object.__setattr__(self, "strategy", Strategy.parse(self.strategy))
         if self.redundancy == "parity" and self.strategy is not Strategy.COLL_DEDUP:

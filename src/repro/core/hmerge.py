@@ -62,6 +62,19 @@ class MergeEntry:
         if tuple(sorted(self.ranks)) != self.ranks:
             object.__setattr__(self, "ranks", tuple(sorted(self.ranks)))
 
+    @classmethod
+    def _trusted(cls, freq: int, ranks: Tuple[int, ...]) -> "MergeEntry":
+        """Construct without validation (table rows are pre-sorted arrays).
+
+        ``MergeTable.entries`` materialises one entry per fingerprint for
+        every rank on every dump; skipping ``__post_init__``'s re-sort of an
+        already-sorted tuple is a measurable share of view-building time.
+        """
+        entry = object.__new__(cls)
+        object.__setattr__(entry, "freq", freq)
+        object.__setattr__(entry, "ranks", ranks)
+        return entry
+
 
 class MergeTable:
     """A bounded fingerprint-frequency table flowing through the reduction.
@@ -135,16 +148,25 @@ class MergeTable:
 
     @property
     def entries(self) -> Dict[Fingerprint, MergeEntry]:
-        # numpy's S dtype strips trailing NULs on readback (storage and
-        # ordering are unaffected for fixed-width inputs, since NUL is the
-        # smallest byte); restore the fixed width here.
-        width = self.digest_size
+        n = len(self.fps)
         out: Dict[Fingerprint, MergeEntry] = {}
-        for i in range(len(self.fps)):
-            row = self.ranks[i]
-            ranks = tuple(int(r) for r in row[row != PAD])
-            fp = bytes(self.fps[i]).ljust(width, b"\x00")
-            out[fp] = MergeEntry(freq=int(self.freq[i]), ranks=ranks)
+        if not n:
+            return out
+        # Bulk extraction instead of per-entry numpy indexing: tobytes()
+        # yields the fixed-width concatenation (trailing NULs intact — the
+        # S dtype only strips them on element readback), tolist() converts
+        # whole columns to Python scalars at C speed, and PAD-last row
+        # ordering means a row's first ``count`` values are exactly its
+        # valid ranks, already sorted.
+        width = self.fps.dtype.itemsize
+        raw = self.fps.tobytes()
+        freqs = self.freq.tolist()
+        rows = self.ranks.tolist()
+        counts = (self.ranks != PAD).sum(axis=1).tolist()
+        for i in range(n):
+            out[raw[i * width : (i + 1) * width]] = MergeEntry._trusted(
+                freqs[i], tuple(rows[i][: counts[i]])
+            )
         return out
 
     @property
@@ -384,10 +406,15 @@ class GlobalView:
 
     entries: Dict[Fingerprint, MergeEntry] = field(default_factory=dict)
     k: int = 1
+    #: wire size computed vectorised at construction (None -> per-entry sum)
+    wire_nbytes: Optional[int] = None
 
     @classmethod
     def from_table(cls, table: MergeTable) -> "GlobalView":
-        return cls(entries=table.entries, k=table.k)
+        nbytes = len(table.fps) * (table.digest_size + 4) + 4 * int(
+            (table.ranks != PAD).sum()
+        )
+        return cls(entries=table.entries, k=table.k, wire_nbytes=nbytes)
 
     def get(self, fp: Fingerprint) -> Optional[MergeEntry]:
         return self.entries.get(fp)
@@ -404,6 +431,8 @@ class GlobalView:
         return entry.ranks if entry is not None else ()
 
     def nbytes_estimate(self) -> int:
+        if self.wire_nbytes is not None:
+            return self.wire_nbytes
         total = 0
         for fp, entry in self.entries.items():
             total += len(fp) + 4 + 4 * len(entry.ranks)

@@ -1,0 +1,70 @@
+"""Backend-dispatching driver for collectives that mutate a cluster.
+
+``run_spmd`` is enough for programs whose only outputs are their return
+values.  The dump/restore/repair collectives additionally *write into the
+in-memory cluster* — invisible to the parent under the process backend,
+where every forked rank mutates its own copy-on-write copy.
+
+:func:`run_collective` closes that gap with a delta protocol: under the
+process backend each rank marks its inherited cluster copy before the
+program runs, collects a picklable :class:`~repro.storage.local_store.ClusterDelta`
+afterwards, and ships it back alongside its result; the parent folds every
+rank's delta into the real cluster.  Deltas are additive and commutative,
+so the merged cluster is byte-identical to what a thread-backend run leaves
+behind — manifests, chunk payloads, refcounts and accounting included.
+
+Under the thread backend (shared memory) the program runs as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.simmpi.backend import create_world, normalize_backend
+
+
+def run_collective(
+    size: int,
+    program: Callable[..., Any],
+    *args: Any,
+    cluster=None,
+    backend: Optional[str] = None,
+    timeout: Optional[float] = None,
+    **kwargs: Any,
+) -> Tuple[List[Any], Any]:
+    """Run ``program(comm, *args, **kwargs)`` on ``size`` ranks.
+
+    Parameters
+    ----------
+    cluster:
+        The :class:`~repro.storage.local_store.Cluster` the program writes
+        to (pass the same object that appears in ``args``).  Required for
+        the process backend to merge rank-side writes back; ignored by the
+        thread backend, where ranks share it directly.
+    backend, timeout:
+        Forwarded to :func:`repro.simmpi.backend.create_world` (thread
+        default; ``REPRO_SPMD_BACKEND``/``REPRO_SPMD_TIMEOUT`` aware).
+
+    Returns
+    -------
+    ``(results, world)`` — rank-ordered results and the world that ran them
+    (for trace inspection via ``world.comms``).
+    """
+    name = normalize_backend(backend)
+    world = create_world(size, backend=name, timeout=timeout)
+    if name == "thread" or cluster is None:
+        return world.run(program, *args, **kwargs), world
+
+    def deltified(comm, *p_args, **p_kwargs):
+        # Fork semantics: `cluster` here is this rank's copy — the same
+        # object the program sees through p_args, so collect sees its writes.
+        cluster.mark()
+        result = program(comm, *p_args, **p_kwargs)
+        return result, cluster.collect_delta()
+
+    pairs = world.run(deltified, *args, **kwargs)
+    results: List[Any] = []
+    for result, delta in pairs:
+        cluster.apply_delta(delta)
+        results.append(result)
+    return results, world

@@ -10,7 +10,7 @@ checkpoints, performs restarts and survives injected node failures.
 """
 
 from repro.ftrt.memory import MemoryRegistry
-from repro.ftrt.runtime import CheckpointRuntime, CheckpointStats
+from repro.ftrt.runtime import CheckpointRuntime, CheckpointStats, run_checkpointed
 from repro.ftrt.multilevel import MultiLevelRuntime, MultiLevelStats
 
 __all__ = [
@@ -19,4 +19,5 @@ __all__ = [
     "MemoryRegistry",
     "MultiLevelRuntime",
     "MultiLevelStats",
+    "run_checkpointed",
 ]

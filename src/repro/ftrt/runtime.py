@@ -168,3 +168,47 @@ class CheckpointRuntime:
         self.stats.repairs += 1
         self.stats.repair_reports.append(report)
         return report
+
+
+def run_checkpointed(
+    world_size: int,
+    cluster: Cluster,
+    config: DumpConfig,
+    interval: int,
+    program,
+    *args,
+    auto_repair: bool = False,
+    backend: Optional[str] = None,
+    timeout: Optional[float] = None,
+    **kwargs,
+):
+    """Run ``program(runtime, *args, **kwargs)`` on every rank of a world.
+
+    Each rank gets its own :class:`CheckpointRuntime` (reach the
+    communicator via ``runtime.comm``).  The execution backend defaults to
+    ``config.spmd_backend`` and the world timeout to ``config.spmd_timeout``
+    (both overridable per call); under the process backend the ranks'
+    cluster writes — checkpoints, repairs — are merged back into ``cluster``
+    via :func:`repro.core.runner.run_collective`, so the caller's cluster
+    ends up identical to a thread-backend run.
+
+    Returns the rank-ordered list of program results.
+    """
+    from repro.core.runner import run_collective
+
+    def rank_main(comm: Communicator, *p_args, **p_kwargs):
+        runtime = CheckpointRuntime(
+            comm, cluster, config, interval, auto_repair=auto_repair
+        )
+        return program(runtime, *p_args, **p_kwargs)
+
+    results, _world = run_collective(
+        world_size,
+        rank_main,
+        *args,
+        cluster=cluster,
+        backend=backend if backend is not None else config.spmd_backend,
+        timeout=timeout if timeout is not None else config.spmd_timeout,
+        **kwargs,
+    )
+    return results

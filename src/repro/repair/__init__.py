@@ -67,7 +67,8 @@ def repair_cluster(
     cluster,
     target_k: int,
     dump_ids: Optional[Sequence[int]] = None,
-    timeout: float = 60.0,
+    timeout: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> RepairReport:
     """Scan, plan and collectively execute a repair of ``cluster``.
 
@@ -75,17 +76,26 @@ def repair_cluster(
     (default: every dump still visible) to ``min(target_k, live nodes)``
     live replicas, and every manifest to the same count.  Chunks whose last
     replica died but whose erasure-coded stripe still decodes are
-    reconstructed and re-replicated.  Returns the merged
-    :class:`~repro.repair.executor.RepairReport`; a second invocation on an
-    unchanged cluster finds nothing to do and moves zero bytes.
+    reconstructed and re-replicated.  ``backend`` selects the SPMD execution
+    backend for the transfer phase (thread default; under ``"process"`` the
+    rank-side writes are delta-merged back into ``cluster``).  Returns the
+    merged :class:`~repro.repair.executor.RepairReport`; a second invocation
+    on an unchanged cluster finds nothing to do and moves zero bytes.
     """
-    from repro.simmpi.world import World
+    from repro.core.runner import run_collective
 
     scan = scan_cluster(cluster, target_k, dump_ids)
     schedule = plan_repair(cluster, scan)
     if schedule.empty:
         return base_report(scan)
-    results = World(cluster.n_ranks, timeout=timeout).run(
-        execute_repair, cluster, schedule, scan
+    results, _world = run_collective(
+        cluster.n_ranks,
+        execute_repair,
+        cluster,
+        schedule,
+        scan,
+        cluster=cluster,
+        backend=backend,
+        timeout=timeout,
     )
     return results[0]

@@ -149,21 +149,20 @@ class Communicator:
         if dest == self._rank:
             # Self-sends are legal (used by naive loops); charged zero wire
             # bytes since no NIC traffic would occur.
-            self._world.mailbox(dest).queue_for(self._rank, tag).put(obj)
+            self._world.post(dest, self._rank, tag, obj)
             return 0
         nbytes = nbytes_of(obj)
         self.trace.record_send(nbytes)
-        self._world.mailbox(dest).queue_for(self._rank, tag).put(obj)
+        self._world.post(dest, self._rank, tag, obj)
         return nbytes
 
     def recv(self, source: int, tag: int = 0, timeout: Optional[float] = None) -> Any:
         """Blocking receive matching ``(source, tag)``."""
         if not 0 <= source < self.size:
             raise SimMPIError(f"recv: source {source} out of range [0, {self.size})")
-        q = self._world.mailbox(self._rank).queue_for(source, tag)
         limit = self._world.timeout if timeout is None else timeout
         try:
-            obj = q.get(timeout=limit)
+            obj = self._world.deliver(self._rank, source, tag, limit)
         except queue.Empty:
             raise DeadlockError(
                 f"rank {self._rank}: recv(source={source}, tag={tag}) timed out "
@@ -199,8 +198,7 @@ class Communicator:
         """True iff a matching message is already deliverable."""
         if not 0 <= source < self.size:
             raise SimMPIError(f"probe: source {source} out of range [0, {self.size})")
-        q = self._world.mailbox(self._rank).queue_for(source, tag)
-        return q.qsize() > 0
+        return self._world.probe_pending(self._rank, source, tag)
 
     # -- synchronization -------------------------------------------------------
     def barrier(self) -> None:

@@ -33,5 +33,16 @@ class WorldError(SimMPIError):
         )
 
 
+class RankCrashError(SimMPIError):
+    """A process-backend rank died without reporting a result.
+
+    Raised (inside a :class:`WorldError`) when a rank's OS process exits
+    hard — killed by a signal, ``os._exit``, an interpreter abort — or when
+    the exception it raised could not be transported back to the parent.
+    The failure-injection machinery maps node deaths onto this error so a
+    crashed rank surfaces as a diagnosable failure instead of a hang.
+    """
+
+
 class WindowError(SimMPIError):
     """Out-of-bounds or mis-sequenced one-sided window access."""

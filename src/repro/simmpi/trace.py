@@ -152,10 +152,10 @@ class Trace:
         c.sent_bytes += nbytes
         c.sent_msgs += 1
 
-    def record_put_received(self, nbytes: int) -> None:
+    def record_put_received(self, nbytes: int, msgs: int = 1) -> None:
         c = self.counters()
         c.recv_bytes += nbytes
-        c.recv_msgs += 1
+        c.recv_msgs += msgs
 
     def record_get(self, nbytes: int) -> None:
         c = self.counters()

@@ -6,6 +6,12 @@ offset it computed independently (Algorithm 3).  This module provides that
 primitive: collective window creation, ``put`` into a remote window at a
 byte offset, and ``fence`` epochs separating accumulation from local reads.
 
+The class is backend-neutral: all storage and synchronisation is delegated
+to the *slot* objects of the owning world (see
+:class:`~repro.simmpi.backend.BaseWorld`) — a locked ``bytearray`` under
+the thread backend, a ``multiprocessing.shared_memory`` segment under the
+process backend, where a put is a genuine zero-copy cross-process write.
+
 Out-of-bounds puts raise :class:`~repro.simmpi.errors.WindowError` — in the
 reproduction this is the safety net that catches any error in the offset
 calculation, exactly the class of bug the paper's planning phase must avoid.
@@ -13,21 +19,8 @@ calculation, exactly the class of bug the paper's planning phase must avoid.
 
 from __future__ import annotations
 
-import threading
-
 from repro.simmpi.errors import WindowError
 from repro.simmpi.comm import Communicator
-
-
-class _WindowSlot:
-    """One rank's exposed memory region plus its access lock."""
-
-    __slots__ = ("buffer", "lock", "filled")
-
-    def __init__(self, nbytes: int) -> None:
-        self.buffer = bytearray(nbytes)
-        self.lock = threading.Lock()
-        self.filled = 0
 
 
 class Window:
@@ -51,7 +44,7 @@ class Window:
         if nbytes < 0:
             raise WindowError(f"window size must be >= 0, got {nbytes}")
         window_id = comm.next_collective_tag()
-        comm.world.register_window(window_id, comm.world_rank, _WindowSlot(nbytes))
+        comm.world.window_create(window_id, comm.world_rank, nbytes)
         win = cls(comm, window_id, nbytes)
         comm.barrier()  # all ranks registered before any put can target them
         return win
@@ -59,7 +52,7 @@ class Window:
     def free(self) -> None:
         """Collectively tear the window down."""
         self._comm.barrier()
-        self._comm.world.unregister_window(self._id, self._comm.world_rank)
+        self._comm.world.window_free(self._id, self._comm.world_rank)
 
     @property
     def nbytes(self) -> int:
@@ -79,23 +72,17 @@ class Window:
         target_world = self._comm.world_rank_of(target_rank)
         slot = self._comm.world.window_slot(self._id, target_world)
         end = offset + len(payload)
-        if offset < 0 or end > len(slot.buffer):
+        if offset < 0 or end > slot.nbytes:
             raise WindowError(
                 f"put of {len(payload)}B at offset {offset} exceeds rank "
-                f"{target_rank}'s window of {len(slot.buffer)}B"
+                f"{target_rank}'s window of {slot.nbytes}B"
             )
         remote = target_rank != self._comm.rank
-        # The slot lock also serialises concurrent senders charging the
-        # target's trace, so both counters ride the single memcpy critical
-        # section instead of re-acquiring the lock per trace record.
-        with slot.lock:
-            slot.buffer[offset:end] = payload
-            slot.filled += len(payload)
-            if remote:
-                self._comm.world.comm_for(
-                    target_world
-                ).trace.record_put_received(len(payload))
+        slot.write(((offset, payload),), remote)
         if remote:
+            # Shared-memory backends charge the target's trace here; process
+            # slots accounted inside write() and drain at the target's fence.
+            self._comm.world.charge_put_received(target_world, len(payload))
             self._comm.trace.record_put(len(payload))
 
     def put_many(self, parts, target_rank: int) -> None:
@@ -112,22 +99,16 @@ class Window:
         target_world = self._comm.world_rank_of(target_rank)
         slot = self._comm.world.window_slot(self._id, target_world)
         for offset, payload in staged:
-            if offset < 0 or offset + len(payload) > len(slot.buffer):
+            if offset < 0 or offset + len(payload) > slot.nbytes:
                 raise WindowError(
                     f"put of {len(payload)}B at offset {offset} exceeds rank "
-                    f"{target_rank}'s window of {len(slot.buffer)}B"
+                    f"{target_rank}'s window of {slot.nbytes}B"
                 )
         total = sum(len(payload) for _offset, payload in staged)
-        remote = target_rank != self._comm.rank
-        with slot.lock:
-            for offset, payload in staged:
-                slot.buffer[offset : offset + len(payload)] = payload
-            slot.filled += total
-            if remote and total:
-                self._comm.world.comm_for(
-                    target_world
-                ).trace.record_put_received(total)
-        if remote and total:
+        remote = target_rank != self._comm.rank and total > 0
+        slot.write(staged, remote)
+        if remote:
+            self._comm.world.charge_put_received(target_world, total)
             self._comm.trace.record_put(total)
 
     def get(self, target_rank: int, offset: int, nbytes: int) -> bytes:
@@ -136,29 +117,37 @@ class Window:
             self._id, self._comm.world_rank_of(target_rank)
         )
         end = offset + nbytes
-        if offset < 0 or nbytes < 0 or end > len(slot.buffer):
+        if offset < 0 or nbytes < 0 or end > slot.nbytes:
             raise WindowError(
                 f"get of {nbytes}B at offset {offset} exceeds rank "
-                f"{target_rank}'s window of {len(slot.buffer)}B"
+                f"{target_rank}'s window of {slot.nbytes}B"
             )
-        with slot.lock:
-            data = bytes(slot.buffer[offset:end])
+        data = slot.read(offset, nbytes)
         if target_rank != self._comm.rank:
             self._comm.trace.record_get(nbytes)
         return data
 
     def fence(self) -> None:
-        """Close the current access epoch (collective)."""
+        """Close the current access epoch (collective).
+
+        Backends that cannot charge a target's receive trace at put time
+        (isolated address spaces) accumulate the accounting in the slot;
+        it is drained here — after the barrier, when every peer's puts of
+        the closing epoch are guaranteed complete — into the owner's
+        currently active trace phase.
+        """
         self._comm.barrier()
+        slot = self._comm.world.window_slot(self._id, self._comm.world_rank)
+        nbytes, msgs = slot.take_received()
+        if msgs:
+            self._comm.trace.record_put_received(nbytes, msgs)
 
     def local_view(self) -> bytes:
         """Bytes accumulated in this rank's own region (call after fence)."""
-        slot = self._comm.world.window_slot(self._id, self._comm.world_rank)
-        with slot.lock:
-            return bytes(slot.buffer)
+        return self._comm.world.window_slot(
+            self._id, self._comm.world_rank
+        ).snapshot()
 
     def local_filled(self) -> int:
         """Total bytes written into the local region so far."""
-        slot = self._comm.world.window_slot(self._id, self._comm.world_rank)
-        with slot.lock:
-            return slot.filled
+        return self._comm.world.window_slot(self._id, self._comm.world_rank).filled

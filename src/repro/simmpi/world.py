@@ -1,4 +1,4 @@
-"""SPMD execution: run one function on N rank threads.
+"""SPMD execution: run one function on N ranks.
 
 Usage::
 
@@ -8,11 +8,17 @@ Usage::
 
     results = run_spmd(4, program, payload)   # [r0, r1, r2, r3]
 
-The world owns everything shared between ranks: mailboxes, the barrier and
-the one-sided window registry.  Exceptions raised by any rank abort the run
-and are re-raised as a :class:`~repro.simmpi.errors.WorldError` carrying
-every rank's failure, so a mismatched collective surfaces as one readable
-error instead of a hang.
+The world owns everything shared between ranks: the point-to-point
+transport, the barrier and the one-sided window registry.  Exceptions
+raised by any rank abort the run and are re-raised as a
+:class:`~repro.simmpi.errors.WorldError` carrying every rank's failure, so
+a mismatched collective surfaces as one readable error instead of a hang.
+
+This module provides the default **thread** backend (:class:`World`: every
+rank is a thread of the calling interpreter) plus the backend-dispatching
+:func:`run_spmd`.  The **process** backend lives in
+:mod:`repro.simmpi.procworld`; both implement the
+:class:`~repro.simmpi.backend.BaseWorld` contract.
 """
 
 from __future__ import annotations
@@ -21,27 +27,89 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.simmpi.backend import (
+    BaseWorld,
+    DEFAULT_TIMEOUT,
+    create_world,
+    resolve_timeout,
+)
 from repro.simmpi.comm import Communicator, _Mailbox
 from repro.simmpi.errors import DeadlockError, SimMPIError, WorldError
 
-DEFAULT_TIMEOUT = 60.0
+__all__ = ["DEFAULT_TIMEOUT", "World", "run_spmd"]
 
 
-class World:
-    """Shared state for one SPMD execution of ``size`` ranks."""
+class _WindowSlot:
+    """Thread backend's window slot: a bytearray plus its access lock.
 
-    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT) -> None:
+    Implements the slot protocol the backend-neutral
+    :class:`~repro.simmpi.window.Window` drives (see
+    :class:`~repro.simmpi.backend.BaseWorld`).
+    """
+
+    __slots__ = ("buffer", "lock", "_filled")
+
+    def __init__(self, nbytes: int) -> None:
+        self.buffer = bytearray(nbytes)
+        self.lock = threading.Lock()
+        self._filled = 0
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.buffer)
+
+    @property
+    def filled(self) -> int:
+        with self.lock:
+            return self._filled
+
+    def write(self, staged, remote: bool) -> None:
+        """Copy every ``(offset, payload)`` region in under one lock."""
+        with self.lock:
+            for offset, payload in staged:
+                self.buffer[offset : offset + len(payload)] = payload
+                self._filled += len(payload)
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        with self.lock:
+            return bytes(self.buffer[offset : offset + nbytes])
+
+    def snapshot(self) -> bytes:
+        with self.lock:
+            return bytes(self.buffer)
+
+    def take_received(self):
+        # Receives are charged inline by World.charge_put_received.
+        return 0, 0
+
+
+class World(BaseWorld):
+    """Thread backend: shared state for one SPMD execution of ``size`` ranks."""
+
+    backend_name = "thread"
+
+    def __init__(self, size: int, timeout: Optional[float] = None) -> None:
         if size < 1:
             raise SimMPIError(f"world size must be >= 1, got {size}")
         self.size = int(size)
-        self.timeout = float(timeout)
+        self.timeout = resolve_timeout(timeout)
         self.barrier = threading.Barrier(self.size)
         self._mailboxes = [_Mailbox() for _ in range(self.size)]
         self._comms: List[Optional[Communicator]] = [None] * self.size
-        self._windows: Dict[int, Dict[int, Any]] = {}
+        self._windows: Dict[int, Dict[int, _WindowSlot]] = {}
         self._windows_lock = threading.Lock()
 
-    # -- plumbing used by Communicator/Window ---------------------------------
+    # -- point-to-point transport ----------------------------------------------
+    def post(self, dest: int, source: int, tag: int, obj: Any) -> None:
+        self._mailboxes[dest].queue_for(source, tag).put(obj)
+
+    def deliver(self, rank: int, source: int, tag: int, timeout: float) -> Any:
+        # Raises queue.Empty on timeout; the communicator translates.
+        return self._mailboxes[rank].queue_for(source, tag).get(timeout=timeout)
+
+    def probe_pending(self, rank: int, source: int, tag: int) -> bool:
+        return self._mailboxes[rank].queue_for(source, tag).qsize() > 0
+
     def mailbox(self, rank: int) -> _Mailbox:
         return self._mailboxes[rank]
 
@@ -51,11 +119,14 @@ class World:
             comm = self._comms[rank] = Communicator(self, rank)
         return comm
 
-    def register_window(self, window_id: int, rank: int, slot) -> None:
+    # -- one-sided windows -------------------------------------------------------
+    def window_create(self, window_id: int, rank: int, nbytes: int) -> _WindowSlot:
+        slot = _WindowSlot(nbytes)
         with self._windows_lock:
             self._windows.setdefault(window_id, {})[rank] = slot
+        return slot
 
-    def unregister_window(self, window_id: int, rank: int) -> None:
+    def window_free(self, window_id: int, rank: int) -> None:
         with self._windows_lock:
             slots = self._windows.get(window_id)
             if slots is not None:
@@ -63,7 +134,7 @@ class World:
                 if not slots:
                     del self._windows[window_id]
 
-    def window_slot(self, window_id: int, rank: int):
+    def window_slot(self, window_id: int, rank: int) -> _WindowSlot:
         with self._windows_lock:
             try:
                 return self._windows[window_id][rank]
@@ -72,6 +143,10 @@ class World:
                     f"window {window_id} not exposed by rank {rank} "
                     "(put before collective create completed?)"
                 ) from None
+
+    def charge_put_received(self, target_world_rank: int, nbytes: int) -> None:
+        # Shared interpreter: charge the target's trace directly.
+        self.comm_for(target_world_rank).trace.record_put_received(nbytes)
 
     # -- execution ---------------------------------------------------------------
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
@@ -147,8 +222,17 @@ def run_spmd(
     size: int,
     fn: Callable[..., Any],
     *args: Any,
-    timeout: float = DEFAULT_TIMEOUT,
+    backend: Optional[str] = None,
+    timeout: Optional[float] = None,
     **kwargs: Any,
 ) -> List[Any]:
-    """One-shot convenience wrapper: create a world, run, return results."""
-    return World(size, timeout=timeout).run(fn, *args, **kwargs)
+    """One-shot convenience wrapper: create a world, run, return results.
+
+    ``backend`` selects the execution backend (``"thread"`` default,
+    ``"process"`` for fork-based multi-core execution; overridable via the
+    ``REPRO_SPMD_BACKEND`` environment variable).  ``timeout`` defaults to
+    ``REPRO_SPMD_TIMEOUT`` seconds when set, else 60 s.
+    """
+    return create_world(size, backend=backend, timeout=timeout).run(
+        fn, *args, **kwargs
+    )

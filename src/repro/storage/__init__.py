@@ -8,7 +8,15 @@ content-addressed :class:`~repro.storage.local_store.ChunkStore` per node, a
 :mod:`~repro.storage.failures`.
 """
 
-from repro.storage.local_store import ChunkStore, Cluster, NodeStorage, StorageError
+from repro.storage.local_store import (
+    ChunkStore,
+    Cluster,
+    ClusterDelta,
+    NodeDelta,
+    NodeStorage,
+    StorageError,
+    StoreDelta,
+)
 from repro.storage.manifest import Manifest
 from repro.storage.failures import FailureInjector, RecoverabilityReport
 from repro.storage.pfs import ParallelFileSystem, PFSStats
@@ -16,11 +24,14 @@ from repro.storage.pfs import ParallelFileSystem, PFSStats
 __all__ = [
     "ChunkStore",
     "Cluster",
+    "ClusterDelta",
     "FailureInjector",
     "Manifest",
+    "NodeDelta",
     "NodeStorage",
     "PFSStats",
     "ParallelFileSystem",
     "RecoverabilityReport",
     "StorageError",
+    "StoreDelta",
 ]

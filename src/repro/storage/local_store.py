@@ -23,6 +23,64 @@ class StorageError(Exception):
     """Raised on access to failed nodes or missing chunks/manifests."""
 
 
+class StoreDelta:
+    """Additive changes to one :class:`ChunkStore` since its last ``mark()``.
+
+    ``entries`` is a list of ``(fingerprint, payload_or_None, put_count)``
+    triples — payload is shipped only for fingerprints the marking side did
+    not already hold.  Replayed through put semantics by ``apply_delta``, so
+    counters (logical/physical/put_count) come out exactly as if the puts
+    had happened on the receiving store directly; deltas from several ranks
+    therefore merge commutatively even when they overlap on a fingerprint.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: List[Tuple[Fingerprint, Optional[bytes], int]]):
+        self.entries = entries
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+
+class NodeDelta:
+    """Changes to one :class:`NodeStorage` since ``mark()``: chunk-store
+    delta, newly stored manifests, appended parity records and (if toggled)
+    the liveness flag."""
+
+    __slots__ = ("chunks", "manifests", "parity", "alive")
+
+    def __init__(self, chunks, manifests, parity, alive) -> None:
+        self.chunks = chunks
+        self.manifests = manifests
+        self.parity = parity
+        self.alive = alive
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.chunks or self.manifests or self.parity or self.alive is not None
+        )
+
+
+class ClusterDelta:
+    """Per-node deltas of one SPMD rank's cluster copy (process backend).
+
+    Forked ranks write to *copies* of the in-memory cluster; this object is
+    what a rank ships back so the parent can fold the writes into the real
+    one (see :func:`repro.core.runner.run_collective`).  All contents are
+    picklable and additive, so applying every rank's delta in any order
+    reproduces the state a shared-memory (thread) run would have produced.
+    """
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes: Dict[int, NodeDelta]) -> None:
+        self.nodes = nodes
+
+    def __bool__(self) -> bool:
+        return bool(self.nodes)
+
+
 class ChunkStore:
     """One node-local device: fingerprint-addressed chunk storage.
 
@@ -197,6 +255,56 @@ class ChunkStore:
         self.physical_bytes = 0
         self.put_count = 0
 
+    # -- delta merge-back (process backend) -------------------------------------
+    def mark(self) -> None:
+        """Snapshot refcounts so :meth:`collect_delta` can diff against them.
+
+        Stores are append-only during a run (no chunk deletion exists), so a
+        refcount snapshot fully determines the additive delta.
+        """
+        self._marked = dict(self._refcounts)
+
+    def collect_delta(self) -> StoreDelta:
+        """Everything put since :meth:`mark`, as replayable put entries."""
+        marked = getattr(self, "_marked", None)
+        if marked is None:
+            raise StorageError("collect_delta() without a prior mark()")
+        entries: List[Tuple[Fingerprint, Optional[bytes], int]] = []
+        for fp, count in self._refcounts.items():
+            base = marked.get(fp, 0)
+            if count != base:
+                payload = None if base else self._chunks.get(fp)
+                entries.append((fp, payload, count - base))
+        return StoreDelta(entries)
+
+    def apply_delta(self, delta: StoreDelta) -> None:
+        """Replay a delta's entries with :meth:`put` accounting semantics."""
+        refcounts = self._refcounts
+        chunks = self._chunks
+        for fp, payload, count in delta.entries:
+            if fp in refcounts:
+                size = len(payload) if payload is not None else self.nbytes_of(fp)
+                refcounts[fp] += count
+                if not self.dedup:
+                    self.physical_bytes += count * size
+            else:
+                if payload is None:
+                    raise StorageError(
+                        f"delta references chunk {fp.hex()[:12]}... this store "
+                        "never held and carries no payload"
+                    )
+                size = len(payload)
+                refcounts[fp] = count
+                chunks[fp] = payload
+                self.physical_bytes += size if self.dedup else count * size
+                if self._directory is not None:
+                    path = os.path.join(self._directory, fp.hex())
+                    if not os.path.exists(path):  # rank process may have written it
+                        with open(path, "wb") as fh:
+                            fh.write(payload)
+            self.put_count += count
+            self.logical_bytes += count * size
+
 
 class NodeStorage:
     """One node's local storage: chunk store, manifest area and (for the
@@ -269,6 +377,38 @@ class NodeStorage:
     @property
     def manifest_bytes(self) -> int:
         return sum(len(blob) for blob in self._manifests.values())
+
+    # -- delta merge-back (process backend) -------------------------------------
+    def mark(self) -> None:
+        """Snapshot manifest keys, parity length and liveness for diffing."""
+        self.chunks.mark()
+        self._marked_manifests = set(self._manifests)
+        self._marked_parity = len(self._parity)
+        self._marked_alive = self.alive
+
+    def collect_delta(self) -> NodeDelta:
+        """All additions (and liveness change) since :meth:`mark`."""
+        if not hasattr(self, "_marked_manifests"):
+            raise StorageError("collect_delta() without a prior mark()")
+        manifests = {
+            key: blob
+            for key, blob in self._manifests.items()
+            if key not in self._marked_manifests
+        }
+        return NodeDelta(
+            chunks=self.chunks.collect_delta(),
+            manifests=manifests,
+            parity=self._parity[self._marked_parity :],
+            alive=None if self.alive == self._marked_alive else self.alive,
+        )
+
+    def apply_delta(self, delta: NodeDelta) -> None:
+        self.chunks.apply_delta(delta.chunks)
+        self._manifests.update(delta.manifests)
+        for record in delta.parity:
+            self.put_parity(record)
+        if delta.alive is not None:
+            self.alive = delta.alive
 
 
 class Cluster:
@@ -374,6 +514,31 @@ class Cluster:
     @property
     def total_physical_bytes(self) -> int:
         return sum(n.chunks.physical_bytes for n in self._nodes)
+
+    # -- delta merge-back (process backend) -------------------------------------
+    def mark(self) -> None:
+        """Snapshot every node so :meth:`collect_delta` can diff the cluster.
+
+        Process-backend protocol: each forked rank marks its inherited
+        cluster copy before running, collects a :class:`ClusterDelta` after,
+        and the parent applies every rank's delta to the real cluster —
+        reproducing exactly the state a thread-backend run would leave.
+        """
+        for node in self._nodes:
+            node.mark()
+
+    def collect_delta(self) -> ClusterDelta:
+        """Per-node deltas since :meth:`mark` (empty nodes omitted)."""
+        nodes: Dict[int, NodeDelta] = {}
+        for node in self._nodes:
+            delta = node.collect_delta()
+            if delta:
+                nodes[node.node_id] = delta
+        return ClusterDelta(nodes)
+
+    def apply_delta(self, delta: ClusterDelta) -> None:
+        for node_id, node_delta in delta.nodes.items():
+            self._nodes[node_id].apply_delta(node_delta)
 
     @property
     def total_logical_bytes(self) -> int:

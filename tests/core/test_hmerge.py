@@ -190,3 +190,97 @@ class TestMergeEntryAndView:
         t = table_of(0, [fp(1), fp(2)])
         assert t.nbytes_estimate() > 0
         assert GlobalView.from_table(t).nbytes_estimate() > 0
+
+
+class TestVectorizedEntries:
+    """The bulk-extraction `entries` path against a per-entry reference."""
+
+    @staticmethod
+    def reference_entries(table):
+        import numpy as np
+
+        from repro.core.hmerge import PAD
+
+        width = table.digest_size
+        out = {}
+        for i in range(len(table.fps)):
+            row = table.ranks[i]
+            ranks = tuple(int(r) for r in row[row != PAD])
+            key = bytes(table.fps[i]).ljust(width, b"\x00")
+            out[key] = MergeEntry(freq=int(table.freq[i]), ranks=ranks)
+        return out
+
+    def test_matches_reference_after_merges(self):
+        acc = table_of(0, [fp(i) for i in range(20)], k=3, f=15)
+        for rank in range(1, 6):
+            acc = hmerge(
+                acc, table_of(rank, [fp(i) for i in range(rank, rank + 20)], k=3, f=15)
+            )
+        fast = acc.entries
+        assert fast == self.reference_entries(acc)
+        assert all(isinstance(k, bytes) and len(k) == 20 for k in fast)
+        assert all(
+            isinstance(r, int) and not hasattr(r, "dtype")
+            for e in fast.values()
+            for r in e.ranks
+        ), "ranks must be Python ints, not numpy scalars"
+
+    def test_trailing_nul_fingerprints_keep_width(self):
+        # numpy S-dtype strips trailing NULs on element readback; the bulk
+        # path must restore the fixed digest width.
+        fps = [b"\x01" * 19 + b"\x00", b"\x00" * 20, fp(3)]
+        t = table_of(0, fps)
+        assert set(t.entries) == set(fps)
+        assert t.entries == self.reference_entries(t)
+
+    def test_trusted_skips_validation_but_agrees(self):
+        assert MergeEntry._trusted(2, (1, 5)) == MergeEntry(freq=2, ranks=(1, 5))
+
+    @given(
+        st.lists(st.lists(st.integers(0, 30), max_size=10), min_size=1, max_size=6),
+        st.integers(1, 4),
+        st.integers(1, 12),
+    )
+    def test_matches_reference_property(self, per_rank_ids, k, f):
+        acc = table_of(0, [fp(i) for i in per_rank_ids[0]], k=k, f=f)
+        for rank, ids in enumerate(per_rank_ids[1:], start=1):
+            acc = hmerge(acc, table_of(rank, [fp(i) for i in ids], k=k, f=f))
+        assert acc.entries == self.reference_entries(acc)
+
+    def test_global_view_wire_nbytes_matches_per_entry_sum(self):
+        t = hmerge(
+            table_of(0, [fp(i) for i in range(12)], k=3, f=10),
+            table_of(1, [fp(i) for i in range(6, 18)], k=3, f=10),
+        )
+        view = GlobalView.from_table(t)
+        uncached = GlobalView(entries=view.entries, k=view.k)
+        assert view.wire_nbytes is not None
+        assert view.nbytes_estimate() == uncached.nbytes_estimate()
+
+    def test_no_regression_vs_reference(self):
+        """The bulk path must not be slower than the per-entry loop.
+
+        Generous 1.5x headroom: this guards against reintroducing per-entry
+        numpy indexing, not against scheduler noise.
+        """
+        import time
+
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        fps = [bytes(rng.integers(0, 256, 20, dtype=np.uint8)) for _ in range(8000)]
+        t = MergeTable.from_local(fps, rank=0, k=4, f=1 << 17)
+        t.entries  # warm both paths' imports/caches
+        self.reference_entries(t)
+
+        best_fast = min(
+            (lambda s: (t.entries, time.perf_counter() - s))(time.perf_counter())[1]
+            for _ in range(3)
+        )
+        best_ref = min(
+            (lambda s: (self.reference_entries(t), time.perf_counter() - s))(
+                time.perf_counter()
+            )[1]
+            for _ in range(3)
+        )
+        assert best_fast <= best_ref * 1.5, (best_fast, best_ref)

@@ -1,0 +1,195 @@
+"""Thread vs process backend equivalence over the full dump/restore/repair
+stack: identical ``DumpReport``s, byte-identical manifests and cluster
+contents, identical restored datasets.
+
+These are the tests that make the process backend safe to use as a drop-in
+accelerator: everything a caller can observe — reports, cluster accounting,
+restores — must be indistinguishable from a thread-backend run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import DumpConfig, Strategy, dump_output, restore_dataset
+from repro.core.runner import run_collective
+from repro.ftrt.runtime import run_checkpointed
+from repro.repair import repair_cluster, scan_cluster
+from repro.storage import Cluster, FailureInjector
+
+from tests.conftest import make_rank_dataset
+
+BACKENDS = ["thread", "process"]
+CS = 64
+N = 4
+TIMEOUT = 60
+
+
+def cluster_state(cluster):
+    """Everything observable about a cluster, in comparable form."""
+    nodes = []
+    for node in cluster.nodes:
+        cs = node.chunks
+        nodes.append(
+            {
+                "node": node.node_id,
+                "alive": node.alive,
+                "logical": cs.logical_bytes,
+                "physical": cs.physical_bytes,
+                "puts": cs.put_count,
+                "chunks": sorted(
+                    (fp, cs.refcount(fp), cs.get(fp)) for fp in cs.fingerprints()
+                ),
+                "manifests": sorted(
+                    (key, node.get_manifest_blob(*key))
+                    for key in node.manifest_keys()
+                ),
+                "parity_bytes": node.parity_bytes,
+            }
+        )
+    return nodes
+
+
+def comparable_report(report):
+    """A report as a nested dict with wall-clock timings zeroed (the only
+    field legitimately allowed to differ across backends)."""
+    d = dataclasses.asdict(report)
+    for counters in d.get("phases", {}).values():
+        counters["seconds"] = 0.0
+    return d
+
+
+def dump_once(backend, strategy, *, dead=(), degraded=False, k=3, dump_id=0):
+    cfg = DumpConfig(
+        replication_factor=k,
+        chunk_size=CS,
+        f_threshold=4096,
+        strategy=strategy,
+        degraded=degraded,
+    )
+    cluster = Cluster(N)
+    for node_id in dead:
+        cluster.fail_node(node_id)
+    reports, _world = run_collective(
+        N,
+        lambda comm: dump_output(
+            comm, make_rank_dataset(comm.rank), cfg, cluster, dump_id=dump_id
+        ),
+        cluster=cluster,
+        backend=backend,
+        timeout=TIMEOUT,
+    )
+    return cluster, reports
+
+
+class TestDumpEquivalence:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_reports_cluster_and_restores_identical(self, strategy):
+        observed = {}
+        for backend in BACKENDS:
+            cluster, reports = dump_once(backend, strategy)
+            restored = [
+                restore_dataset(cluster, rank, 0)[0].to_bytes() for rank in range(N)
+            ]
+            observed[backend] = (
+                [dataclasses.astuple(r) for r in reports],
+                cluster_state(cluster),
+                restored,
+            )
+        t, p = observed["thread"], observed["process"]
+        assert t[0] == p[0], "DumpReports differ across backends"
+        assert t[1] == p[1], "cluster contents differ across backends"
+        assert t[2] == p[2], "restored datasets differ across backends"
+        for rank in range(N):
+            assert t[2][rank] == make_rank_dataset(rank).to_bytes()
+
+    def test_consecutive_dumps_identical(self):
+        observed = {}
+        for backend in BACKENDS:
+            cfg = DumpConfig(
+                replication_factor=3, chunk_size=CS, f_threshold=4096
+            )
+            cluster = Cluster(N)
+            for dump_id in range(2):
+                run_collective(
+                    N,
+                    lambda comm: dump_output(
+                        comm,
+                        make_rank_dataset(comm.rank),
+                        cfg,
+                        cluster,
+                        dump_id=dump_id,
+                    ),
+                    cluster=cluster,
+                    backend=backend,
+                    timeout=TIMEOUT,
+                )
+            observed[backend] = cluster_state(cluster)
+        assert observed["thread"] == observed["process"]
+
+
+class TestDegradedDumpEquivalence:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_dead_node_dump_identical(self, strategy):
+        observed = {}
+        for backend in BACKENDS:
+            cluster, reports = dump_once(
+                backend, strategy, dead=(1,), degraded=True
+            )
+            restored = [
+                restore_dataset(cluster, rank, 0)[0].to_bytes() for rank in range(N)
+            ]
+            observed[backend] = (
+                [dataclasses.astuple(r) for r in reports],
+                cluster_state(cluster),
+                restored,
+            )
+        assert observed["thread"] == observed["process"]
+        assert any(r.degraded for r in reports)
+
+
+class TestRepairEquivalence:
+    def test_repair_results_identical(self):
+        observed = {}
+        for backend in BACKENDS:
+            cluster, _reports = dump_once(backend, Strategy.COLL_DEDUP)
+            FailureInjector(cluster, seed=7).fail_random_nodes(2)
+            report = repair_cluster(cluster, 3, timeout=TIMEOUT, backend=backend)
+            scan_after = scan_cluster(cluster, 3)
+            observed[backend] = (
+                cluster_state(cluster),
+                comparable_report(report),
+                scan_after.deficit_chunks,
+            )
+        assert observed["thread"] == observed["process"]
+        assert observed["process"][2] == 0, "repair left deficits"
+
+
+class TestCheckpointRuntimeEquivalence:
+    def test_run_checkpointed_merges_cluster_back(self):
+        observed = {}
+        for backend in BACKENDS:
+            cfg = DumpConfig(
+                replication_factor=2,
+                chunk_size=CS,
+                f_threshold=4096,
+                spmd_backend=backend,
+                spmd_timeout=TIMEOUT,
+            )
+            cluster = Cluster(N)
+
+            def program(runtime):
+                data = bytearray(make_rank_dataset(runtime.comm.rank).to_bytes())
+                runtime.memory.register("state", data)
+                for step in range(1, 5):
+                    runtime.maybe_checkpoint(step)
+                return runtime.stats.checkpoints_taken
+
+            results = run_checkpointed(N, cluster, cfg, interval=2, program=program)
+            observed[backend] = (results, cluster_state(cluster))
+        assert observed["thread"] == observed["process"]
+        assert observed["process"][0] == [2] * N
+        # The parent-visible cluster holds every checkpoint's manifests.
+        for rank in range(N):
+            for dump_id in (0, 1):
+                assert cluster.find_manifest(rank, dump_id) is not None
