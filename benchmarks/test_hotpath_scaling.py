@@ -23,12 +23,13 @@ observable: DumpReport byte accounting must match the legacy run field
 for field (hash-work fields excepted for the warm dump, which is the
 cache's whole point).
 
-Results land in ``BENCH_hotpath.json`` at the repo root.  Set
-``HOTPATH_SMOKE=1`` to run a fast correctness-only pass (CI smoke): sizes
-shrink and the speedup floors are reported but not asserted.
+Results land in ``BENCH_hotpath.json`` at the repo root, in the unified
+``repro.obs/bench/v1`` schema (validated before every write — see
+:func:`repro.obs.schema.write_bench_entry`).  Set ``HOTPATH_SMOKE=1`` to
+run a fast correctness-only pass (CI smoke): sizes shrink and the speedup
+floors are reported but not asserted.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -38,6 +39,7 @@ import numpy as np
 from repro.core import DumpConfig, Strategy, dump_output
 from repro.core.chunking import Dataset
 from repro.core.fpcache import FingerprintCache
+from repro.obs.schema import write_bench_entry
 from repro.simmpi import World
 from repro.storage import Cluster
 
@@ -52,7 +54,6 @@ COLD_MIN_SPEEDUP = 2.0
 WARM_MIN_SPEEDUP = 5.0
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
-_results = {}
 
 
 def _rank_dataset(rank: int, n_chunks: int) -> Dataset:
@@ -65,9 +66,13 @@ def _rank_dataset(rank: int, n_chunks: int) -> Dataset:
     return Dataset([bytearray(body + tail)])
 
 
-def _run_dump(datasets, strategy, k, batched, caches=None, dirty=None, dump_id=0):
+def _run_dump(
+    datasets, strategy, k, batched, caches=None, dirty=None, dump_id=0,
+    trace_level=None,
+):
     cfg = DumpConfig(
-        replication_factor=k, chunk_size=CS, strategy=strategy, batched=batched
+        replication_factor=k, chunk_size=CS, strategy=strategy, batched=batched,
+        trace_level=trace_level,
     )
     cluster = Cluster(N_RANKS, dedup=(strategy is not Strategy.NO_DEDUP))
     world = World(N_RANKS, timeout=600)
@@ -105,13 +110,7 @@ def _accounting(report, ignore_hash_work=False):
 
 
 def _emit(key, payload):
-    _results[key] = payload
-    merged = {}
-    if RESULT_PATH.exists():
-        merged = json.loads(RESULT_PATH.read_text())
-    merged.update(_results)
-    merged["smoke"] = SMOKE
-    RESULT_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    write_bench_entry(RESULT_PATH, key, payload, smoke=SMOKE)
 
 
 def test_cold_dump_batching_speedup():
@@ -139,8 +138,10 @@ def test_cold_dump_batching_speedup():
             "replication_factor": k,
             "chunk_size": CS,
             "chunks_per_rank": COLD_CHUNKS,
-            "legacy_seconds": round(legacy_wall, 4),
-            "batched_seconds": round(batched_wall, 4),
+            "timings": {
+                "legacy": round(legacy_wall, 4),
+                "batched": round(batched_wall, 4),
+            },
             "speedup": round(speedup, 2),
             "min_required": COLD_MIN_SPEEDUP,
         },
@@ -194,8 +195,10 @@ def test_warm_cached_dump_speedup():
             "chunk_size": CS,
             "chunks_per_rank": WARM_CHUNKS,
             "dirty_chunks_per_rank": 8,
-            "legacy_seconds": round(legacy_wall, 4),
-            "warm_seconds": round(warm_wall, 4),
+            "timings": {
+                "legacy": round(legacy_wall, 4),
+                "warm": round(warm_wall, 4),
+            },
             "speedup": round(speedup, 2),
             "min_required": WARM_MIN_SPEEDUP,
         },
@@ -204,4 +207,54 @@ def test_warm_cached_dump_speedup():
         assert speedup >= WARM_MIN_SPEEDUP, (
             f"warm cached dump only {speedup:.2f}x faster than the "
             f"per-chunk path (need >= {WARM_MIN_SPEEDUP}x)"
+        )
+
+
+def test_span_tracing_overhead():
+    """Span-level tracing vs the disabled default on the batched cold dump.
+
+    The default ``"phase"`` level is what every production dump runs at —
+    span recording and metrics sit behind a single boolean there, so its
+    wall-clock IS the no-overhead baseline the other benchmarks measure.
+    This pins the *enabled* cost: the span-level dump records the full
+    hierarchy (dump -> phases -> allreduce rounds), the chunk-size
+    histogram and put latencies, and may not slow the dump by more than
+    50% (it is typically a few percent; the bound is loose because tiny
+    smoke dumps amplify fixed costs).  Both walls are emitted so the
+    trajectory tracks the real overhead ratio.
+    """
+    datasets = [_rank_dataset(r, COLD_CHUNKS // 2) for r in range(N_RANKS)]
+    k = N_RANKS
+
+    _run_dump(datasets, Strategy.NO_DEDUP, k, batched=True)  # warm-up
+    phase_wall, _ = _best(
+        lambda: _run_dump(datasets, Strategy.NO_DEDUP, k, batched=True)
+    )
+    span_wall, _ = _best(
+        lambda: _run_dump(
+            datasets, Strategy.NO_DEDUP, k, batched=True, trace_level="span"
+        )
+    )
+
+    overhead = span_wall / phase_wall - 1.0
+    _emit(
+        "trace_overhead",
+        {
+            "strategy": "no-dedup",
+            "ranks": N_RANKS,
+            "replication_factor": k,
+            "chunk_size": CS,
+            "chunks_per_rank": COLD_CHUNKS // 2,
+            "timings": {
+                "phase_level": round(phase_wall, 4),
+                "span_level": round(span_wall, 4),
+            },
+            "speedup": None,
+            "span_overhead_fraction": round(overhead, 4),
+        },
+    )
+    if not SMOKE:
+        assert overhead <= 0.5, (
+            f"span-level tracing slowed the batched dump by "
+            f"{overhead * 100:.1f}% (budget: 50%)"
         )

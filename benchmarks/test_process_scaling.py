@@ -19,10 +19,11 @@ must produce byte-identical manifests and restored datasets.  The speedup
 floor is asserted only when the host actually has >= ``N_RANKS`` CPU cores
 (a single-core container cannot speed anything up by adding processes) and
 ``PROCESS_SMOKE`` is unset; the measured numbers are always emitted to
-``BENCH_process.json`` at the repo root.
+``BENCH_process.json`` at the repo root, in the unified
+``repro.obs/bench/v1`` schema (validated before every write — see
+:func:`repro.obs.schema.write_bench_entry`).
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -32,6 +33,7 @@ import numpy as np
 from repro.core import DumpConfig, Strategy, dump_output, restore_dataset
 from repro.core.chunking import Dataset
 from repro.core.runner import run_collective
+from repro.obs.schema import write_bench_entry
 from repro.storage import Cluster
 
 SMOKE = bool(int(os.environ.get("PROCESS_SMOKE", "0")))
@@ -46,7 +48,6 @@ MIN_SPEEDUP = 1.5
 ASSERT_SPEEDUP = not SMOKE and CORES >= N_RANKS
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_process.json"
-_results = {}
 
 
 def _rank_dataset(rank: int) -> Dataset:
@@ -106,14 +107,7 @@ def _observable(cluster):
 
 
 def _emit(key, payload):
-    _results[key] = payload
-    merged = {}
-    if RESULT_PATH.exists():
-        merged = json.loads(RESULT_PATH.read_text())
-    merged.update(_results)
-    merged["smoke"] = SMOKE
-    merged["cpu_cores"] = CORES
-    RESULT_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    write_bench_entry(RESULT_PATH, key, payload, smoke=SMOKE)
 
 
 def test_process_backend_cold_dump_scaling():
@@ -146,8 +140,10 @@ def test_process_backend_cold_dump_scaling():
             "chunk_size": CS,
             "chunks_per_rank": CHUNKS_PER_RANK,
             "bytes_per_rank": CHUNKS_PER_RANK * CS,
-            "thread_seconds": round(thread_wall, 4),
-            "process_seconds": round(process_wall, 4),
+            "timings": {
+                "thread": round(thread_wall, 4),
+                "process": round(process_wall, 4),
+            },
             "speedup": round(speedup, 2),
             "min_required": MIN_SPEEDUP,
             "speedup_asserted": ASSERT_SPEEDUP,

@@ -10,6 +10,16 @@ Runs the paper's experiments from the shell without writing any code:
 
 Results print as the paper-shaped text tables from
 :mod:`repro.analysis.tables`.
+
+Observability (see :mod:`repro.obs`):
+
+    repro-eval trace-record --n 4 --backend process --out run.json \
+        --perfetto run_perfetto.json
+    repro-eval trace run.json
+    repro-eval trace run.json --against baseline.json
+
+Errors (unknown subcommands, bad ``--backend``, missing trace files,
+malformed snapshots) print a one-line message to stderr and exit 2.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.tables import format_series, format_table
 from repro.core import Strategy
+from repro.simmpi.errors import SimMPIError
 
 
 def _runner(app: str) -> WorkloadRunner:
@@ -180,6 +191,71 @@ def cmd_repair(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_trace_record(args) -> None:
+    """Record a span-level synthetic dump and write the run snapshot."""
+    from repro.apps.synthetic import SyntheticWorkload
+    from repro.core.config import DumpConfig
+    from repro.core.dump import dump_output
+    from repro.core.runner import run_collective
+    from repro.obs import capture_run, write_chrome_trace, write_run
+    from repro.storage.local_store import Cluster
+
+    n = args.n
+    config = DumpConfig(
+        replication_factor=args.k,
+        chunk_size=args.chunk_size,
+        f_threshold=1 << 14,
+        strategy=Strategy.parse(args.strategy),
+        spmd_backend=args.backend,
+        trace_level="span",
+    )
+    workload = SyntheticWorkload(
+        chunks_per_rank=args.chunks_per_rank,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+    )
+    cluster = Cluster(n)
+    _results, world = run_collective(
+        n,
+        lambda comm: dump_output(
+            comm, workload.build_dataset(comm.rank, n), config, cluster
+        ),
+        cluster=cluster,
+        backend=config.spmd_backend,
+    )
+    run = capture_run(
+        world,
+        meta={
+            "backend": config.spmd_backend or "thread",
+            "n": n,
+            "k": args.k,
+            "strategy": config.strategy.value,
+            "chunks_per_rank": args.chunks_per_rank,
+            "chunk_size": args.chunk_size,
+        },
+    )
+    write_run(args.out, run)
+    n_spans = sum(len(entry["spans"]) for entry in run["ranks"])
+    print(f"wrote {args.out} ({n} ranks, {n_spans} spans)")
+    if args.perfetto:
+        write_chrome_trace(args.perfetto, run)
+        print(f"wrote {args.perfetto} (load at https://ui.perfetto.dev)")
+
+
+def cmd_trace(args) -> None:
+    """Analyze a recorded run snapshot (critical path, skew, A/B diff)."""
+    from repro.obs.analyzer import format_report, load_run
+
+    run = load_run(args.file)
+    against = load_run(args.against) if args.against else None
+    print(
+        format_report(
+            run, against=against, top=args.top,
+            skew_threshold=args.skew_threshold,
+        )
+    )
+
+
 def cmd_shuffle(args) -> None:
     runner = _runner(args.app)
     n = args.n[0]
@@ -195,8 +271,21 @@ def cmd_shuffle(args) -> None:
     print(format_table(["K", "coll-shuffle", "coll-no-shuffle", "reduction"], rows))
 
 
+class _OneLineParser(argparse.ArgumentParser):
+    """Argparse parser whose errors are a single stderr line + exit 2.
+
+    The default behaviour dumps the full usage block before the error,
+    which buries the actual problem (e.g. a typo'd subcommand) — scripts
+    and CI logs want the one-line diagnosis.  ``add_subparsers`` inherits
+    the class, so subcommand errors behave identically.
+    """
+
+    def error(self, message: str) -> "NoReturn":  # type: ignore[name-defined]
+        self.exit(2, f"{self.prog}: error: {message}\n")
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _OneLineParser(
         prog="repro-eval",
         description="Regenerate experiments from Nicolae, IPDPS 2015.",
     )
@@ -240,16 +329,60 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument(
         "--backend",
         default=None,
-        choices=["thread", "process"],
-        help="SPMD execution backend (default: REPRO_SPMD_BACKEND or thread)",
+        help="SPMD execution backend: thread or process "
+        "(default: REPRO_SPMD_BACKEND or thread)",
     )
     rp.set_defaults(func=cmd_repair)
+
+    tc = sub.add_parser(
+        "trace-record",
+        help="record a span-level synthetic dump into a run snapshot",
+    )
+    tc.add_argument("--n", type=int, default=4, help="process count")
+    tc.add_argument("--k", type=int, default=3, help="replication factor")
+    tc.add_argument("--chunks-per-rank", type=int, default=8)
+    tc.add_argument("--chunk-size", type=int, default=256)
+    tc.add_argument("--strategy", default=Strategy.COLL_DEDUP.value,
+                    choices=[s.value for s in Strategy])
+    tc.add_argument("--seed", type=int, default=0)
+    tc.add_argument(
+        "--backend",
+        default=None,
+        help="SPMD execution backend: thread or process "
+        "(default: REPRO_SPMD_BACKEND or thread)",
+    )
+    tc.add_argument("--out", default="trace_run.json",
+                    help="run snapshot output path")
+    tc.add_argument("--perfetto", default=None,
+                    help="also write Chrome trace-event JSON here")
+    tc.set_defaults(func=cmd_trace_record)
+
+    tr = sub.add_parser(
+        "trace", help="analyze a run snapshot: critical path, skew, A/B diff"
+    )
+    tr.add_argument("file", help="run snapshot JSON (from trace-record)")
+    tr.add_argument("--against", default=None,
+                    help="baseline snapshot for an A/B diff")
+    tr.add_argument("--top", type=int, default=None,
+                    help="show only the top-N phases")
+    tr.add_argument("--skew-threshold", type=float, default=1.5,
+                    help="flag phases whose max/mean exceeds this")
+    tr.set_defaults(func=cmd_trace)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    args.func(args)
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse printed its one-line error already
+        code = exc.code
+        return code if isinstance(code, int) else 2
+    try:
+        args.func(args)
+    except (SimMPIError, ValueError, OSError, KeyError) as exc:
+        print(f"repro-eval: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

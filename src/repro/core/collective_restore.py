@@ -62,6 +62,16 @@ def load_input(
     whose manifest or chunks are unrecoverable (which aborts the world —
     restart is all-or-nothing, like the paper's checkpoint semantics).
     """
+    with comm.trace.span("restore", dump_id=dump_id):
+        return _load_input_impl(comm, cluster, config, dump_id)
+
+
+def _load_input_impl(
+    comm: Communicator,
+    cluster: Cluster,
+    config: DumpConfig,
+    dump_id: int,
+) -> Tuple[Dataset, CollectiveRestoreReport]:
     rank, world = comm.rank, comm.size
     report = CollectiveRestoreReport(rank=rank, dump_id=dump_id)
 

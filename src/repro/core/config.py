@@ -130,6 +130,11 @@ class DumpConfig:
     #: World timeout in seconds for those same drivers.  ``None`` defers to
     #: ``REPRO_SPMD_TIMEOUT``, then the 60 s default.
     spmd_timeout: Optional[float] = None
+    #: Observability level for the dump: ``"phase"`` (counters only, the
+    #: default) or ``"span"`` (additionally record hierarchical timestamped
+    #: spans and metrics — see :mod:`repro.obs`).  ``None`` defers to
+    #: ``REPRO_TRACE``, then leaves the rank's trace untouched.
+    trace_level: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.replication_factor < 1:
@@ -175,6 +180,14 @@ class DumpConfig:
             raise ValueError(
                 f"spmd_timeout must be > 0, got {self.spmd_timeout}"
             )
+        if self.trace_level is not None:
+            from repro.simmpi.trace import TRACE_LEVELS
+
+            if self.trace_level not in TRACE_LEVELS:
+                raise ValueError(
+                    f"trace_level must be one of {TRACE_LEVELS}, "
+                    f"got {self.trace_level!r}"
+                )
         object.__setattr__(self, "strategy", Strategy.parse(self.strategy))
         if self.redundancy == "parity" and self.strategy is not Strategy.COLL_DEDUP:
             raise ValueError("parity redundancy requires the coll-dedup strategy")
@@ -218,6 +231,13 @@ class DumpConfig:
     def with_(self, **changes) -> "DumpConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def resolve_trace_level(self) -> Optional[str]:
+        """Effective trace level: explicit config wins, else ``$REPRO_TRACE``,
+        else ``None`` (leave the rank's trace as configured)."""
+        from repro.simmpi.trace import resolve_trace_level
+
+        return resolve_trace_level(self.trace_level)
 
     def effective_k(self, world_size: int) -> int:
         """K capped at the world size (cannot place more copies than ranks)."""

@@ -166,6 +166,32 @@ def dump_output(
         (:meth:`repro.storage.failures.FailureInjector.mid_dump_hook`) and a
         generic progress probe.
     """
+    level = config.resolve_trace_level()
+    if level is not None:
+        comm.trace.configure(level)
+    with comm.trace.span(
+        "dump",
+        dump_id=dump_id,
+        strategy=config.strategy.value,
+        k=config.effective_k(comm.size),
+        degraded=config.degraded,
+    ):
+        return _dump_output_impl(
+            comm, dataset, config, cluster, dump_id, fpcache, dirty_regions,
+            phase_hook,
+        )
+
+
+def _dump_output_impl(
+    comm: Communicator,
+    dataset: Dataset,
+    config: DumpConfig,
+    cluster: Cluster,
+    dump_id: int,
+    fpcache: Optional[FingerprintCache],
+    dirty_regions: DirtyRegions,
+    phase_hook: Optional[Callable[[str, int], None]],
+) -> DumpReport:
     rank, world = comm.rank, comm.size
     k_eff = config.effective_k(world)
     strategy = config.strategy
@@ -211,6 +237,11 @@ def dump_output(
                 dataset, fingerprinter, config.chunk_size, chunker=chunker
             )
         comm.trace.record_chunks(index.total_chunks, dataset.nbytes)
+        comm.trace.annotate(
+            chunks=index.total_chunks,
+            unique_chunks=index.unique_chunks,
+            dataset_bytes=dataset.nbytes,
+        )
 
     # Optional compression: payloads become self-describing frames; the
     # fingerprint (of the *uncompressed* chunk) remains the identity.
@@ -223,6 +254,14 @@ def dump_output(
     else:
         payload_of = index.unique
     payload_size = {fp: len(p) for fp, p in payload_of.items()}
+    if comm.trace.span_enabled:
+        comm.trace.metrics.histogram("chunk_size_bytes").observe_many(
+            payload_size.values()
+        )
+        if dataset.nbytes > 0:
+            comm.trace.metrics.gauge("dedup_ratio").set(
+                1.0 - index.unique_bytes / dataset.nbytes
+            )
     report.n_chunks = index.total_chunks
     report.dataset_bytes = dataset.nbytes
     report.hashed_bytes = fingerprinter.hashed_bytes
@@ -247,6 +286,9 @@ def dump_output(
                 node_of=node_of,
             )
             report.reduction_rounds = counters.rounds
+            comm.trace.annotate(
+                view_entries=len(view), rounds=counters.rounds
+            )
         report.view_entries = len(view)
         report.view_bytes = view.nbytes_estimate()
 
@@ -272,23 +314,29 @@ def dump_output(
         enter_phase("allgather")
         send_load = collectives.allgather(comm, plan.load)
 
-    if strategy is Strategy.COLL_DEDUP and config.shuffle:
-        totals = [sum(row[1:]) for row in send_load]
-        if config.node_aware:
-            shuffle = node_aware_shuffle(totals, k_eff, cluster.rank_to_node)
+    with comm.trace.span("shuffle"):
+        if strategy is Strategy.COLL_DEDUP and config.shuffle:
+            totals = [sum(row[1:]) for row in send_load]
+            if config.node_aware:
+                shuffle = node_aware_shuffle(totals, k_eff, cluster.rank_to_node)
+            else:
+                shuffle = rank_shuffle(totals, k_eff)
         else:
-            shuffle = rank_shuffle(totals, k_eff)
-    else:
-        shuffle = identity_shuffle(world)
-    positions = inverse_positions(shuffle)
-    my_pos = positions[rank]
-    report.shuffle_position = my_pos
-    if degraded_layout:
-        report.partners = live_partners_of(my_pos, shuffle, k_eff, alive)
-        layout = window_layout_degraded(shuffle, send_load, k_eff, alive)
-    else:
-        report.partners = partners_of(my_pos, shuffle, k_eff)
-        layout = window_layout(shuffle, send_load, k_eff)
+            shuffle = identity_shuffle(world)
+        positions = inverse_positions(shuffle)
+        my_pos = positions[rank]
+        report.shuffle_position = my_pos
+        comm.trace.annotate(position=my_pos)
+    with comm.trace.span("calc-off"):
+        if degraded_layout:
+            report.partners = live_partners_of(my_pos, shuffle, k_eff, alive)
+            layout = window_layout_degraded(shuffle, send_load, k_eff, alive)
+        else:
+            report.partners = partners_of(my_pos, shuffle, k_eff)
+            layout = window_layout(shuffle, send_load, k_eff)
+        comm.trace.annotate(window_slots=layout.window_slots[rank])
+    if comm.trace.span_enabled:
+        comm.trace.metrics.gauge("window_slots").set(layout.window_slots[rank])
     slot = slot_nbytes(fingerprinter.digest_size, config.wire_payload_capacity)
 
     # Phase 4: one-sided exchange.  Batched: each partner's whole region is
@@ -339,6 +387,9 @@ def dump_output(
             report.sent_chunks += count
             report.sent_bytes += sum(payload_size[fp] for fp in fps)
         comm.trace.record_chunks(report.sent_chunks, report.sent_bytes)
+        comm.trace.annotate(
+            sent_chunks=report.sent_chunks, sent_bytes=report.sent_bytes
+        )
         window.fence()
         incoming = window.local_view()
         received: List[Tuple[Fingerprint, bytes]] = []
@@ -411,6 +462,11 @@ def dump_output(
         comm.trace.record_chunks(
             report.stored_chunks + report.received_chunks,
             report.stored_bytes + report.received_bytes,
+        )
+        comm.trace.annotate(
+            stored_chunks=report.stored_chunks,
+            received_chunks=report.received_chunks,
+            dropped_chunks=report.dropped_chunks,
         )
 
         manifest = Manifest(

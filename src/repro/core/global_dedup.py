@@ -40,7 +40,8 @@ def build_global_view(
     table = MergeTable.from_local(
         local_fingerprints, comm.world_rank, k, f, node_of=node_of
     )
-    merged = collectives.allreduce(comm, table, hmerge)
+    with comm.trace.span("hmerge", table_entries=len(table.fps)):
+        merged = collectives.allreduce(comm, table, hmerge)
     return GlobalView.from_table(merged), merged
 
 

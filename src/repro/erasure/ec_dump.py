@@ -144,6 +144,7 @@ def ship_parity(
     # Holder role: for every group I hold, receive all members' chunks,
     # encode my shard of each stripe, store it with full stripe metadata.
     node = cluster.storage_for(comm.rank)
+    encode_span = comm.trace.begin_span("parity-encode")
     for g_members, g_holders in groups:
         if my_pos not in g_holders:
             continue
@@ -192,6 +193,8 @@ def ship_parity(
                 )
             )
             report.parity_stripes += 1
+    comm.trace.annotate(stripes=report.parity_stripes)
+    comm.trace.end_span(encode_span)
 
 
 def _gather_stripe(

@@ -92,9 +92,11 @@ class CheckpointRuntime:
     def checkpoint(self) -> DumpReport:
         """Collectively dump the registered memory now."""
         dataset = self.memory.capture()
-        report = dump_output(
-            self.comm, dataset, self.config, self.cluster, dump_id=self._next_dump_id
-        )
+        with self.comm.trace.span("checkpoint", dump_id=self._next_dump_id):
+            report = dump_output(
+                self.comm, dataset, self.config, self.cluster,
+                dump_id=self._next_dump_id,
+            )
         self._next_dump_id += 1
         self.stats.checkpoints_taken += 1
         self.stats.bytes_captured += dataset.nbytes
@@ -112,7 +114,10 @@ class CheckpointRuntime:
             dump_id = self.last_dump_id
         if dump_id is None:
             raise RuntimeError("no checkpoint has been taken yet")
-        dataset, _report = restore_dataset(self.cluster, self.comm.rank, dump_id)
+        with self.comm.trace.span("restart", dump_id=dump_id):
+            dataset, _report = restore_dataset(
+                self.cluster, self.comm.rank, dump_id
+            )
         self.memory.restore(dataset)
         self.stats.restarts += 1
         if self.auto_repair:
@@ -132,7 +137,10 @@ class CheckpointRuntime:
             dump_id = self.last_dump_id
         if dump_id is None:
             raise RuntimeError("no checkpoint has been taken yet")
-        dataset, _report = load_input(self.comm, self.cluster, self.config, dump_id)
+        with self.comm.trace.span("restart", dump_id=dump_id, collective=True):
+            dataset, _report = load_input(
+                self.comm, self.cluster, self.config, dump_id
+            )
         self.memory.restore(dataset)
         self.stats.restarts += 1
         if self.auto_repair:
@@ -162,8 +170,10 @@ class CheckpointRuntime:
             if target_k is not None
             else self.config.effective_k(self.comm.size)
         )
-        scan = scan_cluster(self.cluster, k, dump_ids)
-        schedule = plan_repair(self.cluster, scan)
+        with self.comm.trace.span("repair-scan", k=k):
+            scan = scan_cluster(self.cluster, k, dump_ids)
+        with self.comm.trace.span("repair-plan"):
+            schedule = plan_repair(self.cluster, scan)
         report = execute_repair(self.comm, self.cluster, schedule, scan)
         self.stats.repairs += 1
         self.stats.repair_reports.append(report)

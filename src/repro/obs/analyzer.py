@@ -1,0 +1,230 @@
+"""Trace analysis: critical-path breakdowns, rank skew, A/B diffs.
+
+Consumes ``repro.obs/run/v1`` snapshots written by
+:func:`repro.obs.export.write_run` and powers the ``repro-eval trace``
+subcommand.  The critical-path estimate for a collective phase model is
+the sum over phases of the slowest rank's time in that phase — every
+rank re-synchronises at the collectives separating phases, so the run
+cannot finish faster than the per-phase stragglers allow.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.schema import validate_run
+
+_INF = float("inf")
+
+
+def load_run(path) -> Dict[str, Any]:
+    """Load and validate a run snapshot from ``path``."""
+    doc = json.loads(Path(path).read_text())
+    validate_run(doc)
+    return doc
+
+
+def _phase_seconds(run: Mapping[str, Any]) -> Dict[str, Dict[int, float]]:
+    """phase name -> {rank: seconds} across all ranks."""
+    table: Dict[str, Dict[int, float]] = {}
+    for entry in run["ranks"]:
+        for phase, counters in entry["phases"].items():
+            table.setdefault(phase, {})[entry["rank"]] = float(
+                counters.get("seconds", 0.0)
+            )
+    return table
+
+
+def phase_breakdown(run: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Per-phase timing/volume statistics, sorted by critical-path cost.
+
+    Each row carries the total/mean/max seconds across ranks, the
+    straggler rank (argmax), byte and chunk volumes, and the phase's share
+    of the critical path (sum of per-phase maxima).
+    """
+    table = _phase_seconds(run)
+    critical_path = sum(max(per_rank.values()) for per_rank in table.values())
+    rows = []
+    for phase, per_rank in table.items():
+        values = list(per_rank.values())
+        max_s = max(values)
+        straggler = max(per_rank, key=lambda r: per_rank[r])
+        sent = recv = chunks = 0
+        for entry in run["ranks"]:
+            counters = entry["phases"].get(phase, {})
+            sent += int(counters.get("sent_bytes", 0))
+            recv += int(counters.get("recv_bytes", 0))
+            chunks += int(counters.get("chunks", 0))
+        rows.append(
+            {
+                "phase": phase,
+                "total_s": sum(values),
+                "mean_s": sum(values) / len(values),
+                "max_s": max_s,
+                "straggler": straggler,
+                "sent_bytes": sent,
+                "recv_bytes": recv,
+                "chunks": chunks,
+                "critical_share": max_s / critical_path if critical_path else 0.0,
+            }
+        )
+    rows.sort(key=lambda row: row["max_s"], reverse=True)
+    return rows
+
+
+def critical_path_seconds(run: Mapping[str, Any]) -> float:
+    """Lower bound on run wall-clock: sum of per-phase straggler times."""
+    table = _phase_seconds(run)
+    return sum(max(per_rank.values()) for per_rank in table.values())
+
+
+def rank_skew(
+    run: Mapping[str, Any], threshold: float = 1.5
+) -> List[Dict[str, Any]]:
+    """Phases whose slowest rank exceeds ``threshold``× the mean.
+
+    These are the load-imbalance suspects: a skew of 1.0 means perfectly
+    balanced, 2.0 means one rank took twice the average and the others
+    idled at the next collective.
+    """
+    from repro.sim.metrics import load_skew
+
+    suspects = []
+    for phase, per_rank in _phase_seconds(run).items():
+        ranks = sorted(per_rank)
+        values = [per_rank[r] for r in ranks]
+        skew, worst_idx = load_skew(values)
+        if worst_idx < 0 or skew < threshold:
+            continue
+        worst = ranks[worst_idx]
+        suspects.append(
+            {
+                "phase": phase,
+                "skew": skew,
+                "straggler": worst,
+                "straggler_s": per_rank[worst],
+                "mean_s": sum(values) / len(values),
+            }
+        )
+    suspects.sort(key=lambda row: row["skew"], reverse=True)
+    return suspects
+
+
+def diff_runs(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> List[Dict[str, Any]]:
+    """Per-phase critical-path comparison of run ``a`` against run ``b``.
+
+    ``ratio`` is a/b — below 1.0 means ``a`` is faster in that phase.
+    Phases present in only one run appear with the other side at 0.
+    """
+    seconds_a = {p: max(v.values()) for p, v in _phase_seconds(a).items()}
+    seconds_b = {p: max(v.values()) for p, v in _phase_seconds(b).items()}
+    rows = []
+    for phase in sorted(set(seconds_a) | set(seconds_b)):
+        sa = seconds_a.get(phase, 0.0)
+        sb = seconds_b.get(phase, 0.0)
+        rows.append(
+            {
+                "phase": phase,
+                "a_s": sa,
+                "b_s": sb,
+                "delta_s": sa - sb,
+                "ratio": sa / sb if sb > 0 else (_INF if sa > 0 else 1.0),
+            }
+        )
+    rows.sort(key=lambda row: abs(row["delta_s"]), reverse=True)
+    return rows
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:8.3f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:7.2f}ms"
+    return f"{s * 1e6:7.1f}us"
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:7.1f}{unit}"
+        value /= 1024
+    return f"{value:7.1f}GiB"
+
+
+def format_report(
+    run: Mapping[str, Any],
+    against: Optional[Mapping[str, Any]] = None,
+    top: Optional[int] = None,
+    skew_threshold: float = 1.5,
+) -> str:
+    """Human-readable trace report for the ``repro-eval trace`` CLI."""
+    lines: List[str] = []
+    meta = run.get("meta", {})
+    ranks = run["ranks"]
+    head = f"run: {len(ranks)} ranks on {run['host']} ({run['cores']} cores)"
+    if meta:
+        head += "  " + " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    lines.append(head)
+
+    rows = phase_breakdown(run)
+    if top:
+        rows = rows[:top]
+    critical = critical_path_seconds(run)
+    lines.append("")
+    lines.append(
+        f"critical path (sum of per-phase stragglers): {_fmt_seconds(critical)}"
+    )
+    lines.append("")
+    lines.append(
+        f"{'phase':<16} {'max':>9} {'mean':>9} {'share':>6} "
+        f"{'straggler':>9} {'sent':>10} {'chunks':>8}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row['phase']:<16} {_fmt_seconds(row['max_s']):>9} "
+            f"{_fmt_seconds(row['mean_s']):>9} "
+            f"{row['critical_share'] * 100:5.1f}% "
+            f"rank {row['straggler']:>4} {_fmt_bytes(row['sent_bytes']):>10} "
+            f"{row['chunks']:>8}"
+        )
+
+    suspects = rank_skew(run, threshold=skew_threshold)
+    lines.append("")
+    if suspects:
+        lines.append(f"rank skew (max/mean >= {skew_threshold:.2f}):")
+        for s in suspects:
+            lines.append(
+                f"  {s['phase']:<16} {s['skew']:5.2f}x  "
+                f"rank {s['straggler']} took {_fmt_seconds(s['straggler_s'])} "
+                f"vs {_fmt_seconds(s['mean_s'])} mean"
+            )
+    else:
+        lines.append(
+            f"rank skew: none above {skew_threshold:.2f}x (balanced run)"
+        )
+
+    span_count = sum(len(entry["spans"]) for entry in ranks)
+    if span_count:
+        lines.append("")
+        lines.append(f"spans recorded: {span_count} across {len(ranks)} ranks")
+
+    if against is not None:
+        lines.append("")
+        lines.append("A/B diff vs baseline (per-phase straggler seconds, a/b):")
+        lines.append(
+            f"{'phase':<16} {'a':>9} {'b':>9} {'delta':>10} {'ratio':>7}"
+        )
+        for row in diff_runs(run, against):
+            ratio = row["ratio"]
+            ratio_s = f"{ratio:6.2f}x" if ratio != _INF else "   inf "
+            lines.append(
+                f"{row['phase']:<16} {_fmt_seconds(row['a_s']):>9} "
+                f"{_fmt_seconds(row['b_s']):>9} "
+                f"{row['delta_s']:+9.4f}s {ratio_s:>7}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Exporters: run snapshots, Chrome trace-event JSON, Prometheus text.
+
+:func:`capture_run` rolls the per-rank traces of a finished run (a world's
+``comms`` — thread or process backend — or a bare trace list) into the
+stable ``repro.obs/run/v1`` snapshot.  From a snapshot:
+
+* :func:`chrome_trace` renders Chrome trace-event JSON — load it at
+  https://ui.perfetto.dev (or ``chrome://tracing``): one track per rank,
+  nested slices per span, attributes in the args pane;
+* :func:`prometheus_text` renders Prometheus text exposition (phase
+  counters and per-rank metrics as labelled samples, merged histograms in
+  cumulative ``_bucket`` form) for scrape endpoints or pushgateways.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.obs.metrics import aggregate_registries
+from repro.obs.schema import RUN_SCHEMA_ID, validate_run
+
+
+def _traces_of(source) -> List[Any]:
+    """Accept a world (``.comms``), communicators, or traces."""
+    comms = getattr(source, "comms", source)
+    traces = []
+    for entry in comms:
+        if entry is None:
+            continue
+        traces.append(getattr(entry, "trace", entry))
+    return traces
+
+
+def capture_run(
+    source, meta: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """Snapshot the per-rank traces of ``source`` into a run document.
+
+    ``source`` is a world whose run completed (``world.comms`` carries one
+    communicator per rank — transported traces under the process backend),
+    a communicator list, or a plain list of traces.  ``meta`` is embedded
+    verbatim (backend, world size, config knobs, …).
+    """
+    traces = sorted(_traces_of(source), key=lambda t: t.rank)
+    if not traces:
+        raise ValueError("capture_run: no rank traces available")
+    ranks = []
+    for trace in traces:
+        ranks.append(
+            {
+                "rank": trace.rank,
+                "level": trace.level,
+                "phases": {
+                    name: asdict(counters)
+                    for name, counters in sorted(trace.phases.items())
+                },
+                "spans": [span.as_dict() for span in trace.spans],
+                "metrics": trace.metrics.as_dict(),
+            }
+        )
+    doc = {
+        "schema": RUN_SCHEMA_ID,
+        "host": platform.node() or "unknown",
+        "cores": os.cpu_count() or 1,
+        "meta": dict(meta or {}),
+        "ranks": ranks,
+        "metrics": aggregate_registries(t.metrics for t in traces),
+    }
+    validate_run(doc)
+    return doc
+
+
+def write_run(path, run: Mapping[str, Any]) -> Path:
+    """Validate and write a run snapshot as JSON; returns the path."""
+    validate_run(run)
+    path = Path(path)
+    path.write_text(json.dumps(run, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# -- Chrome trace events (Perfetto) -------------------------------------------
+def chrome_trace(run: Mapping[str, Any]) -> Dict[str, Any]:
+    """Render a run snapshot as Chrome trace-event JSON.
+
+    One track (tid) per rank under a single process, ``X`` (complete)
+    events per span with microsecond timestamps normalised so the earliest
+    span starts at t=0.  Span attributes land in ``args``.
+    """
+    validate_run(run)
+    starts = [
+        span["start"]
+        for entry in run["ranks"]
+        for span in entry["spans"]
+    ]
+    t0 = min(starts) if starts else 0.0
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro collective run"},
+        }
+    ]
+    for entry in run["ranks"]:
+        rank = entry["rank"]
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": rank,
+                "name": "thread_name",
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": rank,
+                "name": "thread_sort_index",
+                "args": {"sort_index": rank},
+            }
+        )
+        for span in entry["spans"]:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": rank,
+                    "cat": "repro",
+                    "name": span["name"],
+                    "ts": (span["start"] - t0) * 1e6,
+                    "dur": max(0.0, span["end"] - span["start"]) * 1e6,
+                    "args": dict(span["attrs"]),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, run: Mapping[str, Any]) -> Path:
+    """Write the Perfetto-loadable Chrome trace for ``run`` to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(run), indent=None) + "\n")
+    return path
+
+
+# -- Prometheus text exposition ------------------------------------------------
+def _label_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def prometheus_text(run: Mapping[str, Any]) -> str:
+    """Render a run snapshot as Prometheus text exposition format.
+
+    Phase counters become ``repro_phase_*`` samples labelled by phase and
+    rank; per-rank counters and gauges become ``repro_<name>`` samples
+    labelled by rank; the cross-rank merged histograms use the standard
+    cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple.
+    """
+    validate_run(run)
+    lines: List[str] = []
+
+    phase_keys = sorted(
+        {
+            key
+            for entry in run["ranks"]
+            for counters in entry["phases"].values()
+            for key in counters
+        }
+    )
+    for key in phase_keys:
+        metric = f"repro_phase_{_sanitize(key)}"
+        kind = "gauge" if key == "seconds" else "counter"
+        lines.append(f"# HELP {metric} per-phase {key} from the rank traces")
+        lines.append(f"# TYPE {metric} {kind}")
+        for entry in run["ranks"]:
+            for phase, counters in sorted(entry["phases"].items()):
+                value = counters.get(key, 0)
+                lines.append(
+                    f'{metric}{{phase="{_label_escape(phase)}",'
+                    f'rank="{entry["rank"]}"}} {value}'
+                )
+
+    for family, kind in (("counters", "counter"), ("gauges", "gauge")):
+        names = sorted(
+            {
+                name
+                for entry in run["ranks"]
+                for name in entry["metrics"].get(family, {})
+            }
+        )
+        for name in names:
+            metric = f"repro_{_sanitize(name)}"
+            lines.append(f"# TYPE {metric} {kind}")
+            for entry in run["ranks"]:
+                value = entry["metrics"].get(family, {}).get(name)
+                if value is None:
+                    continue
+                lines.append(f'{metric}{{rank="{entry["rank"]}"}} {value}')
+
+    for name, hist in sorted(run["metrics"].get("histograms", {}).items()):
+        metric = f"repro_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in hist["buckets"]:
+            cumulative += count
+            le = "+Inf" if bound == "+Inf" else repr(float(bound))
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{metric}_sum {hist['sum']}")
+        lines.append(f"{metric}_count {hist['count']}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,296 @@
+"""Per-rank metrics registry: counters, gauges, fixed-bucket histograms.
+
+Each rank's :class:`~repro.simmpi.trace.Trace` owns one
+:class:`MetricsRegistry`; instrumented paths observe into it only when the
+trace is configured at span level, so the disabled hot path pays a single
+attribute check.  Registries are plain-data and picklable, so they ride
+the process backend's transported-trace path unchanged.
+
+:func:`aggregate_registries` merges the per-rank registries into the
+cluster-wide statistics the paper's figures are built from: counters sum
+(with the per-rank min/max/mean spread), gauges report their cross-rank
+distribution, and histograms merge bucket-wise with p50/p99 estimated by
+linear interpolation inside the winning bucket.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default byte-size buckets: powers of four from 64 B to 16 MiB.
+SIZE_BUCKETS: Tuple[float, ...] = (
+    64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+    262144.0, 1048576.0, 4194304.0, 16777216.0,
+)
+
+#: Default latency buckets: decades from 1 µs to 10 s.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[float] = None) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact min/max/sum/count.
+
+    ``buckets`` are finite upper bounds in ascending order; an implicit
+    +Inf overflow bucket is always present.  All observations are O(log b).
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = SIZE_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record ``n`` observations of ``value``."""
+        if n <= 0:
+            return
+        # Binary search for the first bound >= value.
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.buckets[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += n
+        self.count += n
+        self.sum += value * n
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_many(self, values) -> None:
+        """Record a batch of observations in one vectorised pass.
+
+        Equivalent to calling :meth:`observe` per value but costs one
+        ``searchsorted`` + ``bincount`` instead of a Python loop — the
+        instrumented dump feeds per-chunk payload sizes through here.
+        """
+        import numpy as np
+
+        arr = np.fromiter(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        slots = np.searchsorted(self.buckets, arr, side="left")
+        per_slot = np.bincount(slots, minlength=len(self.counts))
+        for i, n in enumerate(per_slot):
+            if n:
+                self.counts[i] += int(n)
+        self.count += int(arr.size)
+        self.sum += float(arr.sum())
+        low, high = float(arr.min()), float(arr.max())
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (q in [0, 100]) from the buckets.
+
+        Linear interpolation inside the winning bucket, clamped to the
+        exact observed min/max so single-bucket histograms stay honest.
+        """
+        if not self.count:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        target = self.count * q / 100.0
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if not n:
+                continue
+            if cumulative + n >= target:
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = self.buckets[i] if i < len(self.buckets) else self.max
+                lower = max(lower, self.min if self.min != math.inf else lower)
+                upper = min(upper, self.max if self.max != -math.inf else upper)
+                if upper <= lower:
+                    return upper
+                frac = (target - cumulative) / n
+                return lower + (upper - lower) * min(1.0, max(0.0, frac))
+            cumulative += n
+        return self.max if self.max != -math.inf else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """One rank's named metrics, created on first use."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = SIZE_BUCKETS
+    ) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(buckets)
+        return h
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": {k: v.value for k, v in sorted(self.counters.items())},
+            "gauges": {k: v.value for k, v in sorted(self.gauges.items())},
+            "histograms": {
+                k: v.as_dict() for k, v in sorted(self.histograms.items())
+            },
+        }
+
+
+def _spread(values: Sequence[float]) -> Dict[str, float]:
+    """min/max/mean/p50/p99 of an exact (small) value list."""
+    if not values:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "p50": 0.0, "p99": 0.0}
+    ordered = sorted(values)
+
+    def pct(q: float) -> float:
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = (len(ordered) - 1) * q / 100.0
+        lo = int(pos)
+        frac = pos - lo
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+    return {
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(ordered) / len(ordered),
+        "p50": pct(50),
+        "p99": pct(99),
+    }
+
+
+def aggregate_registries(
+    registries: Iterable[MetricsRegistry],
+) -> Dict[str, Any]:
+    """Merge per-rank registries into cluster-wide statistics.
+
+    * counters — total across ranks plus the per-rank spread;
+    * gauges — the cross-rank distribution of the per-rank values;
+    * histograms — bucket-wise merge with estimated p50/p99.
+    """
+    regs = [r for r in registries if r is not None]
+    counters: Dict[str, List[float]] = {}
+    gauges: Dict[str, List[float]] = {}
+    merged_hists: Dict[str, Histogram] = {}
+    for reg in regs:
+        for name, c in reg.counters.items():
+            counters.setdefault(name, []).append(c.value)
+        for name, g in reg.gauges.items():
+            if g.value is not None:
+                gauges.setdefault(name, []).append(g.value)
+        for name, h in reg.histograms.items():
+            agg = merged_hists.get(name)
+            if agg is None:
+                agg = merged_hists[name] = Histogram(h.buckets)
+            agg.merge(h)
+    out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for name, values in sorted(counters.items()):
+        out["counters"][name] = {"total": sum(values), **_spread(values)}
+    for name, values in sorted(gauges.items()):
+        out["gauges"][name] = _spread(values)
+    for name, hist in sorted(merged_hists.items()):
+        out["histograms"][name] = {
+            "count": hist.count,
+            "sum": hist.sum,
+            "min": hist.min if hist.count else 0.0,
+            "max": hist.max if hist.count else 0.0,
+            "mean": hist.mean,
+            "p50": hist.percentile(50),
+            "p99": hist.percentile(99),
+            "buckets": [
+                [bound, n] for bound, n in zip(hist.buckets, hist.counts)
+            ] + [["+Inf", hist.counts[-1]]],
+        }
+    return out

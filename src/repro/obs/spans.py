@@ -1,0 +1,66 @@
+"""Hierarchical, timestamped spans — the unit of the timeline view.
+
+A :class:`Span` is one bracketed piece of work on one rank: a dump, a
+phase inside it, one HMERGE exchange round.  Spans form a forest per rank:
+``parent`` is the index of the enclosing span in the same rank's span list
+(-1 for roots), which is all the Chrome trace-event exporter needs to
+render nested slices on one track per rank.
+
+Timestamps are ``time.perf_counter()`` values.  Both execution backends
+share one clock domain — threads trivially, forked rank processes because
+``CLOCK_MONOTONIC`` is system-wide — so spans from different ranks of the
+same run are directly comparable on a common timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class Span:
+    """One timed scope on one rank.
+
+    ``attrs`` carries small structured payloads (chunk counts, byte
+    volumes, round ids) attached via
+    :meth:`repro.simmpi.trace.Trace.annotate`; values must be
+    JSON-serialisable.
+    """
+
+    name: str
+    rank: int = 0
+    start: float = 0.0
+    end: float = 0.0
+    parent: int = -1
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0 for a span never closed)."""
+        return max(0.0, self.end - self.start)
+
+    @property
+    def closed(self) -> bool:
+        return self.end >= self.start and self.end > 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "rank": self.rank,
+            "start": self.start,
+            "end": max(self.end, self.start),
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Span":
+        return cls(
+            name=doc["name"],
+            rank=int(doc.get("rank", 0)),
+            start=float(doc.get("start", 0.0)),
+            end=float(doc.get("end", 0.0)),
+            parent=int(doc.get("parent", -1)),
+            attrs=dict(doc.get("attrs", {})),
+        )

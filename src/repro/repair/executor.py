@@ -147,6 +147,11 @@ def execute_repair(
     # is still scanning it — that would fork the schedules.  Hold everyone
     # at the door until all plans are final.
     comm.barrier()
+    repair_span = comm.trace.begin_span(
+        "repair",
+        transfers=len(schedule.transfers),
+        manifest_transfers=len(schedule.manifest_transfers),
+    )
     agents = agent_ranks(cluster, comm.size)
     my_node = cluster.rank_to_node[comm.rank]
     i_am_agent = agents.get(my_node) == comm.rank
@@ -242,6 +247,7 @@ def execute_repair(
         if counters is not None:
             fragment.phases[name] = replace(counters)
     fragments = collectives.allgather(comm, fragment)
+    comm.trace.end_span(repair_span)
     merged = base_report(scan) if scan is not None else RepairReport(
         target_k=schedule.target_k, n_live_nodes=len(agents)
     )

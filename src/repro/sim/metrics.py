@@ -16,11 +16,29 @@ These are the quantities the paper plots:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import Strategy
 from repro.core.local_dedup import LocalIndex
 from repro.sim.driver import SimResult
+
+
+def load_skew(values: Sequence[float]) -> Tuple[float, int]:
+    """``(max/mean, argmax)`` of a per-rank load vector.
+
+    The straggler detector shared by the metric rollups here and the trace
+    analyzer (:func:`repro.obs.analyzer.rank_skew`): 1.0 means perfectly
+    balanced, 2.0 means the worst rank carried twice the average while its
+    peers idled at the next collective.  Returns ``(0.0, -1)`` for empty or
+    all-zero vectors.
+    """
+    if not values:
+        return 0.0, -1
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return 0.0, -1
+    worst = max(range(len(values)), key=values.__getitem__)
+    return values[worst] / mean, worst
 
 
 @dataclass

@@ -132,8 +132,9 @@ def allreduce(comm: Communicator, value: Any, op: ReduceOp) -> Any:
     rounds = 0
     while mask < p2:
         partner = real_rank(newrank ^ mask)
-        comm.send(acc, partner, tag=tag)
-        acc = op(acc, comm.recv(partner, tag=tag))
+        with comm.trace.span("allreduce-round", round=rounds, partner=partner):
+            comm.send(acc, partner, tag=tag)
+            acc = op(acc, comm.recv(partner, tag=tag))
         mask <<= 1
         rounds += 1
 

@@ -20,7 +20,7 @@ import threading
 from typing import Any, Optional, Tuple
 
 from repro.simmpi.errors import DeadlockError, SimMPIError
-from repro.simmpi.trace import Trace, nbytes_of
+from repro.simmpi.trace import Trace, nbytes_of, resolve_trace_level
 
 
 class _Mailbox:
@@ -99,6 +99,9 @@ class Communicator:
         self._world = world
         self._rank = int(rank)
         self.trace = Trace(rank=self._rank)
+        env_level = resolve_trace_level()
+        if env_level is not None:
+            self.trace.configure(env_level)
         self._coll_seq = 0
 
     # -- identity ------------------------------------------------------------

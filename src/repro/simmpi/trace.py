@@ -1,21 +1,71 @@
-"""Per-rank communication accounting.
+"""Per-rank communication accounting and span recording.
 
 Every message that flows through the substrate is charged to the sender's
 and receiver's :class:`Trace`, bucketed by the currently active *phase*
 (e.g. ``"reduction"``, ``"exchange"``).  The :mod:`repro.netsim` cost model
 converts these volumes into modelled wall-clock times, so the accounting
 here is the ground truth for every timing figure the benchmarks regenerate.
+
+Phases nest explicitly: :meth:`Trace.phase` pushes onto a stack, so
+re-entering ``phase()`` while another phase is active attributes the inner
+block's volumes to the inner name and restores the outer name on exit —
+including on exceptions.
+
+On top of the always-on counters, a trace configured at ``level="span"``
+(:meth:`Trace.configure`, ``DumpConfig(trace_level=...)`` or the
+``REPRO_TRACE`` environment variable) additionally records hierarchical,
+timestamped :class:`~repro.obs.spans.Span` objects — one per ``phase()``
+block plus any explicit :meth:`Trace.span` scopes — and exposes a
+:class:`~repro.obs.metrics.MetricsRegistry` for the instrumented hot paths.
+At the default ``"phase"`` level both are skipped behind a single boolean
+check, keeping the disabled overhead near zero.  Spans and metrics are
+plain data riding the trace, so they survive the process backend's
+child→parent pickle transport byte-identically.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span
 
 DEFAULT_PHASE = "default"
+
+#: Environment variable selecting the default trace level of new traces.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Valid trace levels: ``"phase"`` (counters only — the default) and
+#: ``"span"`` (counters + spans + metrics observations).
+TRACE_LEVELS = ("phase", "span")
+
+
+def resolve_trace_level(level: Optional[str] = None) -> Optional[str]:
+    """Resolve an explicit level, else ``$REPRO_TRACE``, else ``None``.
+
+    Returns ``None`` when neither an explicit level nor the environment
+    variable selects one, so callers can leave an already-configured trace
+    untouched.  Unknown values raise ``ValueError``.
+    """
+    if level is not None:
+        if level not in TRACE_LEVELS:
+            raise ValueError(
+                f"unknown trace level {level!r}; expected one of {TRACE_LEVELS}"
+            )
+        return level
+    raw = os.environ.get(TRACE_ENV, "").strip().lower()
+    if not raw or raw in ("0", "off", "false", "phase"):
+        return "phase" if raw == "phase" else None
+    if raw in ("1", "on", "true", "span", "spans"):
+        return "span"
+    raise ValueError(
+        f"invalid {TRACE_ENV}={raw!r}: expected 'phase' or 'span'"
+    )
 
 
 def nbytes_of(obj) -> int:
@@ -114,25 +164,120 @@ class Trace:
 
     rank: int = 0
     phases: Dict[str, PhaseCounters] = field(default_factory=dict)
-    _active: str = DEFAULT_PHASE
+    #: recorded spans, in start order (level "span" only)
+    spans: List[Span] = field(default_factory=list)
+    #: per-rank metrics; observed into by instrumented paths at span level
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: "phase" (counters only) or "span" (counters + spans + metrics)
+    level: str = "phase"
+    #: explicit phase-name stack; the top is the active bucketing target
+    _stack: List[str] = field(default_factory=list)
+    #: indices of currently open spans (parents of the next span begun)
+    _open: List[int] = field(default_factory=list)
+
+    # -- configuration -------------------------------------------------------
+    @property
+    def span_enabled(self) -> bool:
+        """True when span recording and metrics observation are on."""
+        return self.level == "span"
+
+    def configure(self, level: str) -> None:
+        """Set the trace level (``"phase"`` or ``"span"``)."""
+        if level not in TRACE_LEVELS:
+            raise ValueError(
+                f"unknown trace level {level!r}; expected one of {TRACE_LEVELS}"
+            )
+        self.level = level
+
+    @property
+    def active_phase(self) -> str:
+        """Name of the innermost open phase (``"default"`` outside any)."""
+        return self._stack[-1] if self._stack else DEFAULT_PHASE
 
     def counters(self, phase: str | None = None) -> PhaseCounters:
-        name = self._active if phase is None else phase
+        name = self.active_phase if phase is None else phase
         if name not in self.phases:
             self.phases[name] = PhaseCounters()
         return self.phases[name]
 
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseCounters]:
-        previous = self._active
-        self._active = name
+        """Scope a block of work under ``name``.
+
+        Nesting is explicit and stack-based: the inner phase buckets the
+        block's volumes and seconds under its own name, and the enclosing
+        phase resumes on exit (normal or exceptional).  Note the enclosing
+        phase's ``seconds`` *include* nested time — the analyzer derives
+        exclusive times from the recorded spans.
+        """
+        self._stack.append(name)
         counters = self.counters(name)
         start = time.perf_counter()
+        span_idx = self.begin_span(name, _start=start) if self.level == "span" else -1
         try:
             yield counters
         finally:
-            counters.seconds += time.perf_counter() - start
-            self._active = previous
+            end = time.perf_counter()
+            counters.seconds += end - start
+            if span_idx >= 0:
+                self.end_span(span_idx, _end=end)
+            self._stack.pop()
+
+    # -- spans ---------------------------------------------------------------
+    def begin_span(self, name: str, _start: Optional[float] = None, **attrs) -> int:
+        """Open a span; returns its index (-1 when disabled).
+
+        Prefer the :meth:`span` context manager; the begin/end pair exists
+        for scopes that cannot nest lexically.
+        """
+        if self.level != "span":
+            return -1
+        parent = self._open[-1] if self._open else -1
+        span = Span(
+            name=name,
+            rank=self.rank,
+            start=time.perf_counter() if _start is None else _start,
+            parent=parent,
+        )
+        if attrs:
+            span.attrs.update(attrs)
+        idx = len(self.spans)
+        self.spans.append(span)
+        self._open.append(idx)
+        return idx
+
+    def end_span(self, idx: int, _end: Optional[float] = None) -> None:
+        """Close the span opened as ``idx`` (no-op for -1)."""
+        if idx < 0:
+            return
+        self.spans[idx].end = time.perf_counter() if _end is None else _end
+        if self._open and self._open[-1] == idx:
+            self._open.pop()
+        elif idx in self._open:  # out-of-order close: drop it and deeper opens
+            while self._open and self._open[-1] != idx:
+                self._open.pop()
+            self._open.pop()
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Optional[Span]]:
+        """Record a span around a block — *without* phase counter bucketing.
+
+        Yields the open :class:`Span` (or ``None`` when disabled) so the
+        block can attach attributes directly.
+        """
+        if self.level != "span":
+            yield None
+            return
+        idx = self.begin_span(name, **attrs)
+        try:
+            yield self.spans[idx]
+        finally:
+            self.end_span(idx)
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open span (no-op if none)."""
+        if self.level == "span" and self._open:
+            self.spans[self._open[-1]].attrs.update(attrs)
 
     # -- recording hooks used by the substrate ------------------------------
     def record_send(self, nbytes: int) -> None:

@@ -19,6 +19,9 @@ calculation, exactly the class of bug the paper's planning phase must avoid.
 
 from __future__ import annotations
 
+import time
+
+from repro.obs.metrics import LATENCY_BUCKETS
 from repro.simmpi.errors import WindowError
 from repro.simmpi.comm import Communicator
 
@@ -78,12 +81,18 @@ class Window:
                 f"{target_rank}'s window of {slot.nbytes}B"
             )
         remote = target_rank != self._comm.rank
+        trace = self._comm.trace
+        t0 = time.perf_counter() if trace.span_enabled else 0.0
         slot.write(((offset, payload),), remote)
         if remote:
             # Shared-memory backends charge the target's trace here; process
             # slots accounted inside write() and drain at the target's fence.
             self._comm.world.charge_put_received(target_world, len(payload))
-            self._comm.trace.record_put(len(payload))
+            trace.record_put(len(payload))
+            if trace.span_enabled:
+                trace.metrics.histogram(
+                    "put_latency_seconds", LATENCY_BUCKETS
+                ).observe(time.perf_counter() - t0)
 
     def put_many(self, parts, target_rank: int) -> None:
         """Write several ``(offset, data)`` regions into ``target_rank``'s
@@ -106,10 +115,16 @@ class Window:
                 )
         total = sum(len(payload) for _offset, payload in staged)
         remote = target_rank != self._comm.rank and total > 0
+        trace = self._comm.trace
+        t0 = time.perf_counter() if trace.span_enabled else 0.0
         slot.write(staged, remote)
         if remote:
             self._comm.world.charge_put_received(target_world, total)
-            self._comm.trace.record_put(total)
+            trace.record_put(total)
+            if trace.span_enabled:
+                trace.metrics.histogram(
+                    "put_latency_seconds", LATENCY_BUCKETS
+                ).observe(time.perf_counter() - t0)
 
     def get(self, target_rank: int, offset: int, nbytes: int) -> bytes:
         """Read ``nbytes`` from ``target_rank``'s region at ``offset``."""

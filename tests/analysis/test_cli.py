@@ -68,3 +68,61 @@ class TestRepairCommand:
     def test_repair_rejects_failing_every_node(self):
         with pytest.raises(SystemExit):
             main(["repair", "--n", "4", "--fail", "4"])
+
+
+class TestTraceCommands:
+    def test_record_then_analyze(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        perfetto = tmp_path / "perfetto.json"
+        assert main([
+            "trace-record", "--n", "3", "--chunks-per-rank", "4",
+            "--out", str(out), "--perfetto", str(perfetto),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "3 ranks" in stdout and "spans" in stdout
+        assert "ui.perfetto.dev" in stdout
+        assert out.exists() and perfetto.exists()
+
+        assert main(["trace", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "critical path" in report
+        assert "rank skew" in report
+
+    def test_trace_record_defaults(self):
+        args = build_parser().parse_args(["trace-record"])
+        assert args.n == 4 and args.k == 3
+        assert args.backend is None
+        assert args.out == "trace_run.json"
+
+
+class TestErrorExitCodes:
+    def test_unknown_subcommand_one_line_error(self, capsys):
+        assert main(["bogus-subcmd"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "invalid choice" in err
+
+    def test_no_subcommand_exits_nonzero(self, capsys):
+        assert main([]) == 2
+        assert capsys.readouterr().err.count("\n") == 1
+
+    def test_bad_backend_exits_nonzero(self, capsys):
+        assert main(["trace-record", "--backend", "banana"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-eval: unknown SPMD backend 'banana'" in err
+
+    def test_missing_trace_file_exits_nonzero(self, capsys):
+        assert main(["trace", "/nonexistent/run.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-eval: ")
+        assert err.count("\n") == 1
+
+    def test_malformed_snapshot_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main(["trace", str(path)]) == 2
+        assert "repro-eval: " in capsys.readouterr().err
+
+    def test_bad_flag_value_one_line_error(self, capsys):
+        assert main(["trace-record", "--n", "many"]) == 2
+        assert "invalid int value" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Acceptance: span-level dumps export per-rank Perfetto timelines.
+
+This is the tentpole end-to-end contract from the observability layer: a
+span-level dump on either backend yields a ``repro.obs/run/v1`` snapshot
+whose Chrome trace has one track per rank with the dump phases as nested
+slices, and ``repro-eval trace`` renders per-phase totals plus rank skew
+from the same file.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core import DumpConfig, Strategy, dump_output
+from repro.core.runner import run_collective
+from repro.obs.export import capture_run, chrome_trace, write_run
+from repro.storage import Cluster
+
+from tests.conftest import make_rank_dataset
+
+BACKENDS = ["thread", "process"]
+CS = 64
+N = 4
+TIMEOUT = 60
+
+
+def _span_run(backend):
+    cfg = DumpConfig(
+        replication_factor=3,
+        chunk_size=CS,
+        f_threshold=4096,
+        strategy=Strategy.COLL_DEDUP,
+        trace_level="span",
+    )
+    cluster = Cluster(N)
+    _results, world = run_collective(
+        N,
+        lambda comm: dump_output(comm, make_rank_dataset(comm.rank), cfg, cluster),
+        cluster=cluster,
+        backend=backend,
+        timeout=TIMEOUT,
+    )
+    return capture_run(world, meta={"backend": backend, "n": N})
+
+
+def _spans_by_name(entry):
+    table = {}
+    for idx, span in enumerate(entry["spans"]):
+        table.setdefault(span["name"], []).append((idx, span))
+    return table
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSpanExport:
+    def test_one_track_per_rank_with_nested_phases(self, backend):
+        run = _span_run(backend)
+        assert [entry["rank"] for entry in run["ranks"]] == list(range(N))
+
+        doc = chrome_trace(run)
+        events = doc["traceEvents"]
+        tracks = {e["tid"] for e in events if e["ph"] == "X"}
+        assert tracks == set(range(N))
+        thread_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert thread_names == {f"rank {r}" for r in range(N)}
+
+    def test_dump_phases_nest_under_dump_span(self, backend):
+        run = _span_run(backend)
+        for entry in run["ranks"]:
+            spans = _spans_by_name(entry)
+            (dump_idx, dump), = spans["dump"]
+            assert dump["parent"] == -1
+            for phase in ("hash", "reduction", "exchange", "write"):
+                (_, span), = spans[phase]
+                assert span["parent"] == dump_idx, f"{phase} not under dump"
+            # hmerge nests under reduction, allreduce rounds under hmerge.
+            (hmerge_idx, hmerge), = spans["hmerge"]
+            (reduction_idx, _), = spans["reduction"]
+            assert hmerge["parent"] == reduction_idx
+            assert spans["allreduce-round"], "no allreduce rounds recorded"
+            for _, span in spans["allreduce-round"]:
+                assert span["parent"] == hmerge_idx
+
+    def test_span_attrs_carry_dump_stats(self, backend):
+        run = _span_run(backend)
+        for entry in run["ranks"]:
+            spans = _spans_by_name(entry)
+            (_, dump), = spans["dump"]
+            assert dump["attrs"]["strategy"] == "coll-dedup"
+            (_, hashed), = spans["hash"]
+            assert hashed["attrs"]["chunks"] > 0
+            assert entry["metrics"]["histograms"]["chunk_size_bytes"]["count"] > 0
+
+
+class TestTraceCli:
+    def test_trace_report_from_span_run(self, tmp_path, capsys):
+        run = _span_run("thread")
+        path = write_run(tmp_path / "run.json", run)
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        for phase in ("hash", "exchange", "write"):
+            assert phase in out
+        assert "rank skew" in out
+        assert "spans recorded:" in out
+
+    def test_trace_ab_diff(self, tmp_path, capsys):
+        run = _span_run("thread")
+        a = write_run(tmp_path / "a.json", run)
+        b = write_run(tmp_path / "b.json", run)
+        assert main(["trace", str(a), "--against", str(b)]) == 0
+        assert "A/B diff vs baseline" in capsys.readouterr().out

@@ -1,0 +1,180 @@
+"""Critical-path breakdowns, rank skew and A/B diffs over run snapshots."""
+
+import math
+
+import pytest
+
+from repro.obs.analyzer import (
+    critical_path_seconds,
+    diff_runs,
+    format_report,
+    load_run,
+    phase_breakdown,
+    rank_skew,
+)
+from repro.obs.export import write_run
+from repro.obs.schema import RUN_SCHEMA_ID, SchemaError
+
+
+def run_doc(per_rank_phases, meta=None):
+    """Build a run snapshot from ``{rank: {phase: seconds}}``."""
+    empty = {"counters": {}, "gauges": {}, "histograms": {}}
+    ranks = []
+    for rank in sorted(per_rank_phases):
+        phases = {
+            phase: {
+                "seconds": seconds,
+                "sent_bytes": int(seconds * 1000),
+                "chunks": 2,
+            }
+            for phase, seconds in per_rank_phases[rank].items()
+        }
+        ranks.append(
+            {
+                "rank": rank,
+                "level": "phase",
+                "phases": phases,
+                "spans": [],
+                "metrics": dict(empty),
+            }
+        )
+    return {
+        "schema": RUN_SCHEMA_ID,
+        "host": "testhost",
+        "cores": 1,
+        "meta": dict(meta or {}),
+        "ranks": ranks,
+        "metrics": dict(empty),
+    }
+
+
+class TestLoadRun:
+    def test_round_trip(self, tmp_path):
+        doc = run_doc({0: {"hash": 1.0}})
+        path = write_run(tmp_path / "r.json", doc)
+        assert load_run(path) == doc
+
+    def test_rejects_invalid_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(SchemaError):
+            load_run(path)
+
+
+class TestPhaseBreakdown:
+    def run(self):
+        return run_doc(
+            {
+                0: {"exchange": 3.0, "hash": 1.0},
+                1: {"exchange": 1.0, "hash": 1.0},
+            }
+        )
+
+    def test_sorted_by_max_seconds(self):
+        rows = phase_breakdown(self.run())
+        assert [r["phase"] for r in rows] == ["exchange", "hash"]
+
+    def test_straggler_and_stats(self):
+        row = phase_breakdown(self.run())[0]
+        assert row["straggler"] == 0
+        assert row["max_s"] == 3.0
+        assert row["mean_s"] == 2.0
+        assert row["total_s"] == 4.0
+        assert row["sent_bytes"] == 4000
+        assert row["chunks"] == 4
+
+    def test_critical_share_sums_to_one(self):
+        rows = phase_breakdown(self.run())
+        assert math.isclose(sum(r["critical_share"] for r in rows), 1.0)
+
+    def test_critical_path_is_sum_of_stragglers(self):
+        assert critical_path_seconds(self.run()) == 4.0  # 3.0 + 1.0
+
+
+class TestRankSkew:
+    def test_flags_straggler_above_threshold(self):
+        run = run_doc({0: {"exchange": 3.0}, 1: {"exchange": 1.0}})
+        suspects = rank_skew(run, threshold=1.5)
+        assert len(suspects) == 1
+        s = suspects[0]
+        assert s["phase"] == "exchange"
+        assert s["straggler"] == 0
+        assert s["skew"] == 1.5
+        assert s["mean_s"] == 2.0
+
+    def test_threshold_excludes_balanced(self):
+        run = run_doc({0: {"exchange": 3.0}, 1: {"exchange": 1.0}})
+        assert rank_skew(run, threshold=2.0) == []
+
+    def test_all_zero_phase_skipped(self):
+        run = run_doc({0: {"idle": 0.0}, 1: {"idle": 0.0}})
+        assert rank_skew(run, threshold=1.0) == []
+
+    def test_sorted_by_skew_descending(self):
+        run = run_doc(
+            {
+                0: {"a": 4.0, "b": 3.0},
+                1: {"a": 1.0, "b": 2.0},
+            }
+        )
+        suspects = rank_skew(run, threshold=1.0)
+        assert [s["phase"] for s in suspects] == ["a", "b"]
+
+
+class TestDiffRuns:
+    def test_per_phase_ratio_and_missing_phases(self):
+        a = run_doc({0: {"x": 2.0, "only_a": 1.0}})
+        b = run_doc({0: {"x": 1.0, "only_b": 0.5}})
+        rows = {row["phase"]: row for row in diff_runs(a, b)}
+        assert rows["x"]["ratio"] == 2.0
+        assert rows["x"]["delta_s"] == 1.0
+        assert rows["only_a"]["ratio"] == math.inf
+        assert rows["only_b"]["a_s"] == 0.0
+        assert rows["only_b"]["ratio"] == 0.0
+
+    def test_both_zero_ratio_is_one(self):
+        a = run_doc({0: {"idle": 0.0}})
+        b = run_doc({0: {"idle": 0.0}})
+        (row,) = diff_runs(a, b)
+        assert row["ratio"] == 1.0
+
+    def test_sorted_by_absolute_delta(self):
+        a = run_doc({0: {"big": 5.0, "small": 1.1}})
+        b = run_doc({0: {"big": 1.0, "small": 1.0}})
+        rows = diff_runs(a, b)
+        assert [row["phase"] for row in rows] == ["big", "small"]
+
+
+class TestFormatReport:
+    def run(self):
+        return run_doc(
+            {
+                0: {"exchange": 3.0, "hash": 1.0},
+                1: {"exchange": 1.0, "hash": 1.0},
+            },
+            meta={"backend": "process"},
+        )
+
+    def test_contains_phase_totals_and_skew(self):
+        text = format_report(self.run())
+        assert "critical path" in text
+        assert "exchange" in text and "hash" in text
+        assert "backend=process" in text
+        assert "rank skew" in text
+        assert "rank 0" in text
+
+    def test_balanced_run_reports_no_skew(self):
+        run = run_doc({0: {"hash": 1.0}, 1: {"hash": 1.0}})
+        assert "balanced run" in format_report(run)
+
+    def test_top_limits_rows(self):
+        text = format_report(self.run(), top=1)
+        table = [l for l in text.splitlines() if l.startswith(("exchange", "hash"))]
+        assert len(table) >= 1
+        assert not any(l.startswith("hash") for l in table)
+
+    def test_ab_diff_section(self):
+        a, b = self.run(), run_doc({0: {"exchange": 1.0}, 1: {"exchange": 1.0}})
+        text = format_report(a, against=b)
+        assert "A/B diff vs baseline" in text
+        assert "ratio" in text

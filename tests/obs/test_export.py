@@ -1,0 +1,146 @@
+"""Run snapshots and their Chrome-trace / Prometheus renderings."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    capture_run,
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+    write_run,
+)
+from repro.obs.schema import RUN_SCHEMA_ID, SchemaError, validate_run
+from repro.simmpi.trace import Trace
+
+
+def make_trace(rank):
+    t = Trace(rank=rank)
+    t.configure("span")
+    with t.phase("dump"):
+        with t.phase("hash"):
+            t.record_send(100 * (rank + 1))
+    t.metrics.counter("puts").inc(rank + 1)
+    t.metrics.gauge("dedup_ratio").set(0.5)
+    t.metrics.histogram("chunk_size_bytes").observe(256, 3)
+    return t
+
+
+class FakeComm:
+    def __init__(self, trace):
+        self.trace = trace
+
+
+class FakeWorld:
+    def __init__(self, comms):
+        self.comms = comms
+
+
+class TestCaptureRun:
+    def test_from_trace_list_sorted_by_rank(self):
+        run = capture_run([make_trace(1), make_trace(0)], meta={"n": 2})
+        assert run["schema"] == RUN_SCHEMA_ID
+        assert [entry["rank"] for entry in run["ranks"]] == [0, 1]
+        assert run["meta"] == {"n": 2}
+        validate_run(run)
+
+    def test_from_world_with_comm_shells(self):
+        world = FakeWorld([FakeComm(make_trace(0)), FakeComm(make_trace(1))])
+        run = capture_run(world)
+        assert len(run["ranks"]) == 2
+        assert run["ranks"][0]["level"] == "span"
+        assert [s["name"] for s in run["ranks"][0]["spans"]] == ["dump", "hash"]
+
+    def test_none_comms_skipped(self):
+        world = FakeWorld([None, FakeComm(make_trace(1))])
+        run = capture_run(world)
+        assert [entry["rank"] for entry in run["ranks"]] == [1]
+
+    def test_no_traces_raises(self):
+        with pytest.raises(ValueError, match="no rank traces"):
+            capture_run([])
+
+    def test_aggregates_metrics_across_ranks(self):
+        run = capture_run([make_trace(0), make_trace(1)])
+        assert run["metrics"]["counters"]["puts"]["total"] == 3
+        assert run["metrics"]["histograms"]["chunk_size_bytes"]["count"] == 6
+
+    def test_phase_counters_survive(self):
+        run = capture_run([make_trace(0)])
+        phases = run["ranks"][0]["phases"]
+        assert phases["hash"]["sent_bytes"] == 100
+        assert phases["dump"]["seconds"] > 0
+
+
+class TestWriteRun:
+    def test_round_trip(self, tmp_path):
+        run = capture_run([make_trace(0)])
+        path = write_run(tmp_path / "run.json", run)
+        assert json.loads(path.read_text()) == run
+
+    def test_rejects_invalid(self, tmp_path):
+        with pytest.raises(SchemaError):
+            write_run(tmp_path / "run.json", {"schema": "bogus"})
+        assert not (tmp_path / "run.json").exists()
+
+
+class TestChromeTrace:
+    def test_one_track_per_rank(self):
+        run = capture_run([make_trace(0), make_trace(1)])
+        doc = chrome_trace(run)
+        events = doc["traceEvents"]
+        names = {
+            (e["tid"], e["args"]["name"])
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {(0, "rank 0"), (1, "rank 1")}
+        x_tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert x_tids == {0, 1}
+
+    def test_timestamps_normalised_microseconds(self):
+        run = capture_run([make_trace(0), make_trace(1)])
+        xs = [e for e in chrome_trace(run)["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0.0
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in xs)
+
+    def test_nested_slice_within_parent(self):
+        run = capture_run([make_trace(0)])
+        xs = {
+            e["name"]: e
+            for e in chrome_trace(run)["traceEvents"]
+            if e["ph"] == "X"
+        }
+        dump, hashed = xs["dump"], xs["hash"]
+        assert dump["ts"] <= hashed["ts"]
+        assert hashed["ts"] + hashed["dur"] <= dump["ts"] + dump["dur"] + 1e-6
+
+    def test_write_chrome_trace(self, tmp_path):
+        run = capture_run([make_trace(0)])
+        path = write_chrome_trace(tmp_path / "perfetto.json", run)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+class TestPrometheusText:
+    def test_phase_counter_samples(self):
+        text = prometheus_text(capture_run([make_trace(0), make_trace(1)]))
+        assert "# TYPE repro_phase_sent_bytes counter" in text
+        assert "# TYPE repro_phase_seconds gauge" in text
+        assert 'repro_phase_sent_bytes{phase="hash",rank="0"} 100' in text
+        assert 'repro_phase_sent_bytes{phase="hash",rank="1"} 200' in text
+
+    def test_per_rank_metric_samples(self):
+        text = prometheus_text(capture_run([make_trace(0), make_trace(1)]))
+        assert 'repro_puts{rank="1"} 2' in text
+        assert 'repro_dedup_ratio{rank="0"} 0.5' in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = prometheus_text(capture_run([make_trace(0), make_trace(1)]))
+        assert "# TYPE repro_chunk_size_bytes histogram" in text
+        assert 'repro_chunk_size_bytes_bucket{le="256.0"} 6' in text
+        assert 'repro_chunk_size_bytes_bucket{le="+Inf"} 6' in text
+        assert "repro_chunk_size_bytes_count 6" in text
+        assert "repro_chunk_size_bytes_sum 1536" in text

@@ -1,0 +1,186 @@
+"""Counters, gauges, histograms and their cross-rank aggregation."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    aggregate_registries,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        assert g.value is None
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram((10.0, 100.0))
+        h.observe(5)
+        h.observe(10)  # boundary lands in its own bucket (le semantics)
+        h.observe(50)
+        h.observe(5000)  # overflow slot
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == 5065
+        assert h.min == 5 and h.max == 5000
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram((10.0, 5.0))
+        with pytest.raises(ValueError):
+            Histogram((10.0, 10.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_mean(self):
+        h = Histogram((1.0,))
+        assert h.mean == 0.0
+        h.observe(2, n=4)
+        assert h.mean == 2.0
+
+    def test_percentile_clamped_to_observed_range(self):
+        h = Histogram(SIZE_BUCKETS)
+        h.observe(256, n=100)
+        assert h.percentile(50) == 256
+        assert h.percentile(99) == 256
+
+    def test_percentile_interpolates(self):
+        h = Histogram((10.0, 20.0))
+        h.observe(5, n=50)
+        h.observe(15, n=50)
+        p50 = h.percentile(50)
+        assert 5 <= p50 <= 10
+        assert h.percentile(0) >= h.min
+        assert h.percentile(100) == h.max
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_merge(self):
+        a, b = Histogram((10.0,)), Histogram((10.0,))
+        a.observe(1)
+        b.observe(100, n=2)
+        a.merge(b)
+        assert a.counts == [1, 2]
+        assert a.count == 3
+        assert a.min == 1 and a.max == 100
+
+    def test_merge_rejects_mismatched_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram((10.0,)).merge(Histogram((20.0,)))
+
+    def test_as_dict_empty_min_max_none(self):
+        d = Histogram((1.0,)).as_dict()
+        assert d["min"] is None and d["max"] is None
+
+    def test_observe_many_matches_loop(self):
+        values = [5, 10, 50, 5000, 0.5, 256]
+        looped, batched = Histogram((10.0, 100.0)), Histogram((10.0, 100.0))
+        for v in values:
+            looped.observe(v)
+        batched.observe_many(iter(values))  # any iterable, e.g. dict.values()
+        assert batched.counts == looped.counts
+        assert batched.count == looped.count
+        assert batched.sum == looped.sum
+        assert batched.min == looped.min and batched.max == looped.max
+
+    def test_observe_many_empty(self):
+        h = Histogram((1.0,))
+        h.observe_many([])
+        assert h.count == 0
+
+    def test_observe_ignores_nonpositive_n(self):
+        h = Histogram((1.0,))
+        h.observe(5, n=0)
+        assert h.count == 0
+        assert h.min == math.inf
+
+
+class TestRegistry:
+    def test_named_lazily_created_and_cached(self):
+        reg = MetricsRegistry()
+        assert not reg
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg
+
+    def test_picklable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h", LATENCY_BUCKETS).observe(1e-4)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.counters["c"].value == 3
+        assert clone.histograms["h"].count == 1
+
+    def test_as_dict_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        assert list(reg.as_dict()["counters"]) == ["a", "b"]
+
+
+class TestAggregate:
+    def test_counters_sum_with_spread(self):
+        regs = []
+        for value in (1, 3):
+            r = MetricsRegistry()
+            r.counter("puts").inc(value)
+            regs.append(r)
+        agg = aggregate_registries(regs)
+        assert agg["counters"]["puts"]["total"] == 4
+        assert agg["counters"]["puts"]["min"] == 1
+        assert agg["counters"]["puts"]["max"] == 3
+        assert agg["counters"]["puts"]["mean"] == 2
+
+    def test_gauges_distribution_skips_unset(self):
+        a, b, c = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        a.gauge("slots").set(10)
+        b.gauge("slots").set(30)
+        c.gauge("slots")  # never set -> excluded
+        agg = aggregate_registries([a, b, c])
+        assert agg["gauges"]["slots"]["mean"] == 20
+        assert agg["gauges"]["slots"]["p50"] == 20
+
+    def test_histograms_merge_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("sz").observe(100, n=2)
+        b.histogram("sz").observe(1 << 30)  # overflow
+        agg = aggregate_registries([a, b])
+        hist = agg["histograms"]["sz"]
+        assert hist["count"] == 3
+        assert hist["buckets"][-1] == ["+Inf", 1]
+        assert hist["min"] == 100 and hist["max"] == 1 << 30
+
+    def test_none_registries_skipped(self):
+        assert aggregate_registries([None]) == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }

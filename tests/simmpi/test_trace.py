@@ -1,10 +1,18 @@
 """Unit tests for per-rank communication accounting."""
 
+import pickle
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.simmpi.trace import PhaseCounters, Trace, nbytes_of
+from repro.simmpi.trace import (
+    TRACE_ENV,
+    PhaseCounters,
+    Trace,
+    nbytes_of,
+    resolve_trace_level,
+)
 
 
 class TestNbytesOf:
@@ -117,6 +125,174 @@ class TestTrace:
         t.record_get(128)
         assert t.counters().got_bytes == 128
         assert t.recv_bytes == 128
+
+
+class TestPhaseNesting:
+    def test_stack_depth_three(self):
+        t = Trace()
+        with t.phase("a"):
+            with t.phase("b"):
+                with t.phase("c"):
+                    t.record_send(1)
+                    assert t.active_phase == "c"
+                t.record_send(2)
+                assert t.active_phase == "b"
+            t.record_send(4)
+        assert t.counters("c").sent_bytes == 1
+        assert t.counters("b").sent_bytes == 2
+        assert t.counters("a").sent_bytes == 4
+        assert t.active_phase == "default"
+
+    def test_reentering_same_phase_nested(self):
+        t = Trace()
+        with t.phase("x"):
+            with t.phase("x"):
+                t.record_send(3)
+        assert t.counters("x").sent_bytes == 3
+        assert t.active_phase == "default"
+
+    def test_inner_exception_restores_outer(self):
+        t = Trace()
+        with t.phase("outer"):
+            with pytest.raises(RuntimeError):
+                with t.phase("inner"):
+                    raise RuntimeError("boom")
+            assert t.active_phase == "outer"
+            t.record_send(9)
+        assert t.counters("outer").sent_bytes == 9
+        assert t.active_phase == "default"
+
+    def test_phase_seconds_accumulate_per_name(self):
+        t = Trace()
+        with t.phase("timed"):
+            pass
+        with t.phase("timed"):
+            pass
+        assert t.counters("timed").seconds > 0
+
+
+class TestTraceLevels:
+    def test_default_is_phase_level(self):
+        t = Trace()
+        assert t.level == "phase"
+        assert not t.span_enabled
+
+    def test_configure_span(self):
+        t = Trace()
+        t.configure("span")
+        assert t.span_enabled
+
+    def test_configure_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown trace level"):
+            Trace().configure("verbose")
+
+    def test_resolve_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV, "span")
+        assert resolve_trace_level("phase") == "phase"
+
+    def test_resolve_env_values(self, monkeypatch):
+        for raw, expected in (
+            ("", None), ("0", None), ("off", None), ("false", None),
+            ("phase", "phase"),
+            ("1", "span"), ("on", "span"), ("true", "span"),
+            ("span", "span"), ("SPAN", "span"),
+        ):
+            monkeypatch.setenv(TRACE_ENV, raw)
+            assert resolve_trace_level() == expected, raw
+
+    def test_resolve_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert resolve_trace_level() is None
+
+    def test_resolve_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV, "loud")
+        with pytest.raises(ValueError, match="invalid"):
+            resolve_trace_level()
+
+    def test_resolve_rejects_bad_explicit(self):
+        with pytest.raises(ValueError):
+            resolve_trace_level("chatty")
+
+
+class TestSpans:
+    def test_disabled_records_nothing(self):
+        t = Trace()
+        with t.phase("hash"):
+            with t.span("inner") as span:
+                assert span is None
+        t.annotate(x=1)  # no-op
+        assert t.spans == []
+        assert not t.metrics
+
+    def test_phase_records_span_when_enabled(self):
+        t = Trace(rank=3)
+        t.configure("span")
+        with t.phase("dump"):
+            with t.phase("hash"):
+                pass
+        assert [s.name for s in t.spans] == ["dump", "hash"]
+        dump, hashed = t.spans
+        assert dump.parent == -1
+        assert hashed.parent == 0
+        assert hashed.rank == 3
+        assert dump.end >= hashed.end >= hashed.start >= dump.start
+
+    def test_span_without_counter_bucketing(self):
+        t = Trace()
+        t.configure("span")
+        with t.phase("exchange"):
+            with t.span("shuffle", moved=5) as span:
+                t.record_send(11)
+                assert span.attrs == {"moved": 5}
+        # volumes stayed in the *phase* bucket; the span carries no counters
+        assert t.counters("exchange").sent_bytes == 11
+        assert "shuffle" not in t.phases
+        assert t.spans[1].name == "shuffle"
+        assert t.spans[1].parent == 0
+
+    def test_annotate_targets_innermost_open(self):
+        t = Trace()
+        t.configure("span")
+        with t.phase("a"):
+            with t.span("b"):
+                t.annotate(k=1)
+            t.annotate(outer=True)
+        names = {s.name: s.attrs for s in t.spans}
+        assert names["b"] == {"k": 1}
+        assert names["a"] == {"outer": True}
+
+    def test_begin_end_out_of_order_close(self):
+        t = Trace()
+        t.configure("span")
+        outer = t.begin_span("outer")
+        t.begin_span("inner")
+        t.end_span(outer)  # closes outer even though inner never closed
+        idx = t.begin_span("next")
+        assert t.spans[idx].parent == -1
+        t.end_span(idx)
+
+    def test_exception_closes_phase_span(self):
+        t = Trace()
+        t.configure("span")
+        with pytest.raises(RuntimeError):
+            with t.phase("failing"):
+                raise RuntimeError("boom")
+        assert t.spans[0].closed
+
+    def test_pickle_roundtrip_byte_identical(self):
+        t = Trace(rank=2)
+        t.configure("span")
+        with t.phase("dump"):
+            with t.phase("hash"):
+                t.record_chunks(4, 1024)
+            t.metrics.histogram("chunk_size_bytes").observe(256, 4)
+            t.metrics.gauge("dedup_ratio").set(0.25)
+            t.metrics.counter("puts").inc(2)
+        blob = pickle.dumps(t)
+        clone = pickle.loads(blob)
+        assert pickle.dumps(clone) == blob
+        assert [s.name for s in clone.spans] == ["dump", "hash"]
+        assert clone.metrics.histograms["chunk_size_bytes"].count == 4
 
 
 class TestPhaseCounters:

@@ -1,0 +1,132 @@
+"""Trace transport through the process backend.
+
+Spans, phase counters and metrics are recorded inside forked rank
+processes; the child's ``finally`` ships the trace back on the results
+queue even when the rank function raises.  These tests pin the contract
+the observability layer builds on: after ``ProcessWorld.run`` the parent's
+``world.comms[rank].trace`` is byte-identical (under pickle) to what the
+rank recorded — for every rank, including one that crashes mid-dump.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import DumpConfig, dump_output
+from repro.core.chunking import Dataset
+from repro.simmpi import DeadlockError, ProcessWorld, WorldError
+
+from repro.storage import Cluster
+
+N = 3
+CS = 256
+
+
+def _traced_program(comm):
+    comm.trace.configure("span")
+    with comm.trace.phase("work"):
+        comm.send(b"x" * (comm.rank + 1), (comm.rank + 1) % comm.size, tag=1)
+        comm.recv((comm.rank - 1) % comm.size, tag=1)
+        with comm.trace.span("inner", rank=comm.rank):
+            comm.trace.metrics.counter("steps").inc(comm.rank + 1)
+    comm.trace.metrics.gauge("done").set(1.0)
+    # The child's own serialisation of its trace, taken at return time.
+    return pickle.dumps(comm.trace)
+
+
+class TestSuccessfulTransport:
+    def test_traces_byte_identical_for_every_rank(self):
+        world = ProcessWorld(N, timeout=30)
+        results = world.run(_traced_program)
+        for rank, blob in enumerate(results):
+            transported = world.comms[rank].trace
+            # Raw pickles can differ by memo references (string interning
+            # differs between the recording process and the parent), so
+            # compare after one normalising unpickle on each side.
+            canonical = pickle.dumps(pickle.loads(blob))
+            assert pickle.dumps(transported) == canonical, f"rank {rank} differs"
+
+    def test_transported_content(self):
+        world = ProcessWorld(N, timeout=30)
+        world.run(_traced_program)
+        for rank in range(N):
+            trace = world.comms[rank].trace
+            assert trace.rank == rank
+            assert trace.level == "span"
+            assert [s.name for s in trace.spans] == ["work", "inner"]
+            assert trace.spans[1].parent == 0
+            assert trace.spans[1].attrs == {"rank": rank}
+            assert trace.counters("work").sent_bytes == rank + 1
+            assert trace.metrics.counters["steps"].value == rank + 1
+            assert trace.metrics.gauges["done"].value == 1.0
+
+
+class TestCrashedRankTransport:
+    def test_raising_rank_trace_reaches_parent(self):
+        def boom(comm):
+            comm.trace.configure("span")
+            with comm.trace.phase("setup"):
+                comm.trace.metrics.counter("ticks").inc()
+            if comm.rank == 1:
+                raise RuntimeError("deliberate mid-run failure")
+            comm.barrier()
+            return comm.rank
+
+        world = ProcessWorld(N, timeout=15)
+        with pytest.raises(WorldError) as err:
+            world.run(boom)
+        assert isinstance(err.value.failures[1], RuntimeError)
+
+        trace = world.comms[1].trace
+        assert [s.name for s in trace.spans] == ["setup"]
+        assert trace.spans[0].closed
+        assert trace.counters("setup").seconds > 0
+        assert trace.metrics.counters["ticks"].value == 1
+        # Survivors (released from the aborted barrier) transported too.
+        for rank in (0, 2):
+            assert world.comms[rank].trace.metrics.counters["ticks"].value == 1
+
+    def test_mid_dump_crash_keeps_partial_span_tree(self):
+        cfg = DumpConfig(
+            replication_factor=2,
+            chunk_size=CS,
+            f_threshold=1 << 14,
+            trace_level="span",
+        )
+        cluster = Cluster(N)
+        datasets = [
+            Dataset([np.random.RandomState(r).bytes(16 * CS)]) for r in range(N)
+        ]
+
+        def hook(phase, rank):
+            if phase == "exchange" and rank == 1:
+                raise RuntimeError("injected mid-dump failure")
+
+        def prog(comm):
+            dump_output(
+                comm,
+                datasets[comm.rank],
+                cfg,
+                cluster,
+                dump_id=0,
+                phase_hook=hook,
+            )
+            return comm.rank
+
+        world = ProcessWorld(N, timeout=15)
+        with pytest.raises(WorldError) as err:
+            world.run(prog)
+        assert isinstance(err.value.failures[1], RuntimeError)
+        assert all(
+            isinstance(exc, (RuntimeError, DeadlockError))
+            for exc in err.value.failures.values()
+        )
+
+        trace = world.comms[1].trace
+        names = [s.name for s in trace.spans]
+        assert "dump" in names and "hash" in names
+        assert "exchange" in names  # the phase it died in was captured
+        assert "write" not in names  # ...and nothing after it
+        assert all(s.closed for s in trace.spans)
+        assert "exchange" in trace.phases
