@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.core import DumpConfig, Strategy, dump_output
 from repro.core.chunking import Dataset
@@ -42,6 +43,8 @@ from repro.core.fpcache import FingerprintCache
 from repro.obs.schema import write_bench_entry
 from repro.simmpi import World
 from repro.storage import Cluster
+
+pytestmark = [pytest.mark.slow, pytest.mark.bench]
 
 SMOKE = bool(int(os.environ.get("HOTPATH_SMOKE", "0")))
 

@@ -29,12 +29,15 @@ import time
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.core import DumpConfig, Strategy, dump_output, restore_dataset
 from repro.core.chunking import Dataset
 from repro.core.runner import run_collective
 from repro.obs.schema import write_bench_entry
 from repro.storage import Cluster
+
+pytestmark = [pytest.mark.slow, pytest.mark.bench]
 
 SMOKE = bool(int(os.environ.get("PROCESS_SMOKE", "0")))
 CORES = os.cpu_count() or 1

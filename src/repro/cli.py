@@ -18,6 +18,13 @@ Observability (see :mod:`repro.obs`):
     repro-eval trace run.json
     repro-eval trace run.json --against baseline.json
 
+Deterministic simulation testing (see :mod:`repro.dst`):
+
+    repro-eval fuzz --seed 7
+    repro-eval fuzz --seed 0 --runs 25
+    repro-eval fuzz --corpus
+    repro-eval fuzz --replay dst-failure.json --trace fuzz_run.json
+
 Errors (unknown subcommands, bad ``--backend``, missing trace files,
 malformed snapshots) print a one-line message to stderr and exit 2.
 """
@@ -256,6 +263,116 @@ def cmd_trace(args) -> None:
     )
 
 
+def cmd_fuzz(args) -> None:
+    """Deterministic scenario fuzzing (see :mod:`repro.dst`).
+
+    Exactly one scenario source: ``--seed N`` (plus ``--runs R`` for seeds
+    N..N+R-1), ``--replay FILE`` (a scenario JSON, e.g. a shrunk failure),
+    or ``--corpus [DIR]`` (the checked-in corpus).  Exit 0 when every
+    scenario upholds every invariant, 1 on violations (after shrinking the
+    first failure to a minimal reproducer), 2 on usage errors.
+    """
+    import json
+
+    from repro.dst import (
+        default_corpus_dir,
+        generate_scenario,
+        iter_corpus,
+        load_scenario,
+        run_scenario,
+        save_scenario,
+        shrink,
+    )
+
+    sources = sum(
+        1 for flag in (args.seed is not None, args.replay, args.corpus is not None)
+        if flag
+    )
+    if sources != 1:
+        raise ValueError(
+            "fuzz: exactly one of --seed, --replay or --corpus is required"
+        )
+    if args.replay:
+        scenarios = [(args.replay, load_scenario(args.replay))]
+    elif args.corpus is not None:
+        directory = args.corpus or default_corpus_dir()
+        scenarios = list(iter_corpus(directory))
+    else:
+        scenarios = [
+            (f"seed {args.seed + i}", generate_scenario(args.seed + i))
+            for i in range(args.runs)
+        ]
+    if args.trace and len(scenarios) != 1:
+        raise ValueError("fuzz: --trace needs exactly one scenario")
+
+    verdicts = []
+    failure = None
+    for label, scenario in scenarios:
+        result = run_scenario(
+            scenario,
+            backend=args.backend,
+            bug=args.inject_bug,
+            collect_trace=bool(args.trace),
+        )
+        verdicts.append(result.verdict())
+        if result.ok:
+            print(f"{label}: ok ({len(result.steps)} steps, "
+                  f"cluster {result.cluster_digest[:12]})")
+        else:
+            print(f"{label}: FAIL ({len(result.violations)} violations)")
+            for violation in result.violations:
+                print(f"  [{violation.invariant}] step {violation.step}: "
+                      f"{violation.detail}")
+            if failure is None:
+                failure = (label, scenario, result)
+        if args.trace:
+            from repro.obs import capture_run, write_run
+
+            run = capture_run(
+                result.traces,
+                meta={
+                    "source": "fuzz",
+                    "seed": scenario.seed,
+                    "n": scenario.n_ranks,
+                    "k": scenario.k,
+                    "backend": result.backend,
+                },
+            )
+            write_run(args.trace, run)
+            print(f"wrote {args.trace} ({len(run['ranks'])} ranks)")
+
+    if args.out:
+        doc = {"ok": failure is None, "runs": verdicts}
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out} ({len(verdicts)} verdicts)")
+
+    if failure is None:
+        return
+    label, scenario, result = failure
+    if args.no_shrink:
+        minimal = scenario
+    else:
+        print(f"shrinking {label} ...")
+
+        def still_fails(candidate) -> bool:
+            return not run_scenario(
+                candidate, backend=args.backend, bug=args.inject_bug
+            ).ok
+
+        shrunk = shrink(scenario, still_fails)
+        minimal = shrunk.scenario
+        print(f"shrunk after {shrunk.evaluations} evaluations "
+              f"({shrunk.accepted} reductions): n_ranks={minimal.n_ranks} "
+              f"k={minimal.k} dumps={minimal.n_dumps} "
+              f"crashes={minimal.crash_count}")
+    save_scenario(args.scenario_out, minimal)
+    print(f"wrote {args.scenario_out} "
+          f"(replay with: repro-eval fuzz --replay {args.scenario_out})")
+    raise SystemExit(1)
+
+
 def cmd_shuffle(args) -> None:
     runner = _runner(args.app)
     n = args.n[0]
@@ -368,6 +485,44 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--skew-threshold", type=float, default=1.5,
                     help="flag phases whose max/mean exceeds this")
     tr.set_defaults(func=cmd_trace)
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="deterministic scenario fuzzing: dump/crash/repair/restore "
+        "loops checked against the invariant oracles",
+    )
+    fz.add_argument("--seed", type=int, default=None,
+                    help="generate and run the scenario for this seed")
+    fz.add_argument("--runs", type=int, default=1,
+                    help="with --seed: run this many consecutive seeds")
+    fz.add_argument("--replay", default=None, metavar="FILE",
+                    help="replay a scenario JSON (e.g. a shrunk failure)")
+    fz.add_argument("--corpus", nargs="?", const="", default=None,
+                    metavar="DIR",
+                    help="replay every scenario in DIR "
+                    "(default: the checked-in tests/dst/corpus)")
+    fz.add_argument(
+        "--backend",
+        default=None,
+        choices=("thread", "process"),
+        help="force one SPMD backend (default: scenario decides; "
+        "differential scenarios run both and compare)",
+    )
+    fz.add_argument("--inject-bug", default=None, choices=("drop-replica",),
+                    help="mutation testing: inject a known bug and expect "
+                    "the oracles to catch it")
+    fz.add_argument("--no-shrink", action="store_true",
+                    help="on failure, skip shrinking and write the "
+                    "original scenario")
+    fz.add_argument("--out", default=None, metavar="FILE",
+                    help="write the verdict document (JSON) here")
+    fz.add_argument("--scenario-out", default="dst-failure.json",
+                    metavar="FILE",
+                    help="where to write the (shrunk) failing scenario")
+    fz.add_argument("--trace", default=None, metavar="FILE",
+                    help="single scenario only: write the merged obs run "
+                    "snapshot here (analyze with: repro-eval trace FILE)")
+    fz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -175,13 +175,23 @@ def build_plan(
             )
             if coverage >= k_eff:
                 continue
-            d = len(ranks)
-            j = ranks.index(rank)
             if topup:
-                copies = round_robin_share(k_eff - coverage, d, j)
-                for p in range(min(copies, max_parts)):
-                    plan.partner_chunks[p].append(fp)
-            elif j == 0:
+                # Plans are built before the shuffle exists, so no sender can
+                # aim a top-up at a node known not to hold the chunk — a
+                # round-robin copy from one member can land on another member
+                # via the partner walk and silently collapse into an existing
+                # replica (under-replication found by the scenario fuzzer).
+                # Instead one seeder — the first live designated holder, or
+                # the first designated holder when none survive — ships the
+                # chunk to *every* live partner slot: at most D-1 of those
+                # recipients already hold it, so distinct live replicas reach
+                # min(K, live) no matter how the shuffle lands.  Costs up to
+                # D-1 redundant copies per short chunk, degraded dumps only.
+                seeder = live_designated[0] if live_designated else ranks[0]
+                if rank == seeder:
+                    for p in range(max_parts):
+                        plan.partner_chunks[p].append(fp)
+            elif ranks.index(rank) == 0:
                 plan.short_fps.append(fp)
             continue
         if rank not in ranks:

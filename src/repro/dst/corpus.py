@@ -1,0 +1,57 @@
+"""Seed-corpus management for the CI fuzz job.
+
+The checked-in corpus (``tests/dst/corpus/*.json``) is a set of generated
+scenarios frozen as JSON, chosen to cover the feature matrix (batched and
+legacy paths, degraded dumps with mid-dump and between-dump crashes,
+repair, parity redundancy, compression, the fingerprint-cache mode and
+cross-backend differential runs).  CI replays the corpus on every PR under
+a small time budget; the scheduled sweep explores fresh random seeds and
+falls back to the corpus format when it finds a failure.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Tuple
+
+from repro.dst.generator import generate_scenario
+from repro.dst.scenario import Scenario, load_scenario, save_scenario
+
+#: seeds frozen into the checked-in corpus; regenerate the JSON with
+#: ``write_corpus`` when the generator changes (the files are the source
+#: of truth for CI — a drifting generator does not silently change them)
+CORPUS_SEEDS = (3, 7, 11, 21, 33, 45, 54)
+
+
+def default_corpus_dir() -> str:
+    """The in-repo corpus directory (tests/dst/corpus)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "dst", "corpus")
+
+
+def corpus_paths(directory: str) -> List[str]:
+    """Sorted scenario JSON paths under ``directory``."""
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )
+
+
+def iter_corpus(directory: str) -> Iterator[Tuple[str, Scenario]]:
+    """Yield ``(path, scenario)`` for every corpus file, sorted by name."""
+    for path in corpus_paths(directory):
+        yield path, load_scenario(path)
+
+
+def write_corpus(directory: str, seeds=CORPUS_SEEDS) -> List[str]:
+    """(Re)generate the corpus files for ``seeds``; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for seed in seeds:
+        scenario = generate_scenario(seed)
+        path = os.path.join(directory, f"seed-{seed:04d}.json")
+        save_scenario(path, scenario)
+        written.append(path)
+    return written

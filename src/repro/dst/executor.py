@@ -1,0 +1,453 @@
+"""Scenario executor: run a :class:`~repro.dst.scenario.Scenario` as a
+dump→crash→repair→restore loop with the invariant battery after every step.
+
+Execution is a pure function of the scenario (and the chosen backend):
+datasets come from the seeded synthetic workload, failures fire at the
+scheduled nodes and phases, and the resulting
+:class:`FuzzResult`/verdict document carries no timestamps or other
+ambient state — two same-seed runs are byte-identical, which is what makes
+``repro-eval fuzz --seed N --replay`` a real reproducer.
+
+The replication oracle is a :class:`ReplicaLedger`: a conservative lower
+bound on live replicas per ``(dump, rank)``, established at dump time from
+the liveness snapshot, decremented once per node death (a death removes at
+most one replica of any chunk), and reset by repair for everything still
+restorable.  The cluster violating its own ledger is always a bug.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.restore import verify_restorable
+from repro.core.runner import run_collective
+from repro.dst import invariants as inv
+from repro.dst.scenario import Scenario, Step
+from repro.storage.local_store import Cluster
+
+VERDICT_SCHEMA_ID = "repro.dst/verdict/v1"
+
+#: mutation names accepted by ``execute_scenario(bug=...)`` — deliberate
+#: correctness bugs used to prove the harness actually catches violations
+BUGS = ("drop-replica",)
+
+#: report fields excluded from the cross-backend digest: the fingerprint
+#: cache exists only on the thread backend (per-rank caches do not survive
+#: the process backend's forks), so its hit counters legitimately differ.
+_BACKEND_SPECIFIC_FIELDS = ("cache_hits", "cache_bytes_skipped")
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of executing one scenario on one backend."""
+
+    scenario: Scenario
+    backend: str
+    violations: List[inv.Violation] = field(default_factory=list)
+    steps: List[dict] = field(default_factory=list)
+    cluster_digest: str = ""
+    reports_digest: str = ""
+    #: per-rank merged traces (``collect_trace=True`` only)
+    traces: Optional[list] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def verdict(self) -> dict:
+        """The deterministic verdict document (JSON-able, timestamp-free)."""
+        return {
+            "schema": VERDICT_SCHEMA_ID,
+            "seed": self.scenario.seed,
+            "backend": self.backend,
+            "ok": self.ok,
+            "steps": self.steps,
+            "violations": [v.as_dict() for v in self.violations],
+            "cluster_digest": self.cluster_digest,
+            "reports_digest": self.reports_digest,
+        }
+
+    def verdict_json(self) -> str:
+        return json.dumps(self.verdict(), indent=2, sort_keys=True) + "\n"
+
+
+class ReplicaLedger:
+    """Lower-bound replica bookkeeping per ``(dump_id, rank)``."""
+
+    def __init__(self, k_eff: int) -> None:
+        self.k_eff = k_eff
+        self.floors: Dict[Tuple[int, int], int] = {}
+
+    def record_dump(
+        self, dump_id: int, alive_snapshot: List[bool]
+    ) -> None:
+        """A dump taken under ``alive_snapshot`` establishes its floors:
+        ``min(K_eff, live)`` per rank, one less for a rank whose own node
+        was already dead (its data lives only on partners)."""
+        live = sum(alive_snapshot)
+        for rank, rank_alive in enumerate(alive_snapshot):
+            base = min(self.k_eff, live)
+            if not rank_alive:
+                base = min(self.k_eff - 1, live)
+            self.floors[(dump_id, rank)] = max(0, base)
+
+    def record_death(self) -> None:
+        """One node died: every dump may have lost at most one replica of
+        each of its chunks."""
+        for key in self.floors:
+            if self.floors[key] > 0:
+                self.floors[key] -= 1
+
+    def record_repair(self, cluster: Cluster) -> None:
+        """Repair re-replicates everything still restorable back to
+        ``min(K_eff, live)``; anything already lost stays lost."""
+        live = len(cluster.alive_nodes)
+        for (dump_id, rank) in self.floors:
+            if verify_restorable(cluster, rank, dump_id) is None:
+                self.floors[(dump_id, rank)] = max(0, min(self.k_eff, live))
+            else:
+                self.floors[(dump_id, rank)] = 0
+
+
+def _inject_drop_replica(cluster: Cluster) -> Optional[str]:
+    """Mutation ``drop-replica``: silently delete one replica of the first
+    chunk that has at least two live holders — the exact class of
+    replication-count bug the ledger invariant exists to catch.  Returns a
+    description of what was dropped, or None when no chunk is replicated."""
+    fps = set()
+    for node in cluster.nodes:
+        for rank, dump_id in sorted(node.manifest_keys()):
+            fps.update(node.get_manifest(rank, dump_id).fingerprints)
+    for fp in sorted(fps):
+        holders = cluster.locate(fp)
+        if len(holders) < 2:
+            continue
+        victim = cluster.nodes[max(holders)]
+        store = victim.chunks
+        payload = store._chunks.pop(fp)
+        count = store._refcounts.pop(fp)
+        store.physical_bytes -= len(payload)
+        store.logical_bytes -= count * len(payload)
+        return f"dropped chunk {fp.hex()[:12]} from node {victim.node_id}"
+    return None
+
+
+def _normalized_report(report) -> dict:
+    """Full report as a plain dict, minus backend-specific fields."""
+    doc = {
+        name: getattr(report, name)
+        for name in report.__dataclass_fields__
+        if name not in _BACKEND_SPECIFIC_FIELDS
+    }
+    doc["sent_per_partner"] = list(report.sent_per_partner)
+    doc["load"] = list(report.load)
+    doc["partners"] = list(report.partners)
+    return doc
+
+
+def cluster_digest(cluster: Cluster) -> str:
+    """Deterministic digest of the full cluster state: per-node chunk
+    refcounts, byte accounting, manifest blobs, parity records and liveness.
+    Two runs leaving byte-identical clusters produce equal digests."""
+    h = hashlib.sha256()
+    for node in cluster.nodes:
+        h.update(b"node%d alive=%d\n" % (node.node_id, node.alive))
+        for fp in sorted(node.chunks.fingerprints()):
+            h.update(fp)
+            h.update(b"=%d:" % node.chunks.refcount(fp))
+            h.update(hashlib.sha256(node.chunks.get(fp)).digest())
+        h.update(
+            b"bytes %d %d %d\n"
+            % (
+                node.chunks.logical_bytes,
+                node.chunks.physical_bytes,
+                node.chunks.put_count,
+            )
+        )
+        for key in sorted(node.manifest_keys()):
+            h.update(b"manifest %d %d " % key)
+            h.update(hashlib.sha256(node.get_manifest_blob(*key)).digest())
+        for record in node._parity:
+            h.update(b"parity ")
+            h.update(repr(record.stripe_key()).encode())
+            h.update(record.shard)
+    return h.hexdigest()
+
+
+def reports_digest(all_reports: List[List]) -> str:
+    """Deterministic digest over every dump's normalized per-rank reports."""
+    doc = [[_normalized_report(r) for r in reports] for reports in all_reports]
+    blob = json.dumps(doc, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def execute_scenario(
+    scenario: Scenario,
+    backend: str = "thread",
+    bug: Optional[str] = None,
+    collect_trace: bool = False,
+) -> FuzzResult:
+    """Run ``scenario`` on ``backend`` and check invariants after every step.
+
+    ``bug`` injects a named mutation (see :data:`BUGS`) after every dump —
+    used by the suite to prove the invariants actually fire.  With
+    ``collect_trace`` every collective runs at span level and the merged
+    per-rank traces land on ``result.traces`` (plus a driver pseudo-rank
+    narrating the step schedule), ready for ``repro-eval trace``.
+    """
+    if bug is not None and bug not in BUGS:
+        raise ValueError(f"unknown bug {bug!r}; expected one of {BUGS}")
+    n = scenario.n_ranks
+    k_eff = scenario.k_eff
+    result = FuzzResult(scenario=scenario, backend=backend)
+    cluster = Cluster(n)
+    ledger = ReplicaLedger(k_eff)
+    alive = [True] * n
+    config = scenario.dump_config(
+        trace_level="span" if collect_trace else None
+    )
+    fpcaches: Dict[int, object] = {}
+    use_fpcache = (
+        scenario.workload_mode == "repeat"
+        and config.batched
+        and config.chunking == "fixed"
+        and backend == "thread"
+    )
+    all_reports: List[List] = []
+    trace_sources: List[object] = []
+    driver_trace = None
+    if collect_trace:
+        from repro.simmpi.trace import Trace
+
+        # Pseudo-rank n narrates the scenario schedule alongside the real
+        # ranks' dump/repair spans.
+        driver_trace = Trace(rank=n, level="span")
+
+    def oracle(dump_id: int, rank: int) -> bytes:
+        workload = scenario.make_workload(dump_id)
+        return workload.build_dataset(rank, n).to_bytes()
+
+    def run_checks(step_idx: int, checked: List[str]) -> List[inv.Violation]:
+        found: List[inv.Violation] = []
+        known = sorted({d for d, _r in ledger.floors})
+        if scenario.redundancy == "parity":
+            checked.append("parity-margin")
+            found += inv.check_parity_margin(cluster, step_idx, k_eff)
+            checked.append("restore")
+            found += inv.check_restore(
+                cluster, step_idx,
+                {key: 1 for key in ledger.floors}, oracle,
+            )
+        else:
+            checked.append("replication")
+            found += inv.check_replication(cluster, step_idx, ledger.floors)
+            checked.append("restore")
+            found += inv.check_restore(
+                cluster, step_idx, ledger.floors, oracle
+            )
+            checked.append("audit-consistency")
+            found += inv.check_audit_consistency(
+                cluster, step_idx, known, ledger.floors
+            )
+        checked.append("referential-integrity")
+        found += inv.check_referential_integrity(cluster, step_idx)
+        return found
+
+    dump_id = 0
+    for step_idx, step in enumerate(scenario.steps):
+        step_doc: dict = {"op": step.op}
+        checked: List[str] = []
+        if step.op == "crash":
+            was_alive = alive[step.node]
+            step_doc["node"] = step.node
+            step_doc["noop"] = not was_alive
+            if driver_trace is not None:
+                with driver_trace.span(
+                    "crash", node=step.node, noop=not was_alive
+                ):
+                    pass
+            if was_alive:
+                # Repeated crash of an already-dead node is a no-op: the
+                # ledger must not be decremented twice for one death.
+                cluster.fail_node(step.node)
+                alive[step.node] = False
+                ledger.record_death()
+        elif step.op == "repair":
+            if driver_trace is not None:
+                span_cm = driver_trace.span("repair")
+                span_cm.__enter__()
+            from repro.repair import repair_cluster
+
+            report = repair_cluster(
+                cluster, scenario.k, backend=backend
+            )
+            if driver_trace is not None:
+                driver_trace.annotate(
+                    chunks_moved=report.chunks_moved,
+                    manifests_moved=report.manifests_moved,
+                )
+                span_cm.__exit__(None, None, None)
+            ledger.record_repair(cluster)
+            step_doc["chunks_moved"] = report.chunks_moved
+            step_doc["manifests_moved"] = report.manifests_moved
+        elif step.op == "dump":
+            this_dump = dump_id
+            snapshot = list(alive)
+            workload = scenario.make_workload(this_dump)
+            phase_hook = None
+            crash = step.crash
+            crash_fires = crash is not None and alive[crash.node]
+            if crash_fires:
+                from repro.storage.failures import FailureInjector
+
+                injector = FailureInjector(cluster)
+                phase_hook = injector.mid_dump_hook(
+                    crash.node, crash.phase, rank=crash.node
+                )
+            n_dumped = sum(
+                1 for s in scenario.steps[:step_idx] if s.op == "dump"
+            )
+            all_clean = use_fpcache and n_dumped > 0
+
+            def rank_main(comm):
+                dataset = workload.build_dataset(comm.rank, n)
+                dirty = None
+                fpc = None
+                if use_fpcache:
+                    from repro.core.fpcache import FingerprintCache
+
+                    fpc = fpcaches.get(comm.rank)
+                    if fpc is None:
+                        fpc = fpcaches[comm.rank] = FingerprintCache(
+                            config.chunk_size, config.hash_name
+                        )
+                    if all_clean:
+                        # "repeat" mode rewrites identical content, so
+                        # declaring every segment clean is truthful.
+                        dirty = [[] for _ in range(dataset.num_segments)]
+                from repro.core.dump import dump_output
+
+                return dump_output(
+                    comm, dataset, config, cluster,
+                    dump_id=this_dump, fpcache=fpc,
+                    dirty_regions=dirty, phase_hook=phase_hook,
+                )
+
+            if driver_trace is not None:
+                span_cm = driver_trace.span(
+                    "dump-step", dump_id=this_dump,
+                    mid_dump_crash=crash.node if crash_fires else -1,
+                )
+                span_cm.__enter__()
+            reports, world = run_collective(
+                n, rank_main, cluster=cluster, backend=backend
+            )
+            if driver_trace is not None:
+                span_cm.__exit__(None, None, None)
+            if collect_trace:
+                trace_sources.append(world)
+            all_reports.append(reports)
+            ledger.record_dump(this_dump, snapshot)
+            if crash_fires:
+                alive[crash.node] = False
+                ledger.record_death()
+            step_doc["dump_id"] = this_dump
+            step_doc["reports"] = [
+                _normalized_report(r) for r in reports
+            ]
+            checked.append("window-layout")
+            result.violations += inv.check_window_layout(
+                step_idx, reports, k_eff, snapshot
+            )
+            checked.append("report-sanity")
+            result.violations += inv.check_report_sanity(
+                step_idx,
+                reports,
+                parity=scenario.redundancy == "parity",
+                alive=snapshot,
+            )
+            dump_id += 1
+
+        if bug == "drop-replica" and step.op == "dump":
+            dropped = _inject_drop_replica(cluster)
+            step_doc["bug"] = dropped
+
+        result.violations += run_checks(step_idx, checked)
+        step_doc["invariants_checked"] = checked
+        step_doc["violations_so_far"] = len(result.violations)
+        result.steps.append(step_doc)
+
+    result.cluster_digest = cluster_digest(cluster)
+    result.reports_digest = reports_digest(all_reports)
+    if collect_trace:
+        from repro.obs.export import merge_traces
+
+        sources = list(trace_sources)
+        if driver_trace is not None:
+            sources.append([driver_trace])
+        result.traces = merge_traces(sources)
+    return result
+
+
+def differential_check(
+    thread_result: FuzzResult, process_result: FuzzResult
+) -> List[inv.Violation]:
+    """Compare two backends' runs of the same scenario: cluster state,
+    normalized reports and invariant verdicts must be identical."""
+    out: List[inv.Violation] = []
+    last = len(thread_result.scenario.steps) - 1
+    if thread_result.cluster_digest != process_result.cluster_digest:
+        out.append(inv.Violation(
+            "differential", last,
+            f"cluster digests diverge: thread "
+            f"{thread_result.cluster_digest[:16]} vs process "
+            f"{process_result.cluster_digest[:16]}",
+        ))
+    if thread_result.reports_digest != process_result.reports_digest:
+        out.append(inv.Violation(
+            "differential", last,
+            f"dump report digests diverge: thread "
+            f"{thread_result.reports_digest[:16]} vs process "
+            f"{process_result.reports_digest[:16]}",
+        ))
+    thread_verdicts = [v.as_dict() for v in thread_result.violations]
+    process_verdicts = [v.as_dict() for v in process_result.violations]
+    if thread_verdicts != process_verdicts:
+        out.append(inv.Violation(
+            "differential", last,
+            f"invariant verdicts diverge: thread found "
+            f"{len(thread_verdicts)}, process found {len(process_verdicts)}",
+        ))
+    return out
+
+
+def run_scenario(
+    scenario: Scenario,
+    backend: Optional[str] = None,
+    bug: Optional[str] = None,
+    collect_trace: bool = False,
+) -> FuzzResult:
+    """Execute a scenario, honouring its ``differential`` flag.
+
+    With ``backend`` explicitly given, runs on exactly that backend.
+    Otherwise runs on the thread backend — and, for a differential
+    scenario, again on the process backend, appending any cross-backend
+    divergence as ``differential`` violations on the returned (thread)
+    result.
+    """
+    if backend is not None or not scenario.differential:
+        return execute_scenario(
+            scenario, backend=backend or "thread", bug=bug,
+            collect_trace=collect_trace,
+        )
+    thread_result = execute_scenario(
+        scenario, backend="thread", bug=bug, collect_trace=collect_trace
+    )
+    process_result = execute_scenario(scenario, backend="process", bug=bug)
+    thread_result.violations += differential_check(
+        thread_result, process_result
+    )
+    return thread_result

@@ -1,0 +1,133 @@
+"""Seeded scenario generation.
+
+``generate_scenario(seed)`` maps an integer to one valid
+:class:`~repro.dst.scenario.Scenario` using only ``random.Random(seed)`` —
+no ambient entropy — so the same seed always yields the byte-identical
+scenario (the first half of the fuzzer's determinism guarantee; the
+executor supplies the second half).
+
+Generation respects the constraints that make the invariant oracles sound:
+
+* crash events (mid-dump or between-dump) are budgeted to ``K_eff - 1``
+  per repair epoch, so the replica ledger's floors stay positive and the
+  replication/restore checks stay armed;
+* crashes force ``degraded=True`` (a non-degraded dump aborts on a dead
+  node) and pick only currently-live victims;
+* mid-dump crashes kill the triggering rank's own node, the only schedule
+  whose failure semantics are identical across SPMD backends;
+* parity redundancy (incompatible with degraded mode) is only drawn for
+  crash-free, coll-dedup, non-differential scenarios;
+* the fingerprint-cache mode (``workload_mode="repeat"``) requires the
+  batched fixed-size path and is never differential (per-rank caches do
+  not survive the process backend's forks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.dst.scenario import (
+    MidDumpCrash,
+    Scenario,
+    Step,
+    WorkloadSpec,
+)
+
+#: compression codecs the generator may draw (must exist in
+#: ``repro.compress.codecs``)
+COMPRESS_CHOICES = (None, None, None, "zlib-1", "rle")
+
+
+def generate_scenario(seed: int) -> Scenario:
+    """The deterministic scenario of ``seed``."""
+    rng = random.Random(seed)
+    n = rng.choice((2, 3, 4, 4, 5, 6))
+    k = rng.choice((1, 2, 2, 3, 3, 4))
+    k_eff = min(k, n)
+    chunk_size = rng.choice((32, 64, 128))
+    chunks_per_rank = rng.randint(2, 8)
+    # Mostly non-truncating; sometimes small enough to exercise the HMERGE
+    # F-cap on the reduction path.
+    f_threshold = rng.choice((4096, 4096, 4096, 8, 4))
+    strategy = rng.choice(
+        ("coll-dedup", "coll-dedup", "coll-dedup", "local-dedup", "no-dedup")
+    )
+    batched = rng.random() < 0.8
+    shuffle = rng.random() < 0.7
+    compress = rng.choice(COMPRESS_CHOICES)
+    workload = WorkloadSpec(
+        frac_global=rng.choice((0.0, 0.2, 0.4)),
+        frac_zero=rng.choice((0.0, 0.1, 0.2)),
+        frac_local_dup=rng.choice((0.0, 0.2)),
+        local_dup_degree=rng.choice((2, 3)),
+    )
+
+    parity = strategy == "coll-dedup" and rng.random() < 0.12
+    repeat = not parity and batched and rng.random() < 0.15
+    differential = (
+        not parity and not repeat and rng.random() < 0.35
+    )
+
+    n_dumps = rng.randint(1, 3)
+    steps: List[Step] = []
+    if parity:
+        # Parity scenarios are crash-free: stripe-margin accounting, not the
+        # replica ledger, is their oracle.
+        steps = [Step("dump") for _ in range(n_dumps)]
+        return Scenario(
+            seed=seed, n_ranks=n, k=k, chunk_size=chunk_size,
+            chunks_per_rank=chunks_per_rank, f_threshold=f_threshold,
+            strategy=strategy, batched=batched, shuffle=shuffle,
+            redundancy="parity", compress=compress, degraded=False,
+            workload_mode="fresh", workload=workload,
+            steps=tuple(steps), differential=False,
+        )
+
+    alive = [True] * n
+    crash_budget = max(0, k_eff - 1)
+    any_crash = False
+
+    def live_nodes() -> List[int]:
+        return [i for i, a in enumerate(alive) if a]
+
+    for d in range(n_dumps):
+        # Between-step events before every dump but the first.
+        if d > 0:
+            if crash_budget > 0 and len(live_nodes()) > 2 and rng.random() < 0.45:
+                victim = rng.choice(live_nodes())
+                steps.append(Step("crash", node=victim))
+                alive[victim] = False
+                crash_budget -= 1
+                any_crash = True
+            if any_crash and rng.random() < 0.4:
+                steps.append(Step("repair"))
+                crash_budget = max(0, k_eff - 1)
+        crash = None
+        if (
+            crash_budget > 0
+            and len(live_nodes()) > 2
+            and rng.random() < 0.3
+        ):
+            victim = rng.choice(live_nodes())
+            crash = MidDumpCrash(
+                node=victim, phase=rng.choice(("exchange", "write"))
+            )
+            alive[victim] = False
+            crash_budget -= 1
+            any_crash = True
+        steps.append(Step("dump", crash=crash))
+    # Sometimes end with a repair so the final state is audited post-heal.
+    if any_crash and rng.random() < 0.5:
+        steps.append(Step("repair"))
+
+    return Scenario(
+        seed=seed, n_ranks=n, k=k, chunk_size=chunk_size,
+        chunks_per_rank=chunks_per_rank, f_threshold=f_threshold,
+        strategy=strategy, batched=batched, shuffle=shuffle,
+        redundancy="replication", compress=compress,
+        degraded=any_crash or rng.random() < 0.2,
+        workload_mode="repeat" if repeat else "fresh",
+        workload=workload, steps=tuple(steps),
+        differential=differential,
+    )

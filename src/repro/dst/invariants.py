@@ -1,0 +1,348 @@
+"""Invariant oracles the fuzzer checks after every scenario step.
+
+Each checker walks shared cluster/report state and returns
+:class:`Violation` records instead of raising, so one run reports every
+broken property at once and the verdict document stays a pure value (the
+determinism guarantee compares them byte-for-byte).
+
+The replication checks are phrased against a *floor* — a lower bound on
+live replicas per ``(dump, rank)`` maintained by the executor (see
+:class:`repro.dst.executor.ReplicaLedger`): a dump establishes
+``min(K_eff, live_at_snapshot)`` (one less for a rank whose own node was
+already dead), every node death afterwards costs at most one replica of
+any chunk, and a repair resets the floor for everything still restorable.
+Anything the cluster stores below its floor is a real bug, never an
+accepted loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.offsets import window_layout, window_layout_degraded
+from repro.core.restore import restore_dataset, verify_restorable
+from repro.core.shuffle import live_partners_of, partners_of
+from repro.storage.local_store import Cluster, StorageError
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, serializable into the verdict document."""
+
+    invariant: str
+    step: int
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "step": self.step,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Violation":
+        return cls(
+            invariant=doc["invariant"],
+            step=int(doc["step"]),
+            detail=doc["detail"],
+        )
+
+
+def _manifest_fps(cluster: Cluster, rank: int, dump_id: int):
+    """Distinct fingerprints of a rank's manifest, from any node (live or
+    dead) — an invariant walk may consult state a real restore could not."""
+    for node in cluster.nodes:
+        if node.has_manifest(rank, dump_id):
+            return set(node.get_manifest(rank, dump_id).fingerprints)
+    return None
+
+
+def check_replication(
+    cluster: Cluster,
+    step: int,
+    floors: Dict[Tuple[int, int], int],
+) -> List[Violation]:
+    """Every manifest chunk of every ``(dump, rank)`` with a positive floor
+    must have at least ``floor`` live replica holders, and the manifest
+    itself at least ``floor`` live holders."""
+    out: List[Violation] = []
+    for (dump_id, rank), floor in sorted(floors.items()):
+        if floor < 1:
+            continue
+        holders = cluster.manifest_holders(rank, dump_id)
+        if len(holders) < floor:
+            out.append(Violation(
+                "replication", step,
+                f"manifest of rank {rank} dump {dump_id} has "
+                f"{len(holders)} live holders, floor is {floor}",
+            ))
+        fps = _manifest_fps(cluster, rank, dump_id)
+        if fps is None:
+            out.append(Violation(
+                "replication", step,
+                f"manifest of rank {rank} dump {dump_id} vanished from "
+                f"every node, floor is {floor}",
+            ))
+            continue
+        for fp in sorted(fps):
+            live = len(cluster.locate(fp))
+            if live < floor:
+                out.append(Violation(
+                    "replication", step,
+                    f"chunk {fp.hex()[:12]} of rank {rank} dump {dump_id} "
+                    f"has {live} live replicas, floor is {floor}",
+                ))
+    return out
+
+
+def check_restore(
+    cluster: Cluster,
+    step: int,
+    floors: Dict[Tuple[int, int], int],
+    oracle,
+) -> List[Violation]:
+    """Every ``(dump, rank)`` with a positive floor must restore to exactly
+    the bytes the application dumped (``oracle(dump_id, rank) -> bytes``)."""
+    out: List[Violation] = []
+    for (dump_id, rank), floor in sorted(floors.items()):
+        if floor < 1:
+            continue
+        expected = oracle(dump_id, rank)
+        try:
+            dataset, _report = restore_dataset(cluster, rank, dump_id)
+        except StorageError as exc:
+            out.append(Violation(
+                "restore", step,
+                f"rank {rank} dump {dump_id} failed to restore "
+                f"(floor {floor}): {exc}",
+            ))
+            continue
+        actual = dataset.to_bytes()
+        if actual != expected:
+            out.append(Violation(
+                "restore", step,
+                f"rank {rank} dump {dump_id} restored {len(actual)}B that "
+                f"differ from the {len(expected)}B oracle",
+            ))
+    return out
+
+
+def check_referential_integrity(
+    cluster: Cluster, step: int
+) -> List[Violation]:
+    """No orphan chunks: every fingerprint in any chunk store must be
+    referenced by some manifest somewhere in the cluster (dead nodes
+    included — losing every live manifest replica must not reclassify the
+    surviving chunks as garbage)."""
+    referenced = set()
+    for node in cluster.nodes:
+        for rank, dump_id in node.manifest_keys():
+            referenced.update(node.get_manifest(rank, dump_id).fingerprints)
+    out: List[Violation] = []
+    for node in cluster.nodes:
+        for fp in sorted(node.chunks.fingerprints()):
+            if fp not in referenced:
+                out.append(Violation(
+                    "referential-integrity", step,
+                    f"node {node.node_id} stores orphan chunk "
+                    f"{fp.hex()[:12]} referenced by no manifest",
+                ))
+    return out
+
+
+def check_audit_consistency(
+    cluster: Cluster,
+    step: int,
+    dump_ids: Sequence[int],
+    floors: Dict[Tuple[int, int], int],
+) -> List[Violation]:
+    """``FailureInjector.audit`` must agree with ``verify_restorable`` on
+    every rank, and anything with a positive floor must audit recoverable."""
+    from repro.storage.failures import FailureInjector
+
+    injector = FailureInjector(cluster)
+    out: List[Violation] = []
+    for dump_id in sorted(dump_ids):
+        report = injector.audit(dump_id)
+        for rank in range(cluster.n_ranks):
+            audited = rank in report.recoverable_ranks
+            verified = verify_restorable(cluster, rank, dump_id) is None
+            if audited != verified:
+                out.append(Violation(
+                    "audit-consistency", step,
+                    f"rank {rank} dump {dump_id}: audit says "
+                    f"recoverable={audited} but verify_restorable says "
+                    f"{verified}",
+                ))
+            if floors.get((dump_id, rank), 0) >= 1 and not audited:
+                out.append(Violation(
+                    "audit-consistency", step,
+                    f"rank {rank} dump {dump_id} has floor "
+                    f"{floors[(dump_id, rank)]} but audits unrecoverable",
+                ))
+    return out
+
+
+def check_parity_margin(
+    cluster: Cluster, step: int, target_k: int
+) -> List[Violation]:
+    """Parity-mode replication oracle: the repair scanner (stripe-margin
+    aware) must find nothing to do right after a healthy dump."""
+    from repro.repair import scan_cluster
+
+    scan = scan_cluster(cluster, target_k)
+    if scan.clean:
+        return []
+    return [Violation(
+        "parity-margin", step,
+        f"repair scan found {scan.deficit_chunks} under-protected chunks "
+        f"right after a healthy parity dump (target K={target_k})",
+    )]
+
+
+def check_window_layout(
+    step: int,
+    reports: Sequence,
+    k_eff: int,
+    alive_at_start: Sequence[bool],
+) -> List[Violation]:
+    """Re-derive Algorithm 3's window layout from the dump reports and check
+    the CALC_OFF guarantees: per-window sender regions must be disjoint and
+    tile ``[0, window_slots)`` exactly, partner lists must match the shuffle
+    walk, and each rank's wire traffic must equal its planned load."""
+    out: List[Violation] = []
+    n = len(reports)
+    shuffle = [-1] * n
+    for report in reports:
+        pos = report.shuffle_position
+        if not (0 <= pos < n) or shuffle[pos] != -1:
+            out.append(Violation(
+                "window-layout", step,
+                f"rank {report.rank} reports invalid or duplicate shuffle "
+                f"position {pos}",
+            ))
+            return out
+        shuffle[pos] = report.rank
+    send_load = [[] for _ in range(n)]
+    for report in reports:
+        send_load[report.rank] = list(report.load)
+    degraded_layout = any(r.degraded for r in reports)
+    if degraded_layout:
+        layout = window_layout_degraded(
+            shuffle, send_load, k_eff, alive_at_start
+        )
+    else:
+        layout = window_layout(shuffle, send_load, k_eff)
+
+    # Regions tile each window exactly: no overlap, no gap, no spill.
+    for target in range(n):
+        slots = layout.window_slots[target]
+        cursor = 0
+        for sender, start, count in layout.regions.get(target, []):
+            if count < 0:
+                out.append(Violation(
+                    "window-layout", step,
+                    f"window of rank {target}: sender {sender} has negative "
+                    f"region size {count}",
+                ))
+            if start != cursor:
+                out.append(Violation(
+                    "window-layout", step,
+                    f"window of rank {target}: sender {sender} region "
+                    f"starts at slot {start}, expected {cursor} "
+                    f"(overlap or gap)",
+                ))
+            if layout.offsets.get((sender, target)) != start:
+                out.append(Violation(
+                    "window-layout", step,
+                    f"offset table disagrees with region start for "
+                    f"sender {sender} -> target {target}",
+                ))
+            cursor += count
+        if cursor != slots:
+            out.append(Violation(
+                "window-layout", step,
+                f"window of rank {target}: regions cover {cursor} slots "
+                f"but the window exposes {slots}",
+            ))
+
+    # Partner lists and per-partner send counts match the agreed layout.
+    for report in reports:
+        pos = report.shuffle_position
+        if degraded_layout:
+            expected_partners = live_partners_of(
+                pos, shuffle, k_eff, alive_at_start
+            )
+        else:
+            expected_partners = partners_of(pos, shuffle, k_eff)
+        if list(report.partners) != expected_partners:
+            out.append(Violation(
+                "window-layout", step,
+                f"rank {report.rank} reports partners {report.partners}, "
+                f"layout expects {expected_partners}",
+            ))
+        planned = list(report.load[1:])
+        sent = list(report.sent_per_partner)
+        # Trailing zero slots (degraded mode plans fewer live partners
+        # than K-1) are equivalent whether reported or omitted.
+        while planned and planned[-1] == 0:
+            planned.pop()
+        while sent and sent[-1] == 0:
+            sent.pop()
+        if sent != planned:
+            out.append(Violation(
+                "window-layout", step,
+                f"rank {report.rank} sent {report.sent_per_partner} chunks "
+                f"per partner but planned load {report.load[1:]}",
+            ))
+    return out
+
+
+def check_report_sanity(
+    step: int,
+    reports: Sequence,
+    parity: bool = False,
+    alive: Optional[Sequence[bool]] = None,
+) -> List[Violation]:
+    """Cheap per-report consistency: conservation of chunk counts.
+
+    Under parity redundancy the erasure phase ships stripe shards on top of
+    the partner-slot traffic, so ``sent_chunks`` legitimately exceeds the
+    per-partner sum and only the lower bound is checked.  Ranks whose node
+    was dead at the dump snapshot are exempt from the store/discard
+    coverage bound: a dead designated rank that is not the elected seeder
+    neither stores, discards nor sends its chunks.
+    """
+    out: List[Violation] = []
+    for report in reports:
+        partner_sum = sum(report.sent_per_partner)
+        if (report.sent_chunks < partner_sum if parity
+                else report.sent_chunks != partner_sum):
+            out.append(Violation(
+                "report-sanity", step,
+                f"rank {report.rank}: sent_chunks {report.sent_chunks} != "
+                f"sum of sent_per_partner {report.sent_per_partner}",
+            ))
+        if alive is not None and not alive[report.rank]:
+            continue
+        accounted = report.stored_chunks + report.discarded_chunks
+        if report.dropped_chunks == 0 and report.strategy != "no-dedup":
+            # stored + discarded must cover every locally unique chunk
+            # (received replicas are counted separately).
+            if accounted < report.local_unique_chunks - report.sent_chunks:
+                out.append(Violation(
+                    "report-sanity", step,
+                    f"rank {report.rank}: stored {report.stored_chunks} + "
+                    f"discarded {report.discarded_chunks} chunks cannot "
+                    f"cover {report.local_unique_chunks} unique chunks",
+                ))
+        if report.n_chunks < report.local_unique_chunks:
+            out.append(Violation(
+                "report-sanity", step,
+                f"rank {report.rank}: more unique chunks "
+                f"({report.local_unique_chunks}) than chunks "
+                f"({report.n_chunks})",
+            ))
+    return out

@@ -1,0 +1,328 @@
+"""Scenario model of the deterministic simulation tester.
+
+A :class:`Scenario` is a complete, serializable description of one
+dump→crash→repair→restore experiment: the cluster shape (ranks, K, chunk
+geometry), the dump configuration flags under test (strategy, batched vs
+legacy path, shuffle, redundancy mode, compression, degraded operation),
+the synthetic workload composition, and an ordered *step schedule* mixing
+collective dumps (optionally with a mid-dump node crash at a chosen
+phase), between-dump node crashes and online repairs.
+
+Scenarios are value objects: everything the executor does is a pure
+function of the scenario, so serializing one to JSON
+(:meth:`Scenario.to_json`) is a complete reproducer — `repro-eval fuzz
+--replay file.json` re-runs it bit-identically, and the shrinker works by
+transforming scenario values and re-executing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+SCENARIO_SCHEMA_ID = "repro.dst/scenario/v1"
+
+#: phases at which a mid-dump crash may fire (see
+#: :meth:`repro.storage.failures.FailureInjector.mid_dump_hook`); ``write``
+#: exercises the final-commit drop path, ``exchange`` the longest window
+#: between the liveness snapshot and the commit re-check.
+MID_DUMP_PHASES = ("exchange", "write")
+
+#: step operations understood by the executor
+STEP_OPS = ("dump", "crash", "repair")
+
+
+class ScenarioError(ValueError):
+    """Raised for malformed scenario documents."""
+
+
+@dataclass(frozen=True)
+class MidDumpCrash:
+    """A node crash fired while a dump is in flight.
+
+    ``node`` doubles as the triggering rank: the crash fires when *that
+    rank* enters ``phase``.  Tying the trigger to the dying node's own rank
+    keeps the failure semantics identical across the thread backend (shared
+    cluster, everyone sees the death) and the process backend (each rank
+    owns a forked cluster copy; only the dying rank's commit decisions
+    depend on the flag) — which is what makes mid-dump crashes usable in
+    cross-backend differential runs.
+    """
+
+    node: int
+    phase: str = "exchange"
+
+    def __post_init__(self) -> None:
+        if self.phase not in MID_DUMP_PHASES:
+            raise ScenarioError(
+                f"mid-dump crash phase must be one of {MID_DUMP_PHASES}, "
+                f"got {self.phase!r}"
+            )
+        if self.node < 0:
+            raise ScenarioError(f"crash node must be >= 0, got {self.node}")
+
+
+@dataclass(frozen=True)
+class Step:
+    """One schedule entry: a dump (optionally with a mid-dump crash), a
+    between-dump node crash, or an online repair."""
+
+    op: str
+    node: int = -1  # crash steps only
+    crash: Optional[MidDumpCrash] = None  # dump steps only
+
+    def __post_init__(self) -> None:
+        if self.op not in STEP_OPS:
+            raise ScenarioError(f"unknown step op {self.op!r}")
+        if self.op == "crash" and self.node < 0:
+            raise ScenarioError("crash step needs a node >= 0")
+        if self.op != "dump" and self.crash is not None:
+            raise ScenarioError("only dump steps may carry a mid-dump crash")
+
+    def as_dict(self) -> dict:
+        doc: dict = {"op": self.op}
+        if self.op == "crash":
+            doc["node"] = self.node
+        if self.crash is not None:
+            doc["crash"] = {"node": self.crash.node, "phase": self.crash.phase}
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Step":
+        crash = doc.get("crash")
+        return cls(
+            op=doc.get("op", ""),
+            node=int(doc.get("node", -1)),
+            crash=(
+                MidDumpCrash(int(crash["node"]), crash.get("phase", "exchange"))
+                if crash is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Synthetic workload composition knobs (see
+    :class:`repro.apps.synthetic.SyntheticWorkload`)."""
+
+    frac_global: float = 0.2
+    frac_zero: float = 0.1
+    frac_local_dup: float = 0.2
+    local_dup_degree: int = 2
+
+    def as_dict(self) -> dict:
+        return {
+            "frac_global": self.frac_global,
+            "frac_zero": self.frac_zero,
+            "frac_local_dup": self.frac_local_dup,
+            "local_dup_degree": self.local_dup_degree,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "WorkloadSpec":
+        return cls(
+            frac_global=float(doc.get("frac_global", 0.2)),
+            frac_zero=float(doc.get("frac_zero", 0.1)),
+            frac_local_dup=float(doc.get("frac_local_dup", 0.2)),
+            local_dup_degree=int(doc.get("local_dup_degree", 2)),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One complete fuzz scenario (see module docstring)."""
+
+    seed: int
+    n_ranks: int = 4
+    k: int = 3
+    chunk_size: int = 64
+    chunks_per_rank: int = 6
+    f_threshold: int = 4096
+    strategy: str = "coll-dedup"
+    batched: bool = True
+    shuffle: bool = True
+    redundancy: str = "replication"
+    compress: Optional[str] = None
+    degraded: bool = False
+    #: ``"fresh"`` — every dump gets new data (independent checkpoints);
+    #: ``"repeat"`` — all dumps write the same data and dumps after the
+    #: first declare every segment clean, exercising the cross-dump
+    #: fingerprint cache (thread backend only).
+    workload_mode: str = "fresh"
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    steps: Tuple[Step, ...] = (Step("dump"),)
+    #: run the scenario on both SPMD backends and require byte-identical
+    #: reports, cluster state and invariant verdicts
+    differential: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 2:
+            raise ScenarioError(f"n_ranks must be >= 2, got {self.n_ranks}")
+        if self.k < 1:
+            raise ScenarioError(f"k must be >= 1, got {self.k}")
+        if self.chunks_per_rank < 1:
+            raise ScenarioError(
+                f"chunks_per_rank must be >= 1, got {self.chunks_per_rank}"
+            )
+        if self.workload_mode not in ("fresh", "repeat"):
+            raise ScenarioError(
+                f"workload_mode must be 'fresh' or 'repeat', "
+                f"got {self.workload_mode!r}"
+            )
+        if not any(s.op == "dump" for s in self.steps):
+            raise ScenarioError("a scenario needs at least one dump step")
+        for step in self.steps:
+            if step.op == "crash" and step.node >= self.n_ranks:
+                raise ScenarioError(
+                    f"crash step node {step.node} out of range for "
+                    f"{self.n_ranks} ranks"
+                )
+            if step.crash is not None and step.crash.node >= self.n_ranks:
+                raise ScenarioError(
+                    f"mid-dump crash node {step.crash.node} out of range "
+                    f"for {self.n_ranks} ranks"
+                )
+        if self.crash_count and not self.degraded:
+            raise ScenarioError(
+                "scenarios with crash events must set degraded=True "
+                "(a non-degraded dump aborts on dead nodes)"
+            )
+        if self.redundancy == "parity" and (self.degraded or self.crash_count):
+            raise ScenarioError("parity redundancy cannot be combined with "
+                                "degraded mode or crash events")
+
+    # -- derived ---------------------------------------------------------------
+    @property
+    def n_dumps(self) -> int:
+        return sum(1 for s in self.steps if s.op == "dump")
+
+    @property
+    def crash_count(self) -> int:
+        """Total crash events: between-dump steps plus mid-dump crashes."""
+        return sum(
+            1 for s in self.steps if s.op == "crash"
+        ) + sum(1 for s in self.steps if s.crash is not None)
+
+    @property
+    def k_eff(self) -> int:
+        return min(self.k, self.n_ranks)
+
+    def with_(self, **changes) -> "Scenario":
+        return replace(self, **changes)
+
+    def dump_config(self, trace_level: Optional[str] = None):
+        """The :class:`~repro.core.config.DumpConfig` this scenario runs."""
+        from repro.core.config import DumpConfig, Strategy
+
+        return DumpConfig(
+            replication_factor=self.k,
+            chunk_size=self.chunk_size,
+            f_threshold=self.f_threshold,
+            strategy=Strategy.parse(self.strategy),
+            batched=self.batched,
+            shuffle=self.shuffle,
+            redundancy=self.redundancy,
+            compress=self.compress,
+            degraded=self.degraded,
+            trace_level=trace_level,
+        )
+
+    def make_workload(self, dump_index: int):
+        """The synthetic workload of dump ``dump_index`` (deterministic).
+
+        ``fresh`` mode varies the content seed per dump so checkpoints are
+        independent; ``repeat`` mode reuses dump 0's content for every dump.
+        """
+        from repro.apps.synthetic import SyntheticWorkload
+
+        content = 0 if self.workload_mode == "repeat" else dump_index
+        return SyntheticWorkload(
+            chunks_per_rank=self.chunks_per_rank,
+            chunk_size=self.chunk_size,
+            frac_global=self.workload.frac_global,
+            frac_zero=self.workload.frac_zero,
+            frac_local_dup=self.workload.frac_local_dup,
+            local_dup_degree=self.workload.local_dup_degree,
+            seed=self.seed * 7919 + content,
+        )
+
+    # -- serialization ---------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "schema": SCENARIO_SCHEMA_ID,
+            "seed": self.seed,
+            "n_ranks": self.n_ranks,
+            "k": self.k,
+            "chunk_size": self.chunk_size,
+            "chunks_per_rank": self.chunks_per_rank,
+            "f_threshold": self.f_threshold,
+            "strategy": self.strategy,
+            "batched": self.batched,
+            "shuffle": self.shuffle,
+            "redundancy": self.redundancy,
+            "compress": self.compress,
+            "degraded": self.degraded,
+            "workload_mode": self.workload_mode,
+            "workload": self.workload.as_dict(),
+            "steps": [s.as_dict() for s in self.steps],
+            "differential": self.differential,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, stable formatting) — equal strings
+        iff equal scenarios, which is what the determinism acceptance test
+        compares."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Scenario":
+        if not isinstance(doc, dict):
+            raise ScenarioError(f"expected an object, got {type(doc).__name__}")
+        schema = doc.get("schema")
+        if schema != SCENARIO_SCHEMA_ID:
+            raise ScenarioError(
+                f"expected schema {SCENARIO_SCHEMA_ID!r}, got {schema!r}"
+            )
+        try:
+            return cls(
+                seed=int(doc["seed"]),
+                n_ranks=int(doc["n_ranks"]),
+                k=int(doc["k"]),
+                chunk_size=int(doc["chunk_size"]),
+                chunks_per_rank=int(doc["chunks_per_rank"]),
+                f_threshold=int(doc.get("f_threshold", 4096)),
+                strategy=str(doc.get("strategy", "coll-dedup")),
+                batched=bool(doc.get("batched", True)),
+                shuffle=bool(doc.get("shuffle", True)),
+                redundancy=str(doc.get("redundancy", "replication")),
+                compress=doc.get("compress"),
+                degraded=bool(doc.get("degraded", False)),
+                workload_mode=str(doc.get("workload_mode", "fresh")),
+                workload=WorkloadSpec.from_dict(doc.get("workload", {})),
+                steps=tuple(Step.from_dict(s) for s in doc.get("steps", [])),
+                differential=bool(doc.get("differential", False)),
+            )
+        except KeyError as exc:
+            raise ScenarioError(f"scenario document missing key {exc}") from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from None
+        return cls.from_dict(doc)
+
+
+def load_scenario(path) -> Scenario:
+    """Read a scenario JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return Scenario.from_json(fh.read())
+
+
+def save_scenario(path, scenario: Scenario) -> None:
+    """Write a scenario as canonical JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(scenario.to_json())

@@ -1,0 +1,152 @@
+"""Greedy scenario shrinking: reduce a failing scenario to a minimal one.
+
+Classic delta-debugging fixpoint: propose simplifications in a fixed,
+deterministic order (drop crash/repair events first — they are the usual
+red herrings — then dumps, then ranks, K, chunk counts, then feature
+flags), accept a candidate iff it *still fails* under the same oracle, and
+repeat until a full pass accepts nothing.  The oracle re-executes the
+candidate, so an accepted shrink is a verified reproducer by construction,
+and the whole walk is bounded by an evaluation budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+from repro.dst.scenario import Scenario, ScenarioError, Step
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal failing scenario and how the walk got there."""
+
+    scenario: Scenario
+    evaluations: int = 0
+    accepted: int = 0
+    #: human-readable trail of accepted simplifications
+    trail: List[str] = field(default_factory=list)
+
+
+def _without_index(steps, index: int):
+    return tuple(s for i, s in enumerate(steps) if i != index)
+
+
+def _candidates(scenario: Scenario) -> Iterator:
+    """Yield ``(description, candidate)`` simplifications, simplest wins
+    first.  Invalid candidates (scenario validation) are skipped by the
+    caller."""
+    steps = scenario.steps
+    # 1. Drop between-dump crash / repair events.
+    for i, step in enumerate(steps):
+        if step.op in ("crash", "repair"):
+            yield (
+                f"drop {step.op} step {i}",
+                lambda s=scenario, i=i: s.with_(
+                    steps=_without_index(s.steps, i)
+                ),
+            )
+    # 2. Strip mid-dump crashes off dump steps.
+    for i, step in enumerate(steps):
+        if step.op == "dump" and step.crash is not None:
+            yield (
+                f"remove mid-dump crash from step {i}",
+                lambda s=scenario, i=i: s.with_(steps=tuple(
+                    Step("dump") if j == i else st
+                    for j, st in enumerate(s.steps)
+                )),
+            )
+    # 3. Drop dump steps (keep at least one).
+    if scenario.n_dumps > 1:
+        for i, step in enumerate(steps):
+            if step.op == "dump":
+                yield (
+                    f"drop dump step {i}",
+                    lambda s=scenario, i=i: s.with_(
+                        steps=_without_index(s.steps, i)
+                    ),
+                )
+    # 4. Shrink the cluster.  Crash victims beyond the new size make the
+    #    candidate invalid and it is skipped — event-dropping above opens
+    #    the way first.
+    for target in sorted({2, scenario.n_ranks // 2, scenario.n_ranks - 1}):
+        if 2 <= target < scenario.n_ranks:
+            yield (
+                f"reduce n_ranks to {target}",
+                lambda s=scenario, t=target: s.with_(n_ranks=t),
+            )
+    # 5. Shrink K.
+    for target in sorted({1, 2, scenario.k - 1}):
+        if 1 <= target < scenario.k:
+            yield (
+                f"reduce k to {target}",
+                lambda s=scenario, t=target: s.with_(k=t),
+            )
+    # 6. Shrink the data.
+    for target in sorted({1, 2, scenario.chunks_per_rank // 2}):
+        if 1 <= target < scenario.chunks_per_rank:
+            yield (
+                f"reduce chunks_per_rank to {target}",
+                lambda s=scenario, t=target: s.with_(chunks_per_rank=t),
+            )
+    # 7. Simplify feature flags and the workload mix.
+    if scenario.compress is not None:
+        yield (
+            "drop compression",
+            lambda s=scenario: s.with_(compress=None),
+        )
+    if scenario.workload_mode != "fresh":
+        yield (
+            "workload_mode -> fresh",
+            lambda s=scenario: s.with_(workload_mode="fresh"),
+        )
+    if scenario.differential:
+        yield (
+            "drop differential",
+            lambda s=scenario: s.with_(differential=False),
+        )
+    if scenario.shuffle:
+        yield (
+            "disable shuffle",
+            lambda s=scenario: s.with_(shuffle=False),
+        )
+    if scenario.degraded and scenario.crash_count == 0:
+        yield (
+            "disable degraded mode",
+            lambda s=scenario: s.with_(degraded=False),
+        )
+
+
+def shrink(
+    scenario: Scenario,
+    still_fails: Callable[[Scenario], bool],
+    max_evaluations: int = 150,
+) -> ShrinkResult:
+    """Greedily minimize ``scenario`` while ``still_fails`` holds.
+
+    ``still_fails`` must re-execute the candidate and report whether the
+    original failure (any invariant violation) reproduces; the input
+    scenario is assumed failing and is returned unchanged when no
+    simplification survives.
+    """
+    result = ShrinkResult(scenario=scenario)
+    current = scenario
+    progress = True
+    while progress and result.evaluations < max_evaluations:
+        progress = False
+        for description, make in _candidates(current):
+            if result.evaluations >= max_evaluations:
+                break
+            try:
+                candidate = make()
+            except ScenarioError:
+                continue
+            result.evaluations += 1
+            if still_fails(candidate):
+                current = candidate
+                result.accepted += 1
+                result.trail.append(description)
+                progress = True
+                break  # restart the candidate walk from the smaller scenario
+    result.scenario = current
+    return result

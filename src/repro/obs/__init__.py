@@ -49,9 +49,9 @@ __all__ = [
     "SIZE_BUCKETS",
     "Span",
     "aggregate_registries",
-    # lazily re-exported (see __getattr__): capture_run, chrome_trace,
-    # prometheus_text, write_run, write_chrome_trace, validate_run,
-    # validate_bench, load_run
+    # lazily re-exported (see __getattr__): capture_run, merge_traces,
+    # chrome_trace, prometheus_text, write_run, write_chrome_trace,
+    # validate_run, validate_bench, load_run
 ]
 
 #: Lazy re-exports.  ``repro.simmpi.trace`` imports :mod:`repro.obs.spans`
@@ -61,6 +61,7 @@ __all__ = [
 #: surface flat without the cycle.
 _LAZY = {
     "capture_run": "repro.obs.export",
+    "merge_traces": "repro.obs.export",
     "chrome_trace": "repro.obs.export",
     "prometheus_text": "repro.obs.export",
     "write_run": "repro.obs.export",

@@ -36,6 +36,53 @@ def _traces_of(source) -> List[Any]:
     return traces
 
 
+def merge_traces(sources: Iterable[Any]) -> List[Any]:
+    """Merge several runs' per-rank traces into one trace list per rank.
+
+    ``sources`` is an iterable of worlds / communicator lists / trace lists
+    (anything :func:`capture_run` accepts), e.g. the worlds of the dump and
+    repair steps of one fuzz scenario.  Per rank, phase counters merge
+    additively, metrics registries merge metric-wise, and spans concatenate
+    in source order with parent indices rebased — preserving each source's
+    span hierarchy, so the combined trace still validates against the run
+    schema and renders as one timeline per rank in the Perfetto export.
+    """
+    from repro.obs.metrics import Histogram
+    from repro.simmpi.trace import PhaseCounters, Trace
+
+    merged: Dict[int, Trace] = {}
+    for source in sources:
+        for trace in _traces_of(source):
+            out = merged.get(trace.rank)
+            if out is None:
+                out = merged[trace.rank] = Trace(
+                    rank=trace.rank, level=trace.level
+                )
+            if trace.level == "span":
+                out.level = "span"
+            for name, counters in trace.phases.items():
+                if name not in out.phases:
+                    out.phases[name] = PhaseCounters()
+                out.phases[name].merge(counters)
+            base = len(out.spans)
+            for span in trace.spans:
+                copy = type(span).from_dict(span.as_dict())
+                if copy.parent >= 0:
+                    copy.parent += base
+                out.spans.append(copy)
+            for name, c in trace.metrics.counters.items():
+                out.metrics.counter(name).inc(c.value)
+            for name, g in trace.metrics.gauges.items():
+                if g.value is not None:
+                    out.metrics.gauge(name).set(g.value)
+            for name, h in trace.metrics.histograms.items():
+                agg = out.metrics.histograms.get(name)
+                if agg is None:
+                    agg = out.metrics.histograms[name] = Histogram(h.buckets)
+                agg.merge(h)
+    return [merged[rank] for rank in sorted(merged)]
+
+
 def capture_run(
     source, meta: Optional[Mapping[str, Any]] = None
 ) -> Dict[str, Any]:

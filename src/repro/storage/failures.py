@@ -90,7 +90,8 @@ class FailureInjector:
         return report
 
     def mid_dump_hook(
-        self, node_id: int, phase: str = "exchange"
+        self, node_id: int, phase: str = "exchange",
+        rank: Optional[int] = None,
     ) -> Callable[[str, int], None]:
         """A ``dump_output`` phase hook that kills ``node_id`` mid-dump.
 
@@ -99,12 +100,22 @@ class FailureInjector:
         (exactly once, thread-safe), so the dump experiences the loss while
         its exchange/write phases are still in flight — the scenario
         degraded mode (``DumpConfig.degraded``) must survive.
+
+        With ``rank`` given, only that specific rank triggers the failure
+        instead of whichever rank reaches the phase first.  Thread
+        scheduling no longer picks the trigger, so the crash point is
+        deterministic — and when ``rank`` maps onto ``node_id`` itself, the
+        failure is visible in the dying rank's own cluster view under both
+        the thread and the process backend, which is what cross-backend
+        differential fuzzing requires.
         """
         lock = threading.Lock()
         fired = [False]
 
-        def hook(phase_name: str, _rank: int) -> None:
+        def hook(phase_name: str, hook_rank: int) -> None:
             if phase_name != phase:
+                return
+            if rank is not None and hook_rank != rank:
                 return
             with lock:
                 if fired[0]:

@@ -1,0 +1,88 @@
+"""CDC chunker properties (hypothesis): losslessness, size bounds,
+edit locality.
+
+Edit locality comes in two strengths and the tests keep them apart:
+
+* *prefix stability* is exact and data-independent — the chunker scans
+  left to right and restarts its rolling window at each cut, so every
+  boundary at or before the edited byte is decided by unedited bytes
+  alone and must survive verbatim;
+* the *bounded re-chunk window* after the edit is probabilistic — a
+  pathological buffer (e.g. constant bytes never matching the magic
+  residue) degenerates to max-size cuts everywhere and an edit can shift
+  the whole tail.  On random data the expected resynchronization distance
+  is a few average chunk sizes, so the property is asserted on seeded
+  random buffers with a deliberately generous envelope.
+"""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.cdc.chunker import CDCChunker, CDCParams
+
+PARAMS = CDCParams(min_size=16, avg_size=64, max_size=256, window_size=16)
+
+
+def chunker():
+    return CDCChunker(PARAMS)
+
+
+def random_buffer(seed, length):
+    return np.random.RandomState(seed).bytes(length)
+
+
+@given(st.binary(min_size=0, max_size=4096))
+def test_concatenation_reconstructs_input(data):
+    assert b"".join(chunker().split(data)) == data
+
+
+@given(st.binary(min_size=1, max_size=4096))
+def test_chunk_sizes_respect_bounds(data):
+    chunks = chunker().split(data)
+    assert all(len(c) <= PARAMS.max_size for c in chunks)
+    # every chunk but the trailer reaches min_size; the trailer is
+    # whatever bytes remain after the last content-defined cut
+    assert all(len(c) >= PARAMS.min_size for c in chunks[:-1])
+
+
+@given(st.binary(min_size=1, max_size=4096))
+def test_boundaries_are_strictly_increasing_and_cover(data):
+    ends = chunker().boundaries(data)
+    assert ends == sorted(set(ends))
+    assert ends[-1] == len(data)
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(1024, 8192),
+    st.data(),
+)
+def test_single_byte_edit_preserves_prefix_boundaries(seed, length, data):
+    buf = random_buffer(seed, length)
+    pos = data.draw(st.integers(0, length - 1))
+    new_byte = data.draw(st.integers(0, 255).filter(lambda b: b != buf[pos]))
+    edited = buf[:pos] + bytes([new_byte]) + buf[pos + 1:]
+    before = [e for e in chunker().boundaries(buf) if e <= pos]
+    after = [e for e in chunker().boundaries(edited) if e <= pos]
+    assert before == after
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(2048, 8192),
+    st.data(),
+)
+def test_single_byte_edit_rechunks_bounded_window(seed, length, data):
+    buf = random_buffer(seed, length)
+    pos = data.draw(st.integers(0, length - 1))
+    new_byte = data.draw(st.integers(0, 255).filter(lambda b: b != buf[pos]))
+    edited = buf[:pos] + bytes([new_byte]) + buf[pos + 1:]
+    changed = set(chunker().boundaries(buf)) ^ set(
+        chunker().boundaries(edited)
+    )
+    lo = pos - PARAMS.max_size
+    hi = pos + 8 * PARAMS.max_size
+    assert all(lo <= e <= hi for e in changed), (
+        f"edit at {pos} moved boundaries outside [{lo}, {hi}]: "
+        f"{sorted(changed)}"
+    )

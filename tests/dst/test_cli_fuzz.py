@@ -1,0 +1,108 @@
+"""The ``repro-eval fuzz`` subcommand: sources, exit codes, artifacts."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dst import Scenario, load_scenario
+
+
+def run_cli(argv):
+    """main() returns 0/2; a failing fuzz run raises SystemExit(1)."""
+    try:
+        return main(argv)
+    except SystemExit as exc:
+        return exc.code
+
+
+class TestSources:
+    def test_seed_run_is_clean(self, capsys, tmp_path):
+        out = str(tmp_path / "verdict.json")
+        assert run_cli(["fuzz", "--seed", "3", "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "seed 3: ok" in text
+        doc = json.loads(open(out).read())
+        assert doc["ok"] is True
+        assert len(doc["runs"]) == 1
+
+    def test_runs_window(self, capsys):
+        assert run_cli(["fuzz", "--seed", "0", "--runs", "3"]) == 0
+        text = capsys.readouterr().out
+        assert "seed 0: ok" in text
+        assert "seed 2: ok" in text
+
+    def test_corpus_replay(self, capsys):
+        assert run_cli(["fuzz", "--corpus"]) == 0
+        text = capsys.readouterr().out
+        assert "seed-0003.json: ok" in text
+
+    def test_replay_file(self, capsys, tmp_path):
+        from repro.dst import save_scenario
+
+        path = str(tmp_path / "case.json")
+        save_scenario(path, Scenario(seed=4, n_ranks=3, k=2,
+                                     chunks_per_rank=3))
+        assert run_cli(["fuzz", "--replay", path]) == 0
+        assert f"{path}: ok" in capsys.readouterr().out
+
+    def test_exactly_one_source_required(self, capsys):
+        assert run_cli(["fuzz"]) == 2
+        assert run_cli(["fuzz", "--seed", "1", "--corpus"]) == 2
+
+    def test_unknown_flag_exits_2(self):
+        assert run_cli(["fuzz", "--seed", "1", "--frobnicate"]) == 2
+
+
+class TestDeterminism:
+    def test_same_seed_identical_verdict_files(self, tmp_path):
+        """Acceptance criterion: two runs of the same seed write
+        byte-identical verdict documents."""
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        assert run_cli(["fuzz", "--seed", "12", "--out", a]) == 0
+        assert run_cli(["fuzz", "--seed", "12", "--out", b]) == 0
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+
+class TestFailurePath:
+    @pytest.fixture()
+    def failing_run(self, capsys, tmp_path):
+        shrunk = str(tmp_path / "shrunk.json")
+        code = run_cli([
+            "fuzz", "--seed", "12", "--inject-bug", "drop-replica",
+            "--scenario-out", shrunk,
+        ])
+        return code, shrunk, capsys.readouterr().out
+
+    def test_injected_bug_exits_1(self, failing_run):
+        code, _shrunk, text = failing_run
+        assert code == 1
+        assert "FAIL" in text and "[replication]" in text
+
+    def test_shrunk_scenario_written_and_replayable(self, failing_run):
+        code, shrunk, _text = failing_run
+        assert code == 1
+        minimal = load_scenario(shrunk)
+        assert minimal.n_ranks <= 4
+        assert minimal.crash_count <= 2
+        # the artifact replays: clean without the bug, failing with it
+        assert run_cli(["fuzz", "--replay", shrunk]) == 0
+        assert run_cli([
+            "fuzz", "--replay", shrunk, "--inject-bug", "drop-replica",
+            "--no-shrink", "--scenario-out", shrunk + ".again",
+        ]) == 1
+
+    def test_trace_export(self, capsys, tmp_path):
+        from repro.obs.analyzer import load_run
+
+        trace = str(tmp_path / "run.json")
+        assert run_cli(["fuzz", "--seed", "3", "--trace", trace]) == 0
+        run = load_run(trace)  # schema-validates on load
+        assert run["meta"]["source"] == "fuzz"
+        assert sum(len(e["spans"]) for e in run["ranks"]) > 0
+
+    def test_trace_needs_single_scenario(self, capsys, tmp_path):
+        trace = str(tmp_path / "run.json")
+        assert run_cli(
+            ["fuzz", "--seed", "0", "--runs", "2", "--trace", trace]
+        ) == 2

@@ -1,0 +1,59 @@
+"""The checked-in seed corpus: freshness, coverage and green replay.
+
+This is the same set of scenarios the CI fuzz-smoke job replays; keeping
+a fast copy in tier-1 means a PR that breaks an invariant fails the normal
+test run too, not just the separate fuzz job.
+"""
+
+import pytest
+
+from repro.dst import (
+    CORPUS_SEEDS,
+    default_corpus_dir,
+    generate_scenario,
+    iter_corpus,
+    run_scenario,
+)
+
+pytestmark = pytest.mark.smoke
+
+
+def test_corpus_files_match_generator():
+    """The JSON files are the source of truth for CI; they must not drift
+    from what the generator produces for their recorded seeds (regenerate
+    with ``repro.dst.write_corpus`` after changing the generator)."""
+    entries = list(iter_corpus(default_corpus_dir()))
+    assert [s.seed for _p, s in entries] == sorted(CORPUS_SEEDS)
+    for _path, scenario in entries:
+        assert scenario == generate_scenario(scenario.seed)
+
+
+def test_corpus_covers_the_feature_matrix():
+    feats = set()
+    for _path, s in iter_corpus(default_corpus_dir()):
+        if s.redundancy == "parity":
+            feats.add("parity")
+        if s.workload_mode == "repeat":
+            feats.add("repeat")
+        if s.differential:
+            feats.add("differential")
+        if not s.batched:
+            feats.add("legacy")
+        if s.compress:
+            feats.add("compress")
+        if any(st.op == "crash" for st in s.steps):
+            feats.add("crash")
+        if any(st.crash is not None for st in s.steps):
+            feats.add("mid-dump")
+        if any(st.op == "repair" for st in s.steps):
+            feats.add("repair")
+    assert feats >= {
+        "parity", "repeat", "differential", "legacy", "compress",
+        "crash", "mid-dump", "repair",
+    }
+
+
+@pytest.mark.parametrize("seed", sorted(CORPUS_SEEDS))
+def test_corpus_scenario_upholds_all_invariants(seed):
+    result = run_scenario(generate_scenario(seed))
+    assert result.ok, [v.as_dict() for v in result.violations]

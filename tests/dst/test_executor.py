@@ -1,0 +1,138 @@
+"""Scenario execution: determinism, the replica ledger, verdicts."""
+
+import json
+
+from repro.dst import (
+    ReplicaLedger,
+    Scenario,
+    Step,
+    VERDICT_SCHEMA_ID,
+    execute_scenario,
+    generate_scenario,
+    run_scenario,
+)
+from repro.dst.executor import cluster_digest
+
+
+def small_scenario(**changes):
+    base = Scenario(seed=5, n_ranks=3, k=2, chunks_per_rank=3)
+    return base.with_(**changes) if changes else base
+
+
+class TestDeterminism:
+    def test_same_seed_identical_verdicts(self):
+        """The acceptance bar: two runs of the same seed are bit-identical
+        down to the serialized verdict document."""
+        for seed in (0, 5, 12):
+            a = run_scenario(generate_scenario(seed))
+            b = run_scenario(generate_scenario(seed))
+            assert a.verdict_json() == b.verdict_json()
+            assert a.cluster_digest == b.cluster_digest
+            assert a.reports_digest == b.reports_digest
+
+    def test_verdict_is_serializable_and_tagged(self):
+        result = run_scenario(small_scenario())
+        doc = json.loads(result.verdict_json())
+        assert doc["schema"] == VERDICT_SCHEMA_ID
+        assert doc["ok"] is True
+        assert doc["seed"] == 5
+
+    def test_digest_reflects_cluster_content(self):
+        r1 = run_scenario(small_scenario())
+        r2 = run_scenario(small_scenario(chunks_per_rank=4))
+        assert r1.cluster_digest != r2.cluster_digest
+
+
+class TestExecution:
+    def test_healthy_dump_upholds_invariants(self):
+        result = run_scenario(small_scenario())
+        assert result.ok, result.violations
+        assert [s["op"] for s in result.steps] == ["dump"]
+
+    def test_crash_and_repair_loop(self):
+        s = small_scenario(
+            n_ranks=4,
+            k=3,
+            degraded=True,
+            steps=(
+                Step("dump"),
+                Step("crash", node=1),
+                Step("dump"),
+                Step("repair"),
+                Step("dump"),
+            ),
+        )
+        result = run_scenario(s)
+        assert result.ok, result.violations
+        assert [step["op"] for step in result.steps] == [
+            "dump", "crash", "dump", "repair", "dump",
+        ]
+
+    def test_repeated_crash_of_dead_node_is_noop(self):
+        s = small_scenario(
+            n_ranks=4,
+            k=2,
+            degraded=True,
+            steps=(
+                Step("dump"),
+                Step("crash", node=2),
+                Step("crash", node=2),
+                Step("dump"),
+            ),
+        )
+        result = run_scenario(s)
+        assert result.ok, result.violations
+        crash_steps = [st for st in result.steps if st["op"] == "crash"]
+        assert crash_steps[0]["noop"] is False
+        assert crash_steps[1]["noop"] is True
+
+    def test_backend_override(self):
+        s = small_scenario()
+        thread = execute_scenario(s, backend="thread")
+        process = execute_scenario(s, backend="process")
+        assert thread.ok and process.ok
+        assert thread.cluster_digest == process.cluster_digest
+
+
+class TestReplicaLedger:
+    def test_dump_sets_floor_to_k_eff(self):
+        ledger = ReplicaLedger(k_eff=3)
+        ledger.record_dump(0, [True, True, True, True])
+        assert all(ledger.floors[(0, r)] == 3 for r in range(4))
+
+    def test_death_costs_one_replica_everywhere(self):
+        ledger = ReplicaLedger(k_eff=3)
+        ledger.record_dump(0, [True] * 4)
+        ledger.record_death()
+        assert all(ledger.floors[(0, r)] == 2 for r in range(4))
+
+    def test_floor_never_goes_negative(self):
+        ledger = ReplicaLedger(k_eff=1)
+        ledger.record_dump(0, [True, True])
+        ledger.record_death()
+        ledger.record_death()
+        assert all(f == 0 for f in ledger.floors.values())
+
+    def test_dead_rank_dump_gets_reduced_floor(self):
+        ledger = ReplicaLedger(k_eff=3)
+        ledger.record_dump(0, [True, False, True, True])
+        assert ledger.floors[(0, 0)] == 3
+        assert ledger.floors[(0, 1)] == 2  # its own store is gone
+
+
+class TestClusterDigest:
+    def test_digest_changes_with_mutation(self):
+        from repro.storage.local_store import Cluster
+
+        cluster = Cluster(2)
+        before = cluster_digest(cluster)
+        cluster.nodes[0].chunks.put(b"\x07" * 20, b"payload")
+        assert cluster_digest(cluster) != before
+
+    def test_digest_sees_liveness(self):
+        from repro.storage.local_store import Cluster
+
+        cluster = Cluster(2)
+        before = cluster_digest(cluster)
+        cluster.nodes[1].alive = False
+        assert cluster_digest(cluster) != before

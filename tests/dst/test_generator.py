@@ -1,0 +1,73 @@
+"""Seed -> scenario generation: bit-determinism and validity."""
+
+from repro.dst import MidDumpCrash, Scenario, generate_scenario
+
+
+class TestDeterminism:
+    def test_same_seed_same_scenario(self):
+        for seed in range(20):
+            assert generate_scenario(seed) == generate_scenario(seed)
+
+    def test_same_seed_same_json(self):
+        for seed in range(20):
+            assert (generate_scenario(seed).to_json()
+                    == generate_scenario(seed).to_json())
+
+    def test_different_seeds_differ(self):
+        texts = {generate_scenario(seed).to_json() for seed in range(30)}
+        assert len(texts) > 20  # near-total diversity over a small window
+
+
+class TestValidity:
+    def test_generated_scenarios_validate(self):
+        """Construction runs the full Scenario validation; surviving it for
+        a wide seed window means the generator never emits an illegal
+        combination (parity+crash, crash without degraded, ...)."""
+        for seed in range(200):
+            s = generate_scenario(seed)
+            assert isinstance(s, Scenario)
+            assert s.seed == seed
+
+    def test_crash_budget_respected(self):
+        """Crashes between repairs never exceed K_eff - 1, so scenarios
+        stay within the paper's survivability envelope by construction."""
+        for seed in range(200):
+            s = generate_scenario(seed)
+            window = 0
+            for step in s.steps:
+                if step.op == "repair":
+                    window = 0
+                elif step.op == "crash":
+                    window += 1
+                elif step.crash is not None:
+                    window += 1
+                assert window <= s.k_eff - 1 or s.k_eff == 1
+
+    def test_feature_matrix_reachable(self):
+        """Every interesting feature shows up somewhere in a 200-seed
+        window — the generator does not silently stop exploring a mode."""
+        seen = set()
+        for seed in range(200):
+            s = generate_scenario(seed)
+            if s.redundancy == "parity":
+                seen.add("parity")
+            if s.workload_mode == "repeat":
+                seen.add("repeat")
+            if s.differential:
+                seen.add("differential")
+            if not s.batched:
+                seen.add("legacy")
+            if s.compress:
+                seen.add("compress")
+            if any(st.op == "crash" for st in s.steps):
+                seen.add("crash")
+            if any(isinstance(st.crash, MidDumpCrash) for st in s.steps):
+                seen.add("mid-dump")
+            if any(st.op == "repair" for st in s.steps):
+                seen.add("repair")
+            if s.strategy != "coll-dedup":
+                seen.add("baseline-strategy")
+        assert seen == {
+            "parity", "repeat", "differential", "legacy", "compress",
+            "crash", "mid-dump", "repair", "baseline-strategy",
+        }

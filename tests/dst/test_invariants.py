@@ -1,0 +1,159 @@
+"""The invariant oracles must actually fire when state is corrupted.
+
+Each test breaks one property by hand and asserts the matching checker
+reports it — the fuzzer is only as strong as its oracles, so every oracle
+gets a positive (fires on corruption) and negative (silent when healthy)
+case.
+"""
+
+from repro.core import DumpConfig, Strategy, dump_output
+from repro.core.runner import run_collective
+from repro.dst import invariants as inv
+from repro.storage.local_store import Cluster
+
+from tests.conftest import make_rank_dataset
+
+N, K = 4, 3
+
+
+def dumped_cluster():
+    cfg = DumpConfig(replication_factor=K, chunk_size=64,
+                     strategy=Strategy.COLL_DEDUP, f_threshold=4096)
+    cluster = Cluster(N)
+    results, _world = run_collective(
+        N,
+        lambda comm: dump_output(
+            comm, make_rank_dataset(comm.rank), cfg, cluster
+        ),
+        cluster=cluster,
+    )
+    return cluster, results
+
+
+def full_floors():
+    return {(0, rank): K for rank in range(N)}
+
+
+class TestReplication:
+    def test_healthy_cluster_is_silent(self):
+        cluster, _reports = dumped_cluster()
+        assert inv.check_replication(cluster, 0, full_floors()) == []
+
+    def test_dropped_replica_detected(self):
+        cluster, _reports = dumped_cluster()
+        fp = next(iter(sorted(
+            cluster.nodes[0].get_manifest(0, 0).fingerprints
+        )))
+        holders = cluster.locate(fp)
+        victim = cluster.nodes[holders[-1]].chunks
+        victim._refcounts.pop(fp)
+        payload = victim._chunks.pop(fp)
+        victim.physical_bytes -= len(payload)
+        out = inv.check_replication(cluster, 0, full_floors())
+        assert out and out[0].invariant == "replication"
+        assert fp.hex()[:12] in out[0].detail
+
+    def test_vanished_manifest_detected(self):
+        cluster, _reports = dumped_cluster()
+        for node in cluster.nodes:
+            node._manifests.pop((2, 0), None)
+        out = inv.check_replication(cluster, 0, full_floors())
+        assert any("vanished" in v.detail for v in out)
+
+    def test_zero_floor_tolerates_anything(self):
+        cluster, _reports = dumped_cluster()
+        cluster.nodes[0].chunks._chunks.clear()
+        cluster.nodes[0].chunks._refcounts.clear()
+        floors = {key: 0 for key in full_floors()}
+        assert inv.check_replication(cluster, 0, floors) == []
+
+
+class TestRestore:
+    def test_byte_equality_against_oracle(self):
+        cluster, _reports = dumped_cluster()
+
+        def oracle(dump_id, rank):
+            return make_rank_dataset(rank).to_bytes()
+
+        assert inv.check_restore(cluster, 0, full_floors(), oracle) == []
+
+    def test_corrupted_payload_detected(self):
+        cluster, _reports = dumped_cluster()
+        store = cluster.nodes[0].chunks
+        for fp in list(store._chunks):
+            store._chunks[fp] = b"\x00" * len(store._chunks[fp])
+
+        def oracle(dump_id, rank):
+            return make_rank_dataset(rank).to_bytes()
+
+        out = inv.check_restore(cluster, 0, {(0, 0): K}, oracle)
+        assert out and out[0].invariant == "restore"
+
+
+class TestReferentialIntegrity:
+    def test_healthy_cluster_has_no_orphans(self):
+        cluster, _reports = dumped_cluster()
+        assert inv.check_referential_integrity(cluster, 0) == []
+
+    def test_orphan_chunk_detected(self):
+        cluster, _reports = dumped_cluster()
+        cluster.nodes[1].chunks.put(b"\xee" * 20, b"nobody references me")
+        out = inv.check_referential_integrity(cluster, 0)
+        assert len(out) == 1
+        assert "orphan" in out[0].detail
+
+
+class TestAuditConsistency:
+    def test_agrees_when_healthy(self):
+        cluster, _reports = dumped_cluster()
+        assert inv.check_audit_consistency(
+            cluster, 0, [0], full_floors()
+        ) == []
+
+    def test_positive_floor_but_unrecoverable_detected(self):
+        cluster, _reports = dumped_cluster()
+        for node in cluster.nodes:
+            node._manifests.pop((3, 0), None)
+        out = inv.check_audit_consistency(cluster, 0, [0], full_floors())
+        assert any(v.invariant == "audit-consistency" for v in out)
+
+
+class TestWindowLayout:
+    def test_real_reports_pass(self):
+        _cluster, reports = dumped_cluster()
+        assert inv.check_window_layout(0, reports, K, [True] * N) == []
+
+    def test_wire_count_mismatch_detected(self):
+        _cluster, reports = dumped_cluster()
+        reports[0].sent_per_partner = list(reports[0].sent_per_partner)
+        reports[0].sent_per_partner[0] += 1
+        out = inv.check_window_layout(0, reports, K, [True] * N)
+        assert any("per partner" in v.detail for v in out)
+
+    def test_duplicate_shuffle_position_detected(self):
+        _cluster, reports = dumped_cluster()
+        reports[1].shuffle_position = reports[0].shuffle_position
+        out = inv.check_window_layout(0, reports, K, [True] * N)
+        assert out and out[0].invariant == "window-layout"
+
+
+class TestReportSanity:
+    def test_real_reports_pass(self):
+        _cluster, reports = dumped_cluster()
+        assert inv.check_report_sanity(0, reports) == []
+
+    def test_sent_count_mismatch_detected(self):
+        _cluster, reports = dumped_cluster()
+        reports[2].sent_chunks += 1
+        out = inv.check_report_sanity(0, reports)
+        assert any(v.invariant == "report-sanity" for v in out)
+
+    def test_dead_rank_exempt_from_coverage_bound(self):
+        _cluster, reports = dumped_cluster()
+        reports[1].stored_chunks = 0
+        reports[1].discarded_chunks = 0
+        reports[1].sent_chunks = 0
+        reports[1].sent_per_partner = [0] * (K - 1)
+        alive = [True, False, True, True]
+        assert inv.check_report_sanity(0, reports, alive=alive) == []
+        assert inv.check_report_sanity(0, reports) != []

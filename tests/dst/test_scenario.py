@@ -1,0 +1,98 @@
+"""Scenario values: validation, canonical JSON, round-trips."""
+
+import pytest
+
+from repro.dst import (
+    MidDumpCrash,
+    SCENARIO_SCHEMA_ID,
+    Scenario,
+    ScenarioError,
+    Step,
+    WorkloadSpec,
+    load_scenario,
+    save_scenario,
+)
+
+
+def scenario(**changes):
+    base = Scenario(
+        seed=1,
+        degraded=True,
+        steps=(Step("dump"), Step("crash", node=1), Step("repair")),
+    )
+    return base.with_(**changes) if changes else base
+
+
+class TestValidation:
+    def test_valid_scenario_builds(self):
+        s = scenario()
+        assert s.n_dumps == 1
+        assert s.crash_count == 1
+        assert s.k_eff == min(s.k, s.n_ranks)
+
+    def test_needs_at_least_one_dump(self):
+        with pytest.raises(ScenarioError):
+            scenario(steps=(Step("crash", node=0),))
+
+    def test_crash_node_must_be_in_range(self):
+        with pytest.raises(ScenarioError):
+            scenario(steps=(Step("dump"), Step("crash", node=99)))
+
+    def test_crashes_require_degraded_mode(self):
+        with pytest.raises(ScenarioError):
+            scenario(degraded=False)
+
+    def test_parity_rejects_crashes(self):
+        with pytest.raises(ScenarioError):
+            scenario(redundancy="parity")
+
+    def test_mid_dump_crash_phase_checked(self):
+        with pytest.raises(ScenarioError):
+            scenario(steps=(
+                Step("dump", crash=MidDumpCrash(node=1, phase="allgather")),
+            ))
+
+    def test_tiny_worlds_rejected(self):
+        with pytest.raises(ScenarioError):
+            scenario(n_ranks=1)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ScenarioError):
+            scenario(steps=(Step("dump"), Step("explode")))
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        s = scenario(
+            compress="zlib-1",
+            workload=WorkloadSpec(frac_global=0.5),
+            steps=(
+                Step("dump", crash=MidDumpCrash(node=2, phase="write")),
+                Step("repair"),
+            ),
+        )
+        assert Scenario.from_json(s.to_json()) == s
+
+    def test_json_is_canonical(self):
+        s = scenario()
+        text = s.to_json()
+        assert text == Scenario.from_json(text).to_json()
+        assert f'"schema": "{SCENARIO_SCHEMA_ID}"' in text
+        assert text.endswith("\n")
+
+    def test_schema_id_checked(self):
+        doc = '{"schema": "something/else/v9", "seed": 1}'
+        with pytest.raises(ScenarioError):
+            Scenario.from_json(doc)
+
+    def test_file_round_trip(self, tmp_path):
+        s = scenario()
+        path = str(tmp_path / "s.json")
+        save_scenario(path, s)
+        assert load_scenario(path) == s
+
+    def test_with_replaces_and_revalidates(self):
+        s = scenario()
+        assert s.with_(k=5).k == 5
+        with pytest.raises(ScenarioError):
+            s.with_(n_ranks=0)

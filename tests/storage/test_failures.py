@@ -100,6 +100,68 @@ class TestParityAudit:
         assert injector.audit(dump_id=0).all_recoverable
 
 
+class TestAuditEdgeCases:
+    def test_zero_live_partners(self):
+        """Sole survivor: every partner of the remaining node is dead.  The
+        audit must still terminate and classify every rank — recoverable
+        exactly when K covered the whole cluster."""
+        cluster = dumped_cluster(4, k=4)
+        injector = FailureInjector(cluster)
+        injector.fail_nodes([0, 1, 2])
+        report = injector.audit(dump_id=0)
+        assert report.failed_nodes == [0, 1, 2]
+        assert report.all_recoverable  # K=N: node 3 holds everything
+        assert sorted(report.recoverable_ranks + report.lost_ranks) == [
+            0, 1, 2, 3,
+        ]
+
+    def test_zero_live_partners_under_replicated(self):
+        """Same sole-survivor topology with K=2: ranks whose two replica
+        holders both died are reported lost with a missing-chunk count."""
+        cluster = dumped_cluster(4, k=2, strategy=Strategy.NO_DEDUP)
+        injector = FailureInjector(cluster)
+        injector.fail_nodes([0, 1, 2])
+        report = injector.audit(dump_id=0)
+        assert not report.all_recoverable
+        assert all(report.missing_chunks[r] != 0 for r in report.lost_ranks)
+
+    def test_crash_during_final_write_phase(self):
+        """A node lost at the write phase — after planning and exchange
+        committed to a healthy-world layout — drops its own commits, yet
+        every rank must stay recoverable: the replicas shipped to partners
+        landed before the loss."""
+        n, k = 4, 2
+        cfg = DumpConfig(replication_factor=k, chunk_size=64,
+                         strategy=Strategy.COLL_DEDUP, f_threshold=4096,
+                         degraded=True)
+        cluster = Cluster(n)
+        injector = FailureInjector(cluster)
+        hook = injector.mid_dump_hook(2, phase="write", rank=2)
+        World(n).run(
+            lambda comm: dump_output(
+                comm, make_rank_dataset(comm.rank), cfg, cluster,
+                phase_hook=hook,
+            )
+        )
+        assert not cluster.nodes[2].alive
+        report = injector.audit(dump_id=0)
+        assert report.failed_nodes == [2]
+        assert report.all_recoverable, report.missing_chunks
+
+    def test_repeated_crash_of_dead_rank_is_noop(self):
+        """Failing an already-dead node changes nothing: no error, no
+        double-counted loss, bit-identical audit before and after."""
+        cluster = dumped_cluster(5, k=3)
+        injector = FailureInjector(cluster)
+        injector.fail_nodes([1])
+        before = injector.audit(dump_id=0)
+        injector.fail_nodes([1])  # idempotent
+        injector.fail_nodes([1, 1])  # even repeated within one call
+        after = injector.audit(dump_id=0)
+        assert before == after
+        assert after.failed_nodes == [1]
+
+
 class TestMidDumpHook:
     def test_fires_once_at_named_phase(self):
         cluster = Cluster(3)
