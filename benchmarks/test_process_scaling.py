@@ -48,6 +48,11 @@ K = 4
 CHUNKS_PER_RANK = 512 if SMOKE else 4096
 REPS = 1 if SMOKE else 3
 MIN_SPEEDUP = 1.5
+#: floor for the double-buffered pipelined dump over the strict phase
+#: order on the same (process) backend — a modest bar because the strict
+#: baseline already overlaps nothing and the pipeline's gain is bounded by
+#: the smallest stage
+PIPELINED_MIN_SPEEDUP = 1.2
 ASSERT_SPEEDUP = not SMOKE and CORES >= N_RANKS
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_process.json"
@@ -67,11 +72,13 @@ def _timed_dump(comm, datasets, cfg, cluster):
     return time.perf_counter() - start, report
 
 
-def _run(backend, datasets):
+def _run(backend, datasets, *, pipelined=False, integrity="crypto"):
     cfg = DumpConfig(
         replication_factor=K,
         chunk_size=CS,
         strategy=Strategy.NO_DEDUP,
+        pipelined=pipelined,
+        integrity=integrity,
     )
     cluster = Cluster(N_RANKS, dedup=False)
     results, _world = run_collective(
@@ -89,10 +96,10 @@ def _run(backend, datasets):
     return elapsed, reports, cluster
 
 
-def _best(backend, datasets):
-    elapsed, reports, cluster = _run(backend, datasets)
+def _best(backend, datasets, **cfg_kw):
+    elapsed, reports, cluster = _run(backend, datasets, **cfg_kw)
     for _ in range(REPS - 1):
-        again, _r, _c = _run(backend, datasets)
+        again, _r, _c = _run(backend, datasets, **cfg_kw)
         elapsed = min(elapsed, again)
     return elapsed, reports, cluster
 
@@ -156,4 +163,69 @@ def test_process_backend_cold_dump_scaling():
         assert speedup >= MIN_SPEEDUP, (
             f"process backend only {speedup:.2f}x faster than thread on the "
             f"cold no-dedup dump with {CORES} cores (need >= {MIN_SPEEDUP}x)"
+        )
+
+
+def test_pipelined_dump_scaling():
+    """The double-buffered hash/exchange/write pipeline vs the strict
+    phase-ordered dump, both on the process backend, plus the vectorised
+    non-crypto fingerprint mode on top.
+
+    Correctness (strict and pipelined runs leave byte-identical clusters)
+    is asserted everywhere; the >= ``PIPELINED_MIN_SPEEDUP`` floor only on
+    multi-core non-smoke hosts, like the backend floor above.
+    """
+    datasets = [_rank_dataset(r) for r in range(N_RANKS)]
+
+    _run("process", datasets)  # warm-up
+
+    strict_wall, strict_reports, strict_cluster = _best("process", datasets)
+    pipe_wall, pipe_reports, pipe_cluster = _best(
+        "process", datasets, pipelined=True
+    )
+    fast_wall, _fast_reports, fast_cluster = _best(
+        "process", datasets, pipelined=True, integrity="fast"
+    )
+
+    # Byte-identity of the pipelined dump against the strict baseline.
+    for sr, pr in zip(strict_reports, pipe_reports):
+        assert vars(sr) == vars(pr), (
+            f"pipelined DumpReport differs on rank {sr.rank}"
+        )
+    s_manifests, s_restores = _observable(strict_cluster)
+    p_manifests, p_restores = _observable(pipe_cluster)
+    assert s_manifests == p_manifests, "pipelined manifests differ"
+    assert s_restores == p_restores, "pipelined restores differ"
+    # Fast integrity changes fingerprints (so manifests differ by design)
+    # but restored bytes must still round-trip exactly.
+    _f_manifests, f_restores = _observable(fast_cluster)
+    for rank in range(N_RANKS):
+        assert f_restores[rank] == datasets[rank].to_bytes()
+
+    speedup = strict_wall / pipe_wall
+    fast_speedup = strict_wall / fast_wall
+    _emit(
+        "process_cold_dump_pipelined",
+        {
+            "strategy": "no-dedup",
+            "ranks": N_RANKS,
+            "replication_factor": K,
+            "chunk_size": CS,
+            "chunks_per_rank": CHUNKS_PER_RANK,
+            "bytes_per_rank": CHUNKS_PER_RANK * CS,
+            "timings": {
+                "process_strict": round(strict_wall, 4),
+                "process_pipelined": round(pipe_wall, 4),
+                "process_pipelined_fast": round(fast_wall, 4),
+            },
+            "speedup": round(speedup, 2),
+            "speedup_fast_integrity": round(fast_speedup, 2),
+            "min_required": PIPELINED_MIN_SPEEDUP,
+            "speedup_asserted": ASSERT_SPEEDUP,
+        },
+    )
+    if ASSERT_SPEEDUP:
+        assert speedup >= PIPELINED_MIN_SPEEDUP, (
+            f"pipelined dump only {speedup:.2f}x faster than strict on "
+            f"{CORES} cores (need >= {PIPELINED_MIN_SPEEDUP}x)"
         )

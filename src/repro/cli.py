@@ -214,6 +214,8 @@ def cmd_trace_record(args) -> None:
         f_threshold=1 << 14,
         strategy=Strategy.parse(args.strategy),
         spmd_backend=args.backend,
+        pipelined=args.pipelined,
+        integrity=args.integrity,
         trace_level="span",
     )
     workload = SyntheticWorkload(
@@ -239,6 +241,8 @@ def cmd_trace_record(args) -> None:
             "strategy": config.strategy.value,
             "chunks_per_rank": args.chunks_per_rank,
             "chunk_size": args.chunk_size,
+            "pipelined": args.pipelined,
+            "integrity": args.integrity,
         },
     )
     write_run(args.out, run)
@@ -467,6 +471,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="SPMD execution backend: thread or process "
         "(default: REPRO_SPMD_BACKEND or thread)",
+    )
+    tc.add_argument(
+        "--pipelined", action="store_true",
+        help="double-buffered hash/exchange/write pipeline "
+        "(batched replication configs only)",
+    )
+    tc.add_argument(
+        "--integrity", default="crypto", choices=("crypto", "fast"),
+        help="fingerprint mode: sha1 (crypto) or vectorised xx128 (fast)",
     )
     tc.add_argument("--out", default="trace_run.json",
                     help="run snapshot output path")

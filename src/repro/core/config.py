@@ -135,6 +135,21 @@ class DumpConfig:
     #: spans and metrics — see :mod:`repro.obs`).  ``None`` defers to
     #: ``REPRO_TRACE``, then leaves the rank's trace untouched.
     trace_level: Optional[str] = None
+    #: Fingerprint integrity mode: ``"crypto"`` (the paper: ``hash_name``
+    #: as configured, collision-resistant) or ``"fast"`` — the vectorised
+    #: non-crypto ``xx128`` kernel (see :mod:`repro.core.fingerprint`),
+    #: which batch-hashes whole segments with numpy and overrides
+    #: ``hash_name``.  Dedup/restore semantics are unchanged; pick
+    #: ``"crypto"`` wherever fingerprints double as verification.
+    integrity: str = "crypto"
+    #: Pipelined dump: process the exchange + write phases (and, under
+    #: no-dedup, the hash phase too) as a double-buffered pipeline over
+    #: chunk batches instead of strict barriers, so a rank's store writes
+    #: overlap its partners' hashing/exchange.  Results are byte-identical
+    #: to the strict path; configurations the pipeline cannot express
+    #: (legacy per-chunk path, CDC chunking, parity redundancy, degraded
+    #: mode) silently fall back to strict phases.
+    pipelined: bool = False
 
     def __post_init__(self) -> None:
         if self.replication_factor < 1:
@@ -188,6 +203,10 @@ class DumpConfig:
                     f"trace_level must be one of {TRACE_LEVELS}, "
                     f"got {self.trace_level!r}"
                 )
+        if self.integrity not in ("crypto", "fast"):
+            raise ValueError(
+                f"integrity must be 'crypto' or 'fast', got {self.integrity!r}"
+            )
         object.__setattr__(self, "strategy", Strategy.parse(self.strategy))
         if self.redundancy == "parity" and self.strategy is not Strategy.COLL_DEDUP:
             raise ValueError("parity redundancy requires the coll-dedup strategy")
@@ -196,6 +215,16 @@ class DumpConfig:
                 "degraded mode is not supported with parity redundancy: "
                 "stripe groups assume every member rank can commit shards"
             )
+
+    @property
+    def effective_hash_name(self) -> str:
+        """The fingerprint algorithm actually run: ``hash_name`` under
+        ``integrity="crypto"``, the vectorised ``xx128`` under ``"fast"``."""
+        if self.integrity == "fast":
+            from repro.core.fingerprint import FAST_HASH_NAME
+
+            return FAST_HASH_NAME
+        return self.hash_name
 
     @property
     def wire_payload_capacity(self) -> int:

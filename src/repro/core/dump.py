@@ -31,6 +31,12 @@ from repro.core.global_dedup import build_global_view
 from repro.core.hmerge import GlobalView
 from repro.core.local_dedup import LocalIndex, local_dedup, local_dedup_batched
 from repro.core.offsets import WindowLayout, window_layout, window_layout_degraded
+from repro.core.pipeline import (
+    pipeline_eligible,
+    pipeline_full_eligible,
+    pipelined_exchange_write,
+    pipelined_no_dedup_dump,
+)
 from repro.core.planner import ReplicationPlan, build_plan
 from repro.core.shuffle import (
     identity_shuffle,
@@ -195,7 +201,7 @@ def _dump_output_impl(
     rank, world = comm.rank, comm.size
     k_eff = config.effective_k(world)
     strategy = config.strategy
-    fingerprinter = Fingerprinter(config.hash_name)
+    fingerprinter = Fingerprinter(config.effective_hash_name)
     report = DumpReport(rank=rank, strategy=strategy.value, k=k_eff)
 
     # Degraded mode: agree on one liveness snapshot before planning.  Rank
@@ -216,11 +222,21 @@ def _dump_output_impl(
     # Phase 1: chunk, fingerprint, local dedup.
     chunker = config.make_chunker() if config.chunking != "fixed" else None
     batched = config.batched and chunker is None
+
+    # 3-stage pipeline: under no-dedup the Load vector is known from the
+    # chunk count alone, so the window layout is agreed first and hash,
+    # exchange and write run per batch (see repro.core.pipeline).
+    if pipeline_full_eligible(config, batched, fpcache):
+        return pipelined_no_dedup_dump(
+            comm, dataset, config, cluster, dump_id, report, enter_phase,
+            fingerprinter,
+        )
+
     with comm.trace.phase("hash"):
         enter_phase("hash")
         if batched:
             if fpcache is not None:
-                fpcache.ensure_compatible(config.chunk_size, config.hash_name)
+                fpcache.ensure_compatible(config.chunk_size, config.effective_hash_name)
             index = local_dedup_batched(
                 dataset,
                 fingerprinter,
@@ -338,6 +354,17 @@ def _dump_output_impl(
     if comm.trace.span_enabled:
         comm.trace.metrics.gauge("window_slots").set(layout.window_slots[rank])
     slot = slot_nbytes(fingerprinter.digest_size, config.wire_payload_capacity)
+
+    # 2-stage pipeline: exchange and write interleave over chunk batches;
+    # everything up to the layout stayed strict (see repro.core.pipeline).
+    if pipeline_eligible(config, batched):
+        pipelined_exchange_write(
+            comm, config, cluster, plan, layout, report, payload_of,
+            payload_size, fingerprinter.digest_size, slot, dataset,
+            index.order, dump_id, shuffle, my_pos, k_eff, enter_phase,
+        )
+        comm.barrier()
+        return report
 
     # Phase 4: one-sided exchange.  Batched: each partner's whole region is
     # packed into one reused buffer and shipped with a single put (one lock

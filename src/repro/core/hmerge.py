@@ -186,6 +186,19 @@ class MergeTable:
             (self.load_arr > 0).sum()
         )
 
+    def __reduce__(self):
+        """Pickle through the packed columnar wire codec.
+
+        Reduction rounds ship tables between ranks; under the process
+        backend that pickles them.  One contiguous blob (header + raw
+        little-endian column buffers) replaces the generic per-attribute
+        pickle walk, and the receiving side reconstructs the columns as
+        zero-copy ``np.frombuffer`` views — see :mod:`repro.core.wire`.
+        """
+        from repro.core.wire import decode_merge_table, encode_merge_table
+
+        return (decode_merge_table, (encode_merge_table(self),))
+
     def __len__(self) -> int:
         return len(self.fps)
 
@@ -411,8 +424,14 @@ class GlobalView:
 
     @classmethod
     def from_table(cls, table: MergeTable) -> "GlobalView":
-        nbytes = len(table.fps) * (table.digest_size + 4) + 4 * int(
-            (table.ranks != PAD).sum()
+        """Materialise the view; ``wire_nbytes`` is recomputed vectorised
+        from *this* table on every call (never cached across tables), so a
+        view always reports the size of its own fresh encode — see
+        :func:`repro.core.wire.global_view_wire_nbytes`."""
+        from repro.core.wire import global_view_wire_nbytes
+
+        nbytes = global_view_wire_nbytes(
+            len(table.fps), table.digest_size, int((table.ranks != PAD).sum())
         )
         return cls(entries=table.entries, k=table.k, wire_nbytes=nbytes)
 

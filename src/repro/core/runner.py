@@ -7,11 +7,16 @@ where every forked rank mutates its own copy-on-write copy.
 
 :func:`run_collective` closes that gap with a delta protocol: under the
 process backend each rank marks its inherited cluster copy before the
-program runs, collects a picklable :class:`~repro.storage.local_store.ClusterDelta`
-afterwards, and ships it back alongside its result; the parent folds every
-rank's delta into the real cluster.  Deltas are additive and commutative,
-so the merged cluster is byte-identical to what a thread-backend run leaves
-behind — manifests, chunk payloads, refcounts and accounting included.
+program runs, collects a :class:`~repro.storage.local_store.ClusterDelta`
+afterwards, packs it to one flat blob
+(:mod:`repro.storage.delta_codec`) staged in a shared-memory segment
+(:meth:`~repro.simmpi.backend.BaseWorld.stage_result_blob`), and ships
+back only the segment handle alongside its result; the parent maps each
+segment, decodes the delta in place and folds it into the real cluster.
+Deltas are additive and commutative, so the merged cluster is
+byte-identical to what a thread-backend run leaves behind — manifests,
+chunk payloads, refcounts and accounting included — but nothing heavier
+than a handle ever crosses the result pipe.
 
 Under the thread backend (shared memory) the program runs as-is.
 """
@@ -55,16 +60,24 @@ def run_collective(
     if name == "thread" or cluster is None:
         return world.run(program, *args, **kwargs), world
 
+    from repro.storage.delta_codec import decode_cluster_delta, encode_cluster_delta
+
     def deltified(comm, *p_args, **p_kwargs):
         # Fork semantics: `cluster` here is this rank's copy — the same
         # object the program sees through p_args, so collect sees its writes.
         cluster.mark()
         result = program(comm, *p_args, **p_kwargs)
-        return result, cluster.collect_delta()
+        blob = encode_cluster_delta(cluster.collect_delta())
+        return result, comm.world.stage_result_blob(comm.rank, blob)
 
-    pairs = world.run(deltified, *args, **kwargs)
     results: List[Any] = []
-    for result, delta in pairs:
-        cluster.apply_delta(delta)
-        results.append(result)
+    try:
+        pairs = world.run(deltified, *args, **kwargs)
+        for result, handle in pairs:
+            with world.open_result_blob(handle) as buf:
+                cluster.apply_delta(decode_cluster_delta(buf))
+            results.append(result)
+    finally:
+        # Failed or partially consumed runs must not leak staged segments.
+        world.sweep_result_blobs()
     return results, world

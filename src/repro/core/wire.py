@@ -251,6 +251,174 @@ def decode_region(
     return out
 
 
+# -- packed merge-state codec -------------------------------------------------
+#
+# MergeTables cross rank boundaries on every reduction round; under the
+# process backend that used to mean generic pickle over the parallel numpy
+# columns (per-object memo walks, column-by-column reduce protocol).  The
+# packed codec below flattens a table to one header plus its four raw
+# little-endian column buffers, and `MergeTable.__reduce__` routes *all*
+# pickling through it — so a table travels as a single contiguous blob and
+# is reconstructed with zero-copy `np.frombuffer` views on the receiving
+# side.  `hmerge` is pure (never mutates its inputs), which is what makes
+# the read-only frombuffer-backed columns safe.
+
+_MT_HEADER = struct.Struct("<4sBBHIIII")
+_MT_MAGIC = b"RMT1"
+_MT_FLAG_NODE_OF = 1
+
+_GV_HEADER = struct.Struct("<4sBBHI")
+_GV_MAGIC = b"RGV1"
+
+
+def encode_merge_table(table) -> bytes:
+    """Flatten a :class:`repro.core.hmerge.MergeTable` to one packed blob:
+    header + raw ``fps`` / ``freq`` / ``ranks`` / ``load_arr`` column
+    buffers (little-endian), plus the optional ``node_of`` mapping."""
+    n = len(table.fps)
+    digest = table.digest_size
+    flags = 0 if table.node_of is None else _MT_FLAG_NODE_OF
+    parts = [
+        _MT_HEADER.pack(
+            _MT_MAGIC,
+            digest,
+            flags,
+            table.k,
+            table.f,
+            n,
+            len(table.load_arr),
+            0 if table.node_of is None else len(table.node_of),
+        )
+    ]
+    if n:
+        parts.append(table.fps.tobytes())
+        parts.append(table.freq.astype("<i8", copy=False).tobytes())
+        parts.append(table.ranks.astype("<i4", copy=False).tobytes())
+    parts.append(table.load_arr.astype("<i8", copy=False).tobytes())
+    if table.node_of is not None:
+        parts.append(
+            np.asarray(table.node_of, dtype="<i8").tobytes()
+        )
+    return b"".join(parts)
+
+
+def decode_merge_table(blob):
+    """Rebuild a :class:`MergeTable` from :func:`encode_merge_table` output.
+
+    Columns are zero-copy ``np.frombuffer`` views into ``blob`` (read-only;
+    safe because :func:`repro.core.hmerge.hmerge` is pure).
+    """
+    from repro.core.hmerge import MergeTable, PAD
+
+    magic, digest, flags, k, f, n, load_len, node_len = _MT_HEADER.unpack_from(
+        blob, 0
+    )
+    if magic != _MT_MAGIC:
+        raise ValueError(f"bad merge-table blob magic {magic!r}")
+    table = MergeTable(k, f)
+    pos = _MT_HEADER.size
+    if n:
+        table.fps = np.frombuffer(blob, dtype=f"S{digest}", count=n, offset=pos)
+        pos += n * digest
+        table.freq = np.frombuffer(blob, dtype="<i8", count=n, offset=pos)
+        pos += n * 8
+        table.ranks = np.frombuffer(
+            blob, dtype="<i4", count=n * k, offset=pos
+        ).reshape(n, k)
+        pos += n * k * 4
+    else:
+        table.ranks = np.full((0, k), PAD, dtype=np.int32)
+    table.load_arr = np.frombuffer(blob, dtype="<i8", count=load_len, offset=pos)
+    pos += load_len * 8
+    if flags & _MT_FLAG_NODE_OF:
+        table.node_of = tuple(
+            np.frombuffer(blob, dtype="<i8", count=node_len, offset=pos).tolist()
+        )
+    return table
+
+
+def global_view_wire_nbytes(n: int, digest_size: int, designated: int) -> int:
+    """The modelled wire size of a global view: digest + u32 frequency per
+    entry plus u32 per designated rank — exactly the payload bytes
+    :func:`encode_global_view` emits after its header/count metadata."""
+    return n * (digest_size + 4) + 4 * designated
+
+
+def encode_global_view(view) -> Tuple[bytes, int]:
+    """Flatten a :class:`repro.core.hmerge.GlobalView` to a packed blob.
+
+    Returns ``(blob, payload_nbytes)`` where ``payload_nbytes`` counts only
+    the entry columns (fps, u32 frequencies, u32 ranks) — the number
+    :attr:`GlobalView.wire_nbytes` caches — excluding the self-description
+    (header + u16 rank-count column) a decoder needs.
+    """
+    entries = view.entries
+    n = len(entries)
+    digest = len(next(iter(entries))) if n else 0
+    fps = bytearray(n * digest)
+    freq = np.empty(n, dtype="<u4")
+    counts = np.empty(n, dtype="<u2")
+    rank_cols: List[Tuple[int, ...]] = []
+    for i, (fp, entry) in enumerate(entries.items()):
+        if len(fp) != digest:
+            raise ValueError("fingerprints must have a uniform width")
+        fps[i * digest : (i + 1) * digest] = fp
+        if entry.freq >> 32:
+            raise ValueError(f"frequency {entry.freq} exceeds the u32 wire field")
+        freq[i] = entry.freq
+        counts[i] = len(entry.ranks)
+        rank_cols.append(entry.ranks)
+    ranks = np.fromiter(
+        (r for ranks in rank_cols for r in ranks), dtype="<u4"
+    )
+    blob = b"".join(
+        (
+            _GV_HEADER.pack(_GV_MAGIC, digest, 0, view.k, n),
+            counts.tobytes(),
+            bytes(fps),
+            freq.tobytes(),
+            ranks.tobytes(),
+        )
+    )
+    payload = global_view_wire_nbytes(n, digest, int(counts.sum()))
+    return blob, payload
+
+
+def decode_global_view(blob):
+    """Rebuild a :class:`GlobalView` from :func:`encode_global_view` output;
+    ``wire_nbytes`` is restored from the decoded payload size."""
+    from repro.core.hmerge import GlobalView, MergeEntry
+
+    magic, digest, _flags, k, n = _GV_HEADER.unpack_from(blob, 0)
+    if magic != _GV_MAGIC:
+        raise ValueError(f"bad global-view blob magic {magic!r}")
+    pos = _GV_HEADER.size
+    counts = np.frombuffer(blob, dtype="<u2", count=n, offset=pos)
+    pos += n * 2
+    raw_fps = bytes(blob[pos : pos + n * digest])
+    pos += n * digest
+    freq = np.frombuffer(blob, dtype="<u4", count=n, offset=pos)
+    pos += n * 4
+    total_ranks = int(counts.sum())
+    ranks = np.frombuffer(blob, dtype="<u4", count=total_ranks, offset=pos)
+    entries = {}
+    freqs = freq.tolist()
+    count_list = counts.tolist()
+    rank_list = ranks.tolist()
+    cursor = 0
+    for i in range(n):
+        c = count_list[i]
+        entries[raw_fps[i * digest : (i + 1) * digest]] = MergeEntry._trusted(
+            freqs[i], tuple(rank_list[cursor : cursor + c])
+        )
+        cursor += c
+    return GlobalView(
+        entries=entries,
+        k=k,
+        wire_nbytes=global_view_wire_nbytes(n, digest, total_ranks),
+    )
+
+
 def iter_window_records(
     buffer: bytes, digest_size: int, chunk_size: int
 ) -> Iterator[Tuple[Fingerprint, bytes]]:

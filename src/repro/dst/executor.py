@@ -322,7 +322,7 @@ def execute_scenario(
                     fpc = fpcaches.get(comm.rank)
                     if fpc is None:
                         fpc = fpcaches[comm.rank] = FingerprintCache(
-                            config.chunk_size, config.hash_name
+                            config.chunk_size, config.effective_hash_name
                         )
                     if all_clean:
                         # "repeat" mode rewrites identical content, so

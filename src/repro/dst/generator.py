@@ -19,7 +19,10 @@ Generation respects the constraints that make the invariant oracles sound:
   crash-free, coll-dedup, non-differential scenarios;
 * the fingerprint-cache mode (``workload_mode="repeat"``) requires the
   batched fixed-size path and is never differential (per-rank caches do
-  not survive the process backend's forks).
+  not survive the process backend's forks);
+* ``pipelined=True`` is only drawn for configs the pipelined dump
+  actually accepts (batched replication, non-degraded), so the knob never
+  silently degenerates to the strict path; ``integrity`` varies freely.
 """
 
 from __future__ import annotations
@@ -73,13 +76,15 @@ def generate_scenario(seed: int) -> Scenario:
     steps: List[Step] = []
     if parity:
         # Parity scenarios are crash-free: stripe-margin accounting, not the
-        # replica ledger, is their oracle.
+        # replica ledger, is their oracle.  The pipeline only engages for
+        # replication, so the knob stays off here; integrity still varies.
         steps = [Step("dump") for _ in range(n_dumps)]
         return Scenario(
             seed=seed, n_ranks=n, k=k, chunk_size=chunk_size,
             chunks_per_rank=chunks_per_rank, f_threshold=f_threshold,
             strategy=strategy, batched=batched, shuffle=shuffle,
             redundancy="parity", compress=compress, degraded=False,
+            integrity=rng.choice(("crypto", "crypto", "fast")),
             workload_mode="fresh", workload=workload,
             steps=tuple(steps), differential=False,
         )
@@ -121,12 +126,20 @@ def generate_scenario(seed: int) -> Scenario:
     if any_crash and rng.random() < 0.5:
         steps.append(Step("repair"))
 
+    degraded = any_crash or rng.random() < 0.2
+    # New dimensions draw last so older seeds keep their step schedules.
+    # Pipelined dumps need the batched replication path and no degraded
+    # mode (dump.py falls back to strict otherwise); gating the knob here
+    # keeps the feature matrix honest — a drawn True always engages.
+    pipelined = rng.random() < 0.35 and batched and not degraded
+    integrity = rng.choice(("crypto", "crypto", "fast"))
+
     return Scenario(
         seed=seed, n_ranks=n, k=k, chunk_size=chunk_size,
         chunks_per_rank=chunks_per_rank, f_threshold=f_threshold,
         strategy=strategy, batched=batched, shuffle=shuffle,
         redundancy="replication", compress=compress,
-        degraded=any_crash or rng.random() < 0.2,
+        degraded=degraded, pipelined=pipelined, integrity=integrity,
         workload_mode="repeat" if repeat else "fresh",
         workload=workload, steps=tuple(steps),
         differential=differential,

@@ -146,6 +146,14 @@ class Scenario:
     redundancy: str = "replication"
     compress: Optional[str] = None
     degraded: bool = False
+    #: request the double-buffered hash/exchange/write pipeline; silently
+    #: falls back to the strict phase order when the config is ineligible
+    #: (legacy path, degraded, parity) — byte-identical either way, which
+    #: is exactly what the invariant oracles then re-prove
+    pipelined: bool = False
+    #: fingerprint integrity mode: ``"crypto"`` (sha1) or ``"fast"`` (the
+    #: vectorised non-cryptographic xx128 kernel)
+    integrity: str = "crypto"
     #: ``"fresh"`` — every dump gets new data (independent checkpoints);
     #: ``"repeat"`` — all dumps write the same data and dumps after the
     #: first declare every segment clean, exercising the cross-dump
@@ -165,6 +173,10 @@ class Scenario:
         if self.chunks_per_rank < 1:
             raise ScenarioError(
                 f"chunks_per_rank must be >= 1, got {self.chunks_per_rank}"
+            )
+        if self.integrity not in ("crypto", "fast"):
+            raise ScenarioError(
+                f"integrity must be 'crypto' or 'fast', got {self.integrity!r}"
             )
         if self.workload_mode not in ("fresh", "repeat"):
             raise ScenarioError(
@@ -226,6 +238,8 @@ class Scenario:
             redundancy=self.redundancy,
             compress=self.compress,
             degraded=self.degraded,
+            pipelined=self.pipelined,
+            integrity=self.integrity,
             trace_level=trace_level,
         )
 
@@ -264,6 +278,8 @@ class Scenario:
             "redundancy": self.redundancy,
             "compress": self.compress,
             "degraded": self.degraded,
+            "pipelined": self.pipelined,
+            "integrity": self.integrity,
             "workload_mode": self.workload_mode,
             "workload": self.workload.as_dict(),
             "steps": [s.as_dict() for s in self.steps],
@@ -299,6 +315,8 @@ class Scenario:
                 redundancy=str(doc.get("redundancy", "replication")),
                 compress=doc.get("compress"),
                 degraded=bool(doc.get("degraded", False)),
+                pipelined=bool(doc.get("pipelined", False)),
+                integrity=str(doc.get("integrity", "crypto")),
                 workload_mode=str(doc.get("workload_mode", "fresh")),
                 workload=WorkloadSpec.from_dict(doc.get("workload", {})),
                 steps=tuple(Step.from_dict(s) for s in doc.get("steps", [])),

@@ -112,6 +112,73 @@ def rank_skew(
     return suspects
 
 
+def pipeline_stage_overlap(run: Mapping[str, Any]) -> Dict[str, Any]:
+    """Cross-rank overlap of pipelined-dump stages (see repro.core.pipeline).
+
+    Collects every ``pipeline`` span (tagged ``stage=hash|exchange|write``)
+    across all ranks — span timestamps share one clock domain on both
+    backends — and sweeps the merged timeline, measuring the time during
+    which at least two *distinct* stages were simultaneously active
+    anywhere in the world.  A strict phase-barrier execution has zero such
+    time; a healthy pipeline overlaps one rank's writes with its partners'
+    hashing/exchange.
+
+    Returns ``stages`` ({stage: summed span seconds}), ``active_s`` (time
+    any stage was running), ``overlap_s`` (time >= 2 distinct stages ran
+    concurrently), ``overlap_ratio`` (= overlap_s / active_s, 0.0 when no
+    pipeline spans were recorded) and ``rank_write_prefence_ratio`` — the
+    per-rank ``pipeline_overlap_ratio`` gauges (fraction of write-phase
+    seconds spent before the fence).
+    """
+    events: List[tuple] = []
+    stages: Dict[str, float] = {}
+    rank_gauges: Dict[int, float] = {}
+    for entry in run["ranks"]:
+        gauge = entry.get("metrics", {}).get("gauges", {}).get(
+            "pipeline_overlap_ratio"
+        )
+        if gauge is not None:
+            rank_gauges[entry["rank"]] = float(gauge)
+        for span in entry["spans"]:
+            if span["name"] != "pipeline":
+                continue
+            stage = span.get("attrs", {}).get("stage")
+            start, end = float(span["start"]), float(span["end"])
+            if stage is None or end <= start:
+                continue
+            stages[stage] = stages.get(stage, 0.0) + (end - start)
+            events.append((start, 1, stage))
+            events.append((end, -1, stage))
+    result = {
+        "stages": stages,
+        "active_s": 0.0,
+        "overlap_s": 0.0,
+        "overlap_ratio": 0.0,
+        "rank_write_prefence_ratio": rank_gauges,
+    }
+    if not events:
+        return result
+    # Sweep: at each timestamp, count the distinct stages currently open
+    # anywhere; charge the elapsed slice to active/overlap accordingly.
+    events.sort(key=lambda ev: (ev[0], -ev[1]))
+    depth: Dict[str, int] = {}
+    active = overlap = 0.0
+    prev = events[0][0]
+    for t, delta, stage in events:
+        if t > prev:
+            live = sum(1 for d in depth.values() if d > 0)
+            if live >= 1:
+                active += t - prev
+            if live >= 2:
+                overlap += t - prev
+            prev = t
+        depth[stage] = depth.get(stage, 0) + delta
+    result["active_s"] = active
+    result["overlap_s"] = overlap
+    result["overlap_ratio"] = overlap / active if active > 0 else 0.0
+    return result
+
+
 def diff_runs(
     a: Mapping[str, Any], b: Mapping[str, Any]
 ) -> List[Dict[str, Any]]:
@@ -212,6 +279,19 @@ def format_report(
     if span_count:
         lines.append("")
         lines.append(f"spans recorded: {span_count} across {len(ranks)} ranks")
+
+    overlap = pipeline_stage_overlap(run)
+    if overlap["stages"]:
+        lines.append("")
+        stage_s = "  ".join(
+            f"{stage}={_fmt_seconds(s).strip()}"
+            for stage, s in sorted(overlap["stages"].items())
+        )
+        lines.append(
+            f"pipelined dump: {stage_s}  "
+            f"overlap {_fmt_seconds(overlap['overlap_s']).strip()} "
+            f"({overlap['overlap_ratio'] * 100:.1f}% of active time)"
+        )
 
     if against is not None:
         lines.append("")

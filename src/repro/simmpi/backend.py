@@ -180,3 +180,29 @@ class BaseWorld(abc.ABC):
         account in the slot instead (drained by ``take_received`` at fence
         time) and keep the default no-op.
         """
+
+    # -- result blobs ------------------------------------------------------------
+    #
+    # Large per-rank results (e.g. the packed cluster deltas of the
+    # process backend's merge-back protocol) can be handed from rank to
+    # parent out of band: a rank *stages* the blob and returns a small
+    # handle through the normal result channel; the caller *opens* the
+    # handle after run() to read the bytes.  Shared-everything backends
+    # keep these trivial defaults — the blob itself is the handle.
+
+    def stage_result_blob(self, rank: int, blob) -> Any:
+        """Park ``blob`` for out-of-band hand-off; return a handle."""
+        return blob
+
+    def open_result_blob(self, handle):
+        """Context manager yielding the staged blob's buffer (single use)."""
+        import contextlib
+
+        @contextlib.contextmanager
+        def _open():
+            yield memoryview(handle)
+
+        return _open()
+
+    def sweep_result_blobs(self) -> None:
+        """Reclaim staged blobs that were never opened (failure paths)."""

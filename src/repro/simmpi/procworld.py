@@ -73,24 +73,45 @@ _COLLECT_SLACK = 2.0
 _CRASH_GRACE = 0.5
 
 
+def _untrack(shm: shared_memory.SharedMemory) -> bool:
+    """Best-effort resource-tracker unregistration of ``shm``.
+
+    Pre-3.13 interpreters register every segment with the resource tracker
+    under the private ``shm._name`` attribute (the OS-level name, with the
+    platform's leading slash).  That attribute is a CPython implementation
+    detail: if it is gone or has changed shape, we must NOT guess a name to
+    unregister — unregistering the wrong entry could leak someone else's
+    segment.  Returns True when the segment was unregistered; on False the
+    caller degrades to a *tracked* segment, which at worst produces a
+    harmless tracker warning at interpreter exit, never a crash.
+    """
+    raw = getattr(shm, "_name", None)
+    if not isinstance(raw, str) or not raw:
+        return False
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(raw, "shared_memory")
+        return True
+    except Exception:
+        return False
+
+
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without resource-tracker registration.
 
     Before Python 3.13 every attach registers with the resource tracker,
     which then unlinks the segment when the *attaching* process exits —
     yanking live windows out from under their owner.  3.13+ has
-    ``track=False``; earlier interpreters get an explicit unregister.
+    ``track=False``; earlier interpreters get an explicit unregister via
+    :func:`_untrack`, guarded so a CPython internals change degrades to a
+    tracked segment instead of crashing the attach.
     """
     try:
         return shared_memory.SharedMemory(name=name, create=False, track=False)
     except TypeError:  # Python < 3.13
         shm = shared_memory.SharedMemory(name=name, create=False)
-        try:
-            from multiprocessing import resource_tracker
-
-            resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass
+        _untrack(shm)
         return shm
 
 
@@ -211,6 +232,7 @@ class ProcessWorld(BaseWorld):
         self._locks = [self._ctx.Lock() for _ in range(_N_LOCKS)]
         self._uid = f"{os.getpid():x}x{os.urandom(3).hex()}"
         self._run_seq = 0
+        self._blob_seq = 0
         self._comms: List[Optional[Communicator]] = [None] * self.size
         # Per-run shared plumbing (created in run(), inherited by fork).
         self.barrier = None
@@ -316,6 +338,141 @@ class ProcessWorld(BaseWorld):
     # charge_put_received: inherited no-op — remote puts are accounted in the
     # slot header by write(remote=True) and drained at the owner's fence.
 
+    # -- result blobs (zero-copy child -> parent hand-off) -----------------------
+    #
+    # Large rank results — the packed cluster deltas of the merge-back
+    # protocol (see repro.storage.delta_codec) — would otherwise be pickled
+    # through the result queue's pipe.  Instead a child stages the blob in
+    # a dedicated shared-memory segment and ships only (name, nbytes); the
+    # parent maps the segment after run() and decodes in place.  The
+    # segments use the distinct "psr" prefix: the per-run "psm" sweep must
+    # NOT reclaim them (the parent reads them *after* run() returns) —
+    # they are reclaimed by open_result_blob itself, by
+    # sweep_result_blobs() on failure paths, and at the next run() start.
+
+    def _result_blob_prefix(self) -> str:
+        return f"psr{self._uid}-"
+
+    def stage_result_blob(self, rank: int, blob) -> Any:
+        """Child side: park ``blob`` in a fresh shared segment; return a
+        small transportable handle.  Falls back to shipping the bytes
+        inline (through the result pickle) if the segment cannot be
+        created."""
+        nbytes = len(blob)
+        self._blob_seq += 1
+        name = f"{self._result_blob_prefix()}{self._run_seq}-{rank}-{self._blob_seq}"
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, nbytes)
+            )
+        except Exception:
+            return ("inline", bytes(blob))
+        shm.buf[:nbytes] = blob
+        # The child must not let its exit unlink the segment before the
+        # parent reads it: unregister from the tracker (guarded — on
+        # failure the segment stays tracked, worst case a tracker warning).
+        _untrack(shm)
+        shm.close()
+        return ("shm", name, nbytes)
+
+    def open_result_blob(self, handle):
+        """Parent side: context manager yielding the staged blob's buffer.
+
+        The segment is unlinked on exit — a handle is single-use.
+        """
+        import contextlib
+        import mmap as mmap_mod
+
+        @contextlib.contextmanager
+        def _open():
+            kind = handle[0]
+            if kind == "inline":
+                yield memoryview(handle[1])
+                return
+            _kind, name, nbytes = handle
+            # Map the segment as the plain /dev/shm file it is on Linux
+            # (the same assumption _sweep_leaked_shm makes) instead of
+            # attaching through SharedMemory: a pre-3.13 attach would
+            # register with the resource tracker and thereby *spawn* a
+            # tracker in the parent, which later forks then share — and
+            # the children's per-segment register/unregister toggling is
+            # only balanced against private per-child trackers.
+            path = os.path.join("/dev/shm", name)
+            try:
+                f = open(path, "rb")
+            except OSError:
+                # Not a /dev/shm platform: attach through SharedMemory
+                # instead (tracker registration noise beats failing).
+                shm = _attach_untracked(name)
+                view = shm.buf[:nbytes]
+                try:
+                    yield view
+                finally:
+                    try:
+                        view.release()
+                    except Exception:
+                        pass
+                    try:
+                        shm.unlink()
+                    except FileNotFoundError:
+                        pass
+                    try:
+                        shm.close()
+                    except BufferError:
+                        pass
+                return
+            try:
+                mm = mmap_mod.mmap(f.fileno(), 0, access=mmap_mod.ACCESS_READ)
+            except ValueError:
+                # Zero-length file (empty blob staged in a 1-byte segment
+                # is never zero-length; this is pure defence).
+                f.close()
+                os.unlink(path)
+                yield memoryview(b"")
+                return
+            view = memoryview(mm)[:nbytes]
+            try:
+                yield view
+            finally:
+                # Consumers must not keep sub-views past the with block;
+                # release ours so the mapping can actually close.
+                try:
+                    view.release()
+                except Exception:
+                    pass
+                try:
+                    mm.close()
+                except BufferError:
+                    # A consumer kept a view alive; the mapping is freed
+                    # when that view dies — the name is unlinked below.
+                    pass
+                f.close()
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+        return _open()
+
+    def sweep_result_blobs(self) -> None:
+        """Unlink staged result segments that were never consumed (failed
+        runs, crashed children).  Called at run() start and by the
+        merge-back driver's failure paths."""
+        shm_dir = "/dev/shm"
+        prefix = self._result_blob_prefix()
+        if not os.path.isdir(shm_dir):
+            return
+        try:
+            names = os.listdir(shm_dir)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith(prefix):
+                try:
+                    os.unlink(os.path.join(shm_dir, name))
+                except OSError:
+                    pass
+
     # -- execution ---------------------------------------------------------------
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
         """Fork one process per rank running ``fn(comm, *args, **kwargs)``.
@@ -326,6 +483,9 @@ class ProcessWorld(BaseWorld):
         """
         ctx = self._ctx
         self._run_seq += 1
+        # Any result blob still staged now belongs to a previous (failed or
+        # unconsumed) run; reclaim before forking fresh children.
+        self.sweep_result_blobs()
         self.barrier = ctx.Barrier(self.size)
         self._inboxes = [ctx.Queue() for _ in range(self.size)]
         # SimpleQueue: puts pickle synchronously in the child (serialisation
@@ -435,6 +595,7 @@ class ProcessWorld(BaseWorld):
         self._buffered = {}
         self._open_slots = {}
         self._owned_shm = {}
+        self._blob_seq = 0
         comm = self.comm_for(rank)
         status: str = "ok"
         payload: Any = None

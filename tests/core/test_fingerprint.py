@@ -27,7 +27,9 @@ class TestFingerprinter:
             Fingerprinter("crc32")
 
     def test_supported_hashes_lists_all(self):
-        assert set(supported_hashes()) == {"sha1", "sha256", "md5", "blake2b"}
+        assert set(supported_hashes()) == {
+            "sha1", "sha256", "md5", "blake2b", "xx128",
+        }
 
     def test_hashed_bytes_counter(self):
         fp = Fingerprinter("sha1")
@@ -55,3 +57,64 @@ class TestFingerprinter:
         assert fp(a) == fp(a)
         if a != b:
             assert fp(a) != fp(b)  # no collisions in practice
+
+
+class TestXX128:
+    """The vectorised non-cryptographic kernel behind integrity="fast"."""
+
+    def test_digest_size_and_flags(self):
+        fp = Fingerprinter("xx128")
+        assert fp.digest_size == 16
+        assert fp.vectorised
+        assert len(fp(b"hello")) == 16
+        assert not Fingerprinter("sha1").vectorised
+
+    def test_scalar_and_matrix_kernels_agree(self):
+        """fingerprint_segment's whole-matrix pass must produce the exact
+        digests of the chunk-at-a-time scalar kernel — the dedup planner
+        compares fingerprints across both paths."""
+        fp = Fingerprinter("xx128")
+        cs = 32
+        data = bytes(range(256)) * 5  # 40 chunks
+        batched = fp.fingerprint_segment(data, cs)
+        scalar = [fp(data[i : i + cs]) for i in range(0, len(data), cs)]
+        assert batched == scalar
+
+    def test_tail_chunk(self):
+        fp = Fingerprinter("xx128")
+        cs = 32
+        data = b"x" * (cs * 3 + 7)  # short final chunk
+        batched = fp.fingerprint_segment(data, cs)
+        assert len(batched) == 4
+        assert batched[-1] == fp(data[cs * 3 :])
+
+    def test_fingerprint_views_mixed_lengths(self):
+        fp = Fingerprinter("xx128")
+        views = [b"a" * 16, b"b" * 32, b"c" * 16, b"", b"d" * 32]
+        assert fp.fingerprint_views(views) == [fp(bytes(v)) for v in views]
+
+    def test_position_sensitivity(self):
+        """A chunk's digest depends only on its content, not its row in the
+        batch matrix; equal chunks at different offsets collide (that is
+        what dedup needs) and single-byte edits do not."""
+        fp = Fingerprinter("xx128")
+        a = b"\x01" * 64
+        b_ = b"\x01" * 63 + b"\x02"
+        fps = fp.fingerprint_segment(a + b_ + a, 64)
+        assert fps[0] == fps[2] != fps[1]
+
+    def test_hashed_bytes_batch_accumulated(self):
+        fp = Fingerprinter("xx128")
+        fp.fingerprint_segment(b"z" * 128, 32)
+        fp.fingerprint_views([b"q" * 32])
+        fp(b"pq")
+        assert fp.hashed_bytes == 128 + 32 + 2
+        fp.reset_counter()
+        assert fp.hashed_bytes == 0
+
+    @given(st.binary(max_size=256), st.binary(max_size=256))
+    def test_determinism_and_discrimination(self, a, b):
+        fp = Fingerprinter("xx128")
+        assert fp(a) == fp(a)
+        if a != b:
+            assert fp(a) != fp(b)

@@ -139,3 +139,59 @@ def test_f_truncated_tables_stay_bounded(world, k, f, data):
     for fp_, entry in acc.entries.items():
         assert 1 <= entry.freq <= len(owners[fp_])
         assert set(entry.ranks) <= set(owners[fp_])
+
+
+# -- GlobalView.wire_nbytes caching ------------------------------------------
+#
+# The view caches its packed wire size at construction so reduction-cost
+# accounting never re-walks the entry dict.  The cache is only sound if it
+# always equals a *fresh* encode of the view it is attached to — in
+# particular after hmerge truncation has evicted designated ranks (K bound)
+# or whole fingerprints (F bound), and when several views are materialised
+# from different tables in sequence.
+
+
+def fresh_payload_nbytes(view):
+    from repro.core.wire import encode_global_view
+
+    if not len(view):
+        return 0
+    return encode_global_view(view)[1]
+
+
+@given(ownerships(), st.integers(1, 3), st.integers(1, 6), st.data())
+def test_wire_nbytes_matches_fresh_encode_after_merge_and_eviction(
+    world, k, f, data
+):
+    from repro.core.hmerge import GlobalView
+
+    n, owners = world
+    tables = leaf_tables(n, owners, k, f)
+    order = data.draw(st.permutations(range(n)))
+    acc = tables[order[0]]
+    views = [GlobalView.from_table(acc)]
+    for i in order[1:]:
+        acc = hmerge(acc, tables[i])
+        views.append(GlobalView.from_table(acc))
+    # Every intermediate view (including post-eviction ones) reports the
+    # size its own encode would produce — never a stale predecessor's.
+    for view in views:
+        assert view.wire_nbytes == fresh_payload_nbytes(view)
+        assert view.nbytes_estimate() == view.wire_nbytes
+
+
+@given(ownerships(), st.integers(1, 3))
+def test_from_table_never_serves_stale_size(world, k):
+    from repro.core.hmerge import GlobalView
+
+    n, owners = world
+    # A big table first, then a heavily F-truncated one: if from_table
+    # cached across calls, the second view would inherit the first's size.
+    big = tree_fold(leaf_tables(n, owners, n, len(owners) + 4))
+    small = tree_fold(leaf_tables(n, owners, k, 1))
+    view_big = GlobalView.from_table(big)
+    view_small = GlobalView.from_table(small)
+    assert view_big.wire_nbytes == fresh_payload_nbytes(view_big)
+    assert view_small.wire_nbytes == fresh_payload_nbytes(view_small)
+    if len(owners) > 1:
+        assert view_small.wire_nbytes < view_big.wire_nbytes

@@ -1,0 +1,139 @@
+"""Pipelined dump: eligibility gating, byte-identity, overlap evidence.
+
+Cross-backend identity of the pipelined dump is proven in
+``tests/integration/test_backend_equivalence.py``; this file covers the
+single-backend contracts — which configs may pipeline at all, that the
+2-stage form engages for configs the 3-stage form must refuse (compression,
+fingerprint cache), and that a span-level pipelined run records the
+``pipeline`` spans and per-rank overlap gauge the analyzer consumes.
+"""
+
+import pytest
+
+from repro.core import DumpConfig, Strategy, dump_output
+from repro.core.pipeline import pipeline_eligible, pipeline_full_eligible
+from repro.core.runner import run_collective
+from repro.obs.analyzer import pipeline_stage_overlap
+from repro.obs.export import capture_run
+from repro.storage import Cluster
+
+from tests.conftest import make_rank_dataset
+
+CS = 64
+N = 4
+TIMEOUT = 60
+
+
+def cfg(**kw):
+    kw.setdefault("replication_factor", 3)
+    kw.setdefault("chunk_size", CS)
+    kw.setdefault("f_threshold", 4096)
+    kw.setdefault("pipelined", True)
+    return DumpConfig(**kw)
+
+
+def dump(config, dump_id=0, cluster=None):
+    cluster = cluster if cluster is not None else Cluster(N)
+    reports, world = run_collective(
+        N,
+        lambda comm: dump_output(
+            comm, make_rank_dataset(comm.rank), config, cluster,
+            dump_id=dump_id,
+        ),
+        cluster=cluster,
+        backend="thread",
+        timeout=TIMEOUT,
+    )
+    return cluster, reports, world
+
+
+def stored(cluster):
+    return [
+        sorted((fp, n.chunks.refcount(fp), n.chunks.get(fp))
+               for fp in n.chunks.fingerprints())
+        for n in cluster.nodes
+    ]
+
+
+class TestEligibility:
+    def test_requires_pipelined_flag_and_batched(self):
+        assert pipeline_eligible(cfg(), batched=True)
+        assert not pipeline_eligible(cfg(pipelined=False), batched=True)
+        assert not pipeline_eligible(cfg(), batched=False)
+
+    def test_degraded_and_parity_fall_back(self):
+        assert not pipeline_eligible(cfg(degraded=True), batched=True)
+        assert not pipeline_eligible(
+            cfg(redundancy="parity"), batched=True
+        )
+
+    def test_full_form_needs_no_dedup_uncompressed_no_cache(self):
+        base = cfg(strategy=Strategy.NO_DEDUP)
+        assert pipeline_full_eligible(base, batched=True, fpcache=None)
+        assert not pipeline_full_eligible(
+            cfg(strategy=Strategy.COLL_DEDUP), batched=True, fpcache=None
+        )
+        assert not pipeline_full_eligible(
+            cfg(strategy=Strategy.NO_DEDUP, compress="rle"),
+            batched=True, fpcache=None,
+        )
+        assert not pipeline_full_eligible(
+            base, batched=True, fpcache=object()
+        )
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("compress", [None, "rle"])
+    def test_pipelined_matches_strict(self, compress):
+        """Both pipeline forms (3-stage when compress is None, 2-stage
+        otherwise) must leave the exact cluster contents of a strict dump."""
+        pipe, _r1, _w1 = dump(
+            cfg(strategy=Strategy.NO_DEDUP, compress=compress)
+        )
+        strict, _r2, _w2 = dump(
+            cfg(strategy=Strategy.NO_DEDUP, compress=compress,
+                pipelined=False)
+        )
+        assert stored(pipe) == stored(strict)
+        assert [
+            sorted(n.manifest_keys()) for n in pipe.nodes
+        ] == [sorted(n.manifest_keys()) for n in strict.nodes]
+
+    def test_reports_match_strict(self):
+        _c1, pipe_reports, _w1 = dump(cfg(strategy=Strategy.NO_DEDUP))
+        _c2, strict_reports, _w2 = dump(
+            cfg(strategy=Strategy.NO_DEDUP, pipelined=False)
+        )
+        for a, b in zip(pipe_reports, strict_reports):
+            assert a.load == b.load
+            assert a.sent_per_partner == b.sent_per_partner
+            assert (a.stored_chunks, a.stored_bytes) == (
+                b.stored_chunks, b.stored_bytes
+            )
+            assert (a.n_chunks, a.hashed_bytes) == (b.n_chunks, b.hashed_bytes)
+
+
+class TestOverlapEvidence:
+    def test_span_run_records_pipeline_spans_and_gauge(self):
+        config = cfg(
+            strategy=Strategy.NO_DEDUP, integrity="fast",
+            trace_level="span",
+        )
+        _cluster, _reports, world = dump(config)
+        run = capture_run(world, meta={"pipelined": True})
+        result = pipeline_stage_overlap(run)
+        assert set(result["stages"]) == {"hash", "exchange", "write"}
+        assert result["active_s"] > 0
+        gauges = result["rank_write_prefence_ratio"]
+        assert sorted(gauges) == list(range(N))
+        assert all(g > 0 for g in gauges.values())
+
+    def test_strict_run_records_no_pipeline_spans(self):
+        config = cfg(
+            strategy=Strategy.NO_DEDUP, pipelined=False,
+            trace_level="span",
+        )
+        _cluster, _reports, world = dump(config)
+        result = pipeline_stage_overlap(capture_run(world))
+        assert result["stages"] == {}
+        assert result["rank_write_prefence_ratio"] == {}

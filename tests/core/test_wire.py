@@ -73,3 +73,98 @@ class TestIterWindowRecords:
 def test_roundtrip_property(records):
     window = b"".join(encode_record(f, c, CHUNK) for f, c in records)
     assert list(iter_window_records(window, DIGEST, CHUNK)) == records
+
+
+# -- packed reduction-state codecs (RMT1 / RGV1) ------------------------------
+
+
+def _make_table(n_ranks=4, k=3, f=64, node_of=None):
+    from repro.core.hmerge import MergeTable, hmerge
+
+    tables = [
+        MergeTable.from_local(
+            [fp_of(i) for i in range(rank, rank + 5)], rank, k, f,
+            node_of=node_of,
+        )
+        for rank in range(n_ranks)
+    ]
+    out = tables[0]
+    for t in tables[1:]:
+        out = hmerge(out, t)
+    return out
+
+
+class TestMergeTableCodec:
+    def test_roundtrip_preserves_entries_and_loads(self):
+        import pickle
+
+        from repro.core.wire import decode_merge_table, encode_merge_table
+
+        table = _make_table()
+        decoded = decode_merge_table(encode_merge_table(table))
+        assert decoded.entries == table.entries
+        assert decoded.rank_load == table.rank_load
+        assert (decoded.k, decoded.f) == (table.k, table.f)
+        # MergeTable pickling routes through the same codec (__reduce__),
+        # which is what the reduction's sendrecv transport relies on.
+        repickled = pickle.loads(pickle.dumps(table))
+        assert repickled.entries == table.entries
+
+    def test_node_of_travels(self):
+        from repro.core.wire import decode_merge_table, encode_merge_table
+
+        node_of = (0, 0, 1, 1)
+        table = _make_table(node_of=node_of)
+        decoded = decode_merge_table(encode_merge_table(table))
+        assert decoded.node_of == node_of
+        assert decode_merge_table(
+            encode_merge_table(_make_table())
+        ).node_of is None
+
+    def test_empty_table(self):
+        from repro.core.hmerge import MergeTable
+        from repro.core.wire import decode_merge_table, encode_merge_table
+
+        decoded = decode_merge_table(encode_merge_table(MergeTable(3, 8)))
+        assert len(decoded) == 0
+        assert (decoded.k, decoded.f) == (3, 8)
+
+    def test_decoded_table_merges_further(self):
+        """Zero-copy decoded columns are read-only views; hmerge is pure,
+        so a decoded table must still be a legal merge operand."""
+        from repro.core.hmerge import MergeTable, hmerge
+        from repro.core.wire import decode_merge_table, encode_merge_table
+
+        a = decode_merge_table(encode_merge_table(_make_table(n_ranks=2)))
+        b = MergeTable.from_local([fp_of(9)], 3, 3, 64)
+        merged = hmerge(a, b)
+        merged.check_invariants()
+        assert fp_of(9) in merged.entries
+
+    def test_bad_magic_rejected(self):
+        from repro.core.wire import decode_merge_table
+
+        with pytest.raises(ValueError):
+            decode_merge_table(b"XXXX" + b"\x00" * 64)
+
+
+class TestGlobalViewCodec:
+    def test_roundtrip(self):
+        from repro.core.hmerge import GlobalView
+        from repro.core.wire import decode_global_view, encode_global_view
+
+        view = GlobalView.from_table(_make_table())
+        blob, payload = encode_global_view(view)
+        decoded = decode_global_view(blob)
+        assert decoded.k == view.k
+        assert {
+            f: (e.freq, e.ranks) for f, e in decoded.entries.items()
+        } == {f: (e.freq, e.ranks) for f, e in view.entries.items()}
+        # The decoder restores the cached size from the decoded payload.
+        assert decoded.wire_nbytes == payload == view.wire_nbytes
+
+    def test_bad_magic_rejected(self):
+        from repro.core.wire import decode_global_view
+
+        with pytest.raises(ValueError):
+            decode_global_view(b"YYYY" + b"\x00" * 64)

@@ -47,9 +47,11 @@ def test_corpus_covers_the_feature_matrix():
             feats.add("mid-dump")
         if any(st.op == "repair" for st in s.steps):
             feats.add("repair")
+        if s.pipelined and s.integrity == "fast":
+            feats.add("pipelined-fast")
     assert feats >= {
         "parity", "repeat", "differential", "legacy", "compress",
-        "crash", "mid-dump", "repair",
+        "crash", "mid-dump", "repair", "pipelined-fast",
     }
 
 

@@ -67,7 +67,25 @@ class TestValidity:
                 seen.add("repair")
             if s.strategy != "coll-dedup":
                 seen.add("baseline-strategy")
+            if s.pipelined:
+                seen.add("pipelined")
+            if s.integrity == "fast":
+                seen.add("fast-integrity")
+            if s.pipelined and s.integrity == "fast":
+                seen.add("pipelined-fast")
         assert seen == {
             "parity", "repeat", "differential", "legacy", "compress",
             "crash", "mid-dump", "repair", "baseline-strategy",
+            "pipelined", "fast-integrity", "pipelined-fast",
         }
+
+    def test_pipelined_scenarios_always_engage(self):
+        """The generator only sets ``pipelined=True`` on configs where the
+        dump actually takes the pipelined path (batched replication, not
+        degraded) — the knob is never decorative."""
+        for seed in range(200):
+            s = generate_scenario(seed)
+            if s.pipelined:
+                assert s.batched
+                assert not s.degraded
+                assert s.redundancy == "replication"

@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.obs.analyzer import (
+    pipeline_stage_overlap,
     critical_path_seconds,
     diff_runs,
     format_report,
@@ -178,3 +179,77 @@ class TestFormatReport:
         text = format_report(a, against=b)
         assert "A/B diff vs baseline" in text
         assert "ratio" in text
+
+
+class TestPipelineStageOverlap:
+    def span(self, stage, start, end):
+        return {
+            "name": "pipeline", "rank": 0, "start": start, "end": end,
+            "parent": -1, "attrs": {"stage": stage},
+        }
+
+    def doc_with_spans(self, per_rank_spans):
+        doc = run_doc({rank: {"hash": 0.1} for rank in per_rank_spans})
+        for entry in doc["ranks"]:
+            entry["spans"] = per_rank_spans[entry["rank"]]
+        return doc
+
+    def test_no_pipeline_spans_yields_zero(self):
+        result = pipeline_stage_overlap(run_doc({0: {"hash": 1.0}}))
+        assert result["overlap_ratio"] == 0.0
+        assert result["stages"] == {}
+        assert result["active_s"] == 0.0
+
+    def test_disjoint_stages_do_not_overlap(self):
+        doc = self.doc_with_spans({
+            0: [self.span("hash", 0.0, 1.0), self.span("write", 2.0, 3.0)],
+        })
+        result = pipeline_stage_overlap(doc)
+        assert result["active_s"] == pytest.approx(2.0)
+        assert result["overlap_s"] == 0.0
+        assert result["overlap_ratio"] == 0.0
+
+    def test_cross_rank_distinct_stage_overlap_counts(self):
+        """Rank 0 writing while rank 1 hashes is pipeline overlap."""
+        doc = self.doc_with_spans({
+            0: [self.span("write", 0.0, 2.0)],
+            1: [self.span("hash", 1.0, 3.0)],
+        })
+        result = pipeline_stage_overlap(doc)
+        assert result["active_s"] == pytest.approx(3.0)
+        assert result["overlap_s"] == pytest.approx(1.0)
+        assert result["overlap_ratio"] == pytest.approx(1.0 / 3.0)
+        assert result["stages"] == {
+            "write": pytest.approx(2.0), "hash": pytest.approx(2.0),
+        }
+
+    def test_same_stage_concurrency_is_not_overlap(self):
+        """Two ranks hashing simultaneously is parallelism, not pipelining
+        — only distinct concurrent stages prove the phases interleave."""
+        doc = self.doc_with_spans({
+            0: [self.span("hash", 0.0, 2.0)],
+            1: [self.span("hash", 0.0, 2.0)],
+        })
+        result = pipeline_stage_overlap(doc)
+        assert result["overlap_s"] == 0.0
+        assert result["active_s"] == pytest.approx(2.0)
+
+    def test_gauges_collected(self):
+        doc = self.doc_with_spans({0: [self.span("hash", 0.0, 1.0)]})
+        doc["ranks"][0]["metrics"] = {
+            "counters": {}, "histograms": {},
+            "gauges": {"pipeline_overlap_ratio": 0.42},
+        }
+        result = pipeline_stage_overlap(doc)
+        assert result["rank_write_prefence_ratio"] == {0: 0.42}
+
+    def test_non_pipeline_spans_ignored(self):
+        doc = self.doc_with_spans({
+            0: [
+                self.span("hash", 0.0, 1.0),
+                {"name": "shuffle", "rank": 0, "start": 0.0, "end": 5.0,
+                 "parent": -1, "attrs": {}},
+            ],
+        })
+        result = pipeline_stage_overlap(doc)
+        assert result["active_s"] == pytest.approx(1.0)
