@@ -25,6 +25,12 @@ Deterministic simulation testing (see :mod:`repro.dst`):
     repro-eval fuzz --corpus
     repro-eval fuzz --replay dst-failure.json --trace fuzz_run.json
 
+Multi-tenant checkpoint service (see :mod:`repro.svc`):
+
+    repro-eval serve --tenants 3 --dumps 4 --overlap 0.5
+    repro-eval serve --tenants 2 --shards 8 --attribution split \
+        --gc-oldest --out svc_run.json
+
 Errors (unknown subcommands, bad ``--backend``, missing trace files,
 malformed snapshots) print a one-line message to stderr and exit 2.
 """
@@ -377,6 +383,82 @@ def cmd_fuzz(args) -> None:
     raise SystemExit(1)
 
 
+def cmd_serve(args) -> None:
+    """Drive the multi-tenant checkpoint service over synthetic tenants.
+
+    Registers ``--tenants`` tenants whose workloads share ``--overlap`` of
+    their bytes (the cross-tenant redundancy the service dedups), submits
+    ``--dumps`` rounds of dumps through the admission queue, and prints
+    the per-tenant bill, cross-tenant savings, store shape and queue
+    health.  ``--out`` writes the service's ``repro.obs/run/v1`` metrics
+    snapshot (queue depth, admission latency, dedup-ratio gauges).
+    """
+    from repro.core.config import DumpConfig
+    from repro.svc import (
+        CheckpointService,
+        ServiceError,
+        TenantQuota,
+        TenantWorkload,
+        build_report,
+        format_service_report,
+    )
+
+    config = DumpConfig(
+        replication_factor=args.k,
+        chunk_size=args.chunk_size,
+        f_threshold=1 << 14,
+        strategy=Strategy.parse(args.strategy),
+    )
+    service = CheckpointService(
+        args.n,
+        config=config,
+        shard_count=args.shards,
+        backend=args.backend or "thread",
+        max_inflight=args.max_inflight,
+        attribution=args.attribution,
+    )
+    quota = TenantQuota(
+        max_logical_bytes=args.quota_bytes,
+        max_dumps_per_window=args.quota_rate,
+    )
+    names = [f"tenant-{i}" for i in range(args.tenants)]
+    for name in names:
+        service.register_tenant(name, quota=quota)
+    for dump_index in range(args.dumps):
+        for i, name in enumerate(names):
+            workload = TenantWorkload(
+                i,
+                overlap=args.overlap,
+                chunks_per_rank=args.chunks_per_rank,
+                chunk_size=args.chunk_size,
+                seed=args.seed,
+                dump_index=dump_index,
+            )
+            try:
+                service.submit(name, workload)
+            except ServiceError as exc:
+                print(f"rejected {name} dump {dump_index}: {exc}")
+        service.drain()
+    if args.gc_oldest:
+        for name in names:
+            outcome = service.gc(name, 0)
+            print(
+                f"gc {name} dump 0: dropped {outcome.chunks_dropped} "
+                f"chunks ({outcome.bytes_reclaimed} B), retained "
+                f"{outcome.chunks_retained} "
+                f"({outcome.retained_cross_tenant} cross-tenant)"
+            )
+    print(format_service_report(build_report(service)))
+    if args.out:
+        from repro.obs import write_run
+
+        run = service.capture_metrics(
+            meta={"dumps": args.dumps, "overlap": args.overlap}
+        )
+        write_run(args.out, run)
+        print(f"wrote {args.out}")
+
+
 def cmd_shuffle(args) -> None:
     runner = _runner(args.app)
     n = args.n[0]
@@ -536,6 +618,48 @@ def build_parser() -> argparse.ArgumentParser:
                     help="single scenario only: write the merged obs run "
                     "snapshot here (analyze with: repro-eval trace FILE)")
     fz.set_defaults(func=cmd_fuzz)
+
+    sv = sub.add_parser(
+        "serve",
+        help="multi-tenant checkpoint service: shared sharded store, "
+        "cross-tenant dedup, admission queue",
+    )
+    sv.add_argument("--tenants", type=int, default=2, help="tenant count")
+    sv.add_argument("--dumps", type=int, default=2,
+                    help="dump rounds per tenant")
+    sv.add_argument("--overlap", type=float, default=0.5,
+                    help="fraction of each tenant's bytes shared with "
+                    "every other tenant")
+    sv.add_argument("--n", type=int, default=4, help="ranks per dump")
+    sv.add_argument("--k", type=int, default=2, help="replication factor")
+    sv.add_argument("--shards", type=int, default=8,
+                    help="chunk-store shards per node")
+    sv.add_argument("--chunks-per-rank", type=int, default=16)
+    sv.add_argument("--chunk-size", type=int, default=256)
+    sv.add_argument("--strategy", default=Strategy.COLL_DEDUP.value,
+                    choices=[s.value for s in Strategy])
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--max-inflight", type=int, default=2,
+                    help="dumps admitted per scheduler tick")
+    sv.add_argument("--attribution", default="first-writer",
+                    choices=("first-writer", "split"),
+                    help="how shared chunks are billed across tenants")
+    sv.add_argument("--quota-bytes", type=int, default=None,
+                    help="per-tenant logical-byte quota (default: none)")
+    sv.add_argument("--quota-rate", type=int, default=None,
+                    help="per-tenant dumps per rate window (default: none)")
+    sv.add_argument("--gc-oldest", action="store_true",
+                    help="after all rounds, garbage-collect every "
+                    "tenant's oldest dump")
+    sv.add_argument(
+        "--backend",
+        default=None,
+        help="SPMD execution backend: thread or process "
+        "(default: REPRO_SPMD_BACKEND or thread)",
+    )
+    sv.add_argument("--out", default=None, metavar="FILE",
+                    help="write the service metrics run snapshot here")
+    sv.set_defaults(func=cmd_serve)
     return parser
 
 

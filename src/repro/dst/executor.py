@@ -126,11 +126,7 @@ def _inject_drop_replica(cluster: Cluster) -> Optional[str]:
         if len(holders) < 2:
             continue
         victim = cluster.nodes[max(holders)]
-        store = victim.chunks
-        payload = store._chunks.pop(fp)
-        count = store._refcounts.pop(fp)
-        store.physical_bytes -= len(payload)
-        store.logical_bytes -= count * len(payload)
+        victim.chunks.discard(fp)
         return f"dropped chunk {fp.hex()[:12]} from node {victim.node_id}"
     return None
 
@@ -200,10 +196,14 @@ def execute_scenario(
     """
     if bug is not None and bug not in BUGS:
         raise ValueError(f"unknown bug {bug!r}; expected one of {BUGS}")
+    if scenario.tenants > 1:
+        return _execute_svc_scenario(
+            scenario, backend=backend, bug=bug, collect_trace=collect_trace
+        )
     n = scenario.n_ranks
     k_eff = scenario.k_eff
     result = FuzzResult(scenario=scenario, backend=backend)
-    cluster = Cluster(n)
+    cluster = Cluster(n, shard_count=scenario.shard_count)
     ledger = ReplicaLedger(k_eff)
     alive = [True] * n
     config = scenario.dump_config(
@@ -389,6 +389,175 @@ def execute_scenario(
         if driver_trace is not None:
             sources.append([driver_trace])
         result.traces = merge_traces(sources)
+    return result
+
+
+def _execute_svc_scenario(
+    scenario: Scenario,
+    backend: str = "thread",
+    bug: Optional[str] = None,
+    collect_trace: bool = False,
+) -> FuzzResult:
+    """Run a multi-tenant scenario through :class:`repro.svc.CheckpointService`.
+
+    Dumps route through the service's admission queue (one per tick, so
+    the schedule is exactly the scenario's step order), gc steps collect
+    the named tenant's oldest live dump, and the invariant battery gains
+    the two service oracles: tenant isolation and cross-tenant accounting.
+    The replica ledger works on *global* dump ids, matching the manifest
+    keys the service actually writes.
+    """
+    from repro.svc.errors import ServiceError
+    from repro.svc.service import CheckpointService
+
+    n = scenario.n_ranks
+    k_eff = scenario.k_eff
+    result = FuzzResult(scenario=scenario, backend=backend)
+    config = scenario.dump_config(
+        trace_level="span" if collect_trace else None
+    )
+    service = CheckpointService(
+        n, config=config, shard_count=scenario.shard_count,
+        backend=backend, max_inflight=1,
+    )
+    cluster = service.cluster
+    ledger = ReplicaLedger(k_eff)
+    alive = [True] * n
+    tenant_names = [f"t{i}" for i in range(scenario.tenants)]
+    for name in tenant_names:
+        service.register_tenant(name)
+    #: tenant name -> live (tenant_dump_id, global_dump_id), oldest first
+    live_dumps: Dict[str, List[Tuple[int, int]]] = {
+        name: [] for name in tenant_names
+    }
+    #: global dump id -> (tenant index, scenario dump index), for the oracle
+    dump_meta: Dict[int, Tuple[int, int]] = {}
+    all_reports: List[List] = []
+
+    def oracle(dump_id: int, rank: int) -> bytes:
+        tenant_idx, scenario_dump = dump_meta[dump_id]
+        workload = scenario.make_workload(scenario_dump, tenant=tenant_idx)
+        return workload.build_dataset(rank, n).to_bytes()
+
+    def run_checks(step_idx: int, checked: List[str]) -> List[inv.Violation]:
+        found: List[inv.Violation] = []
+        checked.append("replication")
+        found += inv.check_replication(cluster, step_idx, ledger.floors)
+        checked.append("restore")
+        found += inv.check_restore(cluster, step_idx, ledger.floors, oracle)
+        checked.append("audit-consistency")
+        known = sorted({d for d, _r in ledger.floors})
+        found += inv.check_audit_consistency(
+            cluster, step_idx, known, ledger.floors
+        )
+        checked.append("referential-integrity")
+        found += inv.check_referential_integrity(cluster, step_idx)
+        checked.append("tenant-isolation")
+        found += inv.check_tenant_isolation(service, step_idx)
+        checked.append("cross-tenant-accounting")
+        found += inv.check_cross_tenant_accounting(service, step_idx)
+        return found
+
+    dump_index = 0
+    for step_idx, step in enumerate(scenario.steps):
+        step_doc: dict = {"op": step.op}
+        checked: List[str] = []
+        if step.op == "crash":
+            was_alive = alive[step.node]
+            step_doc["node"] = step.node
+            step_doc["noop"] = not was_alive
+            if was_alive:
+                cluster.fail_node(step.node)
+                alive[step.node] = False
+                ledger.record_death()
+        elif step.op == "repair":
+            report = service.repair()
+            ledger.record_repair(cluster)
+            step_doc["chunks_moved"] = report.chunks_moved
+            step_doc["manifests_moved"] = report.manifests_moved
+        elif step.op == "dump":
+            tenant_idx = step.tenant
+            name = tenant_names[tenant_idx]
+            snapshot = list(alive)
+            workload = scenario.make_workload(dump_index, tenant=tenant_idx)
+            phase_hook = None
+            crash = step.crash
+            crash_fires = crash is not None and alive[crash.node]
+            if crash_fires:
+                from repro.storage.failures import FailureInjector
+
+                injector = FailureInjector(cluster)
+                phase_hook = injector.mid_dump_hook(
+                    crash.node, crash.phase, rank=crash.node
+                )
+            ticket = service.submit(name, workload, phase_hook=phase_hook)
+            service.step()
+            outcome = service.outcome(ticket)
+            global_id = outcome.global_dump_id
+            dump_meta[global_id] = (tenant_idx, dump_index)
+            live_dumps[name].append((outcome.tenant_dump_id, global_id))
+            all_reports.append(outcome.reports)
+            ledger.record_dump(global_id, snapshot)
+            if crash_fires:
+                alive[crash.node] = False
+                ledger.record_death()
+            step_doc["dump_id"] = global_id
+            step_doc["tenant"] = name
+            step_doc["reports"] = [
+                _normalized_report(r) for r in outcome.reports
+            ]
+            checked.append("window-layout")
+            result.violations += inv.check_window_layout(
+                step_idx, outcome.reports, k_eff, snapshot
+            )
+            checked.append("report-sanity")
+            result.violations += inv.check_report_sanity(
+                step_idx, outcome.reports,
+                parity=False, alive=snapshot,
+            )
+            dump_index += 1
+        elif step.op == "gc":
+            name = tenant_names[step.tenant]
+            step_doc["tenant"] = name
+            if not live_dumps[name]:
+                step_doc["noop"] = True
+            else:
+                tenant_dump_id, global_id = live_dumps[name].pop(0)
+                gc_outcome = service.gc(name, tenant_dump_id)
+                for rank in range(n):
+                    ledger.floors.pop((global_id, rank), None)
+                step_doc["dump_id"] = global_id
+                step_doc["chunks_dropped"] = gc_outcome.chunks_dropped
+                step_doc["chunks_retained"] = gc_outcome.chunks_retained
+                step_doc["retained_cross_tenant"] = (
+                    gc_outcome.retained_cross_tenant
+                )
+                try:
+                    service.restore(name, 0, tenant_dump_id)
+                except ServiceError:
+                    pass
+                else:
+                    result.violations.append(inv.Violation(
+                        "tenant-isolation", step_idx,
+                        f"tenant {name!r} restored dump {tenant_dump_id} "
+                        f"after garbage-collecting it",
+                    ))
+
+        if bug == "drop-replica" and step.op == "dump":
+            dropped = _inject_drop_replica(cluster)
+            step_doc["bug"] = dropped
+
+        result.violations += run_checks(step_idx, checked)
+        step_doc["invariants_checked"] = checked
+        step_doc["violations_so_far"] = len(result.violations)
+        result.steps.append(step_doc)
+
+    result.cluster_digest = cluster_digest(cluster)
+    result.reports_digest = reports_digest(all_reports)
+    if collect_trace:
+        from repro.obs.export import merge_traces
+
+        result.traces = merge_traces([[service.trace]])
     return result
 
 

@@ -134,6 +134,33 @@ def generate_scenario(seed: int) -> Scenario:
     pipelined = rng.random() < 0.35 and batched and not degraded
     integrity = rng.choice(("crypto", "crypto", "fast"))
 
+    # Store sharding and multi-tenancy draw after everything else (same
+    # stability rule).  The sharded store must be observably identical to
+    # the flat one, so shard_count varies freely; multi-tenancy excludes
+    # the repeat/fpcache mode (a single-tenant thread-only path).
+    shard_count = rng.choice((1, 1, 1, 2, 8))
+    tenants = 1
+    tenant_overlap = 0.5
+    if not repeat and rng.random() < 0.3:
+        tenants = rng.choice((2, 2, 3))
+        tenant_overlap = rng.choice((0.25, 0.5, 0.75, 1.0))
+        # Reassign dump steps across tenants and sometimes GC a tenant's
+        # oldest live dump right after it gained one — the schedule that
+        # exercises shared-chunk survival under per-tenant GC.
+        tenant_steps: List[Step] = []
+        live = {t: 0 for t in range(tenants)}
+        for step in steps:
+            if step.op != "dump":
+                tenant_steps.append(step)
+                continue
+            t = rng.randrange(tenants)
+            tenant_steps.append(Step("dump", crash=step.crash, tenant=t))
+            live[t] += 1
+            if live[t] > 0 and rng.random() < 0.25:
+                tenant_steps.append(Step("gc", tenant=t))
+                live[t] -= 1
+        steps = tenant_steps
+
     return Scenario(
         seed=seed, n_ranks=n, k=k, chunk_size=chunk_size,
         chunks_per_rank=chunks_per_rank, f_threshold=f_threshold,
@@ -143,4 +170,6 @@ def generate_scenario(seed: int) -> Scenario:
         workload_mode="repeat" if repeat else "fresh",
         workload=workload, steps=tuple(steps),
         differential=differential,
+        tenants=tenants, tenant_overlap=tenant_overlap,
+        shard_count=shard_count,
     )

@@ -185,6 +185,113 @@ def check_audit_consistency(
     return out
 
 
+def check_tenant_isolation(service, step: int) -> List[Violation]:
+    """Multi-tenant oracle: namespaces and the dump-owner table must agree
+    (no tenant can reach another tenant's dump), and resolving a dump id a
+    tenant does not own must raise instead of silently serving foreign
+    data."""
+    from repro.svc.errors import ServiceError
+
+    out: List[Violation] = [
+        Violation("tenant-isolation", step, problem)
+        for problem in service.isolation_audit()
+    ]
+    names = service.tenants()
+    for name in names:
+        own = service._tenants[name]
+        foreign_ids = set()
+        for other in names:
+            if other == name:
+                continue
+            foreign_ids.update(service._tenants[other].namespace)
+        for tenant_dump_id in sorted(foreign_ids):
+            if (
+                tenant_dump_id in own.namespace
+                or tenant_dump_id in own.gced
+            ):
+                # The id exists in this tenant's own namespace too; the
+                # audit above already proves it maps to this tenant's dump.
+                continue
+            try:
+                service._resolve(name, tenant_dump_id)
+            except ServiceError:
+                continue
+            out.append(Violation(
+                "tenant-isolation", step,
+                f"tenant {name!r} resolved dump id {tenant_dump_id} it "
+                f"never created (owned by another tenant)",
+            ))
+    return out
+
+
+def check_cross_tenant_accounting(service, step: int) -> List[Violation]:
+    """The global dedup index must equal a from-scratch recount of every
+    live dump's manifests (dead nodes included), every indexed chunk must
+    still be stored somewhere, and attribution must bill exactly the
+    unique bytes regardless of policy."""
+    out: List[Violation] = []
+    cluster = service.cluster
+    expected: Dict[bytes, Dict[str, int]] = {}
+    for name in service.tenants():
+        state = service._tenants[name]
+        for tenant_dump_id, global_id in sorted(state.namespace.items()):
+            fps = set()
+            for node in cluster.nodes:
+                for rank, did in node.manifest_keys():
+                    if did == global_id:
+                        fps.update(
+                            node.get_manifest(rank, did).fingerprints
+                        )
+            if not fps:
+                out.append(Violation(
+                    "cross-tenant-accounting", step,
+                    f"live dump {tenant_dump_id} of tenant {name!r} "
+                    f"(global {global_id}) has no manifest on any node",
+                ))
+            for fp in fps:
+                refs = expected.setdefault(fp, {})
+                refs[name] = refs.get(name, 0) + 1
+    for fp in sorted(expected):
+        if not service.index.has(fp):
+            out.append(Violation(
+                "cross-tenant-accounting", step,
+                f"chunk {fp.hex()[:12]} is referenced by live manifests "
+                f"but missing from the global index",
+            ))
+            continue
+        entry = service.index.get(fp)
+        if dict(entry.refs) != expected[fp]:
+            out.append(Violation(
+                "cross-tenant-accounting", step,
+                f"chunk {fp.hex()[:12]}: index refs {dict(entry.refs)} "
+                f"!= manifest recount {expected[fp]}",
+            ))
+    for fp, entry in sorted(service.index.items()):
+        if fp not in expected:
+            out.append(Violation(
+                "cross-tenant-accounting", step,
+                f"index holds chunk {fp.hex()[:12]} referenced by no "
+                f"live dump (leaked on GC?)",
+            ))
+        if not any(node.chunks.has(fp) for node in cluster.nodes):
+            out.append(Violation(
+                "cross-tenant-accounting", step,
+                f"indexed chunk {fp.hex()[:12]} is stored on no node",
+            ))
+    names = service.tenants()
+    for policy in ("first-writer", "split"):
+        charged = sum(
+            service.index.charged_bytes(names, policy=policy).values()
+        )
+        if abs(charged - service.index.unique_bytes) > 1e-6:
+            out.append(Violation(
+                "cross-tenant-accounting", step,
+                f"{policy} attribution bills {charged} bytes but the "
+                f"store holds {service.index.unique_bytes} unique bytes",
+            ))
+    return out
+
+
 def check_parity_margin(
     cluster: Cluster, step: int, target_k: int
 ) -> List[Violation]:

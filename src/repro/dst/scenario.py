@@ -29,8 +29,9 @@ SCENARIO_SCHEMA_ID = "repro.dst/scenario/v1"
 #: between the liveness snapshot and the commit re-check.
 MID_DUMP_PHASES = ("exchange", "write")
 
-#: step operations understood by the executor
-STEP_OPS = ("dump", "crash", "repair")
+#: step operations understood by the executor; ``gc`` (multi-tenant
+#: scenarios only) garbage-collects the acting tenant's oldest live dump
+STEP_OPS = ("dump", "crash", "repair", "gc")
 
 
 class ScenarioError(ValueError):
@@ -66,11 +67,13 @@ class MidDumpCrash:
 @dataclass(frozen=True)
 class Step:
     """One schedule entry: a dump (optionally with a mid-dump crash), a
-    between-dump node crash, or an online repair."""
+    between-dump node crash, an online repair, or a tenant GC."""
 
     op: str
     node: int = -1  # crash steps only
     crash: Optional[MidDumpCrash] = None  # dump steps only
+    #: acting tenant (dump and gc steps of multi-tenant scenarios)
+    tenant: int = 0
 
     def __post_init__(self) -> None:
         if self.op not in STEP_OPS:
@@ -79,6 +82,10 @@ class Step:
             raise ScenarioError("crash step needs a node >= 0")
         if self.op != "dump" and self.crash is not None:
             raise ScenarioError("only dump steps may carry a mid-dump crash")
+        if self.tenant < 0:
+            raise ScenarioError(f"step tenant must be >= 0, got {self.tenant}")
+        if self.op not in ("dump", "gc") and self.tenant != 0:
+            raise ScenarioError("only dump/gc steps may name a tenant")
 
     def as_dict(self) -> dict:
         doc: dict = {"op": self.op}
@@ -86,6 +93,8 @@ class Step:
             doc["node"] = self.node
         if self.crash is not None:
             doc["crash"] = {"node": self.crash.node, "phase": self.crash.phase}
+        if self.tenant != 0 or self.op == "gc":
+            doc["tenant"] = self.tenant
         return doc
 
     @classmethod
@@ -99,6 +108,7 @@ class Step:
                 if crash is not None
                 else None
             ),
+            tenant=int(doc.get("tenant", 0)),
         )
 
 
@@ -164,6 +174,15 @@ class Scenario:
     #: run the scenario on both SPMD backends and require byte-identical
     #: reports, cluster state and invariant verdicts
     differential: bool = False
+    #: tenants sharing the cluster; > 1 routes execution through the
+    #: multi-tenant :class:`~repro.svc.service.CheckpointService` with
+    #: namespace-isolation and cross-tenant accounting invariants armed
+    tenants: int = 1
+    #: fraction of multi-tenant dumps that write the cross-tenant shared
+    #: base state (the redundancy the service dedups across tenants)
+    tenant_overlap: float = 0.5
+    #: fingerprint-prefix shards per node store (1 = flat store)
+    shard_count: int = 1
 
     def __post_init__(self) -> None:
         if self.n_ranks < 2:
@@ -204,6 +223,35 @@ class Scenario:
         if self.redundancy == "parity" and (self.degraded or self.crash_count):
             raise ScenarioError("parity redundancy cannot be combined with "
                                 "degraded mode or crash events")
+        if self.tenants < 1:
+            raise ScenarioError(f"tenants must be >= 1, got {self.tenants}")
+        if self.shard_count < 1:
+            raise ScenarioError(
+                f"shard_count must be >= 1, got {self.shard_count}"
+            )
+        if not 0.0 <= self.tenant_overlap <= 1.0:
+            raise ScenarioError(
+                f"tenant_overlap must be in [0, 1], got {self.tenant_overlap}"
+            )
+        if self.tenants > 1 and self.workload_mode == "repeat":
+            raise ScenarioError(
+                "multi-tenant scenarios cannot use workload_mode='repeat' "
+                "(the fingerprint cache is a single-tenant thread-only path)"
+            )
+        if self.tenants > 1 and self.redundancy == "parity":
+            raise ScenarioError(
+                "multi-tenant scenarios use replication redundancy only"
+            )
+        for step in self.steps:
+            if step.op == "gc" and self.tenants < 2:
+                raise ScenarioError(
+                    "gc steps require a multi-tenant scenario (tenants >= 2)"
+                )
+            if step.op in ("dump", "gc") and step.tenant >= self.tenants:
+                raise ScenarioError(
+                    f"step tenant {step.tenant} out of range for "
+                    f"{self.tenants} tenants"
+                )
 
     # -- derived ---------------------------------------------------------------
     @property
@@ -243,15 +291,34 @@ class Scenario:
             trace_level=trace_level,
         )
 
-    def make_workload(self, dump_index: int):
+    def shared_dump(self, dump_index: int) -> bool:
+        """Whether multi-tenant dump ``dump_index`` writes the cross-tenant
+        shared base state (a pure function of seed, index and overlap)."""
+        if self.tenants <= 1:
+            return False
+        threshold = round(self.tenant_overlap * 100)
+        return (self.seed * 31 + dump_index * 7) % 100 < threshold
+
+    def make_workload(self, dump_index: int, tenant: int = 0):
         """The synthetic workload of dump ``dump_index`` (deterministic).
 
         ``fresh`` mode varies the content seed per dump so checkpoints are
         independent; ``repeat`` mode reuses dump 0's content for every dump.
+        In multi-tenant scenarios a *shared* dump (see :meth:`shared_dump`)
+        writes the tenant-independent base state — identical bytes whoever
+        dumps it, the content the service dedups across tenants — while a
+        non-shared dump writes content salted by ``tenant``.
         """
         from repro.apps.synthetic import SyntheticWorkload
 
         content = 0 if self.workload_mode == "repeat" else dump_index
+        if self.tenants > 1:
+            if self.shared_dump(dump_index):
+                content = 0
+            else:
+                # Large odd salt keeps tenant streams disjoint from each
+                # other and from the shared base state.
+                content = (tenant + 1) * 104729 + dump_index * 31
         return SyntheticWorkload(
             chunks_per_rank=self.chunks_per_rank,
             chunk_size=self.chunk_size,
@@ -284,6 +351,9 @@ class Scenario:
             "workload": self.workload.as_dict(),
             "steps": [s.as_dict() for s in self.steps],
             "differential": self.differential,
+            "tenants": self.tenants,
+            "tenant_overlap": self.tenant_overlap,
+            "shard_count": self.shard_count,
         }
 
     def to_json(self) -> str:
@@ -321,6 +391,9 @@ class Scenario:
                 workload=WorkloadSpec.from_dict(doc.get("workload", {})),
                 steps=tuple(Step.from_dict(s) for s in doc.get("steps", [])),
                 differential=bool(doc.get("differential", False)),
+                tenants=int(doc.get("tenants", 1)),
+                tenant_overlap=float(doc.get("tenant_overlap", 0.5)),
+                shard_count=int(doc.get("shard_count", 1)),
             )
         except KeyError as exc:
             raise ScenarioError(f"scenario document missing key {exc}") from None

@@ -14,8 +14,11 @@ from repro.storage.local_store import (
     ClusterDelta,
     NodeDelta,
     NodeStorage,
+    ShardedChunkStore,
+    ShardedManifestIndex,
     StorageError,
     StoreDelta,
+    make_chunk_store,
 )
 from repro.storage.manifest import Manifest
 from repro.storage.failures import FailureInjector, RecoverabilityReport
@@ -32,6 +35,9 @@ __all__ = [
     "PFSStats",
     "ParallelFileSystem",
     "RecoverabilityReport",
+    "ShardedChunkStore",
+    "ShardedManifestIndex",
     "StorageError",
     "StoreDelta",
+    "make_chunk_store",
 ]

@@ -12,7 +12,9 @@ defined.
 from __future__ import annotations
 
 import os
+import threading
 from collections import Counter
+from collections.abc import MutableMapping
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.fingerprint import Fingerprint
@@ -108,25 +110,47 @@ class ChunkStore:
             os.makedirs(directory, exist_ok=True)
 
     # -- chunk operations --------------------------------------------------------
+    def _bump(self, fp: Fingerprint, payload: Optional[bytes], n: int) -> int:
+        """Add ``n`` references to a fingerprint — the one mutation primitive.
+
+        Every reference-adding path (:meth:`put`, :meth:`put_counted`, delta
+        replay) funnels through here so alternative layouts — the sharded
+        store — cannot drift from the flat accounting rules.  ``payload`` may
+        be None only when the fingerprint is already stored (the size is then
+        looked up).  Returns the number of chunks physically written.
+        """
+        refcounts = self._refcounts
+        if fp in refcounts:
+            size = len(payload) if payload is not None else self.nbytes_of(fp)
+            refcounts[fp] += n
+            written = 0 if self.dedup else n
+            if not self.dedup:
+                self.physical_bytes += n * size
+        else:
+            if payload is None:
+                raise StorageError(
+                    f"chunk {fp.hex()[:12]}... referenced without a payload "
+                    "and this store never held it"
+                )
+            size = len(payload)
+            refcounts[fp] = n
+            self._chunks[fp] = bytes(payload)
+            written = 1 if self.dedup else n
+            self.physical_bytes += size if self.dedup else n * size
+            if self._directory is not None:
+                path = os.path.join(self._directory, fp.hex())
+                # Content-addressed: an existing file already holds the bytes
+                # (e.g. a rank process persisted it before the delta replay).
+                if not os.path.exists(path):
+                    with open(path, "wb") as fh:
+                        fh.write(payload)
+        self.put_count += n
+        self.logical_bytes += n * size
+        return written
+
     def put(self, fp: Fingerprint, data: bytes) -> bool:
         """Store a chunk; returns True if it was physically written."""
-        self.put_count += 1
-        self.logical_bytes += len(data)
-        present = fp in self._refcounts
-        if present:
-            self._refcounts[fp] += 1
-            if self.dedup:
-                return False
-            self.physical_bytes += len(data)
-            return True
-        self._refcounts[fp] = 1
-        self._chunks[fp] = bytes(data)
-        self.physical_bytes += len(data)
-        if self._directory is not None:
-            path = os.path.join(self._directory, fp.hex())
-            with open(path, "wb") as fh:
-                fh.write(data)
-        return True
+        return self._bump(fp, data, 1) > 0
 
     def put_many(self, pairs: Iterable[Tuple[Fingerprint, bytes]]) -> int:
         """Batch :meth:`put`; returns how many chunks were physically written.
@@ -185,36 +209,31 @@ class ChunkStore:
         ``multiplicity`` identical puts of that payload.  Returns the
         number of chunks physically written.
         """
-        refcounts = self._refcounts
-        chunks = self._chunks
-        dedup = self.dedup
-        n_put = logical = physical = written = 0
+        written = 0
         for fp, data, count in items:
-            size = len(data)
-            n_put += count
-            logical += count * size
-            if fp in refcounts:
-                refcounts[fp] += count
-                if not dedup:
-                    physical += count * size
-                    written += count
-                continue
-            refcounts[fp] = count
-            chunks[fp] = bytes(data)
-            if dedup:
-                physical += size
-                written += 1
-            else:
-                physical += count * size
-                written += count
-            if self._directory is not None:
-                path = os.path.join(self._directory, fp.hex())
-                with open(path, "wb") as fh:
-                    fh.write(data)
-        self.put_count += n_put
-        self.logical_bytes += logical
-        self.physical_bytes += physical
+            written += self._bump(fp, data, count)
         return written
+
+    def discard(self, fp: Fingerprint) -> int:
+        """Physically drop a fingerprint: payload, refcount and accounting.
+
+        The inverse of :meth:`_bump` at full strength — the service-level GC
+        (and the dst fault injector) removes unreferenced chunks through
+        here.  ``put_count`` stays cumulative.  Returns the payload size
+        reclaimed, 0 if the fingerprint was absent.
+        """
+        count = self._refcounts.pop(fp, 0)
+        if not count:
+            return 0
+        size = self.nbytes_of(fp)
+        self._chunks.pop(fp, None)
+        self.physical_bytes -= size if self.dedup else count * size
+        self.logical_bytes -= count * size
+        if self._directory is not None:
+            path = os.path.join(self._directory, fp.hex())
+            if os.path.exists(path):
+                os.remove(path)
+        return size
 
     def get(self, fp: Fingerprint) -> bytes:
         try:
@@ -248,6 +267,27 @@ class ChunkStore:
         """Distinct fingerprints stored."""
         return len(self._refcounts)
 
+    def store_stats(self) -> Dict[str, object]:
+        """Point-in-time accounting snapshot (surfaced via ``repro.obs``).
+
+        ``dedup_ratio`` is the fraction of logical bytes that never hit the
+        device; ``shard_skew`` is max/mean chunks per shard (1.0 for the
+        flat store, which is a single shard by definition).
+        """
+        logical = self.logical_bytes
+        physical = self.physical_bytes
+        chunks = self.chunk_count
+        return {
+            "chunks": chunks,
+            "logical_bytes": logical,
+            "physical_bytes": physical,
+            "put_count": self.put_count,
+            "dedup_ratio": (1.0 - physical / logical) if logical else 0.0,
+            "shard_count": 1,
+            "shard_chunks": [chunks],
+            "shard_skew": 1.0 if chunks else 0.0,
+        }
+
     def clear(self) -> None:
         self._chunks.clear()
         self._refcounts.clear()
@@ -279,42 +319,232 @@ class ChunkStore:
 
     def apply_delta(self, delta: StoreDelta) -> None:
         """Replay a delta's entries with :meth:`put` accounting semantics."""
-        refcounts = self._refcounts
-        chunks = self._chunks
         for fp, payload, count in delta.entries:
-            if fp in refcounts:
-                size = len(payload) if payload is not None else self.nbytes_of(fp)
-                refcounts[fp] += count
-                if not self.dedup:
-                    self.physical_bytes += count * size
-            else:
-                if payload is None:
-                    raise StorageError(
-                        f"delta references chunk {fp.hex()[:12]}... this store "
-                        "never held and carries no payload"
-                    )
-                size = len(payload)
-                refcounts[fp] = count
-                chunks[fp] = payload
-                self.physical_bytes += size if self.dedup else count * size
-                if self._directory is not None:
-                    path = os.path.join(self._directory, fp.hex())
-                    if not os.path.exists(path):  # rank process may have written it
-                        with open(path, "wb") as fh:
-                            fh.write(payload)
-            self.put_count += count
-            self.logical_bytes += count * size
+            self._bump(fp, payload, count)
+
+
+class ShardedChunkStore:
+    """Fingerprint-prefix-sharded drop-in replacement for :class:`ChunkStore`.
+
+    The fingerprint space is split by the first prefix byte into
+    ``shard_count`` independent :class:`ChunkStore` shards — each with its
+    own refcount table, accounting counters and lock — so concurrent
+    writers (the multi-tenant service admits several dumps against one
+    store) only contend when they touch the same prefix.  This is the
+    shared-nothing fingerprint-index layout of Khan et al. scaled down to
+    one node.
+
+    Observable behaviour — payloads, refcounts, logical/physical/put
+    accounting, deltas — is byte-identical to the flat store because every
+    shard *is* a flat store and all mutations funnel through
+    ``ChunkStore._bump``; tests/storage/test_sharded_store.py holds the two
+    layouts equal under random op interleavings.
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 8,
+        dedup: bool = True,
+        directory: Optional[str] = None,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        self.dedup = dedup
+        self.shard_count = shard_count
+        self._directory = directory
+        self.shards = [
+            ChunkStore(
+                dedup=dedup,
+                directory=(
+                    os.path.join(directory, f"shard{i:02d}") if directory else None
+                ),
+            )
+            for i in range(shard_count)
+        ]
+        self._locks = [threading.Lock() for _ in range(shard_count)]
+
+    def shard_of(self, fp: Fingerprint) -> int:
+        """Shard index from the fingerprint's first prefix byte."""
+        return fp[0] % self.shard_count
+
+    # -- chunk operations --------------------------------------------------------
+    def put(self, fp: Fingerprint, data: bytes) -> bool:
+        i = fp[0] % self.shard_count
+        with self._locks[i]:
+            return self.shards[i].put(fp, data)
+
+    def put_many(self, pairs: Iterable[Tuple[Fingerprint, bytes]]) -> int:
+        pairs = pairs if isinstance(pairs, (list, tuple)) else list(pairs)
+        if not pairs:
+            return 0
+        if self.shard_count == 1:
+            with self._locks[0]:
+                return self.shards[0].put_many(pairs)
+        groups: Dict[int, List[Tuple[Fingerprint, bytes]]] = {}
+        for pair in pairs:
+            groups.setdefault(pair[0][0] % self.shard_count, []).append(pair)
+        written = 0
+        for i, group in groups.items():
+            with self._locks[i]:
+                written += self.shards[i].put_many(group)
+        return written
+
+    def put_counted(
+        self, items: Iterable[Tuple[Fingerprint, bytes, int]]
+    ) -> int:
+        written = 0
+        for fp, data, count in items:
+            i = fp[0] % self.shard_count
+            with self._locks[i]:
+                written += self.shards[i]._bump(fp, data, count)
+        return written
+
+    def discard(self, fp: Fingerprint) -> int:
+        i = fp[0] % self.shard_count
+        with self._locks[i]:
+            return self.shards[i].discard(fp)
+
+    def get(self, fp: Fingerprint) -> bytes:
+        return self.shards[fp[0] % self.shard_count].get(fp)
+
+    def nbytes_of(self, fp: Fingerprint) -> int:
+        return self.shards[fp[0] % self.shard_count].nbytes_of(fp)
+
+    def has(self, fp: Fingerprint) -> bool:
+        return self.shards[fp[0] % self.shard_count].has(fp)
+
+    def refcount(self, fp: Fingerprint) -> int:
+        return self.shards[fp[0] % self.shard_count].refcount(fp)
+
+    def fingerprints(self) -> Iterable[Fingerprint]:
+        for shard in self.shards:
+            yield from shard.fingerprints()
+
+    @property
+    def chunk_count(self) -> int:
+        return sum(s.chunk_count for s in self.shards)
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(s.logical_bytes for s in self.shards)
+
+    @property
+    def physical_bytes(self) -> int:
+        return sum(s.physical_bytes for s in self.shards)
+
+    @property
+    def put_count(self) -> int:
+        return sum(s.put_count for s in self.shards)
+
+    def store_stats(self) -> Dict[str, object]:
+        """Like :meth:`ChunkStore.store_stats` plus real per-shard skew."""
+        per_shard = [s.chunk_count for s in self.shards]
+        chunks = sum(per_shard)
+        logical = self.logical_bytes
+        physical = self.physical_bytes
+        mean = chunks / self.shard_count
+        return {
+            "chunks": chunks,
+            "logical_bytes": logical,
+            "physical_bytes": physical,
+            "put_count": self.put_count,
+            "dedup_ratio": (1.0 - physical / logical) if logical else 0.0,
+            "shard_count": self.shard_count,
+            "shard_chunks": per_shard,
+            "shard_skew": (max(per_shard) / mean) if mean else 0.0,
+        }
+
+    def clear(self) -> None:
+        for shard in self.shards:
+            shard.clear()
+
+    # -- delta merge-back (process backend) -------------------------------------
+    def mark(self) -> None:
+        for shard in self.shards:
+            shard.mark()
+
+    def collect_delta(self) -> StoreDelta:
+        entries: List[Tuple[Fingerprint, Optional[bytes], int]] = []
+        for shard in self.shards:
+            entries.extend(shard.collect_delta().entries)
+        return StoreDelta(entries)
+
+    def apply_delta(self, delta: StoreDelta) -> None:
+        for fp, payload, count in delta.entries:
+            i = fp[0] % self.shard_count
+            with self._locks[i]:
+                self.shards[i]._bump(fp, payload, count)
+
+
+class ShardedManifestIndex(MutableMapping):
+    """Manifest index split across ``shard_count`` dicts by key hash.
+
+    Gives each chunk-store shard a manifest-index sibling so a node's whole
+    metadata surface scales out together; behaves exactly like the plain
+    dict :class:`NodeStorage` uses for the single-shard layout.
+    """
+
+    __slots__ = ("shard_count", "_shards")
+
+    def __init__(self, shard_count: int) -> None:
+        self.shard_count = shard_count
+        self._shards: List[Dict[Tuple[int, int], bytes]] = [
+            {} for _ in range(shard_count)
+        ]
+
+    def _shard(self, key: Tuple[int, int]) -> Dict[Tuple[int, int], bytes]:
+        rank, dump_id = key
+        # Knuth multiplicative hash keeps consecutive ranks off one shard.
+        return self._shards[(rank * 2654435761 + dump_id) % self.shard_count]
+
+    def __getitem__(self, key):
+        return self._shard(key)[key]
+
+    def __setitem__(self, key, value):
+        self._shard(key)[key] = value
+
+    def __delitem__(self, key):
+        del self._shard(key)[key]
+
+    def __iter__(self):
+        for shard in self._shards:
+            yield from shard
+
+    def __len__(self):
+        return sum(len(shard) for shard in self._shards)
+
+
+def make_chunk_store(
+    dedup: bool = True,
+    directory: Optional[str] = None,
+    shard_count: int = 1,
+):
+    """A flat store for ``shard_count == 1``, a sharded one otherwise."""
+    if shard_count <= 1:
+        return ChunkStore(dedup=dedup, directory=directory)
+    return ShardedChunkStore(shard_count, dedup=dedup, directory=directory)
 
 
 class NodeStorage:
     """One node's local storage: chunk store, manifest area and (for the
     erasure-coded redundancy mode) a parity-shard area."""
 
-    def __init__(self, node_id: int, dedup: bool = True, directory: Optional[str] = None):
+    def __init__(
+        self,
+        node_id: int,
+        dedup: bool = True,
+        directory: Optional[str] = None,
+        shard_count: int = 1,
+    ):
         self.node_id = node_id
+        self.shard_count = shard_count
         chunk_dir = os.path.join(directory, f"node{node_id:04d}") if directory else None
-        self.chunks = ChunkStore(dedup=dedup, directory=chunk_dir)
-        self._manifests: Dict[Tuple[int, int], bytes] = {}
+        self.chunks = make_chunk_store(
+            dedup=dedup, directory=chunk_dir, shard_count=shard_count
+        )
+        self._manifests: MutableMapping[Tuple[int, int], bytes] = (
+            ShardedManifestIndex(shard_count) if shard_count > 1 else {}
+        )
         self._parity: List = []  # ParityRecord instances (see repro.erasure)
         self._parity_by_fp: Dict[Tuple[Fingerprint, int], object] = {}
         self.alive = True
@@ -369,6 +599,11 @@ class NodeStorage:
 
     def has_manifest(self, rank: int, dump_id: int) -> bool:
         return (rank, dump_id) in self._manifests
+
+    def drop_manifest(self, rank: int, dump_id: int) -> int:
+        """Remove a manifest (service-level GC); returns bytes freed."""
+        blob = self._manifests.pop((rank, dump_id), None)
+        return len(blob) if blob is not None else 0
 
     def manifest_keys(self) -> List[Tuple[int, int]]:
         """All ``(rank, dump_id)`` manifest keys stored on this node."""
@@ -426,6 +661,7 @@ class Cluster:
         dedup: bool = True,
         directory: Optional[str] = None,
         rank_to_node: Optional[List[int]] = None,
+        shard_count: int = 1,
     ) -> None:
         if rank_to_node is None:
             rank_to_node = list(range(n_ranks))
@@ -433,8 +669,14 @@ class Cluster:
             raise ValueError("rank_to_node must map every rank")
         self.n_ranks = n_ranks
         self.rank_to_node = list(rank_to_node)
+        self.shard_count = shard_count
         n_nodes = max(rank_to_node) + 1
-        self._nodes = [NodeStorage(i, dedup=dedup, directory=directory) for i in range(n_nodes)]
+        self._nodes = [
+            NodeStorage(
+                i, dedup=dedup, directory=directory, shard_count=shard_count
+            )
+            for i in range(n_nodes)
+        ]
 
     @property
     def nodes(self) -> List[NodeStorage]:
@@ -514,6 +756,30 @@ class Cluster:
     @property
     def total_physical_bytes(self) -> int:
         return sum(n.chunks.physical_bytes for n in self._nodes)
+
+    def store_stats(self) -> Dict[str, object]:
+        """Cluster-wide store snapshot: node totals plus per-shard skew
+        aggregated across nodes (all nodes share one ``shard_count``)."""
+        per_node = [n.chunks.store_stats() for n in self._nodes]
+        width = max(s["shard_count"] for s in per_node)
+        shard_chunks = [0] * width
+        for stats in per_node:
+            for i, c in enumerate(stats["shard_chunks"]):
+                shard_chunks[i] += c
+        chunks = sum(shard_chunks)
+        logical = sum(s["logical_bytes"] for s in per_node)
+        physical = sum(s["physical_bytes"] for s in per_node)
+        mean = chunks / width
+        return {
+            "chunks": chunks,
+            "logical_bytes": logical,
+            "physical_bytes": physical,
+            "put_count": sum(s["put_count"] for s in per_node),
+            "dedup_ratio": (1.0 - physical / logical) if logical else 0.0,
+            "shard_count": width,
+            "shard_chunks": shard_chunks,
+            "shard_skew": (max(shard_chunks) / mean) if mean else 0.0,
+        }
 
     # -- delta merge-back (process backend) -------------------------------------
     def mark(self) -> None:

@@ -1,0 +1,59 @@
+"""Typed errors of the multi-tenant checkpoint service.
+
+Every rejection a caller can hit — unknown names, quota overruns, a full
+admission queue, cross-tenant access — has its own exception class so
+clients (and the dst invariants) can assert on *why* a request failed, not
+just that it did.  All inherit :class:`ServiceError`, which inherits
+``Exception`` (not ``StorageError``): service-level policy rejections are
+not storage faults.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class for every ``repro.svc`` failure."""
+
+
+class TenantExistsError(ServiceError):
+    """Registering a tenant name that is already registered."""
+
+
+class UnknownTenantError(ServiceError):
+    """Operating on a tenant name that was never registered."""
+
+
+class UnknownDumpError(ServiceError):
+    """A tenant referenced a dump id missing from its namespace (never
+    taken, or already garbage-collected)."""
+
+
+class TenantIsolationError(ServiceError):
+    """A tenant's namespace resolved to a dump owned by another tenant.
+
+    This is the service's last line of defence: namespaces are the only way
+    to reach a global dump id, so this firing means namespace bookkeeping
+    itself is corrupt.  The dst invariant battery checks it never does.
+    """
+
+
+class QuotaExceededError(ServiceError):
+    """A submit would push the tenant past a configured quota."""
+
+    def __init__(self, tenant: str, quota: str, limit: int, requested: int):
+        super().__init__(
+            f"tenant {tenant!r} over {quota} quota: "
+            f"requested {requested}, limit {limit}"
+        )
+        self.tenant = tenant
+        self.quota = quota
+        self.limit = limit
+        self.requested = requested
+
+
+class DumpRateExceededError(QuotaExceededError):
+    """A submit exceeded the tenant's dumps-per-window rate quota."""
+
+
+class QueueFullError(ServiceError):
+    """The admission queue hit its depth bound (backpressure signal)."""

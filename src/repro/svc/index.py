@@ -1,0 +1,175 @@
+"""Service-wide fingerprint index: who references which chunk.
+
+The cluster's node stores already dedup payloads; what they cannot answer
+is *which tenants* reference a fingerprint — the information the service
+needs for fair accounting and for garbage collection that never drops a
+chunk another tenant still references.  This index tracks, per
+fingerprint: stored payload size, the first tenant to write it, and a
+per-tenant reference count (one reference per manifest occurrence set of
+one dump).
+
+Like the chunk stores it is sharded by fingerprint prefix (Khan et al.'s
+shared-nothing index layout) with a lock per shard, so concurrent dump
+completions only contend within a prefix.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.core.fingerprint import Fingerprint
+
+
+@dataclass
+class ChunkEntry:
+    """Index record for one fingerprint."""
+
+    size: int
+    first_writer: str
+    #: tenant -> live dump references
+    refs: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_refs(self) -> int:
+        return sum(self.refs.values())
+
+    @property
+    def tenants(self) -> List[str]:
+        return sorted(t for t, n in self.refs.items() if n > 0)
+
+
+class GlobalDedupIndex:
+    """Sharded fingerprint -> :class:`ChunkEntry` map."""
+
+    def __init__(self, shard_count: int = 8) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        self.shard_count = shard_count
+        self._shards: List[Dict[Fingerprint, ChunkEntry]] = [
+            {} for _ in range(shard_count)
+        ]
+        self._locks = [threading.Lock() for _ in range(shard_count)]
+
+    def _shard(self, fp: Fingerprint) -> int:
+        return fp[0] % self.shard_count
+
+    def record(self, tenant: str, fp: Fingerprint, size: int) -> bool:
+        """Add one reference by ``tenant``; True if the chunk is new to the
+        whole service (this tenant is its first writer)."""
+        i = self._shard(fp)
+        with self._locks[i]:
+            entry = self._shards[i].get(fp)
+            if entry is None:
+                self._shards[i][fp] = ChunkEntry(
+                    size=size, first_writer=tenant, refs={tenant: 1}
+                )
+                return True
+            entry.refs[tenant] = entry.refs.get(tenant, 0) + 1
+            return False
+
+    def release(self, tenant: str, fp: Fingerprint) -> Tuple[int, bool]:
+        """Drop one of ``tenant``'s references.
+
+        Returns ``(remaining_total_refs, other_tenant_still_refs)``; the
+        entry is removed entirely when no references remain, which is the
+        caller's signal that the payload may be physically discarded.
+        """
+        i = self._shard(fp)
+        with self._locks[i]:
+            entry = self._shards[i].get(fp)
+            if entry is None:
+                return (0, False)
+            have = entry.refs.get(tenant, 0)
+            if have <= 1:
+                entry.refs.pop(tenant, None)
+            else:
+                entry.refs[tenant] = have - 1
+            remaining = entry.total_refs
+            others = any(
+                n > 0 for t, n in entry.refs.items() if t != tenant
+            )
+            if remaining == 0:
+                del self._shards[i][fp]
+            return (remaining, others)
+
+    def get(self, fp: Fingerprint) -> ChunkEntry:
+        return self._shards[self._shard(fp)][fp]
+
+    def has(self, fp: Fingerprint) -> bool:
+        return fp in self._shards[self._shard(fp)]
+
+    def items(self) -> Iterator[Tuple[Fingerprint, ChunkEntry]]:
+        for shard in self._shards:
+            yield from shard.items()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    # -- accounting views --------------------------------------------------------
+    @property
+    def unique_bytes(self) -> int:
+        """Bytes the service stores once, regardless of sharing."""
+        return sum(entry.size for _fp, entry in self.items())
+
+    def referenced_bytes(self, tenant: str) -> int:
+        """Unique bytes ``tenant`` references (its dedup'd footprint)."""
+        return sum(
+            entry.size
+            for _fp, entry in self.items()
+            if entry.refs.get(tenant, 0) > 0
+        )
+
+    def shared_bytes(self, tenant: str) -> int:
+        """Bytes ``tenant`` references that at least one other tenant also
+        references — the cross-tenant savings this tenant participates in."""
+        return sum(
+            entry.size
+            for _fp, entry in self.items()
+            if entry.refs.get(tenant, 0) > 0 and len(entry.tenants) > 1
+        )
+
+    @property
+    def cross_tenant_shared_bytes(self) -> int:
+        """Unique bytes referenced by two or more tenants."""
+        return sum(
+            entry.size
+            for _fp, entry in self.items()
+            if len(entry.tenants) > 1
+        )
+
+    def charged_bytes(
+        self, tenants: Iterable[str], policy: str = "first-writer"
+    ) -> Dict[str, float]:
+        """Attribute each chunk's size to tenants under ``policy``.
+
+        ``first-writer`` charges the whole size to whoever wrote the chunk
+        first (later sharers ride free); ``split`` divides it evenly among
+        current sharers.  Either way the charges sum to the service's
+        unique bytes, so the bill always covers the device.
+        """
+        if policy not in ("first-writer", "split"):
+            raise ValueError(
+                f"unknown attribution policy {policy!r}; "
+                "expected 'first-writer' or 'split'"
+            )
+        charged: Dict[str, float] = {t: 0.0 for t in tenants}
+        for _fp, entry in self.items():
+            sharers = entry.tenants
+            if not sharers:
+                continue
+            if policy == "first-writer":
+                # The first writer may have GC'd its reference away; the
+                # bill then falls to the earliest-sorted current sharer.
+                payer = (
+                    entry.first_writer
+                    if entry.first_writer in sharers
+                    else sharers[0]
+                )
+                charged[payer] = charged.get(payer, 0.0) + entry.size
+            else:
+                share = entry.size / len(sharers)
+                for t in sharers:
+                    charged[t] = charged.get(t, 0.0) + share
+        return charged

@@ -1,0 +1,74 @@
+"""Per-tenant quotas and usage accounting.
+
+Quotas bound three axes: logical bytes across a tenant's live dumps, chunk
+records across its live dumps, and dump *rate* (admissions per window of
+service ticks — one tick per drain iteration, so the window is logical
+time and replays deterministically).  ``None`` means unlimited, so the
+default quota admits everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.svc.errors import (
+    DumpRateExceededError,
+    QuotaExceededError,
+)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission-time limits for one tenant (``None`` = unlimited)."""
+
+    max_logical_bytes: Optional[int] = None
+    max_chunks: Optional[int] = None
+    max_dumps_per_window: Optional[int] = None
+    #: width of the dump-rate window, in service ticks
+    window_ticks: int = 8
+
+
+@dataclass
+class TenantUsage:
+    """What a tenant currently consumes (live dumps only) plus lifetime
+    counters; mutated by the service on admit/complete/gc."""
+
+    logical_bytes: int = 0
+    chunk_records: int = 0
+    live_dumps: int = 0
+    total_dumps: int = 0
+    rejected: int = 0
+    #: service ticks of recent submits, pruned to the rate window
+    submit_ticks: List[int] = field(default_factory=list)
+
+
+def check_quota(
+    tenant: str,
+    quota: TenantQuota,
+    usage: TenantUsage,
+    request_bytes: int,
+    request_chunks: int,
+    tick: int,
+) -> None:
+    """Raise the matching typed error if admitting the request would break
+    any quota axis; otherwise return silently (usage is NOT mutated)."""
+    if quota.max_logical_bytes is not None:
+        requested = usage.logical_bytes + request_bytes
+        if requested > quota.max_logical_bytes:
+            raise QuotaExceededError(
+                tenant, "logical-bytes", quota.max_logical_bytes, requested
+            )
+    if quota.max_chunks is not None:
+        requested = usage.chunk_records + request_chunks
+        if requested > quota.max_chunks:
+            raise QuotaExceededError(
+                tenant, "chunks", quota.max_chunks, requested
+            )
+    if quota.max_dumps_per_window is not None:
+        window_start = tick - quota.window_ticks
+        recent = sum(1 for t in usage.submit_ticks if t > window_start)
+        if recent + 1 > quota.max_dumps_per_window:
+            raise DumpRateExceededError(
+                tenant, "dump-rate", quota.max_dumps_per_window, recent + 1
+            )

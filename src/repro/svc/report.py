@@ -1,0 +1,160 @@
+"""Service reporting: per-tenant savings and attribution, queue health,
+store shape — the numbers ``repro-eval serve`` prints.
+
+Everything here is derived from deterministic service state (no
+wall-clock), so two same-seed service runs render identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.svc.service import CheckpointService
+
+
+@dataclass
+class TenantReport:
+    """One tenant's slice of the service bill."""
+
+    tenant: str
+    total_dumps: int
+    live_dumps: int
+    rejected: int
+    logical_bytes: int
+    #: unique bytes this tenant references after dedup (its footprint)
+    referenced_bytes: int
+    #: of those, bytes shared with at least one other tenant
+    shared_bytes: int
+    #: bytes billed to this tenant under the service attribution policy
+    charged_bytes: float
+
+
+@dataclass
+class ServiceReport:
+    """Whole-service snapshot: tenants, store, queue."""
+
+    n_ranks: int
+    backend: str
+    attribution: str
+    tenants: List[TenantReport] = field(default_factory=list)
+    #: bytes stored once across all tenants (the device bill)
+    unique_bytes: int = 0
+    #: unique bytes referenced by two or more tenants
+    cross_tenant_shared_bytes: int = 0
+    cross_tenant_dedup_ratio: float = 0.0
+    store_stats: Dict[str, object] = field(default_factory=dict)
+    queue_pushed: int = 0
+    queue_popped: int = 0
+    queue_max_depth_seen: int = 0
+    rejections: Dict[str, int] = field(default_factory=dict)
+    ticks: int = 0
+
+
+def build_report(service: CheckpointService) -> ServiceReport:
+    """Snapshot ``service`` into a :class:`ServiceReport`."""
+    index = service.index
+    names = service.tenants()
+    charged = index.charged_bytes(names, policy=service.attribution)
+    tenants = []
+    for name in names:
+        state = service._tenants[name]
+        tenants.append(
+            TenantReport(
+                tenant=name,
+                total_dumps=state.usage.total_dumps,
+                live_dumps=state.usage.live_dumps,
+                rejected=state.usage.rejected,
+                logical_bytes=state.usage.logical_bytes,
+                referenced_bytes=index.referenced_bytes(name),
+                shared_bytes=index.shared_bytes(name),
+                charged_bytes=charged.get(name, 0.0),
+            )
+        )
+    return ServiceReport(
+        n_ranks=service.n_ranks,
+        backend=service.backend,
+        attribution=service.attribution,
+        tenants=tenants,
+        unique_bytes=index.unique_bytes,
+        cross_tenant_shared_bytes=index.cross_tenant_shared_bytes,
+        cross_tenant_dedup_ratio=service.cross_tenant_dedup_ratio(),
+        store_stats=service.cluster.store_stats(),
+        queue_pushed=service.queue.pushed,
+        queue_popped=service.queue.popped,
+        queue_max_depth_seen=service.queue.max_depth_seen,
+        rejections=dict(service.rejections),
+        ticks=service.tick,
+    )
+
+
+def _kib(value: float) -> str:
+    return f"{value / 1024:.1f}"
+
+
+def format_service_report(report: ServiceReport) -> str:
+    """Render a :class:`ServiceReport` as the ``serve`` CLI tables."""
+    lines = [
+        f"service: {len(report.tenants)} tenants on {report.n_ranks} ranks "
+        f"({report.backend} backend, {report.attribution} attribution)"
+    ]
+    rows = [
+        [
+            t.tenant,
+            t.total_dumps,
+            t.live_dumps,
+            t.rejected,
+            _kib(t.logical_bytes),
+            _kib(t.referenced_bytes),
+            _kib(t.shared_bytes),
+            _kib(t.charged_bytes),
+        ]
+        for t in report.tenants
+    ]
+    lines.append(
+        format_table(
+            [
+                "tenant",
+                "dumps",
+                "live",
+                "rejected",
+                "logical KiB",
+                "referenced KiB",
+                "shared KiB",
+                "charged KiB",
+            ],
+            rows,
+        )
+    )
+    summed = sum(t.referenced_bytes for t in report.tenants)
+    lines.append(
+        f"cross-tenant: {_kib(report.unique_bytes)} KiB stored once vs "
+        f"{_kib(summed)} KiB summed footprints "
+        f"({_kib(report.cross_tenant_shared_bytes)} KiB shared, "
+        f"dedup ratio {report.cross_tenant_dedup_ratio:.3f})"
+    )
+    stats = report.store_stats
+    if stats:
+        lines.append(
+            f"store: {stats['chunks']} chunks, "
+            f"{_kib(stats['logical_bytes'])} KiB logical / "
+            f"{_kib(stats['physical_bytes'])} KiB physical "
+            f"(dedup ratio {stats['dedup_ratio']:.3f}), "
+            f"{stats['shard_count']} shards, "
+            f"skew {stats['shard_skew']:.2f}x"
+        )
+    lines.append(
+        f"queue: {report.queue_pushed} admitted over {report.ticks} ticks, "
+        f"max depth {report.queue_max_depth_seen}"
+        + (
+            "; rejections "
+            + ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(report.rejections.items())
+            )
+            if report.rejections
+            else ""
+        )
+    )
+    return "\n".join(lines)

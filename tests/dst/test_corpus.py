@@ -49,9 +49,16 @@ def test_corpus_covers_the_feature_matrix():
             feats.add("repair")
         if s.pipelined and s.integrity == "fast":
             feats.add("pipelined-fast")
+        if s.tenants > 1:
+            feats.add("multi-tenant")
+        if s.tenants > 1 and any(st.op == "gc" for st in s.steps):
+            feats.add("tenant-gc")
+        if s.shard_count > 1:
+            feats.add("sharded")
     assert feats >= {
         "parity", "repeat", "differential", "legacy", "compress",
         "crash", "mid-dump", "repair", "pipelined-fast",
+        "multi-tenant", "tenant-gc", "sharded",
     }
 
 

@@ -73,11 +73,35 @@ class TestValidity:
                 seen.add("fast-integrity")
             if s.pipelined and s.integrity == "fast":
                 seen.add("pipelined-fast")
+            if s.tenants > 1:
+                seen.add("multi-tenant")
+            if s.tenants > 1 and any(st.op == "gc" for st in s.steps):
+                seen.add("tenant-gc")
+            if s.shard_count > 1:
+                seen.add("sharded")
         assert seen == {
             "parity", "repeat", "differential", "legacy", "compress",
             "crash", "mid-dump", "repair", "baseline-strategy",
             "pipelined", "fast-integrity", "pipelined-fast",
+            "multi-tenant", "tenant-gc", "sharded",
         }
+
+    def test_tenant_gc_steps_always_have_a_live_dump(self):
+        """A generated ``gc`` step always follows an earlier dump by the
+        same tenant that no previous gc already collected — the executor
+        never hits the noop path on generated scenarios."""
+        for seed in range(200):
+            s = generate_scenario(seed)
+            if s.tenants <= 1:
+                assert all(st.op != "gc" for st in s.steps)
+                continue
+            live = {t: 0 for t in range(s.tenants)}
+            for st in s.steps:
+                if st.op == "dump":
+                    live[st.tenant] += 1
+                elif st.op == "gc":
+                    assert live[st.tenant] > 0
+                    live[st.tenant] -= 1
 
     def test_pipelined_scenarios_always_engage(self):
         """The generator only sets ``pipelined=True`` on configs where the

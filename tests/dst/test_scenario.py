@@ -60,6 +60,47 @@ class TestValidation:
         with pytest.raises(ScenarioError):
             scenario(steps=(Step("dump"), Step("explode")))
 
+    def test_multi_tenant_fields_validated(self):
+        ok = scenario(
+            tenants=2,
+            steps=(Step("dump", tenant=0), Step("dump", tenant=1),
+                   Step("gc", tenant=1)),
+        )
+        assert ok.tenants == 2
+        with pytest.raises(ScenarioError):
+            scenario(tenants=0)
+        with pytest.raises(ScenarioError):
+            scenario(shard_count=0)
+        with pytest.raises(ScenarioError):
+            scenario(tenants=2, tenant_overlap=1.5)
+        # A dump step may not name a tenant outside the tenant count.
+        with pytest.raises(ScenarioError):
+            scenario(tenants=2, steps=(Step("dump", tenant=5),))
+
+    def test_gc_requires_multi_tenancy(self):
+        with pytest.raises(ScenarioError):
+            scenario(steps=(Step("dump"), Step("gc")))
+
+    def test_multi_tenancy_excludes_repeat_mode(self):
+        with pytest.raises(ScenarioError):
+            scenario(
+                tenants=2, workload_mode="repeat",
+                steps=(Step("dump", tenant=0),),
+            )
+
+    def test_tenant_workloads_share_only_shared_dumps(self):
+        s = scenario(
+            tenants=2, tenant_overlap=1.0,
+            steps=(Step("dump", tenant=0), Step("dump", tenant=1)),
+        )
+        a = s.make_workload(0, tenant=0).build_dataset(0, s.n_ranks)
+        b = s.make_workload(0, tenant=1).build_dataset(0, s.n_ranks)
+        assert a.to_bytes() == b.to_bytes()  # shared dump: same base state
+        none_shared = s.with_(tenant_overlap=0.0)
+        a = none_shared.make_workload(0, tenant=0).build_dataset(0, 3)
+        b = none_shared.make_workload(0, tenant=1).build_dataset(0, 3)
+        assert a.to_bytes() != b.to_bytes()
+
 
 class TestSerialization:
     def test_json_round_trip(self):

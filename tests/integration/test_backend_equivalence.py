@@ -69,6 +69,7 @@ def dump_once(
     dump_id=0,
     pipelined=False,
     integrity="crypto",
+    shard_count=1,
 ):
     cfg = DumpConfig(
         replication_factor=k,
@@ -79,7 +80,7 @@ def dump_once(
         pipelined=pipelined,
         integrity=integrity,
     )
-    cluster = Cluster(N)
+    cluster = Cluster(N, shard_count=shard_count)
     for node_id in dead:
         cluster.fail_node(node_id)
     reports, _world = run_collective(
@@ -172,6 +173,54 @@ class TestDumpEquivalence:
                 )
             observed[backend] = cluster_state(cluster)
         assert observed["thread"] == observed["process"]
+
+
+class TestShardedStoreEquivalence:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    @pytest.mark.parametrize("shard_count", [2, 8])
+    def test_sharded_cluster_identical_to_flat(self, strategy, shard_count):
+        """A cluster on sharded chunk stores is observably identical to the
+        flat-store cluster on both backends: same reports, same chunk
+        payloads/refcounts/accounting, same restored bytes.  This is what
+        lets the multi-tenant service turn sharding on without changing
+        anything the dump/restore/repair stack can see."""
+        observed = {}
+        for backend in BACKENDS:
+            cluster, reports = dump_once(
+                backend, strategy, shard_count=shard_count
+            )
+            restored = [
+                restore_dataset(cluster, rank, 0)[0].to_bytes()
+                for rank in range(N)
+            ]
+            observed[backend] = (
+                [dataclasses.astuple(r) for r in reports],
+                cluster_state(cluster),
+                restored,
+            )
+        assert observed["thread"] == observed["process"]
+        flat_cluster, flat_reports = dump_once("thread", strategy)
+        assert observed["thread"][0] == [
+            dataclasses.astuple(r) for r in flat_reports
+        ]
+        assert observed["thread"][1] == cluster_state(flat_cluster)
+
+    @pytest.mark.parametrize("shard_count", [2, 8])
+    def test_sharded_repair_identical_to_flat(self, shard_count):
+        observed = {}
+        for layout in (1, shard_count):
+            cluster, _reports = dump_once(
+                "thread", Strategy.COLL_DEDUP, shard_count=layout
+            )
+            FailureInjector(cluster, seed=7).fail_random_nodes(2)
+            report = repair_cluster(cluster, 3, timeout=TIMEOUT)
+            observed[layout] = (
+                cluster_state(cluster),
+                comparable_report(report),
+                scan_cluster(cluster, 3).deficit_chunks,
+            )
+        assert observed[1] == observed[shard_count]
+        assert observed[shard_count][2] == 0
 
 
 class TestDegradedDumpEquivalence:

@@ -1,0 +1,178 @@
+"""Sharded chunk store: byte-for-byte equivalence with the flat store.
+
+The sharded store is a drop-in behind the same API, so the property that
+matters is *observational equivalence*: any interleaving of commits,
+increfs, GC discards and delta replays must leave a sharded store (at any
+shard count) indistinguishable from a flat store fed the same sequence —
+same payloads, refcounts, byte accounting and dedup stats.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage import (
+    ChunkStore,
+    ShardedChunkStore,
+    ShardedManifestIndex,
+    make_chunk_store,
+)
+
+PAYLOADS = [bytes([i]) * (16 + 8 * i) for i in range(8)]
+FPS = [hashlib.sha1(p).digest() for p in PAYLOADS]
+
+SHARD_COUNTS = [1, 2, 8, 16]
+
+_op = st.one_of(
+    st.tuples(st.just("put"), st.integers(0, 7)),
+    st.tuples(st.just("incref"), st.integers(0, 7), st.integers(1, 3)),
+    st.tuples(
+        st.just("put_many"),
+        st.lists(st.integers(0, 7), min_size=1, max_size=5),
+    ),
+    st.tuples(st.just("discard"), st.integers(0, 7)),
+    st.tuples(st.just("mark"),),
+)
+
+
+def apply_op(store, op):
+    if op[0] == "put":
+        store.put(FPS[op[1]], PAYLOADS[op[1]])
+    elif op[0] == "incref":
+        store.put_counted([(FPS[op[1]], PAYLOADS[op[1]], op[2])])
+    elif op[0] == "put_many":
+        store.put_many([(FPS[i], PAYLOADS[i]) for i in op[1]])
+    elif op[0] == "discard":
+        store.discard(FPS[op[1]])
+    elif op[0] == "mark":
+        store.mark()
+
+
+def observable(store):
+    """Everything a caller can see through the store API."""
+    return {
+        "chunks": sorted(
+            (fp, store.refcount(fp), store.get(fp), store.nbytes_of(fp))
+            for fp in store.fingerprints()
+        ),
+        "chunk_count": store.chunk_count,
+        "logical": store.logical_bytes,
+        "physical": store.physical_bytes,
+        "puts": store.put_count,
+        "stats": {
+            k: v
+            for k, v in store.store_stats().items()
+            if k not in ("shard_count", "shard_chunks", "shard_skew")
+        },
+    }
+
+
+class TestShardedEquivalence:
+    @given(
+        ops=st.lists(_op, max_size=30),
+        shard_count=st.sampled_from(SHARD_COUNTS),
+        dedup=st.booleans(),
+    )
+    def test_any_interleaving_matches_flat_store(
+        self, ops, shard_count, dedup
+    ):
+        flat = ChunkStore(dedup=dedup)
+        sharded = ShardedChunkStore(shard_count=shard_count, dedup=dedup)
+        for op in ops:
+            apply_op(flat, op)
+            apply_op(sharded, op)
+        assert observable(flat) == observable(sharded)
+
+    @given(
+        ops=st.lists(_op, max_size=30),
+        shard_count=st.sampled_from(SHARD_COUNTS),
+    )
+    def test_delta_replay_crosses_layouts(self, ops, shard_count):
+        """A delta collected from either layout replays onto either layout:
+        the merge-back path must not care how the source or target shards.
+
+        Deltas are additive by contract (stores are append-only during a
+        dump epoch; GC runs between epochs), so discard and re-mark ops are
+        filtered to keep each case a single all-put epoch.
+        """
+        flat = ChunkStore()
+        sharded = ShardedChunkStore(shard_count=shard_count)
+        flat.mark()
+        sharded.mark()
+        for op in ops:
+            if op[0] in ("mark", "discard"):
+                continue
+            apply_op(flat, op)
+            apply_op(sharded, op)
+        flat_delta = flat.collect_delta()
+        sharded_delta = sharded.collect_delta()
+
+        targets = {
+            "flat<-sharded": ChunkStore(),
+            "sharded<-flat": ShardedChunkStore(shard_count=shard_count),
+            "sharded<-sharded": ShardedChunkStore(shard_count=shard_count),
+        }
+        targets["flat<-sharded"].apply_delta(sharded_delta)
+        targets["sharded<-flat"].apply_delta(flat_delta)
+        targets["sharded<-sharded"].apply_delta(sharded_delta)
+        want = observable(flat)
+        for label, target in targets.items():
+            assert observable(target) == want, label
+
+
+class TestShardedStore:
+    def test_routing_is_stable_and_total(self):
+        store = ShardedChunkStore(shard_count=8)
+        for fp in FPS:
+            assert store.shard_of(fp) == fp[0] % 8
+        for fp, payload in zip(FPS, PAYLOADS):
+            store.put(fp, payload)
+        assert sorted(store.fingerprints()) == sorted(FPS)
+        assert store.chunk_count == len(FPS)
+
+    def test_store_stats_reports_shard_shape(self):
+        store = ShardedChunkStore(shard_count=4)
+        store.put_counted([(fp, p, 2) for fp, p in zip(FPS, PAYLOADS)])
+        stats = store.store_stats()
+        assert stats["shard_count"] == 4
+        assert len(stats["shard_chunks"]) == 4
+        assert sum(stats["shard_chunks"]) == len(FPS)
+        assert stats["chunks"] == len(FPS)
+        assert stats["shard_skew"] >= 1.0
+        assert 0.0 <= stats["dedup_ratio"] <= 1.0
+
+    def test_clear_empties_every_shard(self):
+        store = ShardedChunkStore(shard_count=4)
+        for fp, payload in zip(FPS, PAYLOADS):
+            store.put(fp, payload)
+        store.clear()
+        assert store.chunk_count == 0
+        assert store.logical_bytes == 0
+        assert store.physical_bytes == 0
+
+    def test_shard_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ShardedChunkStore(shard_count=0)
+
+    def test_make_chunk_store_picks_layout(self):
+        assert isinstance(make_chunk_store(shard_count=1), ChunkStore)
+        assert isinstance(
+            make_chunk_store(shard_count=2), ShardedChunkStore
+        )
+
+
+class TestShardedManifestIndex:
+    def test_mapping_protocol(self):
+        index = ShardedManifestIndex(shard_count=4)
+        keys = [(rank, dump) for rank in range(3) for dump in range(3)]
+        for i, key in enumerate(keys):
+            index[key] = b"m%d" % i
+        assert len(index) == len(keys)
+        assert sorted(index.keys()) == sorted(keys)
+        assert index[(1, 1)] == b"m4"
+        del index[(0, 0)]
+        assert (0, 0) not in index
+        assert len(index) == len(keys) - 1
+        with pytest.raises(KeyError):
+            index[(0, 0)]

@@ -1,0 +1,85 @@
+"""Admission queue: per-tenant FIFO order, round-robin fairness, bounds."""
+
+import pytest
+
+from repro.svc import AdmissionQueue, DumpRequest, QueueFullError
+
+
+def req(ticket, tenant):
+    return DumpRequest(ticket=ticket, tenant=tenant, workload=None)
+
+
+class TestFairness:
+    def test_fifo_within_one_tenant(self):
+        q = AdmissionQueue()
+        for i in range(4):
+            q.push(req(i, "a"))
+        assert [q.pop().ticket for _ in range(4)] == [0, 1, 2, 3]
+        assert q.pop() is None
+
+    def test_round_robin_across_tenants(self):
+        """One chatty tenant cannot starve the others: service order
+        alternates tenants no matter how lopsided the submit order was."""
+        q = AdmissionQueue()
+        ticket = 0
+        for _ in range(4):
+            q.push(req(ticket, "chatty"))
+            ticket += 1
+        q.push(req(ticket, "quiet"))
+        order = []
+        while True:
+            r = q.pop()
+            if r is None:
+                break
+            order.append(r.tenant)
+        assert order == ["chatty", "quiet", "chatty", "chatty", "chatty"]
+
+    def test_cursor_resumes_after_last_served(self):
+        q = AdmissionQueue()
+        q.push(req(0, "a"))
+        q.push(req(1, "b"))
+        q.push(req(2, "c"))
+        q.push(req(3, "a"))
+        assert [q.pop().tenant for _ in range(4)] == ["a", "b", "c", "a"]
+
+    def test_pop_skips_drained_tenants(self):
+        q = AdmissionQueue()
+        q.push(req(0, "a"))
+        q.push(req(1, "b"))
+        assert q.pop().tenant == "a"
+        assert q.pop().tenant == "b"
+        q.push(req(2, "b"))
+        assert q.pop().tenant == "b"
+
+
+class TestBounds:
+    def test_push_past_depth_raises(self):
+        q = AdmissionQueue(max_depth=2)
+        q.push(req(0, "a"))
+        q.push(req(1, "b"))
+        with pytest.raises(QueueFullError):
+            q.push(req(2, "c"))
+        # Popping frees the slot again.
+        q.pop()
+        q.push(req(3, "c"))
+
+    def test_depth_accounting(self):
+        q = AdmissionQueue()
+        assert q.depth == 0
+        q.push(req(0, "a"))
+        q.push(req(1, "a"))
+        q.push(req(2, "b"))
+        assert q.depth == 3
+        assert q.depth_of("a") == 2
+        assert q.depth_of("b") == 1
+        assert q.depth_of("nobody") == 0
+        assert q.max_depth_seen == 3
+        q.pop()
+        assert q.depth == 2
+        assert q.max_depth_seen == 3
+        assert q.pushed == 3
+        assert q.popped == 1
+
+    def test_max_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=0)

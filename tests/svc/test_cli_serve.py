@@ -1,0 +1,61 @@
+"""The ``repro-eval serve`` subcommand: report output, GC, metrics file."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.smoke
+
+BASE = [
+    "serve", "--tenants", "2", "--dumps", "2", "--overlap", "0.5",
+    "--n", "4", "--chunks-per-rank", "8", "--chunk-size", "64",
+]
+
+
+class TestServe:
+    def test_prints_the_service_report(self, capsys):
+        assert main(BASE) == 0
+        text = capsys.readouterr().out
+        assert "service: 2 tenants on 4 ranks" in text
+        assert "tenant-0" in text and "tenant-1" in text
+        assert "cross-tenant:" in text
+        assert "dedup ratio" in text
+        assert "store:" in text and "8 shards" in text
+        assert "queue:" in text
+
+    def test_gc_oldest_reports_cross_tenant_retention(self, capsys):
+        assert main(BASE + ["--gc-oldest"]) == 0
+        text = capsys.readouterr().out
+        assert "gc tenant-0 dump 0:" in text
+        assert "cross-tenant" in text
+
+    def test_out_writes_a_valid_run_snapshot(self, capsys, tmp_path):
+        out = str(tmp_path / "svc_run.json")
+        assert main(BASE + ["--out", out]) == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        run = json.load(open(out))
+        assert run["schema"] == "repro.obs/run/v1"
+        assert run["meta"]["source"] == "repro.svc"
+        (entry,) = run["ranks"]
+        gauges = entry["metrics"]["gauges"]
+        assert "svc_queue_depth" in gauges
+        assert "svc_cross_tenant_dedup_ratio" in gauges
+        assert entry["metrics"]["counters"]["svc_dumps_completed"] == 4
+
+    def test_quota_rejections_are_reported_not_fatal(self, capsys):
+        argv = BASE + ["--quota-rate", "1", "--dumps", "3"]
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        assert "rejected tenant-0 dump" in text
+        assert "rejections" in text
+
+    def test_split_attribution(self, capsys):
+        assert main(BASE + ["--attribution", "split"]) == 0
+        assert "split attribution" in capsys.readouterr().out
+
+    def test_bad_tenant_count_is_a_one_line_error(self, capsys):
+        assert main(["serve", "--tenants", "not-a-number"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1

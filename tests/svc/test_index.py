@@ -1,0 +1,95 @@
+"""Global dedup index: reference counting and attribution policies."""
+
+import hashlib
+
+import pytest
+
+from repro.svc import GlobalDedupIndex
+
+
+def fp(i):
+    return hashlib.sha1(b"chunk-%d" % i).digest()
+
+
+class TestRefCounting:
+    def test_first_record_is_new_later_records_are_hits(self):
+        index = GlobalDedupIndex()
+        assert index.record("a", fp(0), 100) is True
+        assert index.record("b", fp(0), 100) is False
+        assert index.record("a", fp(0), 100) is False
+        entry = index.get(fp(0))
+        assert entry.first_writer == "a"
+        assert entry.refs == {"a": 2, "b": 1}
+        assert entry.total_refs == 3
+        assert entry.tenants == ["a", "b"]
+
+    def test_release_drops_entry_only_at_zero_total(self):
+        index = GlobalDedupIndex()
+        index.record("a", fp(0), 100)
+        index.record("b", fp(0), 100)
+        remaining, others = index.release("a", fp(0))
+        assert (remaining, others) == (1, True)
+        assert index.has(fp(0))
+        remaining, others = index.release("b", fp(0))
+        assert (remaining, others) == (0, False)
+        assert not index.has(fp(0))
+
+    def test_release_of_unknown_chunk_is_harmless(self):
+        index = GlobalDedupIndex()
+        assert index.release("a", fp(9)) == (0, False)
+
+    def test_sharding_preserves_every_entry(self):
+        for shard_count in (1, 2, 8):
+            index = GlobalDedupIndex(shard_count=shard_count)
+            for i in range(32):
+                index.record("a", fp(i), 10)
+            assert len(index) == 32
+            assert sorted(f for f, _e in index.items()) == sorted(
+                fp(i) for i in range(32)
+            )
+
+
+class TestAccounting:
+    def make_index(self):
+        """a and b share chunk 0; a owns 1 alone; b owns 2 alone."""
+        index = GlobalDedupIndex()
+        index.record("a", fp(0), 100)
+        index.record("b", fp(0), 100)
+        index.record("a", fp(1), 30)
+        index.record("b", fp(2), 50)
+        return index
+
+    def test_footprint_views(self):
+        index = self.make_index()
+        assert index.unique_bytes == 180
+        assert index.referenced_bytes("a") == 130
+        assert index.referenced_bytes("b") == 150
+        assert index.shared_bytes("a") == 100
+        assert index.shared_bytes("b") == 100
+        assert index.cross_tenant_shared_bytes == 100
+
+    @pytest.mark.parametrize("policy", ["first-writer", "split"])
+    def test_charges_always_sum_to_unique_bytes(self, policy):
+        index = self.make_index()
+        charged = index.charged_bytes(["a", "b"], policy=policy)
+        assert sum(charged.values()) == pytest.approx(index.unique_bytes)
+
+    def test_first_writer_pays_for_shared_chunks(self):
+        charged = self.make_index().charged_bytes(
+            ["a", "b"], policy="first-writer"
+        )
+        assert charged == {"a": 130.0, "b": 50.0}
+
+    def test_split_divides_shared_chunks_evenly(self):
+        charged = self.make_index().charged_bytes(["a", "b"], policy="split")
+        assert charged == {"a": 80.0, "b": 100.0}
+
+    def test_first_writer_bill_falls_to_a_sharer_after_gc(self):
+        index = self.make_index()
+        index.release("a", fp(0))
+        charged = index.charged_bytes(["a", "b"], policy="first-writer")
+        assert charged == {"a": 30.0, "b": 150.0}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_index().charged_bytes(["a"], policy="auction")

@@ -1,0 +1,59 @@
+"""Quota axes reject with typed errors; unlimited admits everything."""
+
+import pytest
+
+from repro.svc import (
+    DumpRateExceededError,
+    QuotaExceededError,
+    TenantQuota,
+    TenantUsage,
+)
+from repro.svc.quota import check_quota
+
+
+class TestAxes:
+    def test_default_quota_is_unlimited(self):
+        check_quota(
+            "t", TenantQuota(), TenantUsage(), 10**12, 10**9, tick=0
+        )
+
+    def test_logical_bytes_axis(self):
+        quota = TenantQuota(max_logical_bytes=100)
+        usage = TenantUsage(logical_bytes=60)
+        check_quota("t", quota, usage, 40, 1, tick=0)
+        with pytest.raises(QuotaExceededError) as exc_info:
+            check_quota("t", quota, usage, 41, 1, tick=0)
+        assert exc_info.value.quota == "logical-bytes"
+        assert exc_info.value.limit == 100
+        assert exc_info.value.requested == 101
+
+    def test_chunks_axis(self):
+        quota = TenantQuota(max_chunks=10)
+        usage = TenantUsage(chunk_records=8)
+        check_quota("t", quota, usage, 0, 2, tick=0)
+        with pytest.raises(QuotaExceededError) as exc_info:
+            check_quota("t", quota, usage, 0, 3, tick=0)
+        assert exc_info.value.quota == "chunks"
+
+    def test_dump_rate_axis_uses_the_tick_window(self):
+        quota = TenantQuota(max_dumps_per_window=2, window_ticks=4)
+        usage = TenantUsage(submit_ticks=[1, 2])
+        with pytest.raises(DumpRateExceededError) as exc_info:
+            check_quota("t", quota, usage, 0, 0, tick=3)
+        assert exc_info.value.quota == "dump-rate"
+        # Once the earlier submits age out of the window, admits resume.
+        check_quota("t", quota, usage, 0, 0, tick=7)
+
+    def test_rate_error_is_a_quota_error(self):
+        """Callers catching the broad class see rate rejections too."""
+        assert issubclass(DumpRateExceededError, QuotaExceededError)
+
+    def test_check_does_not_mutate_usage(self):
+        quota = TenantQuota(max_logical_bytes=100)
+        usage = TenantUsage(logical_bytes=60)
+        before = (usage.logical_bytes, usage.rejected, list(usage.submit_ticks))
+        with pytest.raises(QuotaExceededError):
+            check_quota("t", quota, usage, 1000, 1, tick=0)
+        assert (
+            usage.logical_bytes, usage.rejected, list(usage.submit_ticks)
+        ) == before

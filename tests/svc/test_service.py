@@ -1,0 +1,287 @@
+"""CheckpointService end to end: cross-tenant dedup, isolation, GC,
+quotas, scheduling and the obs metrics surface."""
+
+import pytest
+
+from repro.core.config import DumpConfig
+from repro.svc import (
+    CheckpointService,
+    QueueFullError,
+    QuotaExceededError,
+    TenantQuota,
+    TenantWorkload,
+    UnknownDumpError,
+    UnknownTenantError,
+    TenantExistsError,
+    build_report,
+    format_service_report,
+)
+
+N = 4
+CS = 64
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("config", DumpConfig(replication_factor=2, chunk_size=CS))
+    kwargs.setdefault("shard_count", 8)
+    return CheckpointService(N, **kwargs)
+
+
+def tenant_workload(i, overlap=0.5, dump_index=0):
+    return TenantWorkload(
+        i,
+        overlap=overlap,
+        chunks_per_rank=16,
+        chunk_size=CS,
+        dump_index=dump_index,
+    )
+
+
+def dump(service, tenant, workload):
+    ticket = service.submit(tenant, workload)
+    service.drain()
+    return service.outcome(ticket)
+
+
+class TestCrossTenantDedup:
+    def test_shared_content_is_stored_once(self):
+        """Two tenants dumping 50%-shared content: the shared chunks hit
+        the first tenant's copies, physical stays below the sum of
+        logical, and the savings show up in the service ratio."""
+        service = make_service()
+        service.register_tenant("alice")
+        service.register_tenant("bob")
+        first = dump(service, "alice", tenant_workload(0))
+        second = dump(service, "bob", tenant_workload(1))
+        assert first.cross_tenant_hits == 0
+        assert second.cross_tenant_hits > 0
+        assert second.new_chunks < first.new_chunks
+        stats = service.cluster.store_stats()
+        assert stats["physical_bytes"] < stats["logical_bytes"]
+        assert service.index.cross_tenant_shared_bytes > 0
+        ratio = service.cross_tenant_dedup_ratio()
+        assert 0.0 < ratio < 1.0
+        # overlap=0.5 means bob's footprint is ~half shared.
+        assert service.index.shared_bytes("bob") >= (
+            0.4 * service.index.referenced_bytes("bob")
+        )
+
+    def test_restores_are_correct_for_both_tenants(self):
+        service = make_service()
+        service.register_tenant("alice")
+        service.register_tenant("bob")
+        workloads = {"alice": tenant_workload(0), "bob": tenant_workload(1)}
+        for name, workload in workloads.items():
+            dump(service, name, workload)
+        for name, workload in workloads.items():
+            for rank in range(N):
+                dataset, _report = service.restore(name, rank, 0)
+                expected = workload.build_dataset(rank, N).to_bytes()
+                assert dataset.to_bytes() == expected
+
+    def test_identical_tenants_fully_dedup(self):
+        service = make_service()
+        service.register_tenant("a")
+        service.register_tenant("b")
+        dump(service, "a", tenant_workload(0, overlap=1.0))
+        outcome = dump(service, "b", tenant_workload(1, overlap=1.0))
+        assert outcome.new_chunks == 0
+        assert outcome.cross_tenant_hits > 0
+
+
+class TestIsolation:
+    def test_namespaces_are_per_tenant(self):
+        service = make_service()
+        service.register_tenant("alice")
+        service.register_tenant("bob")
+        dump(service, "alice", tenant_workload(0))
+        # bob has no dump 0 even though alice does.
+        with pytest.raises(UnknownDumpError):
+            service.restore("bob", 0, 0)
+        assert service.isolation_audit() == []
+
+    def test_unknown_tenant_and_duplicate_registration(self):
+        service = make_service()
+        service.register_tenant("alice")
+        with pytest.raises(TenantExistsError):
+            service.register_tenant("alice")
+        with pytest.raises(UnknownTenantError):
+            service.submit("nobody", tenant_workload(0))
+        with pytest.raises(UnknownTenantError):
+            service.restore("nobody", 0, 0)
+
+
+class TestGarbageCollection:
+    def test_gc_never_breaks_the_other_tenants_restore(self):
+        service = make_service()
+        service.register_tenant("alice")
+        service.register_tenant("bob")
+        dump(service, "alice", tenant_workload(0))
+        dump(service, "bob", tenant_workload(1))
+        outcome = service.gc("alice", 0)
+        assert outcome.retained_cross_tenant > 0
+        assert outcome.chunks_dropped > 0  # alice's unique chunks go
+        with pytest.raises(UnknownDumpError):
+            service.restore("alice", 0, 0)
+        workload = tenant_workload(1)
+        for rank in range(N):
+            dataset, _report = service.restore("bob", rank, 0)
+            assert dataset.to_bytes() == workload.build_dataset(
+                rank, N
+            ).to_bytes()
+
+    def test_last_reference_physically_reclaims(self):
+        service = make_service()
+        service.register_tenant("a")
+        service.register_tenant("b")
+        dump(service, "a", tenant_workload(0, overlap=1.0))
+        dump(service, "b", tenant_workload(1, overlap=1.0))
+        first = service.gc("a", 0)
+        assert first.chunks_dropped == 0  # b still references everything
+        second = service.gc("b", 0)
+        assert second.chunks_dropped > 0
+        assert second.bytes_reclaimed > 0
+        assert len(service.index) == 0
+        assert all(
+            node.chunks.chunk_count == 0 for node in service.cluster.nodes
+        )
+
+    def test_gc_of_unknown_dump_raises(self):
+        service = make_service()
+        service.register_tenant("a")
+        with pytest.raises(UnknownDumpError):
+            service.gc("a", 0)
+
+
+class TestQuotasAndScheduling:
+    def test_quota_rejection_is_typed_and_counted(self):
+        service = make_service()
+        service.register_tenant(
+            "small", quota=TenantQuota(max_logical_bytes=1)
+        )
+        with pytest.raises(QuotaExceededError):
+            service.submit("small", tenant_workload(0))
+        report = build_report(service)
+        assert report.tenants[0].rejected == 1
+        assert report.rejections == {"QuotaExceededError": 1}
+
+    def test_queue_depth_backpressure(self):
+        service = make_service(queue_depth=2)
+        service.register_tenant("a")
+        service.submit("a", tenant_workload(0, dump_index=0))
+        service.submit("a", tenant_workload(0, dump_index=1))
+        with pytest.raises(QueueFullError):
+            service.submit("a", tenant_workload(0, dump_index=2))
+        service.drain()
+
+    def test_drain_alternates_tenants_fairly(self):
+        service = make_service(max_inflight=1)
+        for name in ("chatty", "quiet"):
+            service.register_tenant(name)
+        for dump_index in range(3):
+            service.submit("chatty", tenant_workload(0, dump_index=dump_index))
+        service.submit("quiet", tenant_workload(1))
+        outcomes = service.drain()
+        assert [o.tenant for o in outcomes] == [
+            "chatty", "quiet", "chatty", "chatty",
+        ]
+        # The last chatty dump waited behind three earlier admissions.
+        assert outcomes[-1].wait_ticks > outcomes[0].wait_ticks
+
+    def test_dump_rate_window(self):
+        service = make_service()
+        service.register_tenant(
+            "bursty",
+            quota=TenantQuota(max_dumps_per_window=1, window_ticks=2),
+        )
+        dump(service, "bursty", tenant_workload(0, dump_index=0))
+        with pytest.raises(QuotaExceededError):
+            service.submit("bursty", tenant_workload(0, dump_index=1))
+        # Ticks advance as other tenants' work drains; the window frees up.
+        service.register_tenant("other")
+        for dump_index in range(3):
+            dump(service, "other", tenant_workload(1, dump_index=dump_index))
+        dump(service, "bursty", tenant_workload(0, dump_index=1))
+
+
+class TestObservability:
+    def test_metrics_snapshot_carries_the_service_gauges(self):
+        service = make_service()
+        service.register_tenant("a")
+        service.register_tenant("b")
+        dump(service, "a", tenant_workload(0))
+        dump(service, "b", tenant_workload(1))
+        run = service.capture_metrics(meta={"test": True})
+        assert run["schema"] == "repro.obs/run/v1"
+        (entry,) = run["ranks"]
+        counters = entry["metrics"]["counters"]
+        gauges = entry["metrics"]["gauges"]
+        assert counters["svc_dumps_submitted"] == 2
+        assert counters["svc_dumps_completed"] == 2
+        for name in (
+            "svc_queue_depth",
+            "svc_cross_tenant_dedup_ratio",
+            "svc_store_chunks",
+            "svc_store_dedup_ratio",
+            "svc_store_shard_skew",
+        ):
+            assert name in gauges
+        assert "svc_admission_latency_seconds" in entry["metrics"][
+            "histograms"
+        ]
+        assert gauges["svc_cross_tenant_dedup_ratio"] > 0
+
+    def test_report_round_trip(self):
+        service = make_service(attribution="split")
+        service.register_tenant("a")
+        service.register_tenant("b")
+        dump(service, "a", tenant_workload(0))
+        dump(service, "b", tenant_workload(1))
+        report = build_report(service)
+        assert report.attribution == "split"
+        assert len(report.tenants) == 2
+        summed = sum(t.charged_bytes for t in report.tenants)
+        assert summed == pytest.approx(report.unique_bytes)
+        assert report.store_stats["shard_count"] == 8
+        text = format_service_report(report)
+        assert "cross-tenant:" in text
+        assert "store:" in text
+        assert "queue:" in text
+        for t in report.tenants:
+            assert t.tenant in text
+
+
+class TestBackendsAndRepair:
+    def test_process_backend_end_to_end(self):
+        service = make_service(backend="process", timeout=60)
+        service.register_tenant("a")
+        service.register_tenant("b")
+        dump(service, "a", tenant_workload(0))
+        outcome = dump(service, "b", tenant_workload(1))
+        assert outcome.cross_tenant_hits > 0
+        workload = tenant_workload(1)
+        dataset, _report = service.restore("b", 0, 0)
+        assert dataset.to_bytes() == workload.build_dataset(0, N).to_bytes()
+
+    def test_repair_heals_every_tenants_dumps(self):
+        service = make_service()
+        service.register_tenant("a")
+        service.register_tenant("b")
+        dump(service, "a", tenant_workload(0))
+        dump(service, "b", tenant_workload(1))
+        service.cluster.fail_node(1)
+        report = service.repair()
+        assert report.chunks_moved >= 0
+        for name, idx in (("a", 0), ("b", 1)):
+            workload = tenant_workload(idx)
+            for rank in range(N):
+                dataset, _restore_report = service.restore(name, rank, 0)
+                assert dataset.to_bytes() == workload.build_dataset(
+                    rank, N
+                ).to_bytes()
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            make_service(attribution="auction")
+        with pytest.raises(ValueError):
+            make_service(max_inflight=0)
