@@ -1,0 +1,184 @@
+"""Restore hot-path scaling: batched planning, coalesced reads, zero-copy
+reassembly.
+
+Not a paper artifact: this pins the speedup the batched restore path
+(``restore_dataset(..., batched=True)``) delivers over the seed per-chunk
+loop (``batched=False``), so regressions show up as hard failures — the
+restore-side mirror of ``benchmarks/test_hotpath_scaling.py``.
+
+Two scenarios, both small-chunk so the per-chunk Python overhead that
+batching removes — per-fingerprint ``has``/``locate``/``get`` probes and
+the full-stream reassembly copy — is the measured quantity:
+
+* **cold** — a restore onto a failed node: the restoring rank's own node
+  is dead, so every chunk resolves through source planning and remote
+  reads.  One ``locate_many`` sweep plus one coalesced ``get_many`` per
+  holder must win >= 2x over the per-chunk probe loop.
+* **collective** — ``LOAD_INPUT`` across the full world after the same
+  failure, where the batched path additionally packs its request/reply
+  all-to-alls with the ``RRQ1``/``RRP1`` wire codecs.  Reported for the
+  trajectory; the floor is only asserted on the cold single-rank path,
+  which isolates planning + reads from collective scheduling noise.
+
+Both scenarios cross-check that the fast path changes *nothing*
+observable: restored datasets must be byte-identical and RestoreReports
+must match the legacy run field for field.
+
+Results land in ``BENCH_restore.json`` at the repo root, in the unified
+``repro.obs/bench/v1`` schema (validated before every write — see
+:func:`repro.obs.schema.write_bench_entry`).  Set ``RESTORE_SMOKE=1`` to
+run a fast correctness-only pass (CI smoke): sizes shrink and the speedup
+floors are reported but not asserted.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import DumpConfig, Strategy, dump_output, restore_dataset
+from repro.core.chunking import Dataset
+from repro.core.collective_restore import load_input
+from repro.obs.schema import write_bench_entry
+from repro.simmpi import World
+from repro.storage import Cluster
+
+pytestmark = [pytest.mark.slow, pytest.mark.bench]
+
+SMOKE = bool(int(os.environ.get("RESTORE_SMOKE", "0")))
+
+CS = 256                                  # small chunks -> per-chunk overhead dominates
+N_RANKS = 4
+K = 3
+REPS = 2 if SMOKE else 3
+COLD_CHUNKS = 2048 if SMOKE else 16384    # per rank
+COLD_MIN_SPEEDUP = 2.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_restore.json"
+
+
+def _rank_dataset(rank: int, n_chunks: int) -> Dataset:
+    """Mostly rank-unique data: dedup leaves one replica chain per chunk,
+    so the restore actually moves ``n_chunks`` distinct chunks per rank."""
+    body = np.random.RandomState(1000 + rank).bytes(n_chunks * CS)
+    return Dataset([bytearray(body)])
+
+
+def _dumped_cluster(datasets) -> Cluster:
+    cfg = DumpConfig(
+        replication_factor=K, chunk_size=CS, strategy=Strategy.LOCAL_DEDUP,
+    )
+    cluster = Cluster(N_RANKS, dedup=True)
+    World(N_RANKS, timeout=600).run(
+        lambda comm: dump_output(comm, datasets[comm.rank], cfg, cluster)
+    )
+    return cluster
+
+
+def _best(fn, reps=REPS):
+    """Best-of-N wall time (first result kept for equivalence checks)."""
+    wall, result = fn()
+    for _ in range(reps - 1):
+        w, _r = fn()
+        wall = min(wall, w)
+    return wall, result
+
+
+def _timed_restore(cluster, rank, batched):
+    start = time.perf_counter()
+    dataset, report = restore_dataset(cluster, rank, batched=batched)
+    return time.perf_counter() - start, (dataset, report)
+
+
+def _emit(key, payload):
+    write_bench_entry(RESULT_PATH, key, payload, smoke=SMOKE)
+
+
+def test_cold_restore_batching_speedup():
+    """Restore of rank 0 after its node died: pure remote-read planning."""
+    datasets = [_rank_dataset(r, COLD_CHUNKS) for r in range(N_RANKS)]
+    cluster = _dumped_cluster(datasets)
+    cluster.fail_node(cluster.node_of(0).node_id)
+
+    _timed_restore(cluster, 0, batched=True)  # warm-up
+    legacy_wall, (legacy_ds, legacy_report) = _best(
+        lambda: _timed_restore(cluster, 0, batched=False)
+    )
+    batched_wall, (batched_ds, batched_report) = _best(
+        lambda: _timed_restore(cluster, 0, batched=True)
+    )
+
+    assert batched_ds == legacy_ds == datasets[0]
+    assert vars(batched_report) == vars(legacy_report)
+    assert batched_report.local_chunks == 0  # the node is dead: fully remote
+
+    speedup = legacy_wall / batched_wall
+    _emit(
+        "cold_restore",
+        {
+            "strategy": "local-dedup",
+            "ranks": N_RANKS,
+            "replication_factor": K,
+            "chunk_size": CS,
+            "chunks_per_rank": COLD_CHUNKS,
+            "failed_nodes": 1,
+            "timings": {
+                "legacy": round(legacy_wall, 4),
+                "batched": round(batched_wall, 4),
+            },
+            "speedup": round(speedup, 2),
+            "min_required": COLD_MIN_SPEEDUP,
+        },
+    )
+    if not SMOKE:
+        assert speedup >= COLD_MIN_SPEEDUP, (
+            f"cold batched restore only {speedup:.2f}x faster than the "
+            f"per-chunk path (need >= {COLD_MIN_SPEEDUP}x)"
+        )
+
+
+def test_collective_restore_batching():
+    """``LOAD_INPUT`` across the world after a failure: packed all-to-alls."""
+    datasets = [_rank_dataset(r, COLD_CHUNKS // 2) for r in range(N_RANKS)]
+    cluster = _dumped_cluster(datasets)
+    cluster.fail_node(cluster.node_of(0).node_id)
+    cfg = DumpConfig(
+        replication_factor=K, chunk_size=CS, strategy=Strategy.LOCAL_DEDUP,
+    )
+
+    def run(batched):
+        start = time.perf_counter()
+        results = World(N_RANKS, timeout=600).run(
+            lambda comm: load_input(comm, cluster, cfg.with_(batched=batched))
+        )
+        return time.perf_counter() - start, results
+
+    run(True)  # warm-up
+    legacy_wall, legacy_results = _best(lambda: run(False))
+    batched_wall, batched_results = _best(lambda: run(True))
+
+    for rank, ((lds, lrep), (bds, brep)) in enumerate(
+        zip(legacy_results, batched_results)
+    ):
+        assert bds == lds == datasets[rank]
+        assert vars(brep) == vars(lrep)
+
+    speedup = legacy_wall / batched_wall
+    _emit(
+        "collective_restore",
+        {
+            "strategy": "local-dedup",
+            "ranks": N_RANKS,
+            "replication_factor": K,
+            "chunk_size": CS,
+            "chunks_per_rank": COLD_CHUNKS // 2,
+            "failed_nodes": 1,
+            "timings": {
+                "legacy": round(legacy_wall, 4),
+                "batched": round(batched_wall, 4),
+            },
+            "speedup": round(speedup, 2),
+        },
+    )

@@ -7,15 +7,29 @@ fingerprint list; each chunk is fetched from the rank's own node when it
 survived, else from any live replica holder.  Restoration succeeding after
 K-1 node failures is the end-to-end guarantee every strategy must provide —
 the integration suite drives this path for all of them.
+
+Two implementations share the same observable behaviour:
+
+* the **batched hot path** (default, ``batched=True``) plans every source
+  in one vectorised pass (:func:`repro.core.restore_plan.plan_restore`),
+  pulls each holder's chunks with one ``get_many`` per node, and cuts
+  segments straight from the chunk list;
+* the **legacy per-chunk loop** (``batched=False``), kept as the reference
+  the equivalence suite and ``benchmarks/test_restore_scaling.py`` compare
+  against — byte-identical datasets and reports, field for field.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.core.chunking import Dataset
 from repro.core.fingerprint import Fingerprint
+from repro.core.restore_plan import RECONSTRUCT, cut_segments, plan_restore
 from repro.storage.local_store import Cluster, StorageError
 
 
@@ -33,14 +47,114 @@ class RestoreReport:
     source_nodes: Dict[int, int] = field(default_factory=dict)  # node -> chunks served
 
 
+def _span(trace, name, **attrs):
+    """A trace span when a trace was provided, else a no-op context."""
+    return trace.span(name, **attrs) if trace is not None else nullcontext()
+
+
 def restore_dataset(
-    cluster: Cluster, rank: int, dump_id: int = 0
+    cluster: Cluster,
+    rank: int,
+    dump_id: int = 0,
+    batched: bool = True,
+    trace=None,
 ) -> "tuple[Dataset, RestoreReport]":
     """Rebuild rank ``rank``'s dataset for ``dump_id`` from live nodes.
+
+    ``batched`` selects the vectorised hot path (default) or the legacy
+    per-chunk reference loop; both produce byte-identical datasets and
+    reports.  Pass a :class:`~repro.simmpi.trace.Trace` to record
+    ``restore-plan``/``restore-request``/``restore-reassemble`` spans and
+    the ``restore_locality`` gauge (fraction of restored frame bytes served
+    by the rank's own node).
 
     Raises :class:`~repro.storage.local_store.StorageError` if the manifest
     or any referenced chunk has no live holder.
     """
+    if batched:
+        return _restore_dataset_batched(cluster, rank, dump_id, trace)
+    return _restore_dataset_legacy(cluster, rank, dump_id)
+
+
+def _restore_dataset_batched(
+    cluster: Cluster, rank: int, dump_id: int, trace
+) -> "tuple[Dataset, RestoreReport]":
+    manifest = cluster.find_manifest(rank, dump_id)
+    report = RestoreReport(rank=rank, dump_id=dump_id)
+    if manifest.compressed:
+        from repro.compress.codecs import decode_auto
+    else:
+        decode_auto = None
+
+    with _span(trace, "restore-plan", rank=rank, dump_id=dump_id):
+        plan = plan_restore(cluster, rank, manifest, allow_reconstruct=True)
+        if trace is not None:
+            trace.annotate(
+                chunks=len(manifest.fingerprints),
+                distinct_chunks=len(plan.fps),
+            )
+
+    # Object array so per-holder frame lists scatter (and the final
+    # manifest-order gather runs) as single fancy-index operations.
+    payloads = np.empty(len(plan.fps), dtype=object)
+    local_bytes = 0
+    with _span(trace, "restore-request", rank=rank):
+        local_indices = plan.local_indices
+        if local_indices:
+            own_chunks = cluster.nodes[plan.own_node_id].chunks
+            frames = own_chunks.get_many([plan.fps[j] for j in local_indices])
+            payloads[local_indices] = frames
+            local_bytes = sum(map(len, frames))
+            report.local_chunks = len(local_indices)
+            report.source_nodes[plan.own_node_id] = len(local_indices)
+        for node_id, indices in plan.remote_groups().items():
+            frames = cluster.nodes[node_id].chunks.get_many(
+                [plan.fps[j] for j in indices]
+            )
+            payloads[indices] = frames
+            report.remote_bytes += sum(map(len, frames))
+            report.remote_chunks += len(indices)
+            report.source_nodes[node_id] = (
+                report.source_nodes.get(node_id, 0) + len(indices)
+            )
+        decode_indices = plan.reconstruct_indices
+        if decode_indices:
+            # Last resort: erasure-coded redundancy (parity mode) — decode
+            # each chunk from its stripe's survivors.
+            from repro.erasure.ec_dump import reconstruct_chunk
+
+            for j in decode_indices:
+                frame = reconstruct_chunk(cluster, plan.fps[j], dump_id)
+                payloads[j] = frame
+                report.remote_chunks += 1
+                report.remote_bytes += len(frame)
+                report.decoded_chunks += 1
+        if trace is not None and trace.span_enabled:
+            trace.annotate(
+                local_chunks=report.local_chunks,
+                remote_chunks=report.remote_chunks,
+                local_bytes=local_bytes,
+                remote_bytes=report.remote_bytes,
+            )
+            frame_bytes = local_bytes + report.remote_bytes
+            trace.metrics.gauge("restore_locality").set(
+                local_bytes / frame_bytes if frame_bytes else 1.0
+            )
+
+    with _span(trace, "restore-reassemble", rank=rank):
+        if decode_auto is not None:
+            payloads[:] = [decode_auto(frame) for frame in payloads.tolist()]
+        chunks = payloads[plan.index].tolist()
+        segments = cut_segments(chunks, manifest.segment_lengths, rank)
+        report.total_bytes = sum(manifest.segment_lengths)
+        if trace is not None:
+            trace.annotate(total_bytes=report.total_bytes)
+    return Dataset(segments), report
+
+
+def _restore_dataset_legacy(
+    cluster: Cluster, rank: int, dump_id: int
+) -> "tuple[Dataset, RestoreReport]":
     manifest = cluster.find_manifest(rank, dump_id)
     report = RestoreReport(rank=rank, dump_id=dump_id)
     if manifest.compressed:
@@ -90,19 +204,9 @@ def restore_dataset(
             cache[fp] = payload
         chunks.append(payload)
 
-    # Reassemble segments by cutting the chunk stream at segment boundaries.
-    segments: List[bytes] = []
-    cursor = 0
-    stream = b"".join(chunks)
-    for length in manifest.segment_lengths:
-        segments.append(stream[cursor : cursor + length])
-        cursor += length
-    if cursor != len(stream):
-        raise StorageError(
-            f"rank {rank}: manifest inconsistent — segments cover {cursor}B "
-            f"but chunks supply {len(stream)}B"
-        )
-    report.total_bytes = cursor
+    # Reassemble segments by cutting the chunk list at segment boundaries.
+    segments = cut_segments(chunks, manifest.segment_lengths, rank)
+    report.total_bytes = sum(manifest.segment_lengths)
     return Dataset(segments), report
 
 

@@ -240,13 +240,15 @@ def execute_scenario(
             found += inv.check_restore(
                 cluster, step_idx,
                 {key: 1 for key in ledger.floors}, oracle,
+                batched_restore=scenario.batched_restore,
             )
         else:
             checked.append("replication")
             found += inv.check_replication(cluster, step_idx, ledger.floors)
             checked.append("restore")
             found += inv.check_restore(
-                cluster, step_idx, ledger.floors, oracle
+                cluster, step_idx, ledger.floors, oracle,
+                batched_restore=scenario.batched_restore,
             )
             checked.append("audit-consistency")
             found += inv.check_audit_consistency(
@@ -444,7 +446,10 @@ def _execute_svc_scenario(
         checked.append("replication")
         found += inv.check_replication(cluster, step_idx, ledger.floors)
         checked.append("restore")
-        found += inv.check_restore(cluster, step_idx, ledger.floors, oracle)
+        found += inv.check_restore(
+            cluster, step_idx, ledger.floors, oracle,
+            batched_restore=scenario.batched_restore,
+        )
         checked.append("audit-consistency")
         known = sorted({d for d, _r in ledger.floors})
         found += inv.check_audit_consistency(

@@ -87,6 +87,10 @@ def generate_scenario(seed: int) -> Scenario:
             integrity=rng.choice(("crypto", "crypto", "fast")),
             workload_mode="fresh", workload=workload,
             steps=tuple(steps), differential=False,
+            # Trailing draw (stability rule): batched restore engages for
+            # every config — including parity, where it reaches the
+            # erasure-decode fallback — so the draw needs no gate.
+            batched_restore=rng.random() < 0.7,
         )
 
     alive = [True] * n
@@ -172,4 +176,8 @@ def generate_scenario(seed: int) -> Scenario:
         differential=differential,
         tenants=tenants, tenant_overlap=tenant_overlap,
         shard_count=shard_count,
+        # Trailing draw (stability rule).  Batched restore engages for every
+        # config — it is a property of the read path, not the dump — so the
+        # draw needs no gate; False keeps the legacy loop covered.
+        batched_restore=rng.random() < 0.7,
     )

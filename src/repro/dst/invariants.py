@@ -102,16 +102,24 @@ def check_restore(
     step: int,
     floors: Dict[Tuple[int, int], int],
     oracle,
+    batched_restore: bool = True,
 ) -> List[Violation]:
     """Every ``(dump, rank)`` with a positive floor must restore to exactly
-    the bytes the application dumped (``oracle(dump_id, rank) -> bytes``)."""
+    the bytes the application dumped (``oracle(dump_id, rank) -> bytes``).
+
+    When ``batched_restore`` is True the legacy per-chunk loop runs as a
+    differential reference: both paths must yield byte-identical datasets
+    and field-identical reports (the batched hot path's correctness bar).
+    """
     out: List[Violation] = []
     for (dump_id, rank), floor in sorted(floors.items()):
         if floor < 1:
             continue
         expected = oracle(dump_id, rank)
         try:
-            dataset, _report = restore_dataset(cluster, rank, dump_id)
+            dataset, report = restore_dataset(
+                cluster, rank, dump_id, batched=batched_restore
+            )
         except StorageError as exc:
             out.append(Violation(
                 "restore", step,
@@ -126,6 +134,30 @@ def check_restore(
                 f"rank {rank} dump {dump_id} restored {len(actual)}B that "
                 f"differ from the {len(expected)}B oracle",
             ))
+        if batched_restore:
+            try:
+                legacy, legacy_report = restore_dataset(
+                    cluster, rank, dump_id, batched=False
+                )
+            except StorageError as exc:
+                out.append(Violation(
+                    "restore", step,
+                    f"rank {rank} dump {dump_id} restored batched but the "
+                    f"legacy reference failed: {exc}",
+                ))
+                continue
+            if legacy.to_bytes() != actual:
+                out.append(Violation(
+                    "restore", step,
+                    f"rank {rank} dump {dump_id}: batched restore bytes "
+                    f"diverge from the legacy per-chunk loop",
+                ))
+            if vars(legacy_report) != vars(report):
+                out.append(Violation(
+                    "restore", step,
+                    f"rank {rank} dump {dump_id}: batched restore report "
+                    f"{vars(report)} != legacy {vars(legacy_report)}",
+                ))
     return out
 
 

@@ -183,6 +183,10 @@ class Scenario:
     tenant_overlap: float = 0.5
     #: fingerprint-prefix shards per node store (1 = flat store)
     shard_count: int = 1
+    #: restore through the batched hot path (True) or the legacy per-chunk
+    #: loop (False); when True the restore oracle also runs the legacy path
+    #: and requires byte-identical datasets and reports
+    batched_restore: bool = True
 
     def __post_init__(self) -> None:
         if self.n_ranks < 2:
@@ -354,6 +358,7 @@ class Scenario:
             "tenants": self.tenants,
             "tenant_overlap": self.tenant_overlap,
             "shard_count": self.shard_count,
+            "batched_restore": self.batched_restore,
         }
 
     def to_json(self) -> str:
@@ -394,6 +399,7 @@ class Scenario:
                 tenants=int(doc.get("tenants", 1)),
                 tenant_overlap=float(doc.get("tenant_overlap", 0.5)),
                 shard_count=int(doc.get("shard_count", 1)),
+                batched_restore=bool(doc.get("batched_restore", True)),
             )
         except KeyError as exc:
             raise ScenarioError(f"scenario document missing key {exc}") from None

@@ -136,7 +136,13 @@ class MultiLevelRuntime:
             )
         dump_id = max(common)
         if verify_restorable(self.cluster, self.comm.rank, dump_id) is None:
-            dataset, _report = restore_dataset(self.cluster, self.comm.rank, dump_id)
+            dataset, _report = restore_dataset(
+                self.cluster,
+                self.comm.rank,
+                dump_id,
+                batched=self.runtime.config.batched,
+                trace=self.comm.trace,
+            )
             level = "L1"
             self.stats.l1_restarts += 1
         else:

@@ -116,7 +116,11 @@ class CheckpointRuntime:
             raise RuntimeError("no checkpoint has been taken yet")
         with self.comm.trace.span("restart", dump_id=dump_id):
             dataset, _report = restore_dataset(
-                self.cluster, self.comm.rank, dump_id
+                self.cluster,
+                self.comm.rank,
+                dump_id,
+                batched=self.config.batched,
+                trace=self.comm.trace,
             )
         self.memory.restore(dataset)
         self.stats.restarts += 1

@@ -246,6 +246,24 @@ class ChunkStore:
                         return fh.read()
             raise StorageError(f"chunk {fp.hex()[:12]}... not in store") from None
 
+    def get_many(self, fps: Iterable[Fingerprint]) -> List[bytes]:
+        """Batch :meth:`get`: payloads in request order.
+
+        The common case — every fingerprint in memory — is a single dict
+        sweep; any miss falls back to per-fingerprint :meth:`get` for the
+        disk-backed lookup and the exact missing-chunk error.
+        """
+        fps = fps if isinstance(fps, (list, tuple)) else list(fps)
+        chunks = self._chunks
+        try:
+            return [chunks[fp] for fp in fps]
+        except KeyError:
+            return [self.get(fp) for fp in fps]
+
+    def has_many(self, fps: Iterable[Fingerprint]) -> List[bool]:
+        """Batch :meth:`has`: one membership flag per fingerprint, in order."""
+        return list(map(self._refcounts.__contains__, fps))
+
     def nbytes_of(self, fp: Fingerprint) -> int:
         """Stored payload size of a chunk (no copy for in-memory stores)."""
         data = self._chunks.get(fp)
@@ -406,6 +424,34 @@ class ShardedChunkStore:
 
     def get(self, fp: Fingerprint) -> bytes:
         return self.shards[fp[0] % self.shard_count].get(fp)
+
+    def _scatter_gather(self, fps, op: str):
+        """Run a batch read op per shard — one lock acquisition per shard —
+        and scatter the results back into request order."""
+        fps = fps if isinstance(fps, (list, tuple)) else list(fps)
+        if self.shard_count == 1:
+            with self._locks[0]:
+                return getattr(self.shards[0], op)(fps)
+        groups: Dict[int, List[int]] = {}
+        for pos, fp in enumerate(fps):
+            groups.setdefault(fp[0] % self.shard_count, []).append(pos)
+        out: List = [None] * len(fps)
+        for i, positions in groups.items():
+            with self._locks[i]:
+                results = getattr(self.shards[i], op)(
+                    [fps[p] for p in positions]
+                )
+            for p, value in zip(positions, results):
+                out[p] = value
+        return out
+
+    def get_many(self, fps: Iterable[Fingerprint]) -> List[bytes]:
+        """Batch :meth:`get`, grouped by shard (one lock grab per shard)."""
+        return self._scatter_gather(fps, "get_many")
+
+    def has_many(self, fps: Iterable[Fingerprint]) -> List[bool]:
+        """Batch :meth:`has`, grouped by shard (one lock grab per shard)."""
+        return self._scatter_gather(fps, "has_many")
 
     def nbytes_of(self, fp: Fingerprint) -> int:
         return self.shards[fp[0] % self.shard_count].nbytes_of(fp)
@@ -711,6 +757,25 @@ class Cluster:
     def locate(self, fp: Fingerprint) -> List[int]:
         """Live node ids holding the fingerprint."""
         return [n.node_id for n in self._nodes if n.alive and n.chunks.has(fp)]
+
+    def locate_many(
+        self, fps: Iterable[Fingerprint]
+    ) -> List[List[int]]:
+        """Batch :meth:`locate`: per-fingerprint live holder lists, computed
+        with one ``has_many`` sweep per live node instead of one store probe
+        per (fingerprint, node) pair.  Holder ids come out ascending, exactly
+        like :meth:`locate` — the restore planner's tie-break relies on it.
+        """
+        fps = fps if isinstance(fps, (list, tuple)) else list(fps)
+        holders: List[List[int]] = [[] for _ in fps]
+        for node in self._nodes:
+            if not node.alive:
+                continue
+            node_id = node.node_id
+            for i, flag in enumerate(node.chunks.has_many(fps)):
+                if flag:
+                    holders[i].append(node_id)
+        return holders
 
     def locate_any(self, fp: Fingerprint) -> bytes:
         """Fetch a chunk from any live holder."""

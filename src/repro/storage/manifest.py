@@ -14,6 +14,8 @@ import struct
 from dataclasses import dataclass, field
 from typing import List
 
+import numpy as np
+
 from repro.core.fingerprint import Fingerprint
 
 _HEADER = struct.Struct("<IIIIII")  # version, rank, dump_id, n_segments, digest_size, flags
@@ -102,15 +104,23 @@ class Manifest:
         offset += _U64.size
         (n_fps,) = _U64.unpack_from(data, offset)
         offset += _U64.size
-        segment_lengths = []
-        for _ in range(n_segments):
-            (length,) = _U64.unpack_from(data, offset)
-            segment_lengths.append(length)
-            offset += _U64.size
-        fingerprints = []
-        for _ in range(n_fps):
-            fingerprints.append(bytes(data[offset : offset + digest_size]))
-            offset += digest_size
+        # Column decodes (restore hot path: every restore parses the
+        # manifest).  Void dtype for the digests — numpy's S strings are
+        # null-stripped and would truncate trailing-zero digest bytes.
+        segment_lengths = np.frombuffer(
+            data, dtype="<u8", count=n_segments, offset=offset
+        ).tolist()
+        offset += n_segments * _U64.size
+        if n_fps and digest_size:
+            fingerprints = np.frombuffer(
+                data,
+                dtype=np.dtype((np.void, digest_size)),
+                count=n_fps,
+                offset=offset,
+            ).tolist()
+        else:
+            fingerprints = [b""] * n_fps
+        offset += n_fps * digest_size
         if offset != len(data):
             raise ValueError(
                 f"trailing bytes in manifest: consumed {offset} of {len(data)}"

@@ -391,9 +391,20 @@ class CheckpointService:
 
     # -- tenant-facing data path -------------------------------------------------
     def restore(self, tenant: str, rank: int, tenant_dump_id: int):
-        """Restore ``rank``'s dataset of one of ``tenant``'s own dumps."""
+        """Restore ``rank``'s dataset of one of ``tenant``'s own dumps.
+
+        Runs the batched hot path whenever the service config does (the
+        default), recording restore spans and the ``restore_locality``
+        gauge on the service trace.
+        """
         global_id = self._resolve(tenant, tenant_dump_id)
-        return restore_dataset(self.cluster, rank, global_id)
+        return restore_dataset(
+            self.cluster,
+            rank,
+            global_id,
+            batched=self.config.batched,
+            trace=self.trace,
+        )
 
     def repair(self, timeout: Optional[float] = None):
         """Re-replicate every tenant's surviving dumps after failures."""

@@ -3,7 +3,16 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.wire import decode_region, encode_record, iter_window_records, slot_nbytes
+from repro.core.wire import (
+    decode_region,
+    decode_restore_reply,
+    decode_restore_request,
+    encode_record,
+    encode_restore_reply,
+    encode_restore_request,
+    iter_window_records,
+    slot_nbytes,
+)
 
 DIGEST = 20
 CHUNK = 64
@@ -168,3 +177,54 @@ class TestGlobalViewCodec:
 
         with pytest.raises(ValueError):
             decode_global_view(b"YYYY" + b"\x00" * 64)
+
+
+class TestRestoreRequestCodec:
+    def test_roundtrip(self):
+        fps = [fp_of(i) for i in (3, 0, 255, 3)]
+        blob = encode_restore_request(fps)
+        assert blob[:4] == b"RRQ1"
+        assert decode_restore_request(blob) == fps
+
+    def test_empty(self):
+        blob = encode_restore_request([])
+        assert decode_restore_request(blob) == []
+
+    def test_trailing_null_fingerprints_survive(self):
+        # Regression: an S-dtype decode null-strips trailing zero bytes —
+        # a ~n/256 event per request that surfaced as missing-chunk errors
+        # deep inside the reply round.
+        fps = [b"\xaa" * 19 + b"\x00", b"\x00" * 20, b"\xbb" * 20]
+        decoded = decode_restore_request(encode_restore_request(fps))
+        assert decoded == fps
+        assert all(isinstance(fp, bytes) and len(fp) == 20 for fp in decoded)
+
+    def test_mixed_widths_fall_back_to_pickle(self):
+        fps = [b"ab", b"abc"]
+        blob = encode_restore_request(fps)
+        assert blob[:4] == b"RRQP"
+        assert decode_restore_request(blob) == fps
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_restore_request(b"XXXX" + b"\x00" * 16)
+
+
+class TestRestoreReplyCodec:
+    def test_roundtrip(self):
+        payloads = [b"", b"x" * 5, b"\x00" * 3, b"yz"]
+        blob = encode_restore_reply(payloads)
+        assert blob[:4] == b"RRP1"
+        assert decode_restore_reply(blob) == payloads
+
+    def test_empty(self):
+        assert decode_restore_reply(encode_restore_reply([])) == []
+
+    def test_generator_input(self):
+        payloads = [b"aa", b"bbb"]
+        blob = encode_restore_reply(p for p in payloads)
+        assert decode_restore_reply(blob) == payloads
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_restore_reply(b"XXXX" + b"\x00" * 8)

@@ -55,10 +55,15 @@ def test_corpus_covers_the_feature_matrix():
             feats.add("tenant-gc")
         if s.shard_count > 1:
             feats.add("sharded")
+        if s.batched_restore:
+            feats.add("batched-restore")
+        else:
+            feats.add("legacy-restore")
     assert feats >= {
         "parity", "repeat", "differential", "legacy", "compress",
         "crash", "mid-dump", "repair", "pipelined-fast",
         "multi-tenant", "tenant-gc", "sharded",
+        "batched-restore", "legacy-restore",
     }
 
 

@@ -82,3 +82,41 @@ class TestDirectoryBackend:
         store.put(fp(7), b"persisted")
         store._chunks.clear()  # simulate memory eviction
         assert store.get(fp(7)) == b"persisted"
+
+
+class TestBatchedReads:
+    def _loaded(self, **kwargs):
+        store = ChunkStore(**kwargs)
+        for i in range(8):
+            store.put(fp(i), bytes([i]) * 4)
+        return store
+
+    def test_get_many_matches_gets(self):
+        store = self._loaded()
+        fps = [fp(3), fp(0), fp(3), fp(7)]
+        assert store.get_many(fps) == [store.get(f) for f in fps]
+
+    def test_get_many_empty(self):
+        assert ChunkStore().get_many([]) == []
+
+    def test_get_many_generator_input(self):
+        store = self._loaded()
+        assert store.get_many(fp(i) for i in (1, 2)) == [b"\x01" * 4, b"\x02" * 4]
+
+    def test_get_many_missing_raises_same_error(self):
+        store = self._loaded()
+        with pytest.raises(StorageError, match="not in store"):
+            store.get_many([fp(0), fp(42)])
+
+    def test_has_many_matches_has(self):
+        store = self._loaded()
+        fps = [fp(0), fp(42), fp(7), fp(99)]
+        assert store.has_many(fps) == [store.has(f) for f in fps]
+        assert ChunkStore().has_many([]) == []
+
+    def test_disk_backed_get_many(self, tmp_path):
+        store = self._loaded(directory=str(tmp_path))
+        # Drop the memory copies so get_many actually reads the files.
+        evicted = ChunkStore(directory=str(tmp_path))
+        fps = [fp(5), fp(1)]
+        assert evicted.get_many(fps) == [bytes([5]) * 4, bytes([1]) * 4]

@@ -18,6 +18,7 @@ from repro.storage import (
     ShardedManifestIndex,
     make_chunk_store,
 )
+from repro.storage.local_store import StorageError
 
 PAYLOADS = [bytes([i]) * (16 + 8 * i) for i in range(8)]
 FPS = [hashlib.sha1(p).digest() for p in PAYLOADS]
@@ -176,3 +177,22 @@ class TestShardedManifestIndex:
         assert len(index) == len(keys) - 1
         with pytest.raises(KeyError):
             index[(0, 0)]
+
+
+class TestShardedBatchedReads:
+    @pytest.mark.parametrize("shard_count", [1, 4, 8])
+    def test_scatter_gather_preserves_request_order(self, shard_count):
+        store = ShardedChunkStore(shard_count=shard_count)
+        for fp, payload in zip(FPS, PAYLOADS):
+            store.put(fp, payload)
+        # Request order deliberately interleaves shards and repeats.
+        fps = [FPS[3], FPS[0], FPS[3], FPS[-1], FPS[1]]
+        assert store.get_many(fps) == [store.get(f) for f in fps]
+        probe = fps + [b"\xff" * 20]
+        assert store.has_many(probe) == [store.has(f) for f in probe]
+
+    def test_get_many_missing_raises(self):
+        store = ShardedChunkStore(shard_count=4)
+        store.put(FPS[0], PAYLOADS[0])
+        with pytest.raises(StorageError, match="not in store"):
+            store.get_many([FPS[0], b"\xfe" * 20])
