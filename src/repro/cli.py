@@ -30,6 +30,12 @@ Multi-tenant checkpoint service (see :mod:`repro.svc`):
     repro-eval serve --tenants 3 --dumps 4 --overlap 0.5
     repro-eval serve --tenants 2 --shards 8 --attribution split \
         --gc-oldest --out svc_run.json
+    repro-eval serve --tenants 2 --dumps 6 --slo --top-every 2
+
+SLO burn rates and bench regression gating (see :mod:`repro.obs`):
+
+    repro-eval slo --seed 7 --tenants 3 --bursts 8 --out verdict.json
+    repro-eval bench-diff BENCH_fresh.json BENCH_hotpath.json
 
 Errors (unknown subcommands, bad ``--backend``, missing trace files,
 malformed snapshots) print a one-line message to stderr and exit 2.
@@ -392,6 +398,9 @@ def cmd_serve(args) -> None:
     the per-tenant bill, cross-tenant savings, store shape and queue
     health.  ``--out`` writes the service's ``repro.obs/run/v1`` metrics
     snapshot (queue depth, admission latency, dedup-ratio gauges).
+    ``--slo`` arms the default burn-rate objectives over the service
+    timeline (the report gains an SLO section); ``--top-every N``
+    repaints a one-line live dashboard every N service ticks.
     """
     from repro.core.config import DumpConfig
     from repro.svc import (
@@ -401,6 +410,7 @@ def cmd_serve(args) -> None:
         TenantWorkload,
         build_report,
         format_service_report,
+        format_top,
     )
 
     config = DumpConfig(
@@ -421,6 +431,10 @@ def cmd_serve(args) -> None:
         max_logical_bytes=args.quota_bytes,
         max_dumps_per_window=args.quota_rate,
     )
+    if args.slo:
+        from repro.obs.slo import SLOEngine
+
+        service.attach_slo(SLOEngine())
     names = [f"tenant-{i}" for i in range(args.tenants)]
     for name in names:
         service.register_tenant(name, quota=quota)
@@ -438,7 +452,14 @@ def cmd_serve(args) -> None:
                 service.submit(name, workload)
             except ServiceError as exc:
                 print(f"rejected {name} dump {dump_index}: {exc}")
-        service.drain()
+        if args.top_every:
+            # Manual drain so the dashboard repaints between ticks.
+            while service.queue.depth:
+                service.step()
+                if service.tick % args.top_every == 0:
+                    print(format_top(service))
+        else:
+            service.drain()
     if args.gc_oldest:
         for name in names:
             outcome = service.gc(name, 0)
@@ -457,6 +478,100 @@ def cmd_serve(args) -> None:
         )
         write_run(args.out, run)
         print(f"wrote {args.out}")
+
+
+def cmd_slo(args) -> None:
+    """Seeded bursty serve run with burn-rate SLO evaluation.
+
+    Drives the service through ``--bursts`` seeded bursts — each submits a
+    random clump of tenant dumps up front (so later ones queue), executes
+    one dump per tick, then idles a random gap so the burn windows age —
+    and prints the burn-rate report.  Everything the SLO engine sees is
+    logical ticks, so ``--out`` writes a ``repro.obs/slo/v1`` verdict that
+    is byte-identical for the same seed (the CI slo-smoke job runs this
+    twice and compares); ``--timeline-out`` writes the raw
+    ``repro.obs/timeline/v1`` document (wall-clock latencies included,
+    excluded from the determinism contract).
+    """
+    import json as _json
+    import random
+
+    from repro.core.config import DumpConfig
+    from repro.obs.slo import DEFAULT_OBJECTIVES, SLOEngine, format_slo_report
+    from repro.svc import CheckpointService, TenantWorkload
+
+    config = DumpConfig(
+        replication_factor=args.k,
+        chunk_size=args.chunk_size,
+        f_threshold=1 << 14,
+    )
+    service = CheckpointService(
+        args.n, config=config, backend=args.backend or "thread",
+        max_inflight=1,
+    )
+    engine = SLOEngine(
+        args.objective or DEFAULT_OBJECTIVES,
+        windows=((8, 1.0), (4, 1.0)),
+        min_samples=args.min_samples,
+    )
+    service.attach_slo(engine)
+    names = [f"tenant-{i}" for i in range(args.tenants)]
+    for name in names:
+        service.register_tenant(name)
+    rng = random.Random(args.seed)
+    dump_index = 0
+    for _burst in range(args.bursts):
+        for _ in range(rng.randint(1, 2 * args.tenants)):
+            tenant = rng.randrange(args.tenants)
+            service.submit(
+                names[tenant],
+                TenantWorkload(
+                    tenant,
+                    overlap=args.overlap,
+                    chunks_per_rank=args.chunks_per_rank,
+                    chunk_size=args.chunk_size,
+                    seed=args.seed,
+                    dump_index=dump_index,
+                ),
+            )
+            dump_index += 1
+        while service.queue.depth:
+            service.step()
+        for _ in range(rng.randint(0, 3)):
+            service.tick_idle()
+    print(format_slo_report(engine, service.timeline))
+    if args.out:
+        verdict = engine.verdict(service.timeline)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(_json.dumps(verdict, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    if args.timeline_out:
+        doc = service.timeline.as_dict()
+        with open(args.timeline_out, "w", encoding="utf-8") as fh:
+            fh.write(_json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.timeline_out}")
+    if engine.alerts and args.check:
+        raise SystemExit(1)
+
+
+def cmd_bench_diff(args) -> None:
+    """Compare a fresh bench document against a committed baseline.
+
+    Exits 0 when every shared benchmark is within tolerance, 2 on any
+    regression — the CI gate that stops a PR from landing a slowdown the
+    bench suite already measured.
+    """
+    from repro.obs.bench_diff import diff_bench, format_bench_diff, load_bench
+
+    diff = diff_bench(
+        load_bench(args.fresh),
+        load_bench(args.baseline),
+        tolerance=args.tolerance,
+        min_seconds=args.min_seconds,
+    )
+    print(format_bench_diff(diff))
+    if not diff.ok:
+        raise SystemExit(2)
 
 
 def cmd_shuffle(args) -> None:
@@ -659,7 +774,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sv.add_argument("--out", default=None, metavar="FILE",
                     help="write the service metrics run snapshot here")
+    sv.add_argument("--slo", action="store_true",
+                    help="arm the default burn-rate objectives over the "
+                    "service timeline")
+    sv.add_argument("--top-every", type=int, default=0, metavar="N",
+                    help="print the one-line live dashboard every N "
+                    "service ticks (0 = off)")
     sv.set_defaults(func=cmd_serve)
+
+    so = sub.add_parser(
+        "slo",
+        help="seeded bursty serve run with deterministic burn-rate "
+        "SLO verdicts",
+    )
+    so.add_argument("--seed", type=int, default=0,
+                    help="arrival-process seed (same seed, same verdict)")
+    so.add_argument("--tenants", type=int, default=2)
+    so.add_argument("--bursts", type=int, default=6,
+                    help="burst rounds (each: clump of submits, drain, "
+                    "idle gap)")
+    so.add_argument("--n", type=int, default=4, help="ranks per dump")
+    so.add_argument("--k", type=int, default=2, help="replication factor")
+    so.add_argument("--overlap", type=float, default=0.5)
+    so.add_argument("--chunks-per-rank", type=int, default=8)
+    so.add_argument("--chunk-size", type=int, default=128)
+    so.add_argument("--min-samples", type=int, default=3,
+                    help="samples a window needs before it may fire")
+    so.add_argument("--objective", action="append", default=[],
+                    metavar="SPEC",
+                    help="objective '<op>.<field>.<stat> <cmp> <value>' "
+                    "(repeatable; default: the built-in set)")
+    so.add_argument("--backend", default=None,
+                    help="SPMD execution backend: thread or process")
+    so.add_argument("--out", default=None, metavar="FILE",
+                    help="write the repro.obs/slo/v1 verdict JSON here")
+    so.add_argument("--timeline-out", default=None, metavar="FILE",
+                    help="write the repro.obs/timeline/v1 document here")
+    so.add_argument("--check", action="store_true",
+                    help="exit 1 if any alert fired")
+    so.set_defaults(func=cmd_slo)
+
+    bd = sub.add_parser(
+        "bench-diff",
+        help="compare a fresh bench JSON against a committed baseline; "
+        "exit 2 on regression",
+    )
+    bd.add_argument("fresh", help="freshly generated BENCH_*.json")
+    bd.add_argument("baseline", help="committed baseline BENCH_*.json")
+    bd.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional slowdown before a timing "
+                    "counts as a regression (default 0.25)")
+    bd.add_argument("--min-seconds", type=float, default=1e-3,
+                    help="ignore timings below this floor (noise)")
+    bd.set_defaults(func=cmd_bench_diff)
     return parser
 
 

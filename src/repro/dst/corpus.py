@@ -5,7 +5,9 @@ scenarios frozen as JSON, chosen to cover the feature matrix (batched and
 legacy paths, degraded dumps with mid-dump and between-dump crashes,
 repair, parity redundancy, compression, the fingerprint-cache mode, the
 pipelined dump with fast (non-cryptographic) fingerprints, sharded chunk
-stores, multi-tenant service scenarios with per-tenant GC,
+stores, multi-tenant service scenarios with per-tenant GC, bursty
+arrival with idle ticks — including at least one seed whose queue-wait
+SLO fires, keeping the burn-rate engine's alert path replayed in CI —
 cross-backend differential runs, and both the batched and legacy restore
 paths with the batched-vs-legacy differential oracle armed).  CI replays the corpus on every PR under
 a small time budget; the scheduled sweep explores fresh random seeds and
@@ -23,7 +25,7 @@ from repro.dst.scenario import Scenario, load_scenario, save_scenario
 #: seeds frozen into the checked-in corpus; regenerate the JSON with
 #: ``write_corpus`` when the generator changes (the files are the source
 #: of truth for CI — a drifting generator does not silently change them)
-CORPUS_SEEDS = (1, 3, 7, 11, 21, 25, 33, 45, 54, 68)
+CORPUS_SEEDS = (1, 3, 7, 11, 21, 25, 33, 45, 48, 54, 68)
 
 
 def default_corpus_dir() -> str:

@@ -39,6 +39,15 @@ BUGS = ("drop-replica",)
 #: the process backend's forks), so its hit counters legitimately differ.
 _BACKEND_SPECIFIC_FIELDS = ("cache_hits", "cache_bytes_skipped")
 
+#: SLO configuration armed on every multi-tenant scenario.  Queue-wait
+#: ticks are pure logical time, so the alert timeline joins the verdict's
+#: byte-equality contract; the windows are short to match the short step
+#: schedules the generator draws (steady runs wait 1 tick, bursty runs
+#: queue behind each other and trip the p95 threshold).
+SVC_SLO_OBJECTIVES = ("dump.queue_wait_ticks.p95 < 2",)
+SVC_SLO_WINDOWS = ((8, 1.0), (4, 1.0))
+SVC_SLO_MIN_SAMPLES = 3
+
 
 @dataclass
 class FuzzResult:
@@ -52,6 +61,9 @@ class FuzzResult:
     reports_digest: str = ""
     #: per-rank merged traces (``collect_trace=True`` only)
     traces: Optional[list] = None
+    #: the service SLO engine's deterministic verdict (multi-tenant
+    #: scenarios only; tick-based, so it joins the byte-equality contract)
+    slo: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -59,7 +71,7 @@ class FuzzResult:
 
     def verdict(self) -> dict:
         """The deterministic verdict document (JSON-able, timestamp-free)."""
-        return {
+        doc = {
             "schema": VERDICT_SCHEMA_ID,
             "seed": self.scenario.seed,
             "backend": self.backend,
@@ -69,6 +81,9 @@ class FuzzResult:
             "cluster_digest": self.cluster_digest,
             "reports_digest": self.reports_digest,
         }
+        if self.slo is not None:
+            doc["slo"] = self.slo
+        return doc
 
     def verdict_json(self) -> str:
         return json.dumps(self.verdict(), indent=2, sort_keys=True) + "\n"
@@ -262,7 +277,11 @@ def execute_scenario(
     for step_idx, step in enumerate(scenario.steps):
         step_doc: dict = {"op": step.op}
         checked: List[str] = []
-        if step.op == "crash":
+        if step.op == "tick":
+            # Idle ticks model arrival gaps; without a service queue there
+            # is no logical clock to advance, so they are pure no-ops.
+            step_doc["noop"] = True
+        elif step.op == "crash":
             was_alive = alive[step.node]
             step_doc["node"] = step.node
             step_doc["noop"] = not was_alive
@@ -402,13 +421,20 @@ def _execute_svc_scenario(
 ) -> FuzzResult:
     """Run a multi-tenant scenario through :class:`repro.svc.CheckpointService`.
 
-    Dumps route through the service's admission queue (one per tick, so
-    the schedule is exactly the scenario's step order), gc steps collect
-    the named tenant's oldest live dump, and the invariant battery gains
-    the two service oracles: tenant isolation and cross-tenant accounting.
-    The replica ledger works on *global* dump ids, matching the manifest
-    keys the service actually writes.
+    Dumps route through the service's admission queue — one executes per
+    tick, so under ``steady`` arrival the schedule is exactly the
+    scenario's step order, while ``bursty`` arrival submits every dump of
+    a consecutive-dump run up front (later dumps queue behind earlier
+    ones, so queue waits grow and the armed queue-wait SLO sees real
+    burn); ``tick`` steps advance the service clock idly between bursts.
+    GC steps collect the named tenant's oldest live dump, and the
+    invariant battery gains three service oracles: tenant isolation,
+    cross-tenant accounting and SLO determinism (a fresh engine replayed
+    over the timeline must reproduce the live alert list).  The replica
+    ledger works on *global* dump ids, matching the manifest keys the
+    service actually writes.
     """
+    from repro.obs.slo import SLOEngine
     from repro.svc.errors import ServiceError
     from repro.svc.service import CheckpointService
 
@@ -422,6 +448,10 @@ def _execute_svc_scenario(
         n, config=config, shard_count=scenario.shard_count,
         backend=backend, max_inflight=1,
     )
+    service.attach_slo(SLOEngine(
+        SVC_SLO_OBJECTIVES, windows=SVC_SLO_WINDOWS,
+        min_samples=SVC_SLO_MIN_SAMPLES,
+    ))
     cluster = service.cluster
     ledger = ReplicaLedger(k_eff)
     alive = [True] * n
@@ -461,13 +491,59 @@ def _execute_svc_scenario(
         found += inv.check_tenant_isolation(service, step_idx)
         checked.append("cross-tenant-accounting")
         found += inv.check_cross_tenant_accounting(service, step_idx)
+        checked.append("slo-determinism")
+        found += inv.check_slo_determinism(service, step_idx)
         return found
 
-    dump_index = 0
+    bursty = scenario.arrival == "bursty"
+    #: ticket -> (tenant index, scenario dump index, crash that will fire)
+    pending_meta: Dict[int, Tuple[int, int, Optional[object]]] = {}
+    submit_dump_index = 0  # scenario dump index of the next submission
+    next_submit_idx = 0  # first step index whose dump is not yet submitted
+
+    def submit_run(start_idx: int) -> int:
+        """Submit the dump at ``start_idx`` — and, under bursty arrival,
+        every consecutive dump step after it (the burst).  Mid-dump crash
+        liveness is judged at submission: a burst has no crash/repair
+        steps inside it and the generator never targets one node twice,
+        so run-start liveness is execution-time liveness for every victim.
+        Returns the first step index past the submitted stretch.
+        """
+        nonlocal submit_dump_index
+        j = start_idx
+        while j < len(scenario.steps) and scenario.steps[j].op == "dump":
+            s = scenario.steps[j]
+            workload = scenario.make_workload(
+                submit_dump_index, tenant=s.tenant
+            )
+            phase_hook = None
+            crash = s.crash if (
+                s.crash is not None and alive[s.crash.node]
+            ) else None
+            if crash is not None:
+                from repro.storage.failures import FailureInjector
+
+                injector = FailureInjector(cluster)
+                phase_hook = injector.mid_dump_hook(
+                    crash.node, crash.phase, rank=crash.node
+                )
+            ticket = service.submit(
+                tenant_names[s.tenant], workload, phase_hook=phase_hook
+            )
+            pending_meta[ticket] = (s.tenant, submit_dump_index, crash)
+            submit_dump_index += 1
+            j += 1
+            if not bursty:
+                break
+        return j
+
     for step_idx, step in enumerate(scenario.steps):
         step_doc: dict = {"op": step.op}
         checked: List[str] = []
-        if step.op == "crash":
+        if step.op == "tick":
+            service.tick_idle()
+            step_doc["tick"] = service.tick
+        elif step.op == "crash":
             was_alive = alive[step.node]
             step_doc["node"] = step.node
             step_doc["noop"] = not was_alive
@@ -481,33 +557,30 @@ def _execute_svc_scenario(
             step_doc["chunks_moved"] = report.chunks_moved
             step_doc["manifests_moved"] = report.manifests_moved
         elif step.op == "dump":
-            tenant_idx = step.tenant
-            name = tenant_names[tenant_idx]
+            if step_idx >= next_submit_idx:
+                next_submit_idx = submit_run(step_idx)
             snapshot = list(alive)
-            workload = scenario.make_workload(dump_index, tenant=tenant_idx)
-            phase_hook = None
-            crash = step.crash
-            crash_fires = crash is not None and alive[crash.node]
-            if crash_fires:
-                from repro.storage.failures import FailureInjector
-
-                injector = FailureInjector(cluster)
-                phase_hook = injector.mid_dump_hook(
-                    crash.node, crash.phase, rank=crash.node
-                )
-            ticket = service.submit(name, workload, phase_hook=phase_hook)
-            service.step()
-            outcome = service.outcome(ticket)
+            outcomes = service.step()
+            # One dump executes per tick (max_inflight=1); under bursty
+            # arrival the admission queue's round-robin may execute a
+            # different tenant's dump than this step submitted, so the
+            # outcome's own ticket keys the bookkeeping.
+            outcome = outcomes[0]
+            tenant_idx, this_dump_index, crash = pending_meta.pop(
+                outcome.ticket
+            )
+            name = outcome.tenant
             global_id = outcome.global_dump_id
-            dump_meta[global_id] = (tenant_idx, dump_index)
+            dump_meta[global_id] = (tenant_idx, this_dump_index)
             live_dumps[name].append((outcome.tenant_dump_id, global_id))
             all_reports.append(outcome.reports)
             ledger.record_dump(global_id, snapshot)
-            if crash_fires:
+            if crash is not None:
                 alive[crash.node] = False
                 ledger.record_death()
             step_doc["dump_id"] = global_id
             step_doc["tenant"] = name
+            step_doc["wait_ticks"] = outcome.wait_ticks
             step_doc["reports"] = [
                 _normalized_report(r) for r in outcome.reports
             ]
@@ -520,7 +593,6 @@ def _execute_svc_scenario(
                 step_idx, outcome.reports,
                 parity=False, alive=snapshot,
             )
-            dump_index += 1
         elif step.op == "gc":
             name = tenant_names[step.tenant]
             step_doc["tenant"] = name
@@ -559,6 +631,7 @@ def _execute_svc_scenario(
 
     result.cluster_digest = cluster_digest(cluster)
     result.reports_digest = reports_digest(all_reports)
+    result.slo = service.slo.verdict(service.timeline)
     if collect_trace:
         from repro.obs.export import merge_traces
 
@@ -594,6 +667,12 @@ def differential_check(
             "differential", last,
             f"invariant verdicts diverge: thread found "
             f"{len(thread_verdicts)}, process found {len(process_verdicts)}",
+        ))
+    if thread_result.slo != process_result.slo:
+        out.append(inv.Violation(
+            "differential", last,
+            "SLO verdicts diverge between backends (queue waits are "
+            "logical ticks, so they must be backend-independent)",
         ))
     return out
 

@@ -22,7 +22,10 @@ Generation respects the constraints that make the invariant oracles sound:
   not survive the process backend's forks);
 * ``pipelined=True`` is only drawn for configs the pipelined dump
   actually accepts (batched replication, non-degraded), so the knob never
-  silently degenerates to the strict path; ``integrity`` varies freely.
+  silently degenerates to the strict path; ``integrity`` varies freely;
+* bursty arrival (whole dump-runs submitted up front, idle ``tick`` steps
+  between bursts) is only drawn for multi-tenant scenarios — it is a
+  service-queue property — and feeds the deterministic queue-wait SLO.
 """
 
 from __future__ import annotations
@@ -165,6 +168,28 @@ def generate_scenario(seed: int) -> Scenario:
                 live[t] -= 1
         steps = tenant_steps
 
+    # Trailing draw (stability rule).  Batched restore engages for every
+    # config — it is a property of the read path, not the dump — so the
+    # draw needs no gate; False keeps the legacy loop covered.
+    batched_restore = rng.random() < 0.7
+
+    # Arrival pattern draws after batched_restore (same stability rule).
+    # Bursty arrival only means anything to the service path, so it is
+    # gated on multi-tenancy; the burstification below inserts idle ticks
+    # between Poisson-ish bursts so the queue drains and the SLO engine
+    # sees both burn and recovery within one scenario.
+    arrival = "steady"
+    if tenants > 1 and rng.random() < 0.5:
+        arrival = "bursty"
+        bursty_steps: List[Step] = []
+        for step in steps:
+            if step.op == "dump" and bursty_steps and rng.random() < 0.5:
+                # Arrival gap: geometric-ish idle stretch before this burst.
+                for _ in range(rng.randint(1, 3)):
+                    bursty_steps.append(Step("tick"))
+            bursty_steps.append(step)
+        steps = bursty_steps
+
     return Scenario(
         seed=seed, n_ranks=n, k=k, chunk_size=chunk_size,
         chunks_per_rank=chunks_per_rank, f_threshold=f_threshold,
@@ -176,8 +201,6 @@ def generate_scenario(seed: int) -> Scenario:
         differential=differential,
         tenants=tenants, tenant_overlap=tenant_overlap,
         shard_count=shard_count,
-        # Trailing draw (stability rule).  Batched restore engages for every
-        # config — it is a property of the read path, not the dump — so the
-        # draw needs no gate; False keeps the legacy loop covered.
-        batched_restore=rng.random() < 0.7,
+        batched_restore=batched_restore,
+        arrival=arrival,
     )

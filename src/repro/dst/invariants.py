@@ -324,6 +324,29 @@ def check_cross_tenant_accounting(service, step: int) -> List[Violation]:
     return out
 
 
+def check_slo_determinism(service, step: int) -> List[Violation]:
+    """The attached SLO engine's alert timeline must be a pure fold over
+    the telemetry timeline: replaying a fresh engine over ticks
+    ``1..service.tick`` must reproduce the live engine's alerts exactly.
+    Only sound while the timeline ring has evicted nothing — a dropped
+    sample legitimately changes what a replay can see — so the check
+    disarms (returns nothing) once ``timeline.dropped > 0``.
+    """
+    engine = getattr(service, "slo", None)
+    timeline = getattr(service, "timeline", None)
+    if engine is None or timeline is None or timeline.dropped:
+        return []
+    replayed = engine.replay(timeline, upto_tick=service.tick)
+    if replayed == engine.alerts:
+        return []
+    return [Violation(
+        "slo-determinism", step,
+        f"replayed alert timeline diverges from the live engine: "
+        f"replay produced {len(replayed)} event(s), live recorded "
+        f"{len(engine.alerts)}",
+    )]
+
+
 def check_parity_margin(
     cluster: Cluster, step: int, target_k: int
 ) -> List[Violation]:

@@ -30,8 +30,16 @@ SCENARIO_SCHEMA_ID = "repro.dst/scenario/v1"
 MID_DUMP_PHASES = ("exchange", "write")
 
 #: step operations understood by the executor; ``gc`` (multi-tenant
-#: scenarios only) garbage-collects the acting tenant's oldest live dump
-STEP_OPS = ("dump", "crash", "repair", "gc")
+#: scenarios only) garbage-collects the acting tenant's oldest live dump;
+#: ``tick`` advances logical time with no work — an idle service tick in
+#: multi-tenant scenarios (arrival gaps between bursts), a no-op otherwise
+STEP_OPS = ("dump", "crash", "repair", "gc", "tick")
+
+#: request arrival patterns for multi-tenant scenarios: ``steady`` submits
+#: one dump per step (the historical shape); ``bursty`` submits every dump
+#: of a consecutive-dump run up front, so later dumps queue behind earlier
+#: ones and the queue-wait SLO sees real burn
+ARRIVAL_MODES = ("steady", "bursty")
 
 
 class ScenarioError(ValueError):
@@ -187,6 +195,8 @@ class Scenario:
     #: loop (False); when True the restore oracle also runs the legacy path
     #: and requires byte-identical datasets and reports
     batched_restore: bool = True
+    #: request arrival pattern (multi-tenant only, see :data:`ARRIVAL_MODES`)
+    arrival: str = "steady"
 
     def __post_init__(self) -> None:
         if self.n_ranks < 2:
@@ -256,6 +266,15 @@ class Scenario:
                     f"step tenant {step.tenant} out of range for "
                     f"{self.tenants} tenants"
                 )
+        if self.arrival not in ARRIVAL_MODES:
+            raise ScenarioError(
+                f"arrival must be one of {ARRIVAL_MODES}, got {self.arrival!r}"
+            )
+        if self.arrival == "bursty" and self.tenants < 2:
+            raise ScenarioError(
+                "bursty arrival requires a multi-tenant scenario "
+                "(tenants >= 2)"
+            )
 
     # -- derived ---------------------------------------------------------------
     @property
@@ -359,6 +378,7 @@ class Scenario:
             "tenant_overlap": self.tenant_overlap,
             "shard_count": self.shard_count,
             "batched_restore": self.batched_restore,
+            "arrival": self.arrival,
         }
 
     def to_json(self) -> str:
@@ -400,6 +420,7 @@ class Scenario:
                 tenant_overlap=float(doc.get("tenant_overlap", 0.5)),
                 shard_count=int(doc.get("shard_count", 1)),
                 batched_restore=bool(doc.get("batched_restore", True)),
+                arrival=str(doc.get("arrival", "steady")),
             )
         except KeyError as exc:
             raise ScenarioError(f"scenario document missing key {exc}") from None

@@ -46,6 +46,21 @@ def _candidates(scenario: Scenario) -> Iterator:
                     steps=_without_index(s.steps, i)
                 ),
             )
+    # 1b. Drop idle tick steps and fall back to steady arrival — burst
+    #     shape rarely matters to a minimal reproducer.
+    for i, step in enumerate(steps):
+        if step.op == "tick":
+            yield (
+                f"drop tick step {i}",
+                lambda s=scenario, i=i: s.with_(
+                    steps=_without_index(s.steps, i)
+                ),
+            )
+    if scenario.arrival != "steady":
+        yield (
+            "set arrival=steady",
+            lambda s=scenario: s.with_(arrival="steady"),
+        )
     # 2. Strip mid-dump crashes off dump steps.
     for i, step in enumerate(steps):
         if step.op == "dump" and step.crash is not None:

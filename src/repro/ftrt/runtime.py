@@ -10,6 +10,7 @@ only surviving replicas live on partner nodes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -17,6 +18,7 @@ from repro.core.config import DumpConfig
 from repro.core.dump import DumpReport, dump_output
 from repro.core.restore import restore_dataset
 from repro.ftrt.memory import MemoryRegistry
+from repro.obs.timeline import TimelineStore
 from repro.simmpi.comm import Communicator
 from repro.storage.local_store import Cluster
 
@@ -53,6 +55,11 @@ class CheckpointRuntime:
         :meth:`repair`: the surviving checkpoints are re-replicated back to
         the configured K before the application resumes, so the restarted
         run does not compute on top of a silently degraded safety margin.
+    timeline:
+        Optional :class:`~repro.obs.timeline.TimelineStore` fed one sample
+        per checkpoint/restart/repair, tagged by the last application step
+        seen (the logical tick).  Pass ``TimelineStore(capacity=0)`` to
+        disable; the default gives the runtime its own bounded store.
     """
 
     def __init__(
@@ -62,6 +69,7 @@ class CheckpointRuntime:
         config: DumpConfig,
         interval: int,
         auto_repair: bool = False,
+        timeline: Optional[TimelineStore] = None,
     ) -> None:
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
@@ -72,7 +80,11 @@ class CheckpointRuntime:
         self.auto_repair = auto_repair
         self.memory = MemoryRegistry()
         self.stats = CheckpointStats()
+        self.timeline = timeline if timeline is not None else TimelineStore()
         self._next_dump_id = 0
+        #: last application step passed to :meth:`maybe_checkpoint`; the
+        #: logical tick stamped on timeline samples.
+        self.step = 0
 
     @property
     def last_dump_id(self) -> Optional[int]:
@@ -85,18 +97,42 @@ class CheckpointRuntime:
         All ranks must call this with the same ``step`` sequence — the dump
         is collective.
         """
+        self.step = max(self.step, step)
         if step > 0 and step % self.interval == 0:
             return self.checkpoint()
         return None
 
+    def _record(self, op: str, elapsed: float, **values) -> None:
+        if self.timeline.enabled:
+            self.timeline.record(
+                op,
+                self.step,
+                strategy=getattr(
+                    self.config.strategy, "value", str(self.config.strategy)
+                ),
+                backend="ftrt",
+                latency_s=elapsed,
+                **values,
+            )
+
     def checkpoint(self) -> DumpReport:
         """Collectively dump the registered memory now."""
         dataset = self.memory.capture()
+        start = time.perf_counter()
         with self.comm.trace.span("checkpoint", dump_id=self._next_dump_id):
             report = dump_output(
                 self.comm, dataset, self.config, self.cluster,
                 dump_id=self._next_dump_id,
             )
+        elapsed = time.perf_counter() - start
+        self._record(
+            "dump",
+            elapsed,
+            epoch=self._next_dump_id,
+            bytes_moved=report.sent_bytes,
+            logical_bytes=dataset.nbytes,
+            chunks=report.n_chunks,
+        )
         self._next_dump_id += 1
         self.stats.checkpoints_taken += 1
         self.stats.bytes_captured += dataset.nbytes
@@ -114,14 +150,26 @@ class CheckpointRuntime:
             dump_id = self.last_dump_id
         if dump_id is None:
             raise RuntimeError("no checkpoint has been taken yet")
+        start = time.perf_counter()
         with self.comm.trace.span("restart", dump_id=dump_id):
-            dataset, _report = restore_dataset(
+            dataset, report = restore_dataset(
                 self.cluster,
                 self.comm.rank,
                 dump_id,
                 batched=self.config.batched,
                 trace=self.comm.trace,
             )
+        total = report.local_chunks + report.remote_chunks
+        self._record(
+            "restore",
+            time.perf_counter() - start,
+            epoch=dump_id,
+            bytes=report.total_bytes,
+            remote_bytes=report.remote_bytes,
+            chunks=total,
+            locality=report.local_chunks / total if total else 1.0,
+            decoded_chunks=report.decoded_chunks,
+        )
         self.memory.restore(dataset)
         self.stats.restarts += 1
         if self.auto_repair:
@@ -141,10 +189,21 @@ class CheckpointRuntime:
             dump_id = self.last_dump_id
         if dump_id is None:
             raise RuntimeError("no checkpoint has been taken yet")
+        start = time.perf_counter()
         with self.comm.trace.span("restart", dump_id=dump_id, collective=True):
-            dataset, _report = load_input(
+            dataset, report = load_input(
                 self.comm, self.cluster, self.config, dump_id
             )
+        total = report.local_chunks + report.pulled_chunks
+        self._record(
+            "restore",
+            time.perf_counter() - start,
+            epoch=dump_id,
+            bytes=report.total_bytes,
+            remote_bytes=report.pulled_bytes,
+            chunks=total,
+            locality=report.local_chunks / total if total else 1.0,
+        )
         self.memory.restore(dataset)
         self.stats.restarts += 1
         if self.auto_repair:
@@ -174,11 +233,19 @@ class CheckpointRuntime:
             if target_k is not None
             else self.config.effective_k(self.comm.size)
         )
+        start = time.perf_counter()
         with self.comm.trace.span("repair-scan", k=k):
             scan = scan_cluster(self.cluster, k, dump_ids)
         with self.comm.trace.span("repair-plan"):
             schedule = plan_repair(self.cluster, scan)
         report = execute_repair(self.comm, self.cluster, schedule, scan)
+        self._record(
+            "repair",
+            time.perf_counter() - start,
+            chunks_moved=report.chunks_moved,
+            bytes_moved=report.bytes_moved,
+            manifests_moved=report.manifests_moved,
+        )
         self.stats.repairs += 1
         self.stats.repair_reports.append(report)
         return report

@@ -8,16 +8,27 @@ a first-class observability layer:
   start/end, parent, attributes) recorded per rank when a trace is
   configured at ``level="span"``.  Near-zero overhead when disabled.
 * :mod:`repro.obs.metrics` — a per-rank metrics registry (counters,
-  gauges, fixed-bucket histograms) plus cross-rank aggregation with
-  min/max/mean/p50/p99.
+  gauges, fixed-bucket histograms, quantile sketches) plus cross-rank
+  aggregation with min/max/mean/p50/p99.
+* :mod:`repro.obs.sketch` — streaming fixed-compression quantile sketches
+  (t-digest family): online p50/p95/p99/p999 without raw samples,
+  mergeable across ranks with a documented rank-error bound.
+* :mod:`repro.obs.timeline` — the continuous telemetry timeline: a bounded
+  ring buffer of tick-tagged operation samples (``repro.obs/timeline/v1``)
+  fed by the checkpoint service, the ftrt runtime and the dst executor.
+* :mod:`repro.obs.slo` — declarative SLOs with deterministic multi-window
+  burn-rate alerting over the timeline (``repro.obs/slo/v1`` verdicts).
 * :mod:`repro.obs.export` — exporters: a stable run-snapshot JSON schema,
   Chrome trace-event JSON (loadable in Perfetto, one track per rank) and
   Prometheus-style text exposition.
-* :mod:`repro.obs.schema` — structural validators for the run snapshot and
-  the unified ``BENCH_*.json`` benchmark schema.
+* :mod:`repro.obs.schema` — structural validators for the run snapshot,
+  the unified ``BENCH_*.json`` benchmark schema, timelines and SLO
+  verdicts.
 * :mod:`repro.obs.analyzer` — loads an exported run and computes per-phase
   critical-path breakdowns, rank skew (straggler detection) and A/B diffs
   between two runs (the engine behind ``repro-eval trace``).
+* :mod:`repro.obs.bench_diff` — noise-tolerant comparison of fresh bench
+  documents against the committed baselines (``repro-eval bench-diff``).
 
 Spans and metrics ride the per-rank trace, so they transport through the
 process backend's child→parent pickle path exactly like the phase counters
@@ -38,7 +49,9 @@ from repro.obs.metrics import (
     SIZE_BUCKETS,
     aggregate_registries,
 )
+from repro.obs.sketch import QuantileSketch
 from repro.obs.spans import Span
+from repro.obs.timeline import TimelineSample, TimelineStore
 
 __all__ = [
     "Counter",
@@ -46,12 +59,17 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
+    "QuantileSketch",
     "SIZE_BUCKETS",
     "Span",
+    "TimelineSample",
+    "TimelineStore",
     "aggregate_registries",
     # lazily re-exported (see __getattr__): capture_run, merge_traces,
     # chrome_trace, prometheus_text, write_run, write_chrome_trace,
-    # validate_run, validate_bench, load_run
+    # validate_run, validate_bench, validate_timeline, validate_slo,
+    # load_run, SLOEngine, Objective, parse_objective, format_slo_report,
+    # diff_bench, load_bench, format_bench_diff
 ]
 
 #: Lazy re-exports.  ``repro.simmpi.trace`` imports :mod:`repro.obs.spans`
@@ -69,7 +87,17 @@ _LAZY = {
     "SchemaError": "repro.obs.schema",
     "validate_run": "repro.obs.schema",
     "validate_bench": "repro.obs.schema",
+    "validate_timeline": "repro.obs.schema",
+    "validate_slo": "repro.obs.schema",
     "load_run": "repro.obs.analyzer",
+    "SLOEngine": "repro.obs.slo",
+    "Objective": "repro.obs.slo",
+    "parse_objective": "repro.obs.slo",
+    "format_slo_report": "repro.obs.slo",
+    "DEFAULT_OBJECTIVES": "repro.obs.slo",
+    "diff_bench": "repro.obs.bench_diff",
+    "load_bench": "repro.obs.bench_diff",
+    "format_bench_diff": "repro.obs.bench_diff",
 }
 
 

@@ -1,0 +1,172 @@
+"""Bench regression gating: compare fresh bench documents against baselines.
+
+``repro-eval bench-diff`` loads a freshly produced ``repro.obs/bench/v1``
+document and the committed ``BENCH_*.json`` baseline, compares every
+timing label the two share, and flags a **regression** when the fresh
+timing exceeds the baseline by more than a noise tolerance (default 25 %),
+or a recorded ``speedup`` collapses below the baseline's by the same
+margin.  Sub-millisecond timings are skipped by default — they are noise
+on shared CI runners — and entries present on only one side are reported
+but never fatal (new benchmarks must not fail the gate that predates
+them).
+
+The comparison is machine-honest: when the two documents disagree on
+``host``/``cores``/``smoke`` the diff says so in its notes, because a
+30 % "regression" between different machines is not a finding.  The CLI
+exits 2 on any regression, which is what lets CI gate perf PRs on the
+checked-in baselines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping
+
+from repro.obs.schema import validate_bench
+
+#: default fractional slowdown tolerated before a timing counts as a
+#: regression (CI runners are noisy; 25 % is well past jitter on the
+#: best-of-N timings the benchmarks record)
+DEFAULT_TOLERANCE = 0.25
+
+#: timings below this many seconds are never compared (noise-dominated)
+DEFAULT_MIN_SECONDS = 1e-3
+
+
+@dataclass
+class BenchDelta:
+    """One compared quantity: a timing label or a speedup."""
+
+    benchmark: str
+    label: str
+    kind: str  # "timing" | "speedup"
+    baseline: float
+    fresh: float
+    ratio: float  # fresh/baseline for timings, baseline/fresh for speedups
+    regression: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "label": self.label,
+            "kind": self.kind,
+            "baseline": self.baseline,
+            "fresh": self.fresh,
+            "ratio": self.ratio,
+            "regression": self.regression,
+        }
+
+
+@dataclass
+class BenchDiff:
+    """Outcome of one baseline comparison."""
+
+    rows: List[BenchDelta] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    tolerance: float = DEFAULT_TOLERANCE
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [r for r in self.rows if r.regression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "rows": [r.as_dict() for r in self.rows],
+            "regressions": [r.as_dict() for r in self.regressions],
+            "notes": list(self.notes),
+        }
+
+
+def diff_bench(
+    fresh: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> BenchDiff:
+    """Compare a fresh bench document against a baseline document."""
+    validate_bench(fresh)
+    validate_bench(baseline)
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    out = BenchDiff(tolerance=tolerance)
+    for key in ("host", "cores", "smoke"):
+        if fresh.get(key) != baseline.get(key):
+            out.notes.append(
+                f"{key} differs: baseline={baseline.get(key)!r} "
+                f"fresh={fresh.get(key)!r} — thresholds may not transfer"
+            )
+    fresh_benches = fresh["benchmarks"]
+    base_benches = baseline["benchmarks"]
+    for name in sorted(set(base_benches) - set(fresh_benches)):
+        out.notes.append(f"benchmark {name!r} missing from fresh document")
+    for name in sorted(set(fresh_benches) - set(base_benches)):
+        out.notes.append(f"benchmark {name!r} has no baseline (new)")
+    for name in sorted(set(fresh_benches) & set(base_benches)):
+        f_entry, b_entry = fresh_benches[name], base_benches[name]
+        f_timings = f_entry.get("timings", {})
+        b_timings = b_entry.get("timings", {})
+        for label in sorted(set(f_timings) & set(b_timings)):
+            base_s = float(b_timings[label])
+            fresh_s = float(f_timings[label])
+            if base_s < min_seconds or fresh_s < min_seconds:
+                out.notes.append(
+                    f"{name}.{label}: below {min_seconds:g}s floor, skipped"
+                )
+                continue
+            ratio = fresh_s / base_s
+            out.rows.append(BenchDelta(
+                benchmark=name, label=label, kind="timing",
+                baseline=base_s, fresh=fresh_s, ratio=ratio,
+                regression=ratio > 1.0 + tolerance,
+            ))
+        f_speed = f_entry.get("speedup")
+        b_speed = b_entry.get("speedup")
+        if f_speed is not None and b_speed is not None and b_speed > 0:
+            # A collapsing speedup is a regression even when absolute
+            # timings moved together (e.g. the fast path lost its edge).
+            ratio = b_speed / f_speed if f_speed > 0 else float("inf")
+            out.rows.append(BenchDelta(
+                benchmark=name, label="speedup", kind="speedup",
+                baseline=float(b_speed), fresh=float(f_speed), ratio=ratio,
+                regression=ratio > 1.0 + tolerance,
+            ))
+    return out
+
+
+def load_bench(path) -> Dict[str, Any]:
+    """Read and validate one bench document."""
+    doc = json.loads(Path(path).read_text())
+    validate_bench(doc)
+    return doc
+
+
+def format_bench_diff(diff: BenchDiff) -> str:
+    """Human-readable diff table, regressions flagged."""
+    lines = [
+        f"bench-diff · {len(diff.rows)} comparison(s) · "
+        f"{len(diff.regressions)} regression(s) · "
+        f"tolerance {diff.tolerance:.0%}"
+    ]
+    for row in diff.rows:
+        if row.kind == "timing":
+            moved = (
+                f"{row.baseline * 1e3:9.2f} ms -> {row.fresh * 1e3:9.2f} ms"
+            )
+        else:
+            moved = f"{row.baseline:8.2f} x -> {row.fresh:8.2f} x"
+        flag = "  REGRESSION" if row.regression else ""
+        lines.append(
+            f"  {row.benchmark + '.' + row.label:<36s} {moved} "
+            f"(x{row.ratio:.3f}){flag}"
+        )
+    for note in diff.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -48,6 +48,7 @@ def merge_traces(sources: Iterable[Any]) -> List[Any]:
     schema and renders as one timeline per rank in the Perfetto export.
     """
     from repro.obs.metrics import Histogram
+    from repro.obs.sketch import QuantileSketch
     from repro.simmpi.trace import PhaseCounters, Trace
 
     merged: Dict[int, Trace] = {}
@@ -80,6 +81,13 @@ def merge_traces(sources: Iterable[Any]) -> List[Any]:
                 if agg is None:
                     agg = out.metrics.histograms[name] = Histogram(h.buckets)
                 agg.merge(h)
+            for name, s in getattr(trace.metrics, "sketches", {}).items():
+                agg_s = out.metrics.sketches.get(name)
+                if agg_s is None:
+                    agg_s = out.metrics.sketches[name] = QuantileSketch(
+                        s.compression
+                    )
+                agg_s.merge(s)
     return [merged[rank] for rank in sorted(merged)]
 
 
@@ -212,7 +220,11 @@ def prometheus_text(run: Mapping[str, Any]) -> str:
     Phase counters become ``repro_phase_*`` samples labelled by phase and
     rank; per-rank counters and gauges become ``repro_<name>`` samples
     labelled by rank; the cross-rank merged histograms use the standard
-    cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple.
+    cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple (with the
+    mandatory ``+Inf`` bucket equal to ``_count``); the cross-rank merged
+    quantile sketches render as summaries (``quantile`` labels plus the
+    same ``_sum``/``_count`` pair).  Every family carries ``# HELP`` and
+    ``# TYPE``, so the output is spec-complete for scrapers.
     """
     validate_run(run)
     lines: List[str] = []
@@ -248,6 +260,7 @@ def prometheus_text(run: Mapping[str, Any]) -> str:
         )
         for name in names:
             metric = f"repro_{_sanitize(name)}"
+            lines.append(f"# HELP {metric} per-rank {kind} {name}")
             lines.append(f"# TYPE {metric} {kind}")
             for entry in run["ranks"]:
                 value = entry["metrics"].get(family, {}).get(name)
@@ -257,6 +270,7 @@ def prometheus_text(run: Mapping[str, Any]) -> str:
 
     for name, hist in sorted(run["metrics"].get("histograms", {}).items()):
         metric = f"repro_{_sanitize(name)}"
+        lines.append(f"# HELP {metric} cross-rank merged histogram {name}")
         lines.append(f"# TYPE {metric} histogram")
         cumulative = 0
         for bound, count in hist["buckets"]:
@@ -265,5 +279,17 @@ def prometheus_text(run: Mapping[str, Any]) -> str:
             lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
         lines.append(f"{metric}_sum {hist['sum']}")
         lines.append(f"{metric}_count {hist['count']}")
+
+    for name, sk in sorted(run["metrics"].get("sketches", {}).items()):
+        metric = f"repro_{_sanitize(name)}"
+        lines.append(f"# HELP {metric} cross-rank merged quantile sketch {name}")
+        lines.append(f"# TYPE {metric} summary")
+        for label, key in (
+            ("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"),
+            ("0.999", "p999"),
+        ):
+            lines.append(f'{metric}{{quantile="{label}"}} {sk[key]}')
+        lines.append(f"{metric}_sum {sk['sum']}")
+        lines.append(f"{metric}_count {sk['count']}")
 
     return "\n".join(lines) + "\n"

@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.sketch import DEFAULT_COMPRESSION, QuantileSketch
+
 #: Default byte-size buckets: powers of four from 64 B to 16 MiB.
 SIZE_BUCKETS: Tuple[float, ...] = (
     64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
@@ -187,15 +189,18 @@ class Histogram:
 class MetricsRegistry:
     """One rank's named metrics, created on first use."""
 
-    __slots__ = ("counters", "gauges", "histograms")
+    __slots__ = ("counters", "gauges", "histograms", "sketches")
 
     def __init__(self) -> None:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self.sketches: Dict[str, QuantileSketch] = {}
 
     def __bool__(self) -> bool:
-        return bool(self.counters or self.gauges or self.histograms)
+        return bool(
+            self.counters or self.gauges or self.histograms or self.sketches
+        )
 
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)
@@ -217,14 +222,27 @@ class MetricsRegistry:
             h = self.histograms[name] = Histogram(buckets)
         return h
 
+    def sketch(
+        self, name: str, compression: int = DEFAULT_COMPRESSION
+    ) -> QuantileSketch:
+        s = self.sketches.get(name)
+        if s is None:
+            s = self.sketches[name] = QuantileSketch(compression)
+        return s
+
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "counters": {k: v.value for k, v in sorted(self.counters.items())},
             "gauges": {k: v.value for k, v in sorted(self.gauges.items())},
             "histograms": {
                 k: v.as_dict() for k, v in sorted(self.histograms.items())
             },
         }
+        if self.sketches:
+            doc["sketches"] = {
+                k: v.as_dict() for k, v in sorted(self.sketches.items())
+            }
+        return doc
 
 
 def _spread(values: Sequence[float]) -> Dict[str, float]:
@@ -258,12 +276,14 @@ def aggregate_registries(
 
     * counters — total across ranks plus the per-rank spread;
     * gauges — the cross-rank distribution of the per-rank values;
-    * histograms — bucket-wise merge with estimated p50/p99.
+    * histograms — bucket-wise merge with estimated p50/p99;
+    * sketches — centroid merge with the online p50/p95/p99/p999.
     """
     regs = [r for r in registries if r is not None]
     counters: Dict[str, List[float]] = {}
     gauges: Dict[str, List[float]] = {}
     merged_hists: Dict[str, Histogram] = {}
+    merged_sketches: Dict[str, QuantileSketch] = {}
     for reg in regs:
         for name, c in reg.counters.items():
             counters.setdefault(name, []).append(c.value)
@@ -275,6 +295,11 @@ def aggregate_registries(
             if agg is None:
                 agg = merged_hists[name] = Histogram(h.buckets)
             agg.merge(h)
+        for name, s in getattr(reg, "sketches", {}).items():
+            agg_s = merged_sketches.get(name)
+            if agg_s is None:
+                agg_s = merged_sketches[name] = QuantileSketch(s.compression)
+            agg_s.merge(s)
     out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
     for name, values in sorted(counters.items()):
         out["counters"][name] = {"total": sum(values), **_spread(values)}
@@ -292,5 +317,10 @@ def aggregate_registries(
             "buckets": [
                 [bound, n] for bound, n in zip(hist.buckets, hist.counts)
             ] + [["+Inf", hist.counts[-1]]],
+        }
+    if merged_sketches:
+        out["sketches"] = {
+            name: sk.summary()
+            for name, sk in sorted(merged_sketches.items())
         }
     return out

@@ -1,6 +1,6 @@
 """Stable JSON schemas for observability exports and benchmark results.
 
-Two document families share this module:
+Four document families share this module:
 
 * **run snapshots** (``repro.obs/run/v1``) — the machine-readable export of
   one traced collective run: per-rank phase counters, spans and metrics
@@ -11,7 +11,14 @@ Two document families share this module:
   the ``BENCH_*.json`` files at the repo root.  Every benchmark entry
   carries the shared keys ``timings`` (label → seconds) and ``speedup``;
   the document carries ``host``/``cores``/``smoke`` so trajectories from
-  different machines stay comparable.
+  different machines stay comparable, and ``repro-eval bench-diff``
+  compares fresh documents against the committed baselines.
+* **telemetry timelines** (``repro.obs/timeline/v1``) — serialized
+  :class:`~repro.obs.timeline.TimelineStore` ring buffers: tick-tagged
+  operation samples plus the online quantile sketches.
+* **SLO verdicts** (``repro.obs/slo/v1``) — the deterministic output of
+  the :class:`~repro.obs.slo.SLOEngine`: objectives, windows and the
+  fire/resolve alert timeline.
 
 Validation is structural (no external jsonschema dependency): required
 keys, types and value ranges.  Failures raise :class:`SchemaError` naming
@@ -28,6 +35,8 @@ from typing import Any, Dict, Mapping, Optional
 
 RUN_SCHEMA_ID = "repro.obs/run/v1"
 BENCH_SCHEMA_ID = "repro.obs/bench/v1"
+TIMELINE_SCHEMA_ID = "repro.obs/timeline/v1"
+SLO_SCHEMA_ID = "repro.obs/slo/v1"
 
 
 class SchemaError(ValueError):
@@ -152,6 +161,95 @@ def validate_bench(doc: Mapping[str, Any]) -> Mapping[str, Any]:
         speedup = entry["speedup"]
         if speedup is not None and (not _is_number(speedup) or speedup < 0):
             _fail(f"{path}.speedup", f"expected a number >= 0 or null, got {speedup!r}")
+    return doc
+
+
+# -- telemetry timelines -------------------------------------------------------
+def validate_timeline(doc: Mapping[str, Any]) -> Mapping[str, Any]:
+    """Validate a serialized timeline; returns it unchanged on success."""
+    if not isinstance(doc, Mapping):
+        _fail("$", f"expected an object, got {type(doc).__name__}")
+    schema = _require(doc, "schema", str, "$")
+    if schema != TIMELINE_SCHEMA_ID:
+        _fail("$.schema", f"expected {TIMELINE_SCHEMA_ID!r}, got {schema!r}")
+    capacity = _require(doc, "capacity", int, "$")
+    if capacity < 0:
+        _fail("$.capacity", f"must be >= 0, got {capacity}")
+    recorded = _require(doc, "recorded", int, "$")
+    dropped = _require(doc, "dropped", int, "$")
+    if recorded < 0 or dropped < 0 or dropped > recorded:
+        _fail("$", f"inconsistent counts: recorded={recorded} dropped={dropped}")
+    samples = _require(doc, "samples", list, "$")
+    last_tick = None
+    for i, sample in enumerate(samples):
+        path = f"$.samples[{i}]"
+        if not isinstance(sample, Mapping):
+            _fail(path, "expected an object")
+        tick = _require(sample, "tick", int, path)
+        if last_tick is not None and tick < last_tick:
+            _fail(f"{path}.tick", f"ticks must be non-decreasing, "
+                                  f"got {tick} after {last_tick}")
+        last_tick = tick
+        op = _require(sample, "op", str, path)
+        if not op:
+            _fail(f"{path}.op", "must be non-empty")
+        values = _require(sample, "values", Mapping, path)
+        for key, value in values.items():
+            if not _is_number(value):
+                _fail(
+                    f"{path}.values[{key!r}]",
+                    f"expected a number, got {type(value).__name__}",
+                )
+    sketches = _require(doc, "sketches", Mapping, "$")
+    for name, sk in sketches.items():
+        path = f"$.sketches[{name!r}]"
+        if not isinstance(sk, Mapping):
+            _fail(path, "expected an object")
+        count = _require(sk, "count", int, path)
+        if count < 0:
+            _fail(f"{path}.count", f"must be >= 0, got {count}")
+        means = _require(sk, "means", list, path)
+        weights = _require(sk, "weights", list, path)
+        if len(means) != len(weights):
+            _fail(path, f"means/weights length mismatch: "
+                        f"{len(means)} vs {len(weights)}")
+    return doc
+
+
+# -- SLO verdicts --------------------------------------------------------------
+def validate_slo(doc: Mapping[str, Any]) -> Mapping[str, Any]:
+    """Validate an SLO verdict document; returns it unchanged on success."""
+    if not isinstance(doc, Mapping):
+        _fail("$", f"expected an object, got {type(doc).__name__}")
+    schema = _require(doc, "schema", str, "$")
+    if schema != SLO_SCHEMA_ID:
+        _fail("$.schema", f"expected {SLO_SCHEMA_ID!r}, got {schema!r}")
+    objectives = _require(doc, "objectives", list, "$")
+    if not objectives:
+        _fail("$.objectives", "must contain at least one objective")
+    for i, obj in enumerate(objectives):
+        path = f"$.objectives[{i}]"
+        if not isinstance(obj, Mapping):
+            _fail(path, "expected an object")
+        for key in ("op", "field", "stat", "cmp"):
+            _require(obj, key, str, path)
+        _require(obj, "threshold", float, path)
+    windows = _require(doc, "windows", list, "$")
+    if not windows:
+        _fail("$.windows", "must contain at least one window")
+    _require(doc, "ticks", int, "$")
+    alerts = _require(doc, "alerts", list, "$")
+    for i, alert in enumerate(alerts):
+        path = f"$.alerts[{i}]"
+        if not isinstance(alert, Mapping):
+            _fail(path, "expected an object")
+        _require(alert, "tick", int, path)
+        _require(alert, "objective", str, path)
+        event = _require(alert, "event", str, path)
+        if event not in ("fire", "resolve"):
+            _fail(f"{path}.event",
+                  f"expected 'fire' or 'resolve', got {event!r}")
+    _require(doc, "ok", bool, "$")
     return doc
 
 

@@ -1,0 +1,262 @@
+"""Streaming quantile sketches: online p50/p95/p99/p999 without raw samples.
+
+:class:`QuantileSketch` is a fixed-compression merging digest in the
+t-digest family (Dunning & Ertl): observations buffer in raw form and are
+periodically *compressed* into weighted centroids.  Adjacent values merge
+while the merged centroid spans at most one unit of the ``k1`` scale
+function ``k(q) = compression/(2π)·asin(2q-1)`` — fine resolution at the
+tails, coarse in the middle, and a centroid count bounded by roughly
+``compression`` regardless of how many observations went in.  Like the fixed-bucket :class:`~repro.obs.metrics.Histogram`
+it is plain-data, picklable (rides the process backend's transported-trace
+path) and mergeable across ranks; unlike the histogram it needs no a-priori
+bucket layout, so one sketch type serves latencies, byte counts, tick
+waits and ratios alike.
+
+Accuracy contract (the property suite pins this against exact
+``np.percentile`` over the pooled samples): for any quantile ``q``, the
+reported value lies between the exact values at ranks ``q ± rank_error``
+of the pooled distribution, where ``rank_error`` is
+:attr:`QuantileSketch.rank_error_bound` — ``3.0 / compression``
+(≈ ±2.3 % of rank at the default compression of 128).  Merging sketches
+preserves the bound: centroids re-compress under the same scale function.
+
+Everything here is deterministic — compression order is a stable sort,
+no RNG — so sketches can sit on the dst timeline without perturbing
+same-seed verdict equality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+DEFAULT_COMPRESSION = 128
+
+#: the quantiles the aggregated rollups and exporters publish by default
+REPORT_QUANTILES = (50.0, 95.0, 99.0, 99.9)
+
+
+class QuantileSketch:
+    """A mergeable fixed-compression quantile digest (see module docstring).
+
+    ``observe``/``observe_many`` append to a raw buffer; the buffer is
+    folded into centroids whenever it outgrows ``4 × compression``
+    entries, keeping amortized per-observation cost at one append plus an
+    occasional vectorised sort.  Queries compress first, so they always
+    see every observation.
+    """
+
+    __slots__ = (
+        "compression", "count", "sum", "min", "max",
+        "_means", "_weights", "_buffer",
+    )
+
+    def __init__(self, compression: int = DEFAULT_COMPRESSION) -> None:
+        if compression < 8:
+            raise ValueError(
+                f"compression must be >= 8, got {compression}"
+            )
+        self.compression = int(compression)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        # Compressed centroids, sorted by mean.
+        self._means: List[float] = []
+        self._weights: List[float] = []
+        # Raw observations awaiting compression.
+        self._buffer: List[float] = []
+
+    # -- pickling (``__slots__`` without ``__dict__`` needs explicit state)
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    @property
+    def rank_error_bound(self) -> float:
+        """Documented worst-case rank error of any quantile query, as a
+        fraction of the total count (see module docstring)."""
+        return 3.0 / self.compression
+
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record ``n`` observations of ``value``."""
+        if n <= 0:
+            return
+        value = float(value)
+        self._buffer.extend([value] * n)
+        self.count += n
+        self.sum += value * n
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._buffer) >= 4 * self.compression:
+            self._compress()
+
+    def observe_many(self, values) -> None:
+        """Record a batch of observations in one vectorised pass."""
+        if isinstance(values, np.ndarray):
+            arr = values.astype(np.float64, copy=False).ravel()
+        else:
+            arr = np.fromiter(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        self._buffer.extend(arr.tolist())
+        self.count += int(arr.size)
+        self.sum += float(arr.sum())
+        low, high = float(arr.min()), float(arr.max())
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+        if len(self._buffer) >= 4 * self.compression:
+            self._compress()
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _compress(self, force: bool = False) -> None:
+        """Fold buffered values and existing centroids into a fresh
+        centroid list in which every centroid spans at most one unit of
+        the ``k1`` scale function (see module docstring).
+
+        ``force`` skips the cheap already-compressed short-circuit; it is
+        required after :meth:`merge` concatenates two independently sorted
+        centroid lists, which the short-circuit would otherwise leave
+        unsorted and quietly corrupt every subsequent quantile query.
+        """
+        if not force and not self._buffer and len(self._means) <= self.compression:
+            return
+        means = np.asarray(self._means + self._buffer, dtype=np.float64)
+        weights = np.asarray(
+            self._weights + [1.0] * len(self._buffer), dtype=np.float64
+        )
+        self._buffer = []
+        if means.size == 0:
+            return
+        order = np.argsort(means, kind="stable")
+        means = means[order]
+        weights = weights[order]
+        total = float(weights.sum())
+        new_means: List[float] = []
+        new_weights: List[float] = []
+        cur_mean = float(means[0])
+        cur_weight = float(weights[0])
+        left = 0.0  # total weight strictly left of the current centroid
+        scale = self.compression / (2.0 * math.pi)
+        for m, w in zip(means[1:].tolist(), weights[1:].tolist()):
+            q0 = left / total
+            q1 = min(1.0, (left + cur_weight + w) / total)
+            k0 = scale * math.asin(2.0 * q0 - 1.0)
+            k1 = scale * math.asin(2.0 * q1 - 1.0)
+            if k1 - k0 <= 1.0:
+                # Merge into the current centroid.
+                cur_mean += (m - cur_mean) * (w / (cur_weight + w))
+                cur_weight += w
+            else:
+                new_means.append(cur_mean)
+                new_weights.append(cur_weight)
+                left += cur_weight
+                cur_mean, cur_weight = m, w
+        new_means.append(cur_mean)
+        new_weights.append(cur_weight)
+        self._means = new_means
+        self._weights = new_weights
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile estimate (q in [0, 100]).
+
+        Piecewise-linear interpolation between centroid midpoints, clamped
+        to the exact observed min/max (so extreme quantiles of small
+        sketches stay honest).
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return 0.0
+        self._compress()
+        means = self._means
+        weights = self._weights
+        if len(means) == 1:
+            return means[0]
+        target = q / 100.0 * self.count
+        # Cumulative weight at each centroid's midpoint.
+        cum = 0.0
+        prev_mid = 0.0
+        prev_mean = self.min
+        for mean, weight in zip(means, weights):
+            mid = cum + weight / 2.0
+            if target <= mid:
+                if mid <= prev_mid:
+                    return mean
+                frac = (target - prev_mid) / (mid - prev_mid)
+                frac = min(1.0, max(0.0, frac))
+                value = prev_mean + (mean - prev_mean) * frac
+                return min(self.max, max(self.min, value))
+            cum += weight
+            prev_mid = mid
+            prev_mean = mean
+        return self.max
+
+    def quantiles(self, qs: Sequence[float] = REPORT_QUANTILES) -> List[float]:
+        return [self.percentile(q) for q in qs]
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other``'s observations into this sketch (cross-rank
+        aggregation).  Compressions do not commute bit-for-bit, but the
+        error bound holds for the merged result regardless of order."""
+        other._compress()
+        self._means.extend(other._means)
+        self._weights.extend(other._weights)
+        self._buffer.extend(other._buffer)
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        # Forced: the two centroid lists are each sorted but their
+        # concatenation is not, and the short-circuit keys on size alone.
+        self._compress(force=True)
+
+    def as_dict(self) -> Dict[str, Any]:
+        self._compress()
+        return {
+            "compression": self.compression,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "means": list(self._means),
+            "weights": list(self._weights),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "QuantileSketch":
+        sk = cls(compression=int(doc.get("compression", DEFAULT_COMPRESSION)))
+        sk.count = int(doc.get("count", 0))
+        sk.sum = float(doc.get("sum", 0.0))
+        sk.min = math.inf if doc.get("min") is None else float(doc["min"])
+        sk.max = -math.inf if doc.get("max") is None else float(doc["max"])
+        sk._means = [float(v) for v in doc.get("means", [])]
+        sk._weights = [float(v) for v in doc.get("weights", [])]
+        return sk
+
+    def summary(self) -> Dict[str, Any]:
+        """The rollup shape :func:`~repro.obs.metrics.aggregate_registries`
+        publishes for sketches: moments plus the report quantiles."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+        }

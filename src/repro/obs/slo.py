@@ -1,0 +1,319 @@
+"""Declarative SLOs with multi-window burn-rate alerting over the timeline.
+
+An :class:`Objective` is one service-level objective over a timeline
+field, written in a tiny grammar::
+
+    dump.queue_wait_ticks.p95 < 2
+    restore.locality.p50 > 0.5
+    dump.dedup_ratio.p50 > 0.1
+
+i.e. ``<op>.<field>.<stat> <cmp> <threshold>``.  The percentile *stat*
+fixes the **error budget** the classic way: ``p95 < X`` means "at most 5 %
+of operations may see ≥ X", so the budget is ``1 - 0.95``; a window's
+**burn rate** is its violating fraction divided by that budget (1.0 =
+burning exactly the budget, 14 = burning it 14× too fast).
+
+The :class:`SLOEngine` evaluates every objective over multiple trailing
+tick windows (long window for confidence, short window for responsiveness
+— the standard SRE multi-window pattern) and records *fire*/*resolve*
+transitions into an alert timeline.  Everything is computed from logical
+ticks and sample values, never wall clock, so the alert timeline is
+bit-deterministic for a seeded run — the dst invariant
+``slo-determinism`` replays the engine from scratch and requires the
+identical alert list, and `repro-eval slo` writes the whole thing as a
+``repro.obs/slo/v1`` verdict two same-seed runs must agree on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+SLO_SCHEMA_ID = "repro.obs/slo/v1"
+
+#: percentile stats the grammar accepts, with their error budgets
+STAT_BUDGETS = {
+    "p50": 0.50,
+    "p90": 0.10,
+    "p95": 0.05,
+    "p99": 0.01,
+    "p999": 0.001,
+}
+
+_CMPS = ("<=", ">=", "<", ">")
+
+#: the default multi-window configuration: ``(window_ticks, max_burn)``
+#: pairs — an alert needs the burn rate at or above ``max_burn`` in
+#: *every* window (long = confidence, short = responsiveness)
+DEFAULT_WINDOWS: Tuple[Tuple[int, float], ...] = ((24, 1.0), (6, 1.0))
+
+#: objectives `repro-eval serve --slo` and the dst executor arm by default;
+#: deliberately tick/ratio-based so they are deterministic under fuzz
+DEFAULT_OBJECTIVES = (
+    "dump.queue_wait_ticks.p95 < 2",
+)
+
+
+class SLOError(ValueError):
+    """Raised for malformed objective specs or documents."""
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One parsed objective (see module docstring for the grammar)."""
+
+    op: str
+    field: str
+    stat: str
+    cmp: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.stat not in STAT_BUDGETS:
+            raise SLOError(
+                f"objective stat must be one of {sorted(STAT_BUDGETS)}, "
+                f"got {self.stat!r}"
+            )
+        if self.cmp not in _CMPS:
+            raise SLOError(
+                f"objective comparator must be one of {_CMPS}, "
+                f"got {self.cmp!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"{self.op}.{self.field}.{self.stat}"
+
+    @property
+    def budget(self) -> float:
+        """Allowed violating fraction (from the percentile stat)."""
+        return STAT_BUDGETS[self.stat]
+
+    @property
+    def percentile(self) -> float:
+        """The stat as a percentile rank in [0, 100]."""
+        return {"p50": 50.0, "p90": 90.0, "p95": 95.0,
+                "p99": 99.0, "p999": 99.9}[self.stat]
+
+    def violates(self, value: float) -> bool:
+        """Whether one sample value breaks the point-wise threshold."""
+        if self.cmp == "<":
+            return value >= self.threshold
+        if self.cmp == "<=":
+            return value > self.threshold
+        if self.cmp == ">":
+            return value <= self.threshold
+        return value < self.threshold  # ">="
+
+    def spec(self) -> str:
+        return f"{self.name} {self.cmp} {self.threshold:g}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "field": self.field,
+            "stat": self.stat,
+            "cmp": self.cmp,
+            "threshold": self.threshold,
+            "budget": self.budget,
+        }
+
+
+def parse_objective(text: str) -> Objective:
+    """Parse ``"<op>.<field>.<stat> <cmp> <threshold>"``."""
+    parts = text.split()
+    if len(parts) != 3:
+        raise SLOError(
+            f"objective must be '<op>.<field>.<stat> <cmp> <value>', "
+            f"got {text!r}"
+        )
+    target, cmp, raw = parts
+    pieces = target.split(".")
+    if len(pieces) < 3:
+        raise SLOError(
+            f"objective target must be '<op>.<field>.<stat>', got {target!r}"
+        )
+    op, stat = pieces[0], pieces[-1]
+    fieldname = ".".join(pieces[1:-1])
+    try:
+        threshold = float(raw)
+    except ValueError:
+        raise SLOError(f"objective threshold must be a number, got {raw!r}")
+    return Objective(
+        op=op, field=fieldname, stat=stat, cmp=cmp, threshold=threshold
+    )
+
+
+@dataclass
+class WindowStatus:
+    """One window's burn accounting at an evaluation tick."""
+
+    ticks: int
+    samples: int
+    violations: int
+    burn: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ticks": self.ticks,
+            "samples": self.samples,
+            "violations": self.violations,
+            "burn": self.burn,
+        }
+
+
+@dataclass
+class SLOStatus:
+    """One objective's evaluation at a tick."""
+
+    objective: Objective
+    tick: int
+    windows: List[WindowStatus]
+    firing: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "objective": self.objective.spec(),
+            "tick": self.tick,
+            "windows": [w.as_dict() for w in self.windows],
+            "firing": self.firing,
+        }
+
+
+class SLOEngine:
+    """Stateful burn-rate evaluator: call :meth:`advance` once per logical
+    tick (in order); fire/resolve transitions accumulate on ``alerts``."""
+
+    def __init__(
+        self,
+        objectives: Iterable = DEFAULT_OBJECTIVES,
+        windows: Sequence[Tuple[int, float]] = DEFAULT_WINDOWS,
+        min_samples: int = 3,
+    ) -> None:
+        self.objectives: Tuple[Objective, ...] = tuple(
+            parse_objective(o) if isinstance(o, str) else o
+            for o in objectives
+        )
+        if not self.objectives:
+            raise SLOError("an SLO engine needs at least one objective")
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise SLOError(f"duplicate objective names: {names}")
+        self.windows: Tuple[Tuple[int, float], ...] = tuple(
+            (int(t), float(b)) for t, b in windows
+        )
+        if not self.windows or any(t < 1 for t, _ in self.windows):
+            raise SLOError(f"windows must be >= 1 tick: {self.windows}")
+        self.min_samples = int(min_samples)
+        self.firing: Dict[str, bool] = {o.name: False for o in self.objectives}
+        self.alerts: List[Dict[str, Any]] = []
+        self.last_tick = 0
+
+    def evaluate(self, timeline, tick: int) -> List[SLOStatus]:
+        """Point-in-time statuses at ``tick`` (no state change)."""
+        statuses = []
+        for obj in self.objectives:
+            windows = []
+            ok_to_fire = True
+            for win_ticks, max_burn in self.windows:
+                values = timeline.window(obj.op, obj.field, tick - win_ticks,
+                                         tick)
+                bad = sum(1 for v in values if obj.violates(v))
+                burn = (bad / len(values)) / obj.budget if values else 0.0
+                windows.append(WindowStatus(
+                    ticks=win_ticks, samples=len(values),
+                    violations=bad, burn=burn,
+                ))
+                if len(values) < self.min_samples or burn < max_burn:
+                    ok_to_fire = False
+            statuses.append(SLOStatus(
+                objective=obj, tick=tick, windows=windows, firing=ok_to_fire,
+            ))
+        return statuses
+
+    def advance(self, timeline, tick: int) -> List[Dict[str, Any]]:
+        """Evaluate at ``tick`` and record fire/resolve transitions.
+
+        Returns the events that fired at this tick (possibly empty).
+        """
+        events: List[Dict[str, Any]] = []
+        for status in self.evaluate(timeline, tick):
+            name = status.objective.name
+            was = self.firing[name]
+            if status.firing and not was:
+                events.append({
+                    "tick": tick,
+                    "objective": status.objective.spec(),
+                    "event": "fire",
+                    "windows": [w.as_dict() for w in status.windows],
+                })
+            elif was and not status.firing:
+                events.append({
+                    "tick": tick,
+                    "objective": status.objective.spec(),
+                    "event": "resolve",
+                    "windows": [w.as_dict() for w in status.windows],
+                })
+            self.firing[name] = status.firing
+        self.alerts.extend(events)
+        self.last_tick = max(self.last_tick, tick)
+        return events
+
+    def replay(self, timeline, upto_tick: Optional[int] = None) -> List[dict]:
+        """Alert timeline a *fresh* engine produces over ticks
+        ``1..upto_tick`` of ``timeline``.
+
+        The engine is a pure fold over the tick axis, so this must equal
+        ``self.alerts`` whenever the ring has not evicted samples — the
+        dst ``slo-determinism`` invariant.
+        """
+        fresh = SLOEngine(
+            self.objectives, windows=self.windows,
+            min_samples=self.min_samples,
+        )
+        upto = self.last_tick if upto_tick is None else upto_tick
+        for tick in range(1, upto + 1):
+            fresh.advance(timeline, tick)
+        return fresh.alerts
+
+    def verdict(self, timeline=None) -> Dict[str, Any]:
+        """The deterministic ``repro.obs/slo/v1`` document."""
+        doc: Dict[str, Any] = {
+            "schema": SLO_SCHEMA_ID,
+            "objectives": [o.as_dict() for o in self.objectives],
+            "windows": [[t, b] for t, b in self.windows],
+            "min_samples": self.min_samples,
+            "ticks": self.last_tick,
+            "alerts": list(self.alerts),
+            "firing": sorted(n for n, f in self.firing.items() if f),
+            "alert_count": len(self.alerts),
+            "ok": not self.alerts,
+        }
+        if timeline is not None:
+            doc["op_counts"] = timeline.op_counts()
+        return doc
+
+
+def format_slo_report(engine: SLOEngine, timeline) -> str:
+    """Human-readable burn-rate report for a finished (or live) run."""
+    lines = [
+        f"slo report · {len(engine.objectives)} objective(s) · "
+        f"{len(engine.alerts)} alert event(s) · ticks={engine.last_tick}"
+    ]
+    for obj in engine.objectives:
+        sk = timeline.sketch(obj.op, obj.field)
+        observed = (
+            f"observed {obj.stat}={sk.percentile(obj.percentile):.4g} "
+            f"over {sk.count} sample(s)"
+            if sk is not None and sk.count
+            else "no samples"
+        )
+        state = "FIRING" if engine.firing[obj.name] else "ok"
+        lines.append(f"  {obj.spec():<40s} {observed:<38s} {state}")
+        events = [a for a in engine.alerts if a["objective"] == obj.spec()]
+        if events:
+            trail = ", ".join(
+                f"{a['event']}@t{a['tick']}" for a in events
+            )
+            lines.append(f"    alerts: {trail}")
+    return "\n".join(lines)

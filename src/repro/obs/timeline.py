@@ -1,0 +1,240 @@
+"""Continuous telemetry timeline: a bounded ring buffer of operation samples.
+
+Where :func:`~repro.obs.export.capture_run` freezes one run's counters at a
+single instant, the :class:`TimelineStore` gives ``repro.obs`` a *time
+dimension*: every dump/restore/repair/GC lands one :class:`TimelineSample`
+tagged with its logical tick, tenant, strategy, backend and epoch, plus a
+free-form numeric payload (latency, queue wait, dedup ratio, load skew,
+restore locality, bytes moved, …).  The ring is bounded (old samples fall
+off; ``dropped`` counts them) while per-``(op, field)``
+:class:`~repro.obs.sketch.QuantileSketch` rollups keep whole-run
+percentiles online regardless of eviction.
+
+Two clocks, deliberately separated:
+
+* the **tick** axis is logical time (the service's drain counter, the dst
+  executor's step index) — everything the SLO engine and the dst verdict
+  read is derived from ticks and sample *values* that are themselves
+  deterministic;
+* **wall-clock** latencies ride along as ordinary sample fields for the
+  dashboards and sketches, but never enter a verdict digest (the same
+  contract ``CheckpointService`` already documents for its histograms).
+
+Serialized timelines carry the ``repro.obs/timeline/v1`` schema (see
+:func:`repro.obs.schema.validate_timeline`) and are what the CI
+``slo-smoke`` job uploads as its artifact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.obs.sketch import DEFAULT_COMPRESSION, QuantileSketch
+
+TIMELINE_SCHEMA_ID = "repro.obs/timeline/v1"
+
+#: operation kinds a timeline records; free-form strings are allowed but
+#: these are the ones the built-in instrumentation emits
+TIMELINE_OPS = ("dump", "restore", "repair", "gc")
+
+#: default ring capacity — generous for every in-repo driver (a fuzz
+#: scenario records tens of samples, a serve run thousands)
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass
+class TimelineSample:
+    """One operation's telemetry record on the timeline."""
+
+    tick: int
+    op: str
+    tenant: str = ""
+    strategy: str = ""
+    backend: str = ""
+    epoch: int = -1
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "tick": self.tick,
+            "op": self.op,
+            "tenant": self.tenant,
+            "strategy": self.strategy,
+            "backend": self.backend,
+            "epoch": self.epoch,
+            "values": dict(sorted(self.values.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TimelineSample":
+        return cls(
+            tick=int(doc["tick"]),
+            op=str(doc["op"]),
+            tenant=str(doc.get("tenant", "")),
+            strategy=str(doc.get("strategy", "")),
+            backend=str(doc.get("backend", "")),
+            epoch=int(doc.get("epoch", -1)),
+            values={k: float(v) for k, v in doc.get("values", {}).items()},
+        )
+
+
+class TimelineStore:
+    """Bounded ring buffer of :class:`TimelineSample` plus online sketches.
+
+    ``capacity=0`` disables recording entirely (every :meth:`record` is a
+    no-op) — the knob the obs-overhead benchmark flips to price the
+    instrumentation.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        sketch_compression: int = DEFAULT_COMPRESSION,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.sketch_compression = int(sketch_compression)
+        self._ring: Deque[TimelineSample] = deque(
+            maxlen=self.capacity if self.capacity else 1
+        )
+        self.recorded = 0  # total samples ever recorded
+        self.dropped = 0   # samples evicted off the ring
+        #: online per-``(op, field)`` percentile rollups, never evicted
+        self.sketches: Dict[str, QuantileSketch] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._ring) if self.enabled else 0
+
+    def record(
+        self,
+        op: str,
+        tick: int,
+        tenant: str = "",
+        strategy: str = "",
+        backend: str = "",
+        epoch: int = -1,
+        **values: float,
+    ) -> Optional[TimelineSample]:
+        """Append one sample; returns it (or None when disabled)."""
+        if not self.enabled:
+            return None
+        sample = TimelineSample(
+            tick=int(tick), op=op, tenant=tenant, strategy=strategy,
+            backend=backend, epoch=int(epoch),
+            values={k: float(v) for k, v in values.items()},
+        )
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(sample)
+        self.recorded += 1
+        for name, value in sample.values.items():
+            key = f"{op}.{name}"
+            sk = self.sketches.get(key)
+            if sk is None:
+                sk = self.sketches[key] = QuantileSketch(
+                    self.sketch_compression
+                )
+            sk.observe(value)
+        return sample
+
+    # -- queries ---------------------------------------------------------------
+    def samples(
+        self,
+        op: Optional[str] = None,
+        tenant: Optional[str] = None,
+        since_tick: Optional[int] = None,
+    ) -> List[TimelineSample]:
+        """Samples still on the ring, oldest first, optionally filtered."""
+        out = []
+        for s in self._ring:
+            if op is not None and s.op != op:
+                continue
+            if tenant is not None and s.tenant != tenant:
+                continue
+            if since_tick is not None and s.tick < since_tick:
+                continue
+            out.append(s)
+        return out
+
+    def window(
+        self, op: str, name: str, start_tick: int, end_tick: int
+    ) -> List[float]:
+        """Values of ``name`` for ``op`` samples with
+        ``start_tick < tick <= end_tick`` (the SLO engine's window shape)."""
+        return [
+            s.values[name]
+            for s in self._ring
+            if s.op == op and start_tick < s.tick <= end_tick
+            and name in s.values
+        ]
+
+    def sketch(self, op: str, name: str) -> Optional[QuantileSketch]:
+        """The whole-run percentile sketch of ``op``'s ``name`` field."""
+        return self.sketches.get(f"{op}.{name}")
+
+    def op_counts(self) -> Dict[str, int]:
+        """Samples per op still on the ring (deterministic ordering)."""
+        counts: Dict[str, int] = {}
+        for s in self._ring:
+            counts[s.op] = counts.get(s.op, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def latest_tick(self) -> int:
+        return self._ring[-1].tick if self._ring and self.enabled else 0
+
+    def merge(self, other: "TimelineStore") -> None:
+        """Fold another store in (cross-rank / cross-service aggregation):
+        samples interleave by tick (stable on ties), sketches merge."""
+        if not self.enabled:
+            return
+        merged = sorted(
+            list(self._ring) + (other.samples() if other.enabled else []),
+            key=lambda s: s.tick,
+        )
+        overflow = max(0, len(merged) - (self._ring.maxlen or 0))
+        self._ring.clear()
+        self._ring.extend(merged[overflow:])
+        self.recorded += other.recorded
+        self.dropped += other.dropped + overflow
+        for key, sk in other.sketches.items():
+            mine = self.sketches.get(key)
+            if mine is None:
+                mine = self.sketches[key] = QuantileSketch(sk.compression)
+            mine.merge(sk)
+
+    # -- serialization ---------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": TIMELINE_SCHEMA_ID,
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "samples": [s.as_dict() for s in self._ring],
+            "sketches": {
+                k: v.as_dict() for k, v in sorted(self.sketches.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TimelineStore":
+        from repro.obs.schema import validate_timeline
+
+        validate_timeline(doc)
+        store = cls(capacity=int(doc.get("capacity", DEFAULT_CAPACITY)))
+        for sample_doc in doc.get("samples", []):
+            sample = TimelineSample.from_dict(sample_doc)
+            store._ring.append(sample)
+        store.recorded = int(doc.get("recorded", len(store._ring)))
+        store.dropped = int(doc.get("dropped", 0))
+        store.sketches = {
+            k: QuantileSketch.from_dict(v)
+            for k, v in doc.get("sketches", {}).items()
+        }
+        return store

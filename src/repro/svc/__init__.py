@@ -34,6 +34,7 @@ from repro.svc.report import (
     TenantReport,
     build_report,
     format_service_report,
+    format_top,
 )
 from repro.svc.service import (
     ATTRIBUTION_POLICIES,
@@ -67,4 +68,5 @@ __all__ = [
     "UnknownTenantError",
     "build_report",
     "format_service_report",
+    "format_top",
 ]

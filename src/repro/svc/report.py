@@ -1,14 +1,18 @@
 """Service reporting: per-tenant savings and attribution, queue health,
-store shape — the numbers ``repro-eval serve`` prints.
+store shape, timeline and SLO posture — the numbers ``repro-eval serve``
+prints.
 
-Everything here is derived from deterministic service state (no
-wall-clock), so two same-seed service runs render identical reports.
+Everything in the base report is derived from deterministic service state
+(no wall-clock), so two same-seed service runs render identical reports;
+the optional timeline section quotes tick-based percentiles only, keeping
+that property.  :func:`format_top` is the periodic live dashboard
+``repro-eval serve --top-every N`` repaints between drain ticks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table
 from repro.svc.service import CheckpointService
@@ -50,6 +54,16 @@ class ServiceReport:
     queue_max_depth_seen: int = 0
     rejections: Dict[str, int] = field(default_factory=dict)
     ticks: int = 0
+    #: timeline rollup: op -> sample count, plus queue-wait percentiles
+    timeline_ops: Dict[str, int] = field(default_factory=dict)
+    timeline_recorded: int = 0
+    timeline_dropped: int = 0
+    queue_wait_p50: float = 0.0
+    queue_wait_p95: float = 0.0
+    queue_wait_p99: float = 0.0
+    restore_locality_p50: Optional[float] = None
+    #: attached SLO engine's verdict (None when no engine is attached)
+    slo: Optional[Dict] = None
 
 
 def build_report(service: CheckpointService) -> ServiceReport:
@@ -72,7 +86,7 @@ def build_report(service: CheckpointService) -> ServiceReport:
                 charged_bytes=charged.get(name, 0.0),
             )
         )
-    return ServiceReport(
+    report = ServiceReport(
         n_ranks=service.n_ranks,
         backend=service.backend,
         attribution=service.attribution,
@@ -87,6 +101,22 @@ def build_report(service: CheckpointService) -> ServiceReport:
         rejections=dict(service.rejections),
         ticks=service.tick,
     )
+    timeline = service.timeline
+    if timeline.enabled and timeline.recorded:
+        report.timeline_ops = timeline.op_counts()
+        report.timeline_recorded = timeline.recorded
+        report.timeline_dropped = timeline.dropped
+        waits = timeline.sketch("dump", "queue_wait_ticks")
+        if waits is not None and waits.count:
+            report.queue_wait_p50 = waits.percentile(50)
+            report.queue_wait_p95 = waits.percentile(95)
+            report.queue_wait_p99 = waits.percentile(99)
+        locality = timeline.sketch("restore", "locality")
+        if locality is not None and locality.count:
+            report.restore_locality_p50 = locality.percentile(50)
+    if service.slo is not None:
+        report.slo = service.slo.verdict(timeline)
+    return report
 
 
 def _kib(value: float) -> str:
@@ -157,4 +187,63 @@ def format_service_report(report: ServiceReport) -> str:
             else ""
         )
     )
+    if report.timeline_recorded:
+        ops = ", ".join(
+            f"{op}={n}" for op, n in report.timeline_ops.items()
+        )
+        line = (
+            f"timeline: {report.timeline_recorded} samples ({ops}), "
+            f"{report.timeline_dropped} evicted; queue-wait ticks "
+            f"p50/p95/p99 = {report.queue_wait_p50:.1f}/"
+            f"{report.queue_wait_p95:.1f}/{report.queue_wait_p99:.1f}"
+        )
+        if report.restore_locality_p50 is not None:
+            line += f"; restore locality p50 = {report.restore_locality_p50:.3f}"
+        lines.append(line)
+    if report.slo is not None:
+        firing = report.slo.get("firing", [])
+        lines.append(
+            f"slo: {len(report.slo['objectives'])} objective(s), "
+            f"{report.slo['alert_count']} alert event(s)"
+            + (f", FIRING: {', '.join(firing)}" if firing else ", all ok")
+        )
+        for alert in report.slo["alerts"]:
+            lines.append(
+                f"  {alert['event']:<8s} t{alert['tick']:<5d} "
+                f"{alert['objective']}"
+            )
     return "\n".join(lines)
+
+
+def format_top(service: CheckpointService) -> str:
+    """One-screen live dashboard (the ``serve --top-every`` repaint):
+    tick, queue, per-op throughput, queue-wait percentiles and any firing
+    objectives — cheap enough to print every few ticks."""
+    timeline = service.timeline
+    ops = timeline.op_counts()
+    parts = [
+        f"t={service.tick}",
+        f"queue={service.queue.depth}",
+        "ops[" + " ".join(f"{k}:{v}" for k, v in ops.items()) + "]",
+    ]
+    waits = timeline.sketch("dump", "queue_wait_ticks")
+    if waits is not None and waits.count:
+        parts.append(
+            f"wait p50/p95/p99={waits.percentile(50):.0f}/"
+            f"{waits.percentile(95):.0f}/{waits.percentile(99):.0f}"
+        )
+    lat = timeline.sketch("dump", "latency_s")
+    if lat is not None and lat.count:
+        parts.append(
+            f"dump p50/p99={lat.percentile(50) * 1e3:.1f}/"
+            f"{lat.percentile(99) * 1e3:.1f}ms"
+        )
+    if service.slo is not None:
+        firing = sorted(
+            name for name, f in service.slo.firing.items() if f
+        )
+        parts.append(
+            "slo=FIRING:" + ",".join(firing) if firing
+            else f"slo=ok({len(service.slo.alerts)} events)"
+        )
+    return "top · " + " · ".join(parts)

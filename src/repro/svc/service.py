@@ -24,6 +24,13 @@ Logical time is the service ``tick`` (one per drain iteration): quota
 rate-windows and admission-latency accounting run on ticks, so fuzz
 replays are deterministic; wall-clock only feeds the obs histograms,
 which never enter a verdict digest.
+
+Every dump/restore/repair/GC also lands one sample on the service's
+:class:`~repro.obs.timeline.TimelineStore` (tagged tenant / strategy /
+backend / epoch at the current tick), and an attached
+:class:`~repro.obs.slo.SLOEngine` (see :meth:`CheckpointService.attach_slo`)
+is advanced once per tick — the continuous-telemetry substrate behind
+``repro-eval serve --slo`` and the dst ``slo-determinism`` invariant.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from repro.core.dump import DumpReport, dump_output
 from repro.core.restore import restore_dataset
 from repro.core.runner import run_collective
 from repro.obs.metrics import LATENCY_BUCKETS
+from repro.obs.timeline import DEFAULT_CAPACITY, TimelineStore
 from repro.simmpi.trace import Trace
 from repro.storage.local_store import Cluster
 from repro.svc.admission import AdmissionQueue, DumpRequest
@@ -112,6 +120,7 @@ class CheckpointService:
         queue_depth: int = 64,
         attribution: str = "first-writer",
         timeout: Optional[float] = None,
+        timeline_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         if attribution not in ATTRIBUTION_POLICIES:
             raise ValueError(
@@ -132,6 +141,11 @@ class CheckpointService:
         self.queue = AdmissionQueue(max_depth=queue_depth)
         #: service-side trace (pseudo-rank 0): admission spans + gauges
         self.trace = Trace(rank=0, level="span")
+        #: continuous telemetry: one sample per dump/restore/repair/gc
+        #: (``timeline_capacity=0`` disables recording entirely)
+        self.timeline = TimelineStore(capacity=timeline_capacity)
+        #: optional :class:`~repro.obs.slo.SLOEngine`, advanced every tick
+        self.slo = None
         self.tick = 0
         self._tenants: Dict[str, TenantState] = {}
         self._dump_owner: Dict[int, str] = {}
@@ -234,6 +248,22 @@ class CheckpointService:
         self.trace.metrics.gauge("svc_queue_depth").set(self.queue.depth)
         return ticket
 
+    def attach_slo(self, engine) -> None:
+        """Attach an :class:`~repro.obs.slo.SLOEngine`: it is advanced over
+        the timeline once per service tick from here on."""
+        self.slo = engine
+
+    def _after_tick(self) -> None:
+        if self.slo is not None:
+            self.slo.advance(self.timeline, self.tick)
+
+    def tick_idle(self) -> None:
+        """Advance logical time by one tick without admitting work — how
+        scripted arrival processes (``repro-eval slo``, bursty dst
+        scenarios) model gaps between bursts so burn-rate windows age."""
+        self.tick += 1
+        self._after_tick()
+
     def drain(self) -> List[DumpOutcome]:
         """Run queued dumps to completion, fairly, bounded per tick.
 
@@ -253,6 +283,7 @@ class CheckpointService:
             for request in admitted:
                 outcomes.append(self._execute(request))
             self.trace.metrics.gauge("svc_queue_depth").set(self.queue.depth)
+            self._after_tick()
         return outcomes
 
     def step(self) -> List[DumpOutcome]:
@@ -268,6 +299,7 @@ class CheckpointService:
                 break
             outcomes.append(self._execute(request))
         self.trace.metrics.gauge("svc_queue_depth").set(self.queue.depth)
+        self._after_tick()
         return outcomes
 
     def outcome(self, ticket: int) -> DumpOutcome:
@@ -353,16 +385,41 @@ class CheckpointService:
         state.usage.live_dumps += 1
         state.usage.total_dumps += 1
 
+        elapsed = time.perf_counter() - start
         metrics = self.trace.metrics
         metrics.counter("svc_dumps_completed").inc()
         metrics.histogram(
             "svc_admission_latency_seconds", LATENCY_BUCKETS
-        ).observe(time.perf_counter() - start)
+        ).observe(elapsed)
         metrics.counter("svc_admission_wait_ticks").inc(wait_ticks)
+        metrics.sketch("svc_dump_latency_sketch").observe(elapsed)
+        metrics.sketch("svc_queue_wait_sketch").observe(wait_ticks)
         metrics.gauge("svc_cross_tenant_dedup_ratio").set(
             self.cross_tenant_dedup_ratio()
         )
-        self._observe_store_stats()
+        stats = self._observe_store_stats()
+        if self.timeline.enabled:
+            from repro.sim.metrics import load_skew
+
+            skew, _worst = load_skew([r.sent_bytes for r in reports])
+            self.timeline.record(
+                "dump", self.tick,
+                tenant=request.tenant,
+                strategy=getattr(
+                    self.config.strategy, "value", str(self.config.strategy)
+                ),
+                backend=self.backend,
+                epoch=global_id,
+                latency_s=elapsed,
+                queue_wait_ticks=wait_ticks,
+                dedup_ratio=stats["dedup_ratio"],
+                load_skew=skew,
+                bytes_moved=sum(r.sent_bytes for r in reports),
+                logical_bytes=actual_bytes,
+                chunks=actual_chunks,
+                new_chunks=new_chunks,
+                cross_tenant_hits=cross_hits,
+            )
 
         outcome = DumpOutcome(
             ticket=request.ticket,
@@ -378,7 +435,7 @@ class CheckpointService:
         self._pending.pop(request.ticket, None)
         return outcome
 
-    def _observe_store_stats(self) -> None:
+    def _observe_store_stats(self) -> Dict:
         stats = self.cluster.store_stats()
         metrics = self.trace.metrics
         metrics.gauge("svc_store_chunks").set(stats["chunks"])
@@ -388,6 +445,7 @@ class CheckpointService:
         )
         metrics.gauge("svc_store_dedup_ratio").set(stats["dedup_ratio"])
         metrics.gauge("svc_store_shard_skew").set(stats["shard_skew"])
+        return stats
 
     # -- tenant-facing data path -------------------------------------------------
     def restore(self, tenant: str, rank: int, tenant_dump_id: int):
@@ -395,28 +453,71 @@ class CheckpointService:
 
         Runs the batched hot path whenever the service config does (the
         default), recording restore spans and the ``restore_locality``
-        gauge on the service trace.
+        gauge on the service trace.  Every restore also lands its
+        counters/latency/locality on the service metrics and a ``restore``
+        sample on the timeline, so :meth:`capture_metrics` snapshots cover
+        the read path too.
         """
         global_id = self._resolve(tenant, tenant_dump_id)
-        return restore_dataset(
+        start = time.perf_counter()
+        dataset, report = restore_dataset(
             self.cluster,
             rank,
             global_id,
             batched=self.config.batched,
             trace=self.trace,
         )
+        elapsed = time.perf_counter() - start
+        chunks = report.local_chunks + report.remote_chunks
+        locality = report.local_chunks / chunks if chunks else 1.0
+        metrics = self.trace.metrics
+        metrics.counter("svc_restores_completed").inc()
+        metrics.counter("svc_restore_bytes").inc(report.total_bytes)
+        metrics.counter("svc_restore_remote_bytes").inc(report.remote_bytes)
+        metrics.histogram(
+            "svc_restore_latency_seconds", LATENCY_BUCKETS
+        ).observe(elapsed)
+        metrics.sketch("svc_restore_latency_sketch").observe(elapsed)
+        metrics.sketch("svc_restore_locality_sketch").observe(locality)
+        # Chunk-based locality, set even on the legacy path (where the
+        # byte-based core gauge is not recorded).
+        metrics.gauge("svc_restore_locality").set(locality)
+        self.timeline.record(
+            "restore", self.tick,
+            tenant=tenant,
+            backend=self.backend,
+            epoch=global_id,
+            latency_s=elapsed,
+            bytes=report.total_bytes,
+            remote_bytes=report.remote_bytes,
+            chunks=chunks,
+            locality=locality,
+            decoded_chunks=report.decoded_chunks,
+        )
+        return dataset, report
 
     def repair(self, timeout: Optional[float] = None):
         """Re-replicate every tenant's surviving dumps after failures."""
         from repro.repair import repair_cluster
 
+        start = time.perf_counter()
         with self.trace.span("svc-repair"):
-            return repair_cluster(
+            report = repair_cluster(
                 self.cluster,
                 self.config.replication_factor,
                 timeout=timeout or self.timeout,
                 backend=self.backend,
             )
+        self.trace.metrics.counter("svc_repairs_completed").inc()
+        self.timeline.record(
+            "repair", self.tick,
+            backend=self.backend,
+            latency_s=time.perf_counter() - start,
+            chunks_moved=report.chunks_moved,
+            bytes_moved=report.bytes_moved,
+            manifests_moved=report.manifests_moved,
+        )
+        return report
 
     def gc(self, tenant: str, tenant_dump_id: int) -> GCOutcome:
         """Garbage-collect one of ``tenant``'s dumps.
@@ -470,6 +571,16 @@ class CheckpointService:
             self.cross_tenant_dedup_ratio()
         )
         self._observe_store_stats()
+        self.timeline.record(
+            "gc", self.tick,
+            tenant=tenant,
+            backend=self.backend,
+            epoch=global_id,
+            chunks_dropped=outcome.chunks_dropped,
+            chunks_retained=outcome.chunks_retained,
+            bytes_reclaimed=outcome.bytes_reclaimed,
+            manifests_dropped=outcome.manifests_dropped,
+        )
         return outcome
 
     def _ticket_of(self, global_id: int) -> Optional[int]:
@@ -522,6 +633,11 @@ class CheckpointService:
             "tenants": len(self._tenants),
             "shard_count": self.shard_count,
             "attribution": self.attribution,
+            "timeline": {
+                "recorded": self.timeline.recorded,
+                "dropped": self.timeline.dropped,
+                "ops": self.timeline.op_counts(),
+            },
         }
         base.update(meta or {})
         return capture_run([self.trace], meta=base)

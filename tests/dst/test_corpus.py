@@ -59,11 +59,15 @@ def test_corpus_covers_the_feature_matrix():
             feats.add("batched-restore")
         else:
             feats.add("legacy-restore")
+        if s.arrival == "bursty":
+            feats.add("bursty")
+        if any(st.op == "tick" for st in s.steps):
+            feats.add("tick")
     assert feats >= {
         "parity", "repeat", "differential", "legacy", "compress",
         "crash", "mid-dump", "repair", "pipelined-fast",
         "multi-tenant", "tenant-gc", "sharded",
-        "batched-restore", "legacy-restore",
+        "batched-restore", "legacy-restore", "bursty", "tick",
     }
 
 
@@ -71,3 +75,23 @@ def test_corpus_covers_the_feature_matrix():
 def test_corpus_scenario_upholds_all_invariants(seed):
     result = run_scenario(generate_scenario(seed))
     assert result.ok, [v.as_dict() for v in result.violations]
+
+
+def test_corpus_keeps_an_alert_firing_bursty_seed():
+    """At least one corpus scenario must drive the queue-wait SLO into a
+    fire event, so the burn-rate engine's alert path (and the
+    slo-determinism replay over it) stays exercised by every CI run —
+    a corpus of quiet scenarios would let the alerting logic rot."""
+    fired = []
+    for _path, s in iter_corpus(default_corpus_dir()):
+        if s.arrival != "bursty":
+            continue
+        result = run_scenario(s)
+        assert result.ok, [v.as_dict() for v in result.violations]
+        assert result.slo is not None
+        if result.slo["alert_count"]:
+            fired.append(s.seed)
+            assert any(
+                a["event"] == "fire" for a in result.slo["alerts"]
+            )
+    assert fired, "no bursty corpus seed fires its SLO"

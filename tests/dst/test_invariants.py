@@ -157,3 +157,49 @@ class TestReportSanity:
         alive = [True, False, True, True]
         assert inv.check_report_sanity(0, reports, alive=alive) == []
         assert inv.check_report_sanity(0, reports) != []
+
+
+class TestSLODeterminism:
+    class FakeService:
+        def __init__(self, engine, timeline, tick):
+            self.slo = engine
+            self.timeline = timeline
+            self.tick = tick
+
+    def driven(self, waits):
+        from repro.obs.slo import SLOEngine
+        from repro.obs.timeline import TimelineStore
+
+        engine = SLOEngine(
+            objectives=("dump.queue_wait_ticks.p95 < 2",),
+            windows=((4, 1.0), (2, 1.0)),
+            min_samples=2,
+        )
+        timeline = TimelineStore()
+        for tick, wait in enumerate(waits, start=1):
+            timeline.record("dump", tick, queue_wait_ticks=float(wait))
+            engine.advance(timeline, tick)
+        return self.FakeService(engine, timeline, len(waits))
+
+    def test_pure_fold_is_silent(self):
+        service = self.driven([0, 5, 5, 5, 5, 0, 0, 0])
+        assert service.slo.alerts  # the scenario alerted
+        assert inv.check_slo_determinism(service, step=7) == []
+
+    def test_tampered_alert_log_detected(self):
+        service = self.driven([0, 5, 5, 5, 5, 0, 0, 0])
+        service.slo.alerts.pop()
+        (violation,) = inv.check_slo_determinism(service, step=7)
+        assert violation.invariant == "slo-determinism"
+        assert "diverges" in violation.detail
+
+    def test_disarms_without_an_engine(self):
+        service = self.driven([5, 5, 5, 5])
+        service.slo = None
+        assert inv.check_slo_determinism(service, step=3) == []
+
+    def test_disarms_once_the_ring_dropped_samples(self):
+        service = self.driven([5, 5, 5, 5])
+        service.slo.alerts.pop()  # would be a violation...
+        service.timeline.dropped = 1  # ...but replay is no longer sound
+        assert inv.check_slo_determinism(service, step=3) == []

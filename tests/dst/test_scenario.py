@@ -137,3 +137,41 @@ class TestSerialization:
         assert s.with_(k=5).k == 5
         with pytest.raises(ScenarioError):
             s.with_(n_ranks=0)
+
+
+class TestArrival:
+    def multi(self, **changes):
+        base = scenario(
+            degraded=False,
+            steps=(
+                Step("dump", tenant=0),
+                Step("tick"),
+                Step("dump", tenant=1),
+            ),
+            tenants=2,
+            tenant_overlap=0.5,
+            workload_mode="fresh",
+            arrival="bursty",
+        )
+        return base.with_(**changes) if changes else base
+
+    def test_bursty_multi_tenant_builds(self):
+        s = self.multi()
+        assert s.arrival == "bursty"
+
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(ScenarioError, match="arrival"):
+            self.multi(arrival="poisson")
+
+    def test_bursty_requires_multi_tenancy(self):
+        with pytest.raises(ScenarioError, match="multi-tenant"):
+            scenario(arrival="bursty")
+
+    def test_arrival_round_trips_through_json(self):
+        s = self.multi()
+        assert Scenario.from_json(s.to_json()) == s
+
+    def test_arrival_defaults_to_steady_for_old_documents(self):
+        doc = scenario().as_dict()
+        doc.pop("arrival")
+        assert Scenario.from_dict(doc).arrival == "steady"

@@ -239,3 +239,99 @@ class TestRepair:
         for report in World(4).run(prog):
             assert report.clean
             assert report.chunks_moved == 0
+
+
+class TestTimeline:
+    def test_runtime_feeds_its_timeline(self):
+        """Dumps, restores and repairs land tick-tagged samples on the
+        runtime's timeline, stamped with the app's logical step."""
+        cluster = Cluster(4)
+        cfg = DumpConfig(replication_factor=2, chunk_size=64, f_threshold=1024)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=2)
+            rt.memory.register("x", np.zeros(64))
+            for step in range(1, 5):
+                rt.maybe_checkpoint(step)
+            if comm.rank == 0:
+                rt.restart()
+            comm.barrier()
+            return rt.timeline.op_counts(), rt.timeline.latest_tick()
+
+        results = World(4).run(prog)
+        counts, latest = results[0]
+        assert counts["dump"] == 2  # steps 2 and 4
+        assert counts["restore"] == 1
+        assert latest == 4  # logical step, not wall clock
+        for _counts, other_latest in results[1:]:
+            assert other_latest == 4
+
+    def test_dump_samples_carry_strategy_and_bytes(self):
+        cluster = Cluster(2)
+        cfg = DumpConfig(replication_factor=2, chunk_size=64, f_threshold=1024)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=1)
+            rt.memory.register("x", np.ones(64))
+            rt.maybe_checkpoint(1)
+            (sample,) = rt.timeline.samples(op="dump")
+            assert sample.backend == "ftrt"
+            assert sample.strategy == cfg.strategy.value
+            assert sample.values["logical_bytes"] > 0
+            assert sample.values["latency_s"] >= 0
+            return True
+
+        assert all(World(2).run(prog))
+
+    def test_restore_sample_reports_locality(self):
+        cluster = Cluster(4)
+        cfg = DumpConfig(replication_factor=2, chunk_size=64, f_threshold=1024)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=1)
+            rt.memory.register("x", np.full(256, float(comm.rank)))
+            rt.maybe_checkpoint(1)
+            rt.restart()
+            (sample,) = rt.timeline.samples(op="restore")
+            assert 0.0 <= sample.values["locality"] <= 1.0
+            return rt.timeline.sketch("restore", "latency_s").count
+
+        assert all(c == 1 for c in World(4).run(prog))
+
+    def test_repair_lands_on_the_timeline(self):
+        cluster = Cluster(4)
+        cfg = DumpConfig(replication_factor=2, chunk_size=64, f_threshold=1024)
+
+        def prog(comm):
+            rt = CheckpointRuntime(comm, cluster, cfg, interval=1)
+            rt.memory.register("x", np.full(256, float(comm.rank)))
+            rt.maybe_checkpoint(1)
+            comm.barrier()
+            if comm.rank == 0:
+                cluster.fail_node(3)
+            comm.barrier()
+            rt.repair()
+            return rt.timeline.op_counts().get("repair", 0)
+
+        assert all(c == 1 for c in World(4).run(prog))
+
+    def test_shared_timeline_can_be_injected(self):
+        from repro.obs.timeline import TimelineStore
+
+        cluster = Cluster(2)
+        cfg = DumpConfig(replication_factor=2, chunk_size=64, f_threshold=1024)
+        stores = [TimelineStore(), TimelineStore()]
+
+        def prog(comm):
+            rt = CheckpointRuntime(
+                comm, cluster, cfg, interval=1, timeline=stores[comm.rank]
+            )
+            rt.memory.register("x", np.zeros(64))
+            rt.maybe_checkpoint(1)
+            return True
+
+        assert all(World(2).run(prog))
+        merged = TimelineStore()
+        for store in stores:
+            merged.merge(store)
+        assert merged.sketch("dump", "latency_s").count == 2

@@ -1,0 +1,150 @@
+"""Bench regression gating: diff semantics and the CLI exit contract."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench_diff import (
+    DEFAULT_TOLERANCE,
+    diff_bench,
+    format_bench_diff,
+    load_bench,
+)
+from repro.obs.schema import SchemaError, bench_document
+
+
+def make_doc(**timings_by_bench):
+    """A bench document from ``name=(timings_dict, speedup)`` pairs."""
+    benchmarks = {
+        name: {"timings": dict(timings), "speedup": speedup}
+        for name, (timings, speedup) in timings_by_bench.items()
+    }
+    return bench_document("host-a", 8, False, benchmarks)
+
+
+BASELINE = make_doc(
+    dump=({"packed": 0.100, "legacy": 0.400}, 4.0),
+    restore=({"batched": 0.050}, None),
+)
+
+
+class TestDiff:
+    def test_identical_documents_are_clean(self):
+        diff = diff_bench(BASELINE, BASELINE)
+        assert diff.ok
+        assert not diff.regressions
+        assert diff.notes == []
+
+    def test_slowdown_past_tolerance_is_a_regression(self):
+        fresh = make_doc(
+            dump=({"packed": 0.130, "legacy": 0.400}, 4.0),  # +30 %
+            restore=({"batched": 0.050}, None),
+        )
+        diff = diff_bench(fresh, BASELINE)
+        assert not diff.ok
+        (reg,) = diff.regressions
+        assert (reg.benchmark, reg.label) == ("dump", "packed")
+        assert reg.ratio == pytest.approx(1.3)
+
+    def test_slowdown_within_tolerance_passes(self):
+        fresh = make_doc(
+            dump=({"packed": 0.120, "legacy": 0.400}, 4.0),  # +20 %
+            restore=({"batched": 0.050}, None),
+        )
+        assert diff_bench(fresh, BASELINE).ok
+
+    def test_speedup_collapse_is_a_regression(self):
+        fresh = make_doc(
+            dump=({"packed": 0.100, "legacy": 0.400}, 2.0),  # 4x -> 2x
+            restore=({"batched": 0.050}, None),
+        )
+        diff = diff_bench(fresh, BASELINE)
+        (reg,) = diff.regressions
+        assert reg.kind == "speedup"
+        assert reg.ratio == pytest.approx(2.0)
+
+    def test_sub_floor_timings_are_skipped_with_a_note(self):
+        base = make_doc(fast=({"hot": 0.0002}, None))
+        fresh = make_doc(fast=({"hot": 0.0009}, None))  # 4.5x but sub-ms
+        diff = diff_bench(fresh, base)
+        assert diff.ok
+        assert diff.rows == []
+        assert any("floor" in note for note in diff.notes)
+
+    def test_one_sided_benchmarks_noted_never_fatal(self):
+        fresh = make_doc(
+            dump=({"packed": 0.100, "legacy": 0.400}, 4.0),
+            brand_new=({"x": 0.5}, None),
+        )
+        diff = diff_bench(fresh, BASELINE)
+        assert diff.ok
+        notes = "\n".join(diff.notes)
+        assert "no baseline" in notes
+        assert "missing from fresh" in notes  # restore dropped
+
+    def test_host_mismatch_noted(self):
+        fresh = dict(BASELINE, host="host-b")
+        diff = diff_bench(fresh, BASELINE)
+        assert any("host differs" in note for note in diff.notes)
+        assert diff.ok  # a note, not a verdict
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_bench(BASELINE, BASELINE, tolerance=0.0)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(SchemaError):
+            diff_bench({"schema": "bogus"}, BASELINE)
+
+    def test_format_flags_regressions(self):
+        fresh = make_doc(
+            dump=({"packed": 0.200, "legacy": 0.400}, 4.0),
+            restore=({"batched": 0.050}, None),
+        )
+        text = format_bench_diff(diff_bench(fresh, BASELINE))
+        assert "REGRESSION" in text
+        assert f"tolerance {DEFAULT_TOLERANCE:.0%}" in text
+
+
+class TestCli:
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_clean_diff_exits_zero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        assert main(["bench-diff", base, base]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_regression_exits_two(self, tmp_path, capsys):
+        fresh_doc = make_doc(
+            dump=({"packed": 0.140, "legacy": 0.400}, 4.0),
+            restore=({"batched": 0.050}, None),
+        )
+        base = self.write(tmp_path, "base.json", BASELINE)
+        fresh = self.write(tmp_path, "fresh.json", fresh_doc)
+        with pytest.raises(SystemExit) as exc:
+            main(["bench-diff", fresh, base])
+        assert exc.value.code == 2
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tolerance_flag_loosens_the_gate(self, tmp_path):
+        fresh_doc = make_doc(
+            dump=({"packed": 0.140, "legacy": 0.400}, 4.0),
+            restore=({"batched": 0.050}, None),
+        )
+        base = self.write(tmp_path, "base.json", BASELINE)
+        fresh = self.write(tmp_path, "fresh.json", fresh_doc)
+        assert main(["bench-diff", fresh, base, "--tolerance", "0.5"]) == 0
+
+    def test_missing_file_exits_two(self, tmp_path):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        assert main(["bench-diff", str(tmp_path / "nope.json"), base]) == 2
+
+    def test_load_bench_validates(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "bogus"}))
+        with pytest.raises(SchemaError):
+            load_bench(path)

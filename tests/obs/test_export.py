@@ -144,3 +144,97 @@ class TestPrometheusText:
         assert 'repro_chunk_size_bytes_bucket{le="+Inf"} 6' in text
         assert "repro_chunk_size_bytes_count 6" in text
         assert "repro_chunk_size_bytes_sum 1536" in text
+
+
+def parse_exposition(text):
+    """Parse Prometheus text exposition into ``(types, samples)``.
+
+    ``types`` maps family name -> declared TYPE; ``samples`` is a list of
+    ``(metric, labels_dict, value)``.  A minimal spec-shaped parser — its
+    point is that the exporter's output survives being *read back*, not
+    just string-matched.
+    """
+    types, samples = {}, []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, family, kind = line.split(" ", 3)
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value = line.rpartition(" ")
+        labels = {}
+        if "{" in name_part:
+            metric, _, raw = name_part.partition("{")
+            for pair in raw.rstrip("}").split(","):
+                key, _, val = pair.partition("=")
+                labels[key] = val.strip('"')
+        else:
+            metric = name_part
+        samples.append((metric, labels, float(value)))
+    return types, samples
+
+
+class TestPrometheusRoundTrip:
+    """Spec-completeness via parse-back: every sample belongs to a typed
+    family, histograms are cumulative with ``+Inf`` == ``_count``, and
+    sketch summaries expose quantiles plus the ``_sum``/``_count`` pair."""
+
+    def make_run(self):
+        traces = []
+        for rank in range(2):
+            t = make_trace(rank)
+            sk = t.metrics.sketch("restore_latency_sketch")
+            sk.observe_many([0.1 * (i + rank) for i in range(20)])
+            traces.append(t)
+        return capture_run(traces)
+
+    def base_family(self, metric):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if metric.endswith(suffix):
+                return metric[: -len(suffix)]
+        return metric
+
+    def test_every_sample_has_a_typed_family(self):
+        types, samples = parse_exposition(prometheus_text(self.make_run()))
+        assert samples
+        for metric, _labels, _value in samples:
+            family = self.base_family(metric)
+            assert family in types, f"{metric} has no # TYPE"
+
+    def test_histogram_round_trips_cumulative(self):
+        types, samples = parse_exposition(prometheus_text(self.make_run()))
+        hist_families = [f for f, kind in types.items() if kind == "histogram"]
+        assert hist_families
+        for family in hist_families:
+            buckets = [
+                (labels["le"], value)
+                for metric, labels, value in samples
+                if metric == f"{family}_bucket"
+            ]
+            counts = [v for _le, v in buckets]
+            assert counts == sorted(counts), f"{family} buckets not cumulative"
+            assert buckets[-1][0] == "+Inf"
+            (count,) = [
+                v for m, _l, v in samples if m == f"{family}_count"
+            ]
+            assert buckets[-1][1] == count
+            assert any(m == f"{family}_sum" for m, _l, _v in samples)
+
+    def test_sketch_round_trips_as_summary(self):
+        types, samples = parse_exposition(prometheus_text(self.make_run()))
+        family = "repro_restore_latency_sketch"
+        assert types[family] == "summary"
+        quantiles = {
+            labels["quantile"]: value
+            for metric, labels, value in samples
+            if metric == family and "quantile" in labels
+        }
+        assert set(quantiles) == {"0.5", "0.95", "0.99", "0.999"}
+        ordered = [quantiles[q] for q in ("0.5", "0.95", "0.99", "0.999")]
+        assert ordered == sorted(ordered)
+        (count,) = [v for m, _l, v in samples if m == f"{family}_count"]
+        assert count == 40  # 20 observations per rank, merged
+        assert any(m == f"{family}_sum" for m, _l, _v in samples)

@@ -1,0 +1,195 @@
+"""Quantile sketches: accuracy against exact percentiles, merging, state.
+
+The property tests pin the module's documented accuracy contract: any
+reported quantile must lie between the exact pooled-sample values at
+ranks ``q ± rank_error_bound`` — including after merging per-rank
+sketches, the path cross-rank aggregation actually takes.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.sketch import DEFAULT_COMPRESSION, QuantileSketch
+
+
+def rank_window(samples, q, rank_error):
+    """Exact values at ranks ``q ± rank_error`` of ``samples``."""
+    lo_q = max(0.0, q - rank_error * 100.0)
+    hi_q = min(100.0, q + rank_error * 100.0)
+    return (
+        float(np.percentile(samples, lo_q)),
+        float(np.percentile(samples, hi_q)),
+    )
+
+
+def assert_within_bound(sketch, samples, q):
+    lo, hi = rank_window(samples, q, sketch.rank_error_bound)
+    got = sketch.percentile(q)
+    assert lo <= got <= hi, (
+        f"p{q}: {got} outside exact-rank window [{lo}, {hi}] "
+        f"for {len(samples)} samples"
+    )
+
+
+class TestBasics:
+    def test_empty(self):
+        sk = QuantileSketch()
+        assert sk.count == 0
+        assert sk.percentile(50) == 0.0
+        assert sk.summary()["p99"] == 0.0
+
+    def test_single_value(self):
+        sk = QuantileSketch()
+        sk.observe(3.5)
+        for q in (0, 50, 100):
+            assert sk.percentile(q) == 3.5
+
+    def test_moments(self):
+        sk = QuantileSketch()
+        sk.observe_many([1.0, 2.0, 3.0, 4.0])
+        assert sk.count == 4
+        assert sk.sum == 10.0
+        assert sk.mean == 2.5
+        assert sk.min == 1.0 and sk.max == 4.0
+
+    def test_observe_weighted(self):
+        sk = QuantileSketch()
+        sk.observe(2.0, n=10)
+        assert sk.count == 10
+        assert sk.sum == 20.0
+
+    def test_rejects_tiny_compression(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(compression=4)
+
+    def test_percentile_bounds_checked(self):
+        sk = QuantileSketch()
+        sk.observe(1.0)
+        with pytest.raises(ValueError):
+            sk.percentile(101)
+
+    def test_observe_many_ndarray_fast_path(self):
+        sk = QuantileSketch()
+        sk.observe_many(np.arange(1000, dtype=np.int64))
+        assert sk.count == 1000
+        assert sk.max == 999.0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(size=5000)
+        a, b = QuantileSketch(), QuantileSketch()
+        a.observe_many(values)
+        b.observe_many(values)
+        assert a.as_dict() == b.as_dict()
+        assert a.quantiles() == b.quantiles()
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("q", [50.0, 95.0, 99.0, 99.9])
+    def test_lognormal_within_documented_bound(self, q):
+        rng = np.random.default_rng(42)
+        samples = rng.lognormal(mean=0.0, sigma=1.5, size=20000)
+        sk = QuantileSketch()
+        sk.observe_many(samples)
+        assert_within_bound(sk, samples, q)
+
+    def test_quantiles_monotone(self):
+        rng = np.random.default_rng(3)
+        sk = QuantileSketch()
+        sk.observe_many(rng.normal(size=10000))
+        qs = sk.quantiles((1, 10, 25, 50, 75, 90, 99))
+        assert qs == sorted(qs)
+
+    def test_extremes_exact(self):
+        rng = np.random.default_rng(11)
+        samples = rng.uniform(size=3000)
+        sk = QuantileSketch()
+        sk.observe_many(samples)
+        assert sk.percentile(0) == samples.min()
+        assert sk.percentile(100) == samples.max()
+
+
+class TestMerge:
+    def test_merged_moments(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        a.observe_many([1.0, 2.0])
+        b.observe_many([3.0, 4.0])
+        a.merge(b)
+        assert a.count == 4
+        assert a.sum == 10.0
+        assert a.min == 1.0 and a.max == 4.0
+
+    def test_merge_empty_is_identity(self):
+        a = QuantileSketch()
+        a.observe_many([1.0, 2.0, 3.0])
+        before = a.quantiles()
+        a.merge(QuantileSketch())
+        assert a.quantiles() == before
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_ranks=st.integers(2, 8),
+        per_rank=st.integers(50, 800),
+        sigma=st.floats(0.1, 2.0),
+    )
+    def test_merged_sketch_within_bound_of_pooled_exact(
+        self, seed, n_ranks, per_rank, sigma
+    ):
+        """The ISSUE acceptance property: merge per-rank sketches (as
+        cross-rank aggregation does) and require every report quantile to
+        sit within the documented rank-error window of exact
+        ``np.percentile`` over the pooled samples."""
+        rng = np.random.default_rng(seed)
+        merged = QuantileSketch()
+        pooled = []
+        for _rank in range(n_ranks):
+            samples = rng.lognormal(sigma=sigma, size=per_rank)
+            pooled.append(samples)
+            sk = QuantileSketch()
+            sk.observe_many(samples)
+            merged.merge(sk)
+        pooled = np.concatenate(pooled)
+        assert merged.count == pooled.size
+        for q in (50.0, 95.0, 99.0, 99.9):
+            assert_within_bound(merged, pooled, q)
+
+
+class TestState:
+    def test_dict_round_trip(self):
+        sk = QuantileSketch(compression=64)
+        sk.observe_many(np.linspace(0, 1, 777))
+        clone = QuantileSketch.from_dict(sk.as_dict())
+        assert clone.as_dict() == sk.as_dict()
+        assert clone.quantiles() == sk.quantiles()
+
+    def test_empty_dict_round_trip(self):
+        sk = QuantileSketch()
+        doc = sk.as_dict()
+        assert doc["min"] is None and doc["max"] is None
+        clone = QuantileSketch.from_dict(doc)
+        assert clone.count == 0
+        assert clone.percentile(50) == 0.0
+
+    def test_picklable(self):
+        sk = QuantileSketch()
+        sk.observe_many(np.arange(1000.0))
+        clone = pickle.loads(pickle.dumps(sk))
+        assert clone.as_dict() == sk.as_dict()
+
+    def test_memory_bounded(self):
+        sk = QuantileSketch()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            sk.observe_many(rng.normal(size=5000))
+        sk._compress()
+        # Centroid count stays O(compression) no matter how much went in.
+        assert len(sk._means) <= 2 * DEFAULT_COMPRESSION
+
+    def test_default_compression_error_bound(self):
+        assert QuantileSketch().rank_error_bound == pytest.approx(
+            3.0 / DEFAULT_COMPRESSION
+        )

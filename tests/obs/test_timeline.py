@@ -1,0 +1,169 @@
+"""The telemetry timeline: ring bounds, queries, merging, serialization."""
+
+import pytest
+
+from repro.obs.schema import SchemaError, validate_timeline
+from repro.obs.timeline import (
+    DEFAULT_CAPACITY,
+    TIMELINE_SCHEMA_ID,
+    TimelineSample,
+    TimelineStore,
+)
+
+
+def fill(store, n, op="dump", start_tick=1, **extra):
+    for i in range(n):
+        store.record(op, start_tick + i, latency_s=float(i), **extra)
+
+
+class TestRecording:
+    def test_defaults(self):
+        store = TimelineStore()
+        assert store.capacity == DEFAULT_CAPACITY
+        assert store.enabled
+        assert len(store) == 0
+        assert store.latest_tick() == 0
+
+    def test_record_returns_the_sample(self):
+        store = TimelineStore()
+        sample = store.record(
+            "dump", 3, tenant="a", strategy="batched", backend="svc",
+            epoch=2, latency_s=0.5, bytes_moved=1024,
+        )
+        assert sample.tick == 3
+        assert sample.tenant == "a"
+        assert sample.values == {"latency_s": 0.5, "bytes_moved": 1024.0}
+        assert store.recorded == 1
+        assert store.latest_tick() == 3
+
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        store = TimelineStore(capacity=4)
+        fill(store, 10)
+        assert len(store) == 4
+        assert store.recorded == 10
+        assert store.dropped == 6
+        # Oldest-first, and only the newest four survive.
+        assert [s.tick for s in store.samples()] == [7, 8, 9, 10]
+
+    def test_capacity_zero_disables_recording(self):
+        store = TimelineStore(capacity=0)
+        assert not store.enabled
+        assert store.record("dump", 1, latency_s=1.0) is None
+        assert len(store) == 0
+        assert store.recorded == 0
+        assert store.sketches == {}
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineStore(capacity=-1)
+
+
+class TestQueries:
+    def test_samples_filter_by_op_tenant_tick(self):
+        store = TimelineStore()
+        store.record("dump", 1, tenant="a", latency_s=1.0)
+        store.record("restore", 2, tenant="a", latency_s=2.0)
+        store.record("dump", 3, tenant="b", latency_s=3.0)
+        assert len(store.samples(op="dump")) == 2
+        assert len(store.samples(tenant="a")) == 2
+        assert [s.tick for s in store.samples(since_tick=2)] == [2, 3]
+        assert len(store.samples(op="dump", tenant="b")) == 1
+
+    def test_window_is_half_open_on_the_left(self):
+        store = TimelineStore()
+        fill(store, 6)  # ticks 1..6, latency 0..5
+        # (start, end] — tick 2 excluded, ticks 3..5 included.
+        assert store.window("dump", "latency_s", 2, 5) == [2.0, 3.0, 4.0]
+        assert store.window("dump", "missing_field", 0, 10) == []
+        assert store.window("restore", "latency_s", 0, 10) == []
+
+    def test_sketches_track_per_op_field(self):
+        store = TimelineStore()
+        fill(store, 10)
+        store.record("restore", 11, locality=0.75)
+        sk = store.sketch("dump", "latency_s")
+        assert sk.count == 10
+        assert store.sketch("restore", "locality").count == 1
+        assert store.sketch("dump", "locality") is None
+
+    def test_sketches_survive_ring_eviction(self):
+        store = TimelineStore(capacity=2)
+        fill(store, 50)
+        assert len(store) == 2
+        # The whole-run sketch saw everything the ring forgot.
+        assert store.sketch("dump", "latency_s").count == 50
+
+    def test_op_counts_sorted(self):
+        store = TimelineStore()
+        store.record("restore", 1, latency_s=1.0)
+        store.record("dump", 2, latency_s=1.0)
+        store.record("dump", 3, latency_s=1.0)
+        assert store.op_counts() == {"dump": 2, "restore": 1}
+        assert list(store.op_counts()) == ["dump", "restore"]
+
+
+class TestMerge:
+    def test_samples_interleave_by_tick(self):
+        a, b = TimelineStore(), TimelineStore()
+        a.record("dump", 1, latency_s=1.0)
+        a.record("dump", 5, latency_s=5.0)
+        b.record("restore", 3, latency_s=3.0)
+        a.merge(b)
+        assert [(s.tick, s.op) for s in a.samples()] == [
+            (1, "dump"), (3, "restore"), (5, "dump"),
+        ]
+        assert a.recorded == 3
+
+    def test_merge_combines_sketches(self):
+        a, b = TimelineStore(), TimelineStore()
+        fill(a, 5)
+        fill(b, 5, start_tick=6)
+        a.merge(b)
+        assert a.sketch("dump", "latency_s").count == 10
+
+    def test_merge_overflow_counts_as_dropped(self):
+        a = TimelineStore(capacity=3)
+        b = TimelineStore()
+        fill(a, 3)
+        fill(b, 3, start_tick=4)
+        a.merge(b)
+        assert len(a) == 3
+        assert a.dropped == 3
+
+    def test_merge_into_disabled_is_noop(self):
+        a = TimelineStore(capacity=0)
+        b = TimelineStore()
+        fill(b, 3)
+        a.merge(b)
+        assert len(a) == 0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        store = TimelineStore(capacity=8)
+        fill(store, 12, tenant="a", strategy="batched", backend="svc")
+        doc = store.as_dict()
+        assert doc["schema"] == TIMELINE_SCHEMA_ID
+        validate_timeline(doc)
+        clone = TimelineStore.from_dict(doc)
+        assert clone.as_dict() == doc
+        assert clone.sketch("dump", "latency_s").count == 12
+
+    def test_sample_round_trip(self):
+        sample = TimelineSample(
+            tick=4, op="gc", tenant="t", strategy="s", backend="b",
+            epoch=1, values={"freed": 2.0},
+        )
+        assert TimelineSample.from_dict(sample.as_dict()) == sample
+
+    def test_from_dict_validates(self):
+        with pytest.raises(SchemaError):
+            TimelineStore.from_dict({"schema": "bogus"})
+
+    def test_validate_rejects_decreasing_ticks(self):
+        store = TimelineStore()
+        fill(store, 3)
+        doc = store.as_dict()
+        doc["samples"][0]["tick"] = 99
+        with pytest.raises(SchemaError, match="non-decreasing"):
+            validate_timeline(doc)

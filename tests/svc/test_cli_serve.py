@@ -59,3 +59,77 @@ class TestServe:
         assert main(["serve", "--tenants", "not-a-number"]) == 2
         err = capsys.readouterr().err
         assert err.count("\n") == 1
+
+
+class TestServeSLO:
+    def test_slo_flag_adds_the_report_section(self, capsys):
+        assert main(BASE + ["--slo"]) == 0
+        text = capsys.readouterr().out
+        assert "slo:" in text
+
+    def test_top_every_prints_dashboard_lines(self, capsys):
+        assert main(BASE + ["--slo", "--top-every", "1"]) == 0
+        text = capsys.readouterr().out
+        assert "top · " in text
+        assert "queue=" in text
+
+
+class TestSloCommand:
+    ARGS = [
+        "slo", "--seed", "7", "--tenants", "2", "--bursts", "4",
+        "--n", "4", "--chunks-per-rank", "4", "--chunk-size", "64",
+    ]
+
+    def test_prints_a_burn_rate_report(self, capsys):
+        assert main(self.ARGS) == 0
+        text = capsys.readouterr().out
+        assert "slo report" in text
+        assert "dump.queue_wait_ticks.p95 < 2" in text
+
+    def test_same_seed_same_verdict_bytes(self, tmp_path, capsys):
+        out_a = str(tmp_path / "a.json")
+        out_b = str(tmp_path / "b.json")
+        assert main(self.ARGS + ["--out", out_a]) == 0
+        assert main(self.ARGS + ["--out", out_b]) == 0
+        a = (tmp_path / "a.json").read_bytes()
+        assert a == (tmp_path / "b.json").read_bytes()
+        from repro.obs.schema import validate_slo
+        validate_slo(json.loads(a))
+
+    def test_timeline_out_is_a_valid_document(self, tmp_path, capsys):
+        out = str(tmp_path / "timeline.json")
+        assert main(self.ARGS + ["--timeline-out", out]) == 0
+        from repro.obs.schema import validate_timeline
+        validate_timeline(json.loads((tmp_path / "timeline.json").read_text()))
+
+    def test_custom_objective(self, capsys):
+        argv = self.ARGS + ["--objective", "dump.latency_s.p99 < 100"]
+        assert main(argv) == 0
+        assert "dump.latency_s.p99 < 100" in capsys.readouterr().out
+
+    def test_malformed_objective_is_a_one_line_error(self, capsys):
+        argv = self.ARGS + ["--objective", "nope"]
+        assert main(argv) == 2
+        assert "repro-eval:" in capsys.readouterr().err
+
+    def test_check_exits_one_when_alerts_fired(self, capsys):
+        # Seeded bursty driver with a hair-trigger objective: any queue
+        # wait at all violates, so the alert fires and --check gates.
+        argv = [
+            "slo", "--seed", "3", "--tenants", "3", "--bursts", "6",
+            "--n", "4", "--chunks-per-rank", "4", "--chunk-size", "64",
+            "--objective", "dump.queue_wait_ticks.p50 <= 0",
+            "--check",
+        ]
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 1
+        out = capsys.readouterr().out
+        assert "fire@t" in out
+
+    def test_check_passes_a_quiet_run(self):
+        # A permissive objective never violates, so --check is clean.
+        argv = self.ARGS + [
+            "--objective", "dump.queue_wait_ticks.p95 < 1e9", "--check",
+        ]
+        assert main(argv) == 0
