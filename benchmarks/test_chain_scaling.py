@@ -1,0 +1,175 @@
+"""Incremental checkpoint chain scaling: warm delta dumps vs full dumps.
+
+Not a paper artifact: this pins the core economics of the chain layer
+(``repro.chain``) — once the parent epoch has warmed the per-rank
+fingerprint caches, dumping the next epoch as a delta must move only the
+dirty chunks, so a lightly mutating workload dumps several times faster
+than re-shipping a full every epoch.
+
+Two measured quantities:
+
+* **delta dump** — ``EPOCHS`` consecutive epochs of a 5%-dirty
+  :class:`~repro.apps.mutating.MutatingWorkload` dumped as deltas on one
+  chain vs the same epochs dumped as fulls on a second, independent chain
+  over identical content.  The aggregate delta time must win >= 3x.
+* **time-travel restore** — restoring the tip epoch through the delta
+  chain (depth ``EPOCHS + 1``: base-full resolution plus newest-wins
+  overlays) on the batched and legacy restore paths, byte-compared to the
+  per-epoch workload oracle and to the full chain's tip.  Reported for
+  the trajectory; no floor — depth resolution is manifest arithmetic,
+  the chunk movement dominates either way.
+
+Results land in ``BENCH_restore.json`` in the unified
+``repro.obs/bench/v1`` schema.  Set ``CHAIN_SMOKE=1`` for a fast
+correctness-only pass (CI): sizes shrink and the speedup floor is
+reported but not asserted.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.apps.mutating import MutatingWorkload
+from repro.chain import ChainManager
+from repro.core import DumpConfig
+from repro.obs.schema import write_bench_entry
+from repro.storage import Cluster
+
+pytestmark = [pytest.mark.slow, pytest.mark.bench]
+
+SMOKE = bool(int(os.environ.get("CHAIN_SMOKE", "0")))
+
+CS = 256
+N_RANKS = 4
+K = 2
+DIRTY_FRAC = 0.05
+EPOCHS = 3 if SMOKE else 6                # delta epochs after the base full
+CHUNKS = 512 if SMOKE else 8192           # per rank
+MIN_DELTA_SPEEDUP = 3.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_restore.json"
+
+
+def _workload() -> MutatingWorkload:
+    return MutatingWorkload(
+        seed=4242,
+        segment_lengths=(CHUNKS * CS,),
+        chunk_size=CS,
+        dirty_frac=DIRTY_FRAC,
+    )
+
+
+def _chain() -> ChainManager:
+    config = DumpConfig(replication_factor=K, chunk_size=CS)
+    return ChainManager(Cluster(N_RANKS), config, N_RANKS)
+
+
+def _emit(key, payload):
+    write_bench_entry(RESULT_PATH, key, payload, smoke=SMOKE)
+
+
+def test_warm_delta_dump_speedup():
+    """Epochs 1..EPOCHS dumped as warm deltas vs as independent fulls."""
+    delta_chain, delta_wl = _chain(), _workload()
+    full_chain, full_wl = _chain(), _workload()
+
+    # Epoch 0 is a full on both chains and warms the fingerprint caches.
+    delta_chain.chain_dump(delta_wl, kind="full")
+    full_chain.chain_dump(full_wl, kind="full")
+
+    delta_wall = full_wall = 0.0
+    for _ in range(EPOCHS):
+        delta_wl.advance()
+        start = time.perf_counter()
+        result = delta_chain.chain_dump(delta_wl, kind="delta")
+        delta_wall += time.perf_counter() - start
+        assert result.kind == "delta" and not result.promoted
+        assert result.changed_chunks < result.total_chunks
+
+        full_wl.advance()
+        start = time.perf_counter()
+        result = full_chain.chain_dump(full_wl, kind="full")
+        full_wall += time.perf_counter() - start
+        assert result.changed_chunks == result.total_chunks
+
+    # The two chains describe identical content at every live epoch.
+    tip = delta_chain.live_epochs()[-1]
+    oracle = delta_wl.at_epoch(tip)
+    for rank in range(N_RANKS):
+        via_delta, _ = delta_chain.restore_epoch(rank, tip)
+        via_full, _ = full_chain.restore_epoch(rank, tip)
+        want = oracle.build_dataset(rank, N_RANKS).to_bytes()
+        assert via_delta.to_bytes() == via_full.to_bytes() == want
+
+    speedup = full_wall / delta_wall
+    _emit(
+        "chain_delta_dump",
+        {
+            "ranks": N_RANKS,
+            "replication_factor": K,
+            "chunk_size": CS,
+            "chunks_per_rank": CHUNKS,
+            "dirty_frac": DIRTY_FRAC,
+            "epochs": EPOCHS,
+            "timings": {
+                "full": round(full_wall, 4),
+                "delta": round(delta_wall, 4),
+            },
+            "speedup": round(speedup, 2),
+            "min_required": MIN_DELTA_SPEEDUP,
+        },
+    )
+    if not SMOKE:
+        assert speedup >= MIN_DELTA_SPEEDUP, (
+            f"warm delta dumps only {speedup:.2f}x faster than fulls on a "
+            f"{DIRTY_FRAC:.0%}-dirty workload (need >= {MIN_DELTA_SPEEDUP}x)"
+        )
+
+
+def test_time_travel_restore_through_a_deep_chain():
+    """Tip restore through EPOCHS deltas: batched vs legacy, oracle-checked."""
+    chain, workload = _chain(), _workload()
+    chain.chain_dump(workload, kind="full")
+    for _ in range(EPOCHS):
+        workload.advance()
+        chain.chain_dump(workload, kind="delta")
+    tip = chain.live_epochs()[-1]
+    depth = chain.depth_of(tip)
+    assert depth == EPOCHS + 1
+    oracle = workload.at_epoch(tip)
+
+    def run(batched):
+        start = time.perf_counter()
+        results = [
+            chain.restore_epoch(rank, tip, batched=batched)
+            for rank in range(N_RANKS)
+        ]
+        return time.perf_counter() - start, results
+
+    run(True)  # warm-up
+    legacy_wall, legacy = run(False)
+    batched_wall, batched = run(True)
+    for rank in range(N_RANKS):
+        want = oracle.build_dataset(rank, N_RANKS).to_bytes()
+        assert batched[rank][0].to_bytes() == want
+        assert legacy[rank][0].to_bytes() == want
+        assert vars(batched[rank][1]) == vars(legacy[rank][1])
+
+    _emit(
+        "chain_time_travel_restore",
+        {
+            "ranks": N_RANKS,
+            "replication_factor": K,
+            "chunk_size": CS,
+            "chunks_per_rank": CHUNKS,
+            "dirty_frac": DIRTY_FRAC,
+            "chain_depth": depth,
+            "timings": {
+                "legacy": round(legacy_wall, 4),
+                "batched": round(batched_wall, 4),
+            },
+            "speedup": round(legacy_wall / batched_wall, 2),
+        },
+    )

@@ -1,0 +1,49 @@
+"""Typed errors of the incremental checkpoint chain layer.
+
+Kept import-free so low layers (``repro.core.restore``) can raise them
+lazily without creating an import cycle with :mod:`repro.chain.manager`.
+"""
+
+from __future__ import annotations
+
+
+class ChainError(Exception):
+    """Base class for checkpoint-chain errors."""
+
+
+class ChainBrokenError(ChainError):
+    """An epoch cannot be restored because chunks along its parent chain
+    were lost (or a delta manifest was restored as if it were a full dump).
+
+    The error that replaces the *silent bad restore*: a delta dump is not
+    independently restorable, and a delta whose ancestors lost chunks must
+    surface as a typed failure rather than reassembled garbage.
+
+    Attributes
+    ----------
+    epoch:
+        The epoch whose restore failed (``-1`` when unknown — e.g. a raw
+        delta manifest restored outside any chain).
+    writer_epoch:
+        The ancestor epoch that originally wrote the missing chunks
+        (``-1`` when unknown).
+    missing:
+        Fingerprints with no live holder, capped to a small sample.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        epoch: int = -1,
+        writer_epoch: int = -1,
+        missing=(),
+    ) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.writer_epoch = writer_epoch
+        self.missing = tuple(missing)
+
+
+class ChainStateError(ChainError):
+    """Invalid chain operation: unknown epoch, pruning the only full node a
+    live delta depends on, delta against a pruned tip, malformed chain blob."""

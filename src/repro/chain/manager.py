@@ -1,0 +1,797 @@
+"""Incremental checkpoint chains: delta dumps, time-travel restore,
+refcounted GC, compaction and locality-aware rewriting.
+
+A :class:`ChainManager` sits on top of the existing collective dump /
+batched restore / content-addressed store stack and records every dump as
+a chain node keyed by *epoch*:
+
+* a **full** dump stores a complete dataset per rank (the ordinary
+  collective dump);
+* a **delta** dump reuses the :class:`~repro.core.fpcache.FingerprintCache`
+  / ``dirty_regions`` machinery to fingerprint only the chunks the
+  application touched, diffs against the parent epoch's resolved chunk
+  set, and collectively dumps *only the changed chunks* — everything else
+  is referenced up the parent chain by digest.
+
+Restore-to-any-epoch resolves the newest-wins chunk set by walking the
+chain from its base full through each delta, materialises a synthetic full
+manifest and feeds it through the batched
+:func:`~repro.core.restore.restore_from_manifest` hot path.  Refcount GC
+(one reference per live epoch per distinct resolved chunk, tracked in a
+:class:`~repro.svc.index.GlobalDedupIndex`) retires pruned epochs —
+replacing their cluster manifests with *pinned* subsets so inherited
+chunks stay referenced and repair-protected — and physically discards
+chunks whose last reference died.  Compaction rewrites a deep chain node
+into a synthetic full in place; the locality rewriter re-duplicates
+remote-heavy epochs' chunks onto the owning rank's node when the restore
+read pattern (the ``restore_locality`` gauge's fraction) degrades past a
+threshold — deliberately trading dedup for restore locality, as
+fragmentation-aware dedup systems do.
+
+Every mutation happens *parent-side* (the driving process), so thread and
+process SPMD backends produce byte-identical chains, clusters and
+restores — the property the dst chain dimension's differential runs pin.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.chain.errors import ChainBrokenError, ChainStateError
+from repro.chain.node import ChainNode, chunk_slices
+from repro.core.chunking import Dataset, as_bytes_view
+from repro.core.config import DumpConfig
+from repro.core.fingerprint import Fingerprinter
+from repro.core.fpcache import FingerprintCache
+from repro.core.restore import RestoreReport, restore_from_manifest
+from repro.core.runner import run_collective
+from repro.storage.chain_codec import (
+    CHAIN_SCHEMA_ID,
+    decode_chain,
+    encode_chain,
+)
+from repro.storage.local_store import Cluster
+from repro.storage.manifest import Manifest
+from repro.svc.index import GlobalDedupIndex
+
+
+@dataclass
+class ChainDumpResult:
+    """Outcome of one chain dump (one new epoch)."""
+
+    epoch: int
+    kind: str  # the kind actually dumped ("delta" may promote to "full")
+    dump_id: int
+    #: a requested delta was promoted to a full (no parent, or the dataset
+    #: geometry changed — chunk boundaries shifted, diffing is unsound)
+    promoted: bool
+    #: chunks this epoch rewrote, summed over ranks (fulls: every chunk)
+    changed_chunks: int
+    #: total logical chunks of the epoch's datasets, summed over ranks
+    total_chunks: int
+    #: distinct chunks this epoch added to the store (first reference)
+    new_unique_chunks: int
+    #: stored bytes of those first-reference chunks (quota accounting)
+    new_unique_bytes: int
+    #: per-rank :class:`~repro.core.dump.DumpReport` list
+    reports: list = field(default_factory=list)
+
+    @property
+    def delta_fraction(self) -> float:
+        """Fraction of the epoch's chunks actually re-dumped."""
+        if not self.total_chunks:
+            return 1.0
+        return self.changed_chunks / self.total_chunks
+
+
+@dataclass
+class ChainGCResult:
+    """Outcome of pruning one epoch."""
+
+    epoch: int
+    #: distinct chunks physically discarded (last reference died)
+    chunks_dropped: int
+    bytes_freed: int
+    #: the epoch still anchors live descendants: its record was retired and
+    #: its cluster manifests replaced with pinned (still-referenced) subsets
+    pinned: bool
+    #: retired epochs whose records/manifests were swept entirely
+    swept_epochs: Tuple[int, ...] = ()
+
+
+@dataclass
+class ChainCompactResult:
+    """Outcome of compacting one epoch into a synthetic full."""
+
+    epoch: int
+    old_dump_id: int
+    new_dump_id: int
+    #: False when the epoch was already a parentless full (no-op)
+    compacted: bool
+    swept_epochs: Tuple[int, ...] = ()
+
+
+@dataclass
+class RankRewrite:
+    """Locality rewrite decision for one rank of one epoch."""
+
+    rank: int
+    locality_before: float
+    locality_after: float
+    chunks_copied: int
+    bytes_copied: int
+    rewritten: bool
+
+
+@dataclass
+class ChainRewriteResult:
+    """Outcome of a fragmentation-aware locality rewrite."""
+
+    epoch: int
+    threshold: float
+    ranks: List[RankRewrite] = field(default_factory=list)
+
+    @property
+    def chunks_copied(self) -> int:
+        return sum(r.chunks_copied for r in self.ranks)
+
+    @property
+    def bytes_copied(self) -> int:
+        return sum(r.bytes_copied for r in self.ranks)
+
+
+class ChainManager:
+    """First-class incremental checkpoint chains over one cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster every chain dump writes into.
+    config:
+        Base :class:`~repro.core.config.DumpConfig`; the manager sets
+        ``chain_delta`` itself per dump kind.
+    n_ranks:
+        World size of the chain's collectives.
+    backend:
+        SPMD backend for the dump collectives (thread default).
+    index:
+        Refcount index; pass a private one (default) or a shared service
+        index with a distinctive ``owner_prefix``.
+    owner_prefix:
+        Prefix of the per-epoch reference owner names
+        (``"<prefix>:<epoch>"``).
+    trace:
+        Optional :class:`~repro.simmpi.trace.Trace` for ``chain-*`` spans
+        and the ``chain_depth``/``chain_locality`` gauges.
+    """
+
+    SCHEMA_ID = CHAIN_SCHEMA_ID
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: DumpConfig,
+        n_ranks: int,
+        backend: Optional[str] = None,
+        index: Optional[GlobalDedupIndex] = None,
+        owner_prefix: str = "epoch",
+        trace=None,
+    ) -> None:
+        if config.redundancy != "replication":
+            raise ChainStateError(
+                "checkpoint chains require replication redundancy "
+                "(parity stripes are per-dump and cannot span a chain)"
+            )
+        self.cluster = cluster
+        self.config = config.with_(chain_delta=False)
+        self.n = n_ranks
+        self.backend = backend
+        self.index = index if index is not None else GlobalDedupIndex()
+        self.owner_prefix = owner_prefix
+        self.trace = trace
+        self.nodes: Dict[int, ChainNode] = {}
+        self.next_epoch = 0
+        self._next_dump_id = 0
+        #: parent-side per-rank fingerprint caches (survive both backends)
+        self._caches: Dict[int, FingerprintCache] = {}
+
+    # -- structure queries ------------------------------------------------------
+    def live_epochs(self) -> List[int]:
+        """Restorable (non-retired) epochs, ascending."""
+        return sorted(e for e, node in self.nodes.items() if not node.retired)
+
+    def tip(self) -> Optional[ChainNode]:
+        """The newest live epoch (the parent of the next delta)."""
+        live = self.live_epochs()
+        return self.nodes[live[-1]] if live else None
+
+    def node_of(self, epoch: int) -> ChainNode:
+        node = self.nodes.get(epoch)
+        if node is None:
+            raise ChainStateError(f"unknown chain epoch {epoch}")
+        return node
+
+    def path_of(self, epoch: int) -> List[ChainNode]:
+        """Base-full-first ancestor path of ``epoch`` (inclusive)."""
+        path: List[ChainNode] = []
+        seen: Set[int] = set()
+        e: Optional[int] = epoch
+        while e is not None:
+            if e in seen:
+                raise ChainStateError(f"chain cycle through epoch {e}")
+            seen.add(e)
+            node = self.node_of(e)
+            path.append(node)
+            e = node.parent_epoch
+        path.reverse()
+        if path[0].kind != "full":
+            raise ChainStateError(
+                f"epoch {epoch}'s chain does not terminate at a full dump"
+            )
+        return path
+
+    def depth_of(self, epoch: int) -> int:
+        """Chain depth of ``epoch`` (1 for a base full)."""
+        return len(self.path_of(epoch))
+
+    def resolved_fps(self, epoch: int, rank: int) -> List[bytes]:
+        """The newest-wins chunk fingerprints of ``(epoch, rank)`` in
+        dataset chunk order — the base full's column with every delta on
+        the path applied oldest to newest."""
+        path = self.path_of(epoch)
+        fps = list(path[0].fps[rank])
+        for node in path[1:]:
+            for pos, fp in zip(node.positions[rank], node.fps[rank]):
+                fps[pos] = fp
+        return fps
+
+    def resolved_distinct(self, epoch: int) -> Set[bytes]:
+        """Distinct fingerprints of the epoch across all ranks — the chunk
+        set whose references the epoch holds in the GC index."""
+        out: Set[bytes] = set()
+        for rank in range(self.n):
+            out.update(self.resolved_fps(epoch, rank))
+        return out
+
+    # -- internals --------------------------------------------------------------
+    def _owner(self, epoch: int) -> str:
+        return f"{self.owner_prefix}:{epoch}"
+
+    def _alloc_dump_id(self) -> int:
+        did = self._next_dump_id
+        self._next_dump_id = did + 1
+        return did
+
+    def set_next_dump_id(self, dump_id: int) -> None:
+        """Raise the dump-id floor (service integration: global ids shared
+        with non-chain dumps must never collide)."""
+        self._next_dump_id = max(self._next_dump_id, dump_id)
+
+    def _span(self, name, **attrs):
+        if self.trace is not None:
+            return self.trace.span(name, **attrs)
+        return nullcontext()
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.trace is not None and self.trace.span_enabled:
+            self.trace.metrics.gauge(name).set(value)
+
+    def _stored_size(self, fp: bytes) -> int:
+        for node in self.cluster.nodes:
+            if node.chunks.has(fp):
+                return node.chunks.nbytes_of(fp)
+        return 0
+
+    def _live_needed_epochs(self) -> Set[int]:
+        """Epochs on the ancestor path of any live epoch."""
+        needed: Set[int] = set()
+        for e in self.live_epochs():
+            for node in self.path_of(e):
+                needed.add(node.epoch)
+        return needed
+
+    def _drop_manifests(self, dump_id: int) -> None:
+        for node in self.cluster.nodes:
+            for rank in range(self.n):
+                node.drop_manifest(rank, dump_id)
+
+    def _sweep(self) -> Tuple[int, ...]:
+        """Drop retired epochs no live epoch depends on (cascading)."""
+        swept: List[int] = []
+        while True:
+            needed = self._live_needed_epochs()
+            stale = [
+                e for e, node in self.nodes.items()
+                if node.retired and e not in needed
+            ]
+            if not stale:
+                return tuple(sorted(swept))
+            for e in stale:
+                self._drop_manifests(self.nodes[e].dump_id)
+                del self.nodes[e]
+                swept.append(e)
+
+    # -- dumps ------------------------------------------------------------------
+    def chain_dump(
+        self,
+        workload,
+        kind: str = "delta",
+        phase_hook=None,
+        dump_id: Optional[int] = None,
+    ) -> ChainDumpResult:
+        """Dump the workload's current state as the next chain epoch.
+
+        ``kind="delta"`` diffs against the tip epoch and dumps only the
+        changed chunks; it silently promotes to a full when there is no
+        live parent or the dataset geometry changed (shifted chunk
+        boundaries make positional diffing unsound).  Dirty-region hints
+        from the workload keep the parent-side fingerprinting incremental;
+        a missing hook only costs hashing time, never correctness.
+        """
+        if kind not in ("full", "delta"):
+            raise ChainStateError(
+                f"chain dump kind must be 'full' or 'delta', got {kind!r}"
+            )
+        epoch = self.next_epoch
+        parent = self.tip()
+        datasets = [
+            workload.build_dataset(rank, self.n) for rank in range(self.n)
+        ]
+        regions = [
+            workload.dirty_regions(rank, self.n) for rank in range(self.n)
+        ]
+        promoted = False
+        if kind == "delta" and parent is None:
+            kind, promoted = "full", True
+        if kind == "delta":
+            for rank in range(self.n):
+                if (
+                    list(datasets[rank].segment_lengths)
+                    != list(parent.segment_lengths[rank])
+                ):
+                    kind, promoted = "full", True
+                    break
+
+        fingerprinter = Fingerprinter(self.config.effective_hash_name)
+        fps_new: List[List[bytes]] = []
+        for rank in range(self.n):
+            fpc = self._caches.get(rank)
+            if fpc is None:
+                fpc = self._caches[rank] = FingerprintCache(
+                    self.config.chunk_size, self.config.effective_hash_name
+                )
+            fps_new.append(fpc.fingerprint_dataset(
+                datasets[rank], fingerprinter, regions[rank]
+            ))
+
+        if kind == "delta":
+            positions: List[List[int]] = []
+            node_fps: List[List[bytes]] = []
+            dump_datasets: List[Dataset] = []
+            for rank in range(self.n):
+                parent_fps = self.resolved_fps(parent.epoch, rank)
+                pos = [
+                    i for i, (new, old)
+                    in enumerate(zip(fps_new[rank], parent_fps))
+                    if new != old
+                ]
+                positions.append(pos)
+                node_fps.append([fps_new[rank][i] for i in pos])
+                slices = chunk_slices(
+                    datasets[rank].segment_lengths, self.config.chunk_size
+                )
+                chunks = []
+                for i in pos:
+                    seg_idx, start, length = slices[i]
+                    view = as_bytes_view(datasets[rank].segment(seg_idx))
+                    chunks.append(bytes(view[start:start + length]))
+                dump_datasets.append(Dataset(chunks))
+            dump_config = self.config.with_(chain_delta=True)
+            parent_epoch: Optional[int] = parent.epoch
+        else:
+            positions = [[] for _ in range(self.n)]
+            node_fps = [list(column) for column in fps_new]
+            dump_datasets = datasets
+            dump_config = self.config
+            parent_epoch = None
+
+        did = self._alloc_dump_id() if dump_id is None else dump_id
+        self._next_dump_id = max(self._next_dump_id, did + 1)
+
+        def rank_main(comm):
+            from repro.core.dump import dump_output
+
+            return dump_output(
+                comm, dump_datasets[comm.rank], dump_config, self.cluster,
+                dump_id=did, phase_hook=phase_hook,
+            )
+
+        changed = sum(len(pos) for pos in node_fps)
+        total = sum(len(column) for column in fps_new)
+        with self._span(
+            "chain-dump", epoch=epoch, kind=kind, dump_id=did,
+            changed_chunks=changed, total_chunks=total,
+        ):
+            reports, _world = run_collective(
+                self.n, rank_main, cluster=self.cluster,
+                backend=self.backend,
+            )
+
+        node = ChainNode(
+            epoch=epoch,
+            kind=kind,
+            dump_id=did,
+            parent_epoch=parent_epoch,
+            segment_lengths=[
+                list(ds.segment_lengths) for ds in datasets
+            ],
+            positions=positions,
+            fps=node_fps,
+        )
+        self.nodes[epoch] = node
+        self.next_epoch = epoch + 1
+
+        owner = self._owner(epoch)
+        new_chunks = 0
+        new_bytes = 0
+        for fp in sorted(self.resolved_distinct(epoch)):
+            size = self._stored_size(fp)
+            if self.index.record(owner, fp, size):
+                new_chunks += 1
+                new_bytes += size
+        self._gauge("chain_depth", float(self.depth_of(epoch)))
+        return ChainDumpResult(
+            epoch=epoch,
+            kind=kind,
+            dump_id=did,
+            promoted=promoted,
+            changed_chunks=changed,
+            total_chunks=total,
+            new_unique_chunks=new_chunks,
+            new_unique_bytes=new_bytes,
+            reports=list(reports),
+        )
+
+    # -- restore ----------------------------------------------------------------
+    def synthetic_manifest(self, rank: int, epoch: int) -> Manifest:
+        """The epoch's resolved chunk set as a (synthetic) full manifest —
+        ready for :func:`~repro.core.restore.restore_from_manifest`."""
+        node = self.node_of(epoch)
+        if node.retired:
+            raise ChainStateError(
+                f"epoch {epoch} was pruned and is no longer restorable"
+            )
+        return Manifest(
+            rank=rank,
+            dump_id=node.dump_id,
+            segment_lengths=list(node.segment_lengths[rank]),
+            fingerprints=self.resolved_fps(epoch, rank),
+            chunk_size=self.config.chunk_size,
+            compressed=self.config.compress is not None,
+            delta=False,
+        )
+
+    def _writer_epoch(self, epoch: int, fp: bytes) -> int:
+        """The newest path epoch that wrote ``fp`` (-1 when none did)."""
+        for node in reversed(self.path_of(epoch)):
+            if any(fp in column for column in node.fps):
+                return node.epoch
+        return -1
+
+    def verify_epoch(self, rank: int, epoch: int) -> Optional[str]:
+        """None when the epoch is restorable for ``rank``, else the reason
+        (no chunk movement — mirrors ``verify_restorable``)."""
+        node = self.node_of(epoch)
+        if node.retired:
+            return f"epoch {epoch} was pruned"
+        for fp in set(self.resolved_fps(epoch, rank)):
+            if not self.cluster.locate(fp):
+                writer = self._writer_epoch(epoch, fp)
+                return (
+                    f"chunk {fp.hex()[:12]}... (written by epoch {writer}) "
+                    f"has no live holder"
+                )
+        return None
+
+    def restore_epoch(
+        self, rank: int, epoch: int, batched: bool = True
+    ) -> Tuple[Dataset, RestoreReport]:
+        """Time-travel restore: rebuild ``rank``'s dataset as of ``epoch``.
+
+        Raises :class:`~repro.chain.errors.ChainBrokenError` when any
+        resolved chunk — the epoch's own or an ancestor's — lost every
+        live holder, identifying the ancestor that wrote it; a broken
+        parent must surface as a typed failure, never reassembled garbage.
+        """
+        manifest = self.synthetic_manifest(rank, epoch)
+        missing = sorted(
+            fp for fp in set(manifest.fingerprints)
+            if not self.cluster.locate(fp)
+        )
+        if missing:
+            writer = self._writer_epoch(epoch, missing[0])
+            raise ChainBrokenError(
+                f"epoch {epoch} of rank {rank} is not restorable: "
+                f"{len(missing)} chunk(s) lost every live holder (first "
+                f"written by epoch {writer})",
+                epoch=epoch,
+                writer_epoch=writer,
+                missing=missing[:8],
+            )
+        with self._span(
+            "chain-restore", epoch=epoch, rank=rank,
+            depth=self.depth_of(epoch),
+        ):
+            self._gauge("chain_depth", float(self.depth_of(epoch)))
+            return restore_from_manifest(
+                self.cluster, rank, manifest,
+                batched=batched, trace=self.trace,
+            )
+
+    # -- GC ---------------------------------------------------------------------
+    def prune(self, epoch: int) -> ChainGCResult:
+        """Retire ``epoch``: release its chunk references, physically
+        discard chunks whose last reference died, and either pin or drop
+        its cluster manifests.
+
+        An epoch that still anchors live descendants keeps a *pinned*
+        manifest per rank — the subset of its written chunks still
+        referenced by survivors — so referential integrity and repair
+        protection of inherited chunks outlive the prune.  An epoch
+        nothing depends on is dropped entirely (and retired ancestors it
+        alone kept alive are swept).
+        """
+        node = self.node_of(epoch)
+        if node.retired:
+            raise ChainStateError(f"epoch {epoch} is already pruned")
+        owner = self._owner(epoch)
+        dropped = 0
+        freed = 0
+        with self._span("chain-gc", epoch=epoch):
+            for fp in sorted(self.resolved_distinct(epoch)):
+                remaining, _others = self.index.release(owner, fp)
+                if remaining == 0:
+                    for store_node in self.cluster.nodes:
+                        if store_node.chunks.has(fp):
+                            freed += store_node.chunks.nbytes_of(fp)
+                            store_node.chunks.discard(fp)
+                            dropped += 1
+            node.retired = True
+            needed = self._live_needed_epochs()
+            pinned = epoch in needed
+            # Refresh every surviving pin, not just this epoch's: the
+            # discards above may have dropped chunks an older pin still
+            # listed, and a pin must always be exactly the still-referenced
+            # subset (the replication oracle checks pins like any manifest).
+            for e in sorted(self.nodes):
+                retired_node = self.nodes[e]
+                if retired_node.retired and e in needed:
+                    self._write_pins(retired_node)
+            swept = self._sweep()
+        return ChainGCResult(
+            epoch=epoch,
+            chunks_dropped=dropped,
+            bytes_freed=freed,
+            pinned=pinned,
+            swept_epochs=swept,
+        )
+
+    def _write_pins(self, node: ChainNode) -> None:
+        """Replace the epoch's cluster manifests with pinned subsets: only
+        the written chunks still referenced by live epochs, marked as
+        (never directly restorable) deltas."""
+        cs = self.config.chunk_size
+        for rank in range(self.n):
+            if node.kind == "full":
+                lengths = [
+                    length for _seg, _start, length
+                    in chunk_slices(node.segment_lengths[rank], cs)
+                ]
+            else:
+                slices = chunk_slices(node.segment_lengths[rank], cs)
+                lengths = [slices[i][2] for i in node.positions[rank]]
+            kept_lengths = []
+            kept_fps = []
+            for fp, length in zip(node.fps[rank], lengths):
+                if self.index.has(fp):
+                    kept_fps.append(fp)
+                    kept_lengths.append(length)
+            pin = Manifest(
+                rank=rank,
+                dump_id=node.dump_id,
+                segment_lengths=kept_lengths,
+                fingerprints=kept_fps,
+                chunk_size=cs,
+                compressed=self.config.compress is not None,
+                delta=True,
+            )
+            blob = pin.to_bytes()
+            for store_node in self.cluster.nodes:
+                if store_node.has_manifest(rank, node.dump_id):
+                    store_node.put_manifest(pin, blob=blob)
+
+    # -- compaction -------------------------------------------------------------
+    def compact(self, epoch: int) -> ChainCompactResult:
+        """Rewrite ``epoch`` as a synthetic full in place: same resolved
+        chunk set (no chunk movement, references unchanged), new full
+        manifests under a fresh dump id on the nodes that held the old
+        ones, parent link severed.  Descendant deltas re-anchor
+        automatically (they reference the epoch, not its dump id); retired
+        ancestors only this epoch needed are swept."""
+        node = self.node_of(epoch)
+        if node.retired:
+            raise ChainStateError(f"cannot compact pruned epoch {epoch}")
+        if node.kind == "full" and node.parent_epoch is None:
+            return ChainCompactResult(
+                epoch=epoch, old_dump_id=node.dump_id,
+                new_dump_id=node.dump_id, compacted=False,
+            )
+        old_dump_id = node.dump_id
+        new_dump_id = self._alloc_dump_id()
+        resolved = [
+            self.resolved_fps(epoch, rank) for rank in range(self.n)
+        ]
+        with self._span(
+            "chain-compact", epoch=epoch,
+            old_dump_id=old_dump_id, new_dump_id=new_dump_id,
+        ):
+            for rank in range(self.n):
+                manifest = Manifest(
+                    rank=rank,
+                    dump_id=new_dump_id,
+                    segment_lengths=list(node.segment_lengths[rank]),
+                    fingerprints=resolved[rank],
+                    chunk_size=self.config.chunk_size,
+                    compressed=self.config.compress is not None,
+                    delta=False,
+                )
+                blob = manifest.to_bytes()
+                holders = [
+                    store_node for store_node in self.cluster.nodes
+                    if store_node.has_manifest(rank, old_dump_id)
+                ]
+                if not holders:
+                    holders = [self.cluster.node_of(rank)]
+                for store_node in holders:
+                    store_node.put_manifest(manifest, blob=blob)
+            self._drop_manifests(old_dump_id)
+            node.kind = "full"
+            node.dump_id = new_dump_id
+            node.parent_epoch = None
+            node.positions = [[] for _ in range(self.n)]
+            node.fps = resolved
+            swept = self._sweep()
+        return ChainCompactResult(
+            epoch=epoch,
+            old_dump_id=old_dump_id,
+            new_dump_id=new_dump_id,
+            compacted=True,
+            swept_epochs=swept,
+        )
+
+    # -- locality rewriting -----------------------------------------------------
+    def rewrite_for_locality(
+        self, epoch: int, threshold: float = 0.5
+    ) -> ChainRewriteResult:
+        """Re-duplicate an epoch's remote chunks onto each rank's own node
+        when its restore read pattern degraded past ``threshold``.
+
+        Long chains fragment: a deep epoch's resolved set scatters across
+        whichever nodes its ancestors' dumps deduplicated onto, so the
+        ``restore_locality`` fraction (chunks served by the rank's own
+        node) decays.  For every rank below the threshold this copies the
+        remote chunks home — deliberately trading dedup savings back for
+        restore locality.  Pure duplication: restores stay byte-identical,
+        only their source pattern changes.
+        """
+        from repro.core.restore_plan import plan_restore
+
+        node = self.node_of(epoch)
+        if node.retired:
+            raise ChainStateError(
+                f"cannot rewrite pruned epoch {epoch}"
+            )
+        result = ChainRewriteResult(epoch=epoch, threshold=threshold)
+        with self._span("chain-rewrite", epoch=epoch, threshold=threshold):
+            for rank in range(self.n):
+                own = self.cluster.node_of(rank)
+                manifest = self.synthetic_manifest(rank, epoch)
+                plan = plan_restore(
+                    self.cluster, rank, manifest, allow_reconstruct=False
+                )
+                n_distinct = len(plan.fps)
+                before = (
+                    len(plan.local_indices) / n_distinct
+                    if n_distinct else 1.0
+                )
+                if not own.alive or before >= threshold:
+                    result.ranks.append(RankRewrite(
+                        rank=rank, locality_before=before,
+                        locality_after=before, chunks_copied=0,
+                        bytes_copied=0, rewritten=False,
+                    ))
+                    continue
+                copied = 0
+                copied_bytes = 0
+                for node_id, indices in sorted(
+                    plan.remote_groups().items()
+                ):
+                    fps = [plan.fps[j] for j in indices]
+                    frames = self.cluster.nodes[node_id].chunks.get_many(fps)
+                    for fp, frame in zip(fps, frames):
+                        own.chunks.put(fp, frame)
+                        copied += 1
+                        copied_bytes += len(frame)
+                after_plan = plan_restore(
+                    self.cluster, rank, manifest, allow_reconstruct=False
+                )
+                after = (
+                    len(after_plan.local_indices) / n_distinct
+                    if n_distinct else 1.0
+                )
+                self._gauge("chain_locality", after)
+                result.ranks.append(RankRewrite(
+                    rank=rank, locality_before=before,
+                    locality_after=after, chunks_copied=copied,
+                    bytes_copied=copied_bytes, rewritten=True,
+                ))
+        return result
+
+    # -- persistence ------------------------------------------------------------
+    def to_blob(self) -> bytes:
+        """Serialize the chain (all nodes, live and retired, plus the
+        epoch/dump-id counters) as one ``repro.chain/v1`` blob."""
+        return encode_chain(
+            self.nodes.values(),
+            n_ranks=self.n,
+            chunk_size=self.config.chunk_size,
+            next_epoch=self.next_epoch,
+            next_dump_id=self._next_dump_id,
+        )
+
+    @classmethod
+    def from_blob(
+        cls,
+        blob: bytes,
+        cluster: Cluster,
+        config: DumpConfig,
+        backend: Optional[str] = None,
+        index: Optional[GlobalDedupIndex] = None,
+        owner_prefix: str = "epoch",
+        trace=None,
+    ) -> "ChainManager":
+        """Rebuild a manager from a ``repro.chain/v1`` blob over an
+        existing cluster, re-recording every live epoch's references in
+        the GC index (the index is derived state; the blob and the stores
+        are the source of truth)."""
+        nodes, n_ranks, chunk_size, next_epoch, next_dump_id = (
+            decode_chain(blob)
+        )
+        if chunk_size != config.chunk_size:
+            raise ChainStateError(
+                f"chain blob was written with chunk_size={chunk_size}, "
+                f"config says {config.chunk_size}"
+            )
+        manager = cls(
+            cluster, config, n_ranks, backend=backend, index=index,
+            owner_prefix=owner_prefix, trace=trace,
+        )
+        manager.nodes = {node.epoch: node for node in nodes}
+        manager.next_epoch = next_epoch
+        manager._next_dump_id = next_dump_id
+        for epoch in manager.live_epochs():
+            owner = manager._owner(epoch)
+            for fp in sorted(manager.resolved_distinct(epoch)):
+                manager.index.record(owner, fp, manager._stored_size(fp))
+        return manager
+
+    def save(self, path) -> None:
+        with open(path, "wb") as fh:
+            fh.write(self.to_blob())
+
+    @classmethod
+    def load(cls, path, cluster, config, **kwargs) -> "ChainManager":
+        with open(path, "rb") as fh:
+            return cls.from_blob(fh.read(), cluster, config, **kwargs)

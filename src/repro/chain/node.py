@@ -1,0 +1,86 @@
+"""The chain node model: one checkpoint epoch in an incremental chain.
+
+A :class:`ChainNode` is the chain-level record of one collective dump —
+either a *full* dump (a complete dataset per rank) or a *delta* dump (only
+the chunks that changed since the parent epoch, referencing everything else
+by digest up the parent chain).  Nodes are value-ish records: the
+:class:`~repro.chain.manager.ChainManager` owns mutation (retire on prune,
+in-place rewrite on compaction) and the ``repro.chain/v1`` codec
+(:mod:`repro.storage.chain_codec`) persists them losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: node kinds; a chain always terminates at a ``full`` node
+CHAIN_KINDS = ("full", "delta")
+
+
+@dataclass
+class ChainNode:
+    """One epoch of an incremental checkpoint chain.
+
+    Per-rank payload layout:
+
+    * ``segment_lengths[rank]`` — the *logical* dataset segment lengths at
+      this epoch (full dataset geometry, for deltas too: a delta never
+      changes geometry — a resize promotes the dump to a full).
+    * ``positions[rank]`` — for deltas, the flat chunk indices (dataset
+      chunk order, chunks never span segments) rewritten by this epoch;
+      empty for fulls.
+    * ``fps[rank]`` — for fulls, every chunk fingerprint in dataset order;
+      for deltas, the new fingerprints at ``positions[rank]`` (parallel
+      lists).
+    """
+
+    epoch: int
+    kind: str
+    dump_id: int
+    parent_epoch: Optional[int] = None
+    #: pruned epochs that still anchor live descendants stay as retired
+    #: records (their pinned manifests protect inherited chunks); retired
+    #: epochs are not restorable
+    retired: bool = False
+    segment_lengths: List[List[int]] = field(default_factory=list)
+    positions: List[List[int]] = field(default_factory=list)
+    fps: List[List[bytes]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAIN_KINDS:
+            raise ValueError(
+                f"chain node kind must be one of {CHAIN_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "full" and self.parent_epoch is not None:
+            raise ValueError("full chain nodes have no parent epoch")
+        if self.kind == "delta" and self.parent_epoch is None:
+            raise ValueError("delta chain nodes need a parent epoch")
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.segment_lengths)
+
+    def written_fingerprints(self) -> set:
+        """The distinct fingerprints this epoch itself wrote (its dump's
+        manifests), as opposed to what it inherits from ancestors."""
+        out = set()
+        for rank_fps in self.fps:
+            out.update(rank_fps)
+        return out
+
+    def changed_chunks(self) -> int:
+        """Chunks this epoch rewrote (for fulls: every chunk)."""
+        return sum(len(rank_fps) for rank_fps in self.fps)
+
+
+def chunk_slices(segment_lengths: List[int], chunk_size: int):
+    """Flat chunk index -> ``(segment_index, start, length)`` for a dataset
+    of the given segment geometry (chunks never span segments, so the tail
+    chunk of each segment may be short)."""
+    out = []
+    for seg_idx, nbytes in enumerate(segment_lengths):
+        for start in range(0, nbytes, chunk_size):
+            out.append((seg_idx, start, min(chunk_size, nbytes - start)))
+    return out

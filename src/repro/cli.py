@@ -313,6 +313,21 @@ def cmd_fuzz(args) -> None:
     elif args.corpus is not None:
         directory = args.corpus or default_corpus_dir()
         scenarios = list(iter_corpus(directory))
+    elif args.chain:
+        # Scan seeds upward from --seed until --runs chain scenarios are
+        # found (roughly 1 in 4 single-tenant seeds draws a chain).
+        scenarios = []
+        seed, limit = args.seed, args.seed + 100 * args.runs
+        while len(scenarios) < args.runs and seed < limit:
+            scenario = generate_scenario(seed)
+            if scenario.chain:
+                scenarios.append((f"seed {seed}", scenario))
+            seed += 1
+        if len(scenarios) < args.runs:
+            raise ValueError(
+                f"fuzz: only {len(scenarios)} chain scenarios in seeds "
+                f"{args.seed}..{limit - 1}"
+            )
     else:
         scenarios = [
             (f"seed {args.seed + i}", generate_scenario(args.seed + i))
@@ -387,6 +402,111 @@ def cmd_fuzz(args) -> None:
     print(f"wrote {args.scenario_out} "
           f"(replay with: repro-eval fuzz --replay {args.scenario_out})")
     raise SystemExit(1)
+
+
+def cmd_chain(args) -> None:
+    """Drive an incremental checkpoint chain end to end.
+
+    Dumps ``--epochs`` epochs of a mutating workload (one full, then
+    deltas; ``--full-every N`` inserts periodic fulls), restores every
+    live epoch against the per-epoch workload oracle, then optionally
+    prunes the oldest ``--prune`` epochs and compacts the tip.  Prints a
+    per-epoch table (kind, dump id, dirty chunks, shipped bytes, depth)
+    and the store footprint next to what N independent fulls would have
+    cost — the incremental-chain savings story in one screen.
+    """
+    from repro.apps.mutating import MutatingWorkload
+    from repro.chain import ChainManager
+    from repro.core.config import DumpConfig
+    from repro.storage.local_store import Cluster
+
+    config = DumpConfig(
+        replication_factor=args.k,
+        chunk_size=args.chunk_size,
+        strategy=Strategy.parse(args.strategy),
+    )
+    cluster = Cluster(args.n)
+    manager = ChainManager(cluster, config, args.n, backend=args.backend)
+    chunk_size = args.chunk_size
+    workload = MutatingWorkload(
+        seed=args.seed,
+        segment_lengths=(
+            chunk_size * max(1, args.chunks_per_rank - 2),
+            chunk_size + max(1, chunk_size // 3),
+            max(1, chunk_size // 2),
+        ),
+        chunk_size=chunk_size,
+        dirty_frac=args.dirty_frac,
+    )
+    full_bytes = sum(
+        workload.per_rank_bytes(args.n, rank) for rank in range(args.n)
+    )
+    rows = []
+    shipped_total = 0
+    for epoch in range(args.epochs):
+        if epoch:
+            workload.advance()
+        kind = "full" if not epoch or (
+            args.full_every and epoch % args.full_every == 0
+        ) else "delta"
+        result = manager.chain_dump(workload, kind=kind)
+        shipped = sum(r.dataset_bytes for r in result.reports)
+        shipped_total += shipped
+        rows.append([
+            result.epoch,
+            result.kind + ("*" if result.promoted else ""),
+            result.dump_id,
+            f"{result.changed_chunks}/{result.total_chunks}",
+            shipped,
+            result.new_unique_bytes,
+            manager.depth_of(result.epoch),
+        ])
+    print(f"chain: {args.epochs} epochs, n={args.n}, K={args.k}, "
+          f"dirty={args.dirty_frac:.0%}")
+    print(format_table(
+        ["epoch", "kind", "dump", "dirty", "shipped B", "new B", "depth"],
+        rows,
+    ))
+
+    failures = 0
+    for epoch in manager.live_epochs():
+        snap = workload.at_epoch(epoch)
+        for rank in range(args.n):
+            data, _report = manager.restore_epoch(rank, epoch)
+            if data.to_bytes() != snap.build_dataset(rank, args.n).to_bytes():
+                failures += 1
+                print(f"MISMATCH: epoch {epoch} rank {rank}")
+    verified = len(manager.live_epochs()) * args.n
+    print(f"time-travel restore: {verified - failures}/{verified} "
+          f"epoch-rank restores byte-identical to the workload oracle")
+
+    for _ in range(args.prune):
+        live = manager.live_epochs()
+        if len(live) < 2:
+            break
+        outcome = manager.prune(live[0])
+        print(f"prune epoch {outcome.epoch}: dropped "
+              f"{outcome.chunks_dropped} chunks ({outcome.bytes_freed} B), "
+              f"pinned={outcome.pinned}, swept={list(outcome.swept_epochs)}")
+    if args.compact:
+        tip = manager.live_epochs()[-1]
+        outcome = manager.compact(tip)
+        if outcome.compacted:
+            print(f"compact epoch {tip}: dump {outcome.old_dump_id} -> "
+                  f"{outcome.new_dump_id}, chain depth now "
+                  f"{manager.depth_of(tip)}")
+        else:
+            print(f"compact epoch {tip}: already a parentless full")
+
+    stats = cluster.store_stats()
+    naive = full_bytes * args.epochs
+    print(f"shipped {shipped_total} B across {args.epochs} epochs "
+          f"({naive} B as independent fulls, "
+          f"{(1 - shipped_total / naive) * 100:.0f}% saved)")
+    print(f"store: {stats['physical_bytes']} B physical, "
+          f"{stats['chunks']} stored chunks")
+    if failures:
+        raise SystemExit(1)
 
 
 def cmd_serve(args) -> None:
@@ -718,6 +838,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="force one SPMD backend (default: scenario decides; "
         "differential scenarios run both and compare)",
     )
+    fz.add_argument("--chain", action="store_true",
+                    help="with --seed/--runs: scan seeds upward and keep "
+                    "only checkpoint-chain scenarios")
     fz.add_argument("--inject-bug", default=None, choices=("drop-replica",),
                     help="mutation testing: inject a known bug and expect "
                     "the oracles to catch it")
@@ -733,6 +856,37 @@ def build_parser() -> argparse.ArgumentParser:
                     help="single scenario only: write the merged obs run "
                     "snapshot here (analyze with: repro-eval trace FILE)")
     fz.set_defaults(func=cmd_fuzz)
+
+    ch = sub.add_parser(
+        "chain",
+        help="incremental checkpoint chain: delta dumps, time-travel "
+        "restore, refcounted GC, compaction",
+    )
+    ch.add_argument("--n", type=int, default=4, help="process count")
+    ch.add_argument("--k", type=int, default=2, help="replication factor")
+    ch.add_argument("--epochs", type=int, default=6,
+                    help="epochs to dump (first is always a full)")
+    ch.add_argument("--dirty-frac", type=float, default=0.15,
+                    help="fraction of chunks mutated per epoch")
+    ch.add_argument("--full-every", type=int, default=0, metavar="N",
+                    help="insert a full dump every N epochs (0 = only "
+                    "the first)")
+    ch.add_argument("--prune", type=int, default=0, metavar="N",
+                    help="prune the N oldest epochs after verification")
+    ch.add_argument("--compact", action="store_true",
+                    help="compact the tip into a synthetic full")
+    ch.add_argument("--chunks-per-rank", type=int, default=16)
+    ch.add_argument("--chunk-size", type=int, default=256)
+    ch.add_argument("--strategy", default=Strategy.COLL_DEDUP.value,
+                    choices=[s.value for s in Strategy])
+    ch.add_argument("--seed", type=int, default=0)
+    ch.add_argument(
+        "--backend",
+        default=None,
+        help="SPMD execution backend: thread or process "
+        "(default: REPRO_SPMD_BACKEND or thread)",
+    )
+    ch.set_defaults(func=cmd_chain)
 
     sv = sub.add_parser(
         "serve",

@@ -45,9 +45,22 @@ from repro.core.wire import (
     encode_restore_reply,
     encode_restore_request,
 )
+from repro.chain.errors import ChainBrokenError
 from repro.simmpi import collectives
 from repro.simmpi.comm import Communicator
 from repro.storage.local_store import Cluster, StorageError
+
+
+def _reject_chain_delta(manifest, rank: int, dump_id: int) -> None:
+    """Chain deltas hold one epoch's dirty chunks only — reassembling one
+    as a full dataset is silent corruption, so fail typed instead.  Raised
+    inside the planning try-block, the error joins the collective agreement
+    round and aborts every rank consistently."""
+    if manifest.delta:
+        raise ChainBrokenError(
+            f"dump {dump_id} of rank {rank} is a chain delta — restore its "
+            f"epoch through the chain manager, not a collective load",
+        )
 
 
 @dataclass
@@ -77,7 +90,10 @@ def load_input(
     returns its own reassembled :class:`Dataset` plus a traffic report.
     Raises :class:`~repro.storage.local_store.StorageError` on any rank
     whose manifest or chunks are unrecoverable (which aborts the world —
-    restart is all-or-nothing, like the paper's checkpoint semantics).
+    restart is all-or-nothing, like the paper's checkpoint semantics), and
+    :class:`~repro.chain.errors.ChainBrokenError` when ``dump_id`` is a
+    chain *delta* dump (not independently restorable — resolve the epoch
+    through :class:`repro.chain.ChainManager`).
     """
     with comm.trace.span("restore", dump_id=dump_id, batched=config.batched):
         if config.batched:
@@ -123,9 +139,11 @@ def _load_input_batched(
     manifest = None
     serving = _serving_ranks(cluster, world)
     error = ""
+    chain_broken = False
     with comm.trace.phase("restore-plan"):
         try:
             manifest = cluster.find_manifest(rank, dump_id)
+            _reject_chain_delta(manifest, rank, dump_id)
             plan = plan_restore(
                 cluster,
                 rank,
@@ -135,13 +153,19 @@ def _load_input_batched(
             )
         except StorageError as exc:
             error = str(exc)
+        except ChainBrokenError as exc:
+            error = str(exc)
+            chain_broken = True
         statuses = collectives.allgather(comm, error)
         failed = [s for s in statuses if s]
         if failed:
-            raise StorageError(
+            message = (
                 f"collective restore of dump {dump_id} aborted; "
                 f"{len(failed)} rank(s) unrecoverable: {failed[0]}"
             )
+            if chain_broken:
+                raise ChainBrokenError(message)
+            raise StorageError(message)
         report.local_chunks = len(plan.local_indices)
         if comm.trace.span_enabled:
             comm.trace.annotate(
@@ -252,9 +276,11 @@ def _load_input_impl(
     serving = _serving_ranks(cluster, world)
     loads: Dict[int, int] = {}
     error: str = ""
+    chain_broken = False
     with comm.trace.phase("restore-plan"):
         try:
             manifest = cluster.find_manifest(rank, dump_id)
+            _reject_chain_delta(manifest, rank, dump_id)
             own_node = cluster.node_of(rank)
             own_alive = own_node.alive
             for fp in manifest.fingerprints:
@@ -277,13 +303,19 @@ def _load_input_impl(
                 needed[fp] = serving[source]
         except StorageError as exc:
             error = str(exc)
+        except ChainBrokenError as exc:
+            error = str(exc)
+            chain_broken = True
         statuses = collectives.allgather(comm, error)
         failed = [s for s in statuses if s]
         if failed:
-            raise StorageError(
+            message = (
                 f"collective restore of dump {dump_id} aborted; "
                 f"{len(failed)} rank(s) unrecoverable: {failed[0]}"
             )
+            if chain_broken:
+                raise ChainBrokenError(message)
+            raise StorageError(message)
         own_node = cluster.node_of(rank)
 
     # Round 1: ship request lists (fingerprints only) to their holders.

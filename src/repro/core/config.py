@@ -150,6 +150,13 @@ class DumpConfig:
     #: (legacy per-chunk path, CDC chunking, parity redundancy, degraded
     #: mode) silently fall back to strict phases.
     pipelined: bool = False
+    #: Chain-delta dump (see :mod:`repro.chain`): the datasets being dumped
+    #: are one epoch's *dirty chunks only*, so the written manifests carry
+    #: the delta flag and are not independently restorable —
+    #: :func:`repro.core.restore.restore_dataset` refuses them with a typed
+    #: ``ChainBrokenError``.  Set by :class:`repro.chain.ChainManager`;
+    #: dedup/replication semantics are otherwise unchanged.
+    chain_delta: bool = False
 
     def __post_init__(self) -> None:
         if self.replication_factor < 1:

@@ -503,6 +503,7 @@ def _dump_output_impl(
             fingerprints=index.order,
             chunk_size=config.chunk_size,
             compressed=config.compress is not None,
+            delta=config.chain_delta,
         )
         blob = manifest.to_bytes()
         if commit_ok:

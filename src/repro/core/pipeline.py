@@ -166,6 +166,7 @@ def _finish_exchange_write(
             fingerprints=order,
             chunk_size=config.chunk_size,
             compressed=config.compress is not None,
+            delta=config.chain_delta,
         )
         blob = manifest.to_bytes()
         node.put_manifest(manifest, blob=blob)

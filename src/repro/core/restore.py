@@ -69,17 +69,50 @@ def restore_dataset(
     by the rank's own node).
 
     Raises :class:`~repro.storage.local_store.StorageError` if the manifest
-    or any referenced chunk has no live holder.
+    or any referenced chunk has no live holder, and
+    :class:`~repro.chain.errors.ChainBrokenError` if ``dump_id`` is a chain
+    *delta* dump — deltas hold one epoch's dirty chunks only and are never
+    independently restorable; resolve the epoch through
+    :class:`repro.chain.ChainManager` instead.
+    """
+    manifest = cluster.find_manifest(rank, dump_id)
+    if manifest.delta:
+        from repro.chain.errors import ChainBrokenError
+
+        raise ChainBrokenError(
+            f"dump {dump_id} of rank {rank} is a chain delta "
+            f"(dirty chunks only) — restore its epoch through the chain "
+            f"manager, not restore_dataset",
+        )
+    return restore_from_manifest(
+        cluster, rank, manifest, batched=batched, trace=trace
+    )
+
+
+def restore_from_manifest(
+    cluster: Cluster,
+    rank: int,
+    manifest,
+    batched: bool = True,
+    trace=None,
+) -> "tuple[Dataset, RestoreReport]":
+    """Rebuild a dataset from an explicit (possibly synthetic) manifest.
+
+    The chain layer resolves an epoch's newest-wins chunk set into a
+    synthetic full manifest and feeds it through here, reusing the whole
+    batched planning/fetch/reassembly hot path without the manifest ever
+    touching a store.  ``manifest.delta`` is ignored — the caller vouches
+    that the fingerprint list describes a complete dataset.
     """
     if batched:
-        return _restore_dataset_batched(cluster, rank, dump_id, trace)
-    return _restore_dataset_legacy(cluster, rank, dump_id)
+        return _restore_dataset_batched(cluster, rank, manifest, trace)
+    return _restore_dataset_legacy(cluster, rank, manifest)
 
 
 def _restore_dataset_batched(
-    cluster: Cluster, rank: int, dump_id: int, trace
+    cluster: Cluster, rank: int, manifest, trace
 ) -> "tuple[Dataset, RestoreReport]":
-    manifest = cluster.find_manifest(rank, dump_id)
+    dump_id = manifest.dump_id
     report = RestoreReport(rank=rank, dump_id=dump_id)
     if manifest.compressed:
         from repro.compress.codecs import decode_auto
@@ -153,9 +186,9 @@ def _restore_dataset_batched(
 
 
 def _restore_dataset_legacy(
-    cluster: Cluster, rank: int, dump_id: int
+    cluster: Cluster, rank: int, manifest
 ) -> "tuple[Dataset, RestoreReport]":
-    manifest = cluster.find_manifest(rank, dump_id)
+    dump_id = manifest.dump_id
     report = RestoreReport(rank=rank, dump_id=dump_id)
     if manifest.compressed:
         from repro.compress.codecs import decode_auto

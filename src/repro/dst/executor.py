@@ -211,6 +211,10 @@ def execute_scenario(
     """
     if bug is not None and bug not in BUGS:
         raise ValueError(f"unknown bug {bug!r}; expected one of {BUGS}")
+    if scenario.chain:
+        return _execute_chain_scenario(
+            scenario, backend=backend, bug=bug, collect_trace=collect_trace
+        )
     if scenario.tenants > 1:
         return _execute_svc_scenario(
             scenario, backend=backend, bug=bug, collect_trace=collect_trace
@@ -636,6 +640,239 @@ def _execute_svc_scenario(
         from repro.obs.export import merge_traces
 
         result.traces = merge_traces([[service.trace]])
+    return result
+
+
+def _execute_chain_scenario(
+    scenario: Scenario,
+    backend: str = "thread",
+    bug: Optional[str] = None,
+    collect_trace: bool = False,
+) -> FuzzResult:
+    """Run a chain scenario through :class:`repro.chain.ChainManager`.
+
+    Dumps flow through ``chain_dump`` (mostly deltas over an
+    epoch-evolving :class:`~repro.apps.mutating.MutatingWorkload`),
+    ``prune`` retires the oldest live non-tip epoch, ``compact`` rewrites
+    the tip into a synthetic full, and crashes/repairs behave exactly as
+    in the base loop.  The per-dump replica ledger keeps working on
+    physical dump ids (a delta's manifests list only its own chunks —
+    precisely what its floors protect); compaction migrates the old dump
+    id's floors to the new id at the *effective* (path-minimum) level and
+    sweeps pop the floors of dropped epochs.
+
+    On top of the base battery (minus the per-dump restore check — a
+    chain delta is not independently restorable by design, and the typed
+    rejection has its own regression suite) the step loop arms the three
+    chain oracles: structural integrity, refcount conservation and
+    restore-to-any-epoch byte-equality against the per-epoch workload
+    oracle under the effective floor.
+
+    With ``collect_trace`` the manager's ``chain-*`` spans land on the
+    driver pseudo-rank; per-rank collective traces stay inside the
+    manager's dumps and are not collected.
+    """
+    from repro.chain import ChainManager
+
+    n = scenario.n_ranks
+    k_eff = scenario.k_eff
+    result = FuzzResult(scenario=scenario, backend=backend)
+    cluster = Cluster(n, shard_count=scenario.shard_count)
+    config = scenario.dump_config(
+        trace_level="span" if collect_trace else None
+    )
+    driver_trace = None
+    if collect_trace:
+        from repro.simmpi.trace import Trace
+
+        driver_trace = Trace(rank=n, level="span")
+    manager = ChainManager(
+        cluster, config, n, backend=backend, trace=driver_trace
+    )
+    ledger = ReplicaLedger(k_eff)
+    alive = [True] * n
+    workload = scenario.make_chain_workload()
+    all_reports: List[List] = []
+
+    def oracle(epoch: int, rank: int) -> bytes:
+        return workload.at_epoch(epoch).build_dataset(rank, n).to_bytes()
+
+    def effective_floors() -> Dict[Tuple[int, int], int]:
+        """Per live ``(epoch, rank)``: the minimum replica floor over
+        every dump on the epoch's ancestor path — losing any ancestor
+        below its floor breaks every descendant's time travel."""
+        floors: Dict[Tuple[int, int], int] = {}
+        for epoch in manager.live_epochs():
+            path = manager.path_of(epoch)
+            for rank in range(n):
+                floors[(epoch, rank)] = min(
+                    ledger.floors.get((node.dump_id, rank), 0)
+                    for node in path
+                )
+        return floors
+
+    def pop_floors(dump_ids) -> None:
+        for did in dump_ids:
+            for rank in range(n):
+                ledger.floors.pop((did, rank), None)
+
+    def run_checks(step_idx: int, checked: List[str]) -> List[inv.Violation]:
+        found: List[inv.Violation] = []
+        checked.append("replication")
+        found += inv.check_replication(cluster, step_idx, ledger.floors)
+        checked.append("audit-consistency")
+        known = sorted({d for d, _r in ledger.floors})
+        found += inv.check_audit_consistency(
+            cluster, step_idx, known, ledger.floors
+        )
+        checked.append("referential-integrity")
+        found += inv.check_referential_integrity(cluster, step_idx)
+        checked.append("chain-structure")
+        found += inv.check_chain_structure(manager, step_idx)
+        checked.append("chain-refcounts")
+        found += inv.check_chain_refcounts(manager, step_idx)
+        checked.append("chain-restore")
+        found += inv.check_chain_restore(
+            manager, step_idx, effective_floors(), oracle,
+            batched_restore=scenario.batched_restore,
+        )
+        return found
+
+    for step_idx, step in enumerate(scenario.steps):
+        step_doc: dict = {"op": step.op}
+        checked: List[str] = []
+        if step.op == "tick":
+            step_doc["noop"] = True
+        elif step.op == "crash":
+            was_alive = alive[step.node]
+            step_doc["node"] = step.node
+            step_doc["noop"] = not was_alive
+            if driver_trace is not None:
+                with driver_trace.span(
+                    "crash", node=step.node, noop=not was_alive
+                ):
+                    pass
+            if was_alive:
+                cluster.fail_node(step.node)
+                alive[step.node] = False
+                ledger.record_death()
+        elif step.op == "repair":
+            from repro.repair import repair_cluster
+
+            report = repair_cluster(cluster, scenario.k, backend=backend)
+            ledger.record_repair(cluster)
+            step_doc["chunks_moved"] = report.chunks_moved
+            step_doc["manifests_moved"] = report.manifests_moved
+        elif step.op == "dump":
+            target_epoch = manager.next_epoch
+            if target_epoch > workload.epoch:
+                workload.advance(target_epoch - workload.epoch)
+            snapshot = list(alive)
+            phase_hook = None
+            crash = step.crash
+            crash_fires = crash is not None and alive[crash.node]
+            if crash_fires:
+                from repro.storage.failures import FailureInjector
+
+                injector = FailureInjector(cluster)
+                phase_hook = injector.mid_dump_hook(
+                    crash.node, crash.phase, rank=crash.node
+                )
+            dump_res = manager.chain_dump(
+                workload, kind=step.kind, phase_hook=phase_hook
+            )
+            all_reports.append(list(dump_res.reports))
+            ledger.record_dump(dump_res.dump_id, snapshot)
+            if crash_fires:
+                alive[crash.node] = False
+                ledger.record_death()
+            step_doc["epoch"] = dump_res.epoch
+            step_doc["dump_id"] = dump_res.dump_id
+            step_doc["kind"] = dump_res.kind
+            step_doc["promoted"] = dump_res.promoted
+            step_doc["changed_chunks"] = dump_res.changed_chunks
+            step_doc["total_chunks"] = dump_res.total_chunks
+            step_doc["reports"] = [
+                _normalized_report(r) for r in dump_res.reports
+            ]
+            checked.append("window-layout")
+            result.violations += inv.check_window_layout(
+                step_idx, dump_res.reports, k_eff, snapshot
+            )
+            checked.append("report-sanity")
+            result.violations += inv.check_report_sanity(
+                step_idx, dump_res.reports, parity=False, alive=snapshot,
+            )
+        elif step.op == "prune":
+            live = manager.live_epochs()
+            if len(live) < 2:
+                # Never collect the tip: time travel to *somewhere* must
+                # survive every schedule the generator draws.
+                step_doc["noop"] = True
+            else:
+                victim = live[0]
+                ids_before = {
+                    e: node.dump_id for e, node in manager.nodes.items()
+                }
+                gc_res = manager.prune(victim)
+                pop_floors(ids_before[e] for e in gc_res.swept_epochs)
+                step_doc["epoch"] = victim
+                step_doc["chunks_dropped"] = gc_res.chunks_dropped
+                step_doc["bytes_freed"] = gc_res.bytes_freed
+                step_doc["pinned"] = gc_res.pinned
+                step_doc["swept_epochs"] = list(gc_res.swept_epochs)
+        elif step.op == "compact":
+            live = manager.live_epochs()
+            tip_epoch = live[-1] if live else None
+            tip = manager.nodes[tip_epoch] if tip_epoch is not None else None
+            if tip is None or (
+                tip.kind == "full" and tip.parent_epoch is None
+            ):
+                step_doc["noop"] = True
+            else:
+                ids_before = {
+                    e: node.dump_id for e, node in manager.nodes.items()
+                }
+                # The synthetic full inherits ancestors' chunks, so its
+                # floor is only as good as the weakest dump on the path.
+                eff = {
+                    rank: min(
+                        ledger.floors.get((node.dump_id, rank), 0)
+                        for node in manager.path_of(tip_epoch)
+                    )
+                    for rank in range(n)
+                }
+                compact_res = manager.compact(tip_epoch)
+                for rank in range(n):
+                    ledger.floors.pop(
+                        (compact_res.old_dump_id, rank), None
+                    )
+                    ledger.floors[
+                        (compact_res.new_dump_id, rank)
+                    ] = eff[rank]
+                pop_floors(
+                    ids_before[e] for e in compact_res.swept_epochs
+                )
+                step_doc["epoch"] = tip_epoch
+                step_doc["old_dump_id"] = compact_res.old_dump_id
+                step_doc["new_dump_id"] = compact_res.new_dump_id
+                step_doc["swept_epochs"] = list(compact_res.swept_epochs)
+
+        if bug == "drop-replica" and step.op == "dump":
+            dropped = _inject_drop_replica(cluster)
+            step_doc["bug"] = dropped
+
+        result.violations += run_checks(step_idx, checked)
+        step_doc["invariants_checked"] = checked
+        step_doc["violations_so_far"] = len(result.violations)
+        result.steps.append(step_doc)
+
+    result.cluster_digest = cluster_digest(cluster)
+    result.reports_digest = reports_digest(all_reports)
+    if collect_trace:
+        from repro.obs.export import merge_traces
+
+        result.traces = merge_traces([[driver_trace]])
     return result
 
 

@@ -25,7 +25,11 @@ Generation respects the constraints that make the invariant oracles sound:
   silently degenerates to the strict path; ``integrity`` varies freely;
 * bursty arrival (whole dump-runs submitted up front, idle ``tick`` steps
   between bursts) is only drawn for multi-tenant scenarios — it is a
-  service-queue property — and feeds the deterministic queue-wait SLO.
+  service-queue property — and feeds the deterministic queue-wait SLO;
+* chain mode (incremental checkpoint chains: delta dumps, prune/compact
+  maintenance, time-travel restores against a per-epoch oracle) is only
+  drawn single-tenant, always starts with a full dump, and keeps prune
+  steps behind at least two live epochs so the tip is never collected.
 """
 
 from __future__ import annotations
@@ -190,6 +194,65 @@ def generate_scenario(seed: int) -> Scenario:
             bursty_steps.append(step)
         steps = bursty_steps
 
+    # Chain mode draws dead last (stability rule).  A chain scenario
+    # replaces the step schedule wholesale: an epoch-evolving workload
+    # dumped through the chain manager as one base full plus mostly-delta
+    # epochs, interleaved with prune/compact maintenance, between-dump and
+    # mid-dump crashes (same K_eff - 1 budget and repair reset as above)
+    # and time-travel restores checked against the per-epoch oracle.
+    # Single-tenant only: the service's cross-tenant accounting recount
+    # does not model per-epoch chain references.
+    chain = tenants == 1 and not repeat and rng.random() < 0.25
+    if chain:
+        alive = [True] * n
+        crash_budget = max(0, k_eff - 1)
+        any_crash = False
+        chain_steps: List[Step] = [Step("dump", kind="full")]
+        live_epochs = 1
+        for _ in range(rng.randint(3, 9)):
+            if (
+                crash_budget > 0
+                and len(live_nodes()) > 2
+                and rng.random() < 0.22
+            ):
+                victim = rng.choice(live_nodes())
+                chain_steps.append(Step("crash", node=victim))
+                alive[victim] = False
+                crash_budget -= 1
+                any_crash = True
+                if rng.random() < 0.6:
+                    chain_steps.append(Step("repair"))
+                    crash_budget = max(0, k_eff - 1)
+            if live_epochs >= 2 and rng.random() < 0.3:
+                chain_steps.append(Step("prune"))
+                live_epochs -= 1
+            if live_epochs >= 1 and rng.random() < 0.15:
+                chain_steps.append(Step("compact"))
+            crash = None
+            if (
+                crash_budget > 0
+                and len(live_nodes()) > 2
+                and rng.random() < 0.12
+            ):
+                victim = rng.choice(live_nodes())
+                crash = MidDumpCrash(
+                    node=victim, phase=rng.choice(("exchange", "write"))
+                )
+                alive[victim] = False
+                crash_budget -= 1
+                any_crash = True
+            kind = "delta" if rng.random() < 0.7 else "full"
+            chain_steps.append(Step("dump", kind=kind, crash=crash))
+            live_epochs += 1
+        if any_crash and rng.random() < 0.5:
+            chain_steps.append(Step("repair"))
+        steps = chain_steps
+        degraded = degraded or any_crash
+        # Keep the pipelined knob honest: chain crashes may have forced
+        # degraded mode after the knob was drawn, and a pipelined dump
+        # falls back to strict ordering when degraded.
+        pipelined = pipelined and not degraded
+
     return Scenario(
         seed=seed, n_ranks=n, k=k, chunk_size=chunk_size,
         chunks_per_rank=chunks_per_rank, f_threshold=f_threshold,
@@ -203,4 +266,5 @@ def generate_scenario(seed: int) -> Scenario:
         shard_count=shard_count,
         batched_restore=batched_restore,
         arrival=arrival,
+        chain=chain,
     )

@@ -347,6 +347,180 @@ def check_slo_determinism(service, step: int) -> List[Violation]:
     )]
 
 
+def check_chain_structure(manager, step: int) -> List[Violation]:
+    """Chain shape oracle: no delta may dangle (its parent epoch must
+    exist), every live epoch's ancestor path must terminate at a full,
+    per-rank position/fingerprint lists must be parallel, sorted and in
+    range, and every retired record must still anchor some live epoch
+    (anything else should have been swept)."""
+    from repro.chain.errors import ChainStateError
+    from repro.chain.node import chunk_slices
+
+    out: List[Violation] = []
+    for epoch in sorted(manager.nodes):
+        node = manager.nodes[epoch]
+        if node.kind == "delta" and node.parent_epoch not in manager.nodes:
+            out.append(Violation(
+                "chain-structure", step,
+                f"epoch {epoch} references parent epoch "
+                f"{node.parent_epoch} which no longer exists "
+                f"(dangling delta)",
+            ))
+            continue
+        for rank in range(manager.n):
+            positions = node.positions[rank]
+            if node.kind == "delta":
+                if len(positions) != len(node.fps[rank]):
+                    out.append(Violation(
+                        "chain-structure", step,
+                        f"epoch {epoch} rank {rank}: {len(positions)} "
+                        f"positions but {len(node.fps[rank])} fingerprints",
+                    ))
+                n_chunks = len(chunk_slices(
+                    node.segment_lengths[rank], manager.config.chunk_size
+                ))
+                if any(
+                    b <= a for a, b in zip(positions, positions[1:])
+                ) or (positions and not (
+                    0 <= positions[0] and positions[-1] < n_chunks
+                )):
+                    out.append(Violation(
+                        "chain-structure", step,
+                        f"epoch {epoch} rank {rank}: delta positions are "
+                        f"not strictly increasing within [0, {n_chunks})",
+                    ))
+    needed = set()
+    for epoch in manager.live_epochs():
+        try:
+            path = manager.path_of(epoch)
+        except ChainStateError as exc:
+            out.append(Violation(
+                "chain-structure", step,
+                f"live epoch {epoch} has a broken ancestor path: {exc}",
+            ))
+            continue
+        needed.update(node.epoch for node in path)
+    for epoch in sorted(manager.nodes):
+        if manager.nodes[epoch].retired and epoch not in needed:
+            out.append(Violation(
+                "chain-structure", step,
+                f"retired epoch {epoch} anchors no live epoch but was "
+                f"never swept",
+            ))
+    return out
+
+
+def check_chain_refcounts(manager, step: int) -> List[Violation]:
+    """Refcount conservation: the GC index must equal a from-scratch
+    recount of every live epoch's resolved chunk set (one reference per
+    epoch per distinct chunk, no leaks and no premature releases), and —
+    on a cluster whose every dump flowed through the chain — every stored
+    chunk must still be referenced by some live epoch."""
+    out: List[Violation] = []
+    expected: Dict[bytes, Dict[str, int]] = {}
+    for epoch in manager.live_epochs():
+        owner = manager._owner(epoch)
+        for fp in manager.resolved_distinct(epoch):
+            expected.setdefault(fp, {})[owner] = 1
+    for fp in sorted(expected):
+        if not manager.index.has(fp):
+            out.append(Violation(
+                "chain-refcounts", step,
+                f"chunk {fp.hex()[:12]} is resolved by live epochs "
+                f"{sorted(expected[fp])} but missing from the GC index",
+            ))
+            continue
+        refs = dict(manager.index.get(fp).refs)
+        if refs != expected[fp]:
+            out.append(Violation(
+                "chain-refcounts", step,
+                f"chunk {fp.hex()[:12]}: index refs {refs} != live-epoch "
+                f"recount {expected[fp]}",
+            ))
+    for fp, _entry in sorted(manager.index.items()):
+        if fp not in expected:
+            out.append(Violation(
+                "chain-refcounts", step,
+                f"GC index holds chunk {fp.hex()[:12]} resolved by no "
+                f"live epoch (leaked reference)",
+            ))
+    for node in manager.cluster.nodes:
+        for fp in sorted(node.chunks.fingerprints()):
+            if fp not in expected:
+                out.append(Violation(
+                    "chain-refcounts", step,
+                    f"node {node.node_id} stores chunk {fp.hex()[:12]} "
+                    f"referenced by no live epoch (GC missed it)",
+                ))
+    return out
+
+
+def check_chain_restore(
+    manager,
+    step: int,
+    epoch_floors: Dict[Tuple[int, int], int],
+    oracle,
+    batched_restore: bool = True,
+) -> List[Violation]:
+    """Time-travel soundness: every live ``(epoch, rank)`` whose
+    *effective floor* — the minimum replica floor over every dump on the
+    epoch's ancestor path — is positive must restore to exactly the bytes
+    the workload held at that epoch (``oracle(epoch, rank) -> bytes``).
+    Below the floor a typed failure is acceptable, silently wrong bytes
+    never are: whatever a restore returns must equal the oracle.  With
+    ``batched_restore`` the legacy per-chunk loop runs as a differential
+    reference, exactly as in :func:`check_restore`."""
+    from repro.chain.errors import ChainError
+
+    out: List[Violation] = []
+    for (epoch, rank), floor in sorted(epoch_floors.items()):
+        expected = oracle(epoch, rank)
+        try:
+            dataset, report = manager.restore_epoch(
+                rank, epoch, batched=batched_restore
+            )
+        except (ChainError, StorageError) as exc:
+            if floor >= 1:
+                out.append(Violation(
+                    "chain-restore", step,
+                    f"epoch {epoch} rank {rank} failed to restore "
+                    f"(effective floor {floor}): {exc}",
+                ))
+            continue
+        actual = dataset.to_bytes()
+        if actual != expected:
+            out.append(Violation(
+                "chain-restore", step,
+                f"epoch {epoch} rank {rank} restored {len(actual)}B that "
+                f"differ from the {len(expected)}B per-epoch oracle",
+            ))
+        if batched_restore:
+            try:
+                legacy, legacy_report = manager.restore_epoch(
+                    rank, epoch, batched=False
+                )
+            except (ChainError, StorageError) as exc:
+                out.append(Violation(
+                    "chain-restore", step,
+                    f"epoch {epoch} rank {rank} restored batched but the "
+                    f"legacy reference failed: {exc}",
+                ))
+                continue
+            if legacy.to_bytes() != actual:
+                out.append(Violation(
+                    "chain-restore", step,
+                    f"epoch {epoch} rank {rank}: batched restore bytes "
+                    f"diverge from the legacy per-chunk loop",
+                ))
+            if vars(legacy_report) != vars(report):
+                out.append(Violation(
+                    "chain-restore", step,
+                    f"epoch {epoch} rank {rank}: batched restore report "
+                    f"{vars(report)} != legacy {vars(legacy_report)}",
+                ))
+    return out
+
+
 def check_parity_margin(
     cluster: Cluster, step: int, target_k: int
 ) -> List[Violation]:

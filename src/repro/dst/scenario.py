@@ -32,8 +32,14 @@ MID_DUMP_PHASES = ("exchange", "write")
 #: step operations understood by the executor; ``gc`` (multi-tenant
 #: scenarios only) garbage-collects the acting tenant's oldest live dump;
 #: ``tick`` advances logical time with no work — an idle service tick in
-#: multi-tenant scenarios (arrival gaps between bursts), a no-op otherwise
-STEP_OPS = ("dump", "crash", "repair", "gc", "tick")
+#: multi-tenant scenarios (arrival gaps between bursts), a no-op otherwise;
+#: ``prune``/``compact`` (chain scenarios only) retire the oldest
+#: non-tip live epoch / rewrite the newest live epoch as a synthetic full
+STEP_OPS = ("dump", "crash", "repair", "gc", "tick", "prune", "compact")
+
+#: chain dump kinds a chain scenario's dump step may request (``delta``
+#: silently promotes to ``full`` when there is no live parent)
+CHAIN_DUMP_KINDS = ("full", "delta")
 
 #: request arrival patterns for multi-tenant scenarios: ``steady`` submits
 #: one dump per step (the historical shape); ``bursty`` submits every dump
@@ -82,6 +88,8 @@ class Step:
     crash: Optional[MidDumpCrash] = None  # dump steps only
     #: acting tenant (dump and gc steps of multi-tenant scenarios)
     tenant: int = 0
+    #: chain dump kind (dump steps of chain scenarios only)
+    kind: str = "full"
 
     def __post_init__(self) -> None:
         if self.op not in STEP_OPS:
@@ -94,6 +102,13 @@ class Step:
             raise ScenarioError(f"step tenant must be >= 0, got {self.tenant}")
         if self.op not in ("dump", "gc") and self.tenant != 0:
             raise ScenarioError("only dump/gc steps may name a tenant")
+        if self.kind not in CHAIN_DUMP_KINDS:
+            raise ScenarioError(
+                f"dump kind must be one of {CHAIN_DUMP_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.op != "dump" and self.kind != "full":
+            raise ScenarioError("only dump steps may carry a chain kind")
 
     def as_dict(self) -> dict:
         doc: dict = {"op": self.op}
@@ -103,6 +118,8 @@ class Step:
             doc["crash"] = {"node": self.crash.node, "phase": self.crash.phase}
         if self.tenant != 0 or self.op == "gc":
             doc["tenant"] = self.tenant
+        if self.kind != "full":
+            doc["kind"] = self.kind
         return doc
 
     @classmethod
@@ -117,6 +134,7 @@ class Step:
                 else None
             ),
             tenant=int(doc.get("tenant", 0)),
+            kind=str(doc.get("kind", "full")),
         )
 
 
@@ -197,6 +215,13 @@ class Scenario:
     batched_restore: bool = True
     #: request arrival pattern (multi-tenant only, see :data:`ARRIVAL_MODES`)
     arrival: str = "steady"
+    #: incremental checkpoint chain mode: dumps route through
+    #: :class:`repro.chain.ChainManager` over an epoch-evolving
+    #: :class:`~repro.apps.mutating.MutatingWorkload` (dump steps draw a
+    #: ``kind``, ``prune``/``compact`` steps become legal), and the
+    #: invariants add chain-restore soundness vs the per-epoch oracle,
+    #: chain refcount conservation and parent referential integrity
+    chain: bool = False
 
     def __post_init__(self) -> None:
         if self.n_ranks < 2:
@@ -275,6 +300,32 @@ class Scenario:
                 "bursty arrival requires a multi-tenant scenario "
                 "(tenants >= 2)"
             )
+        if self.chain:
+            if self.tenants > 1:
+                raise ScenarioError(
+                    "chain scenarios are single-tenant (the service's "
+                    "cross-tenant accounting recount does not model "
+                    "per-epoch chain references)"
+                )
+            if self.workload_mode != "fresh":
+                raise ScenarioError(
+                    "chain scenarios use the epoch-evolving mutating "
+                    "workload; workload_mode must be 'fresh'"
+                )
+            if self.redundancy != "replication":
+                raise ScenarioError(
+                    "chain scenarios require replication redundancy "
+                    "(parity stripes cannot span a chain)"
+                )
+        for step in self.steps:
+            if step.op in ("prune", "compact") and not self.chain:
+                raise ScenarioError(
+                    f"{step.op} steps require a chain scenario"
+                )
+            if step.op == "dump" and step.kind != "full" and not self.chain:
+                raise ScenarioError(
+                    "delta dump steps require a chain scenario"
+                )
 
     # -- derived ---------------------------------------------------------------
     @property
@@ -352,6 +403,28 @@ class Scenario:
             seed=self.seed * 7919 + content,
         )
 
+    def make_chain_workload(self):
+        """The epoch-evolving workload of a chain scenario (deterministic).
+
+        Geometry is a pure function of the scenario's chunk knobs — most
+        chunks land in segment 0, plus one unaligned segment and one short
+        tail segment so delta slicing sees non-chunk-multiple boundaries.
+        """
+        from repro.apps.mutating import MutatingWorkload
+
+        cs = self.chunk_size
+        main_chunks = max(1, self.chunks_per_rank - 2)
+        return MutatingWorkload(
+            seed=self.seed * 6151 + 13,
+            segment_lengths=(
+                cs * main_chunks,
+                cs + max(1, cs // 3),
+                max(1, cs // 2),
+            ),
+            chunk_size=cs,
+            dirty_frac=0.3,
+        )
+
     # -- serialization ---------------------------------------------------------
     def as_dict(self) -> dict:
         return {
@@ -379,6 +452,7 @@ class Scenario:
             "shard_count": self.shard_count,
             "batched_restore": self.batched_restore,
             "arrival": self.arrival,
+            "chain": self.chain,
         }
 
     def to_json(self) -> str:
@@ -421,6 +495,7 @@ class Scenario:
                 shard_count=int(doc.get("shard_count", 1)),
                 batched_restore=bool(doc.get("batched_restore", True)),
                 arrival=str(doc.get("arrival", "steady")),
+                chain=bool(doc.get("chain", False)),
             )
         except KeyError as exc:
             raise ScenarioError(f"scenario document missing key {exc}") from None

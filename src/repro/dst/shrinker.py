@@ -37,9 +37,9 @@ def _candidates(scenario: Scenario) -> Iterator:
     first.  Invalid candidates (scenario validation) are skipped by the
     caller."""
     steps = scenario.steps
-    # 1. Drop between-dump crash / repair events.
+    # 1. Drop between-dump crash / repair / chain-maintenance events.
     for i, step in enumerate(steps):
-        if step.op in ("crash", "repair"):
+        if step.op in ("crash", "repair", "prune", "compact"):
             yield (
                 f"drop {step.op} step {i}",
                 lambda s=scenario, i=i: s.with_(
@@ -61,13 +61,27 @@ def _candidates(scenario: Scenario) -> Iterator:
             "set arrival=steady",
             lambda s=scenario: s.with_(arrival="steady"),
         )
-    # 2. Strip mid-dump crashes off dump steps.
+    # 2. Strip mid-dump crashes off dump steps (keep tenant/kind intact).
     for i, step in enumerate(steps):
         if step.op == "dump" and step.crash is not None:
             yield (
                 f"remove mid-dump crash from step {i}",
                 lambda s=scenario, i=i: s.with_(steps=tuple(
-                    Step("dump") if j == i else st
+                    Step("dump", tenant=st.tenant, kind=st.kind)
+                    if j == i else st
+                    for j, st in enumerate(s.steps)
+                )),
+            )
+    # 2b. Simplify chain deltas to fulls — a failure that survives is
+    #     independent of the diffing/inheritance machinery.
+    for i, step in enumerate(steps):
+        if step.op == "dump" and step.kind == "delta":
+            yield (
+                f"promote delta dump step {i} to full",
+                lambda s=scenario, i=i: s.with_(steps=tuple(
+                    Step("dump", crash=st.crash, tenant=st.tenant,
+                         kind="full")
+                    if j == i else st
                     for j, st in enumerate(s.steps)
                 )),
             )
@@ -129,6 +143,15 @@ def _candidates(scenario: Scenario) -> Iterator:
         yield (
             "disable degraded mode",
             lambda s=scenario: s.with_(degraded=False),
+        )
+    # 8. Leave chain mode last: only valid once every prune/compact step
+    #    and delta dump kind has been simplified away (validation rejects
+    #    the candidate otherwise), at which point the schedule is a plain
+    #    dump run and the base executor is the simpler reproducer.
+    if scenario.chain:
+        yield (
+            "disable chain mode",
+            lambda s=scenario: s.with_(chain=False),
         )
 
 

@@ -22,6 +22,9 @@ _HEADER = struct.Struct("<IIIIII")  # version, rank, dump_id, n_segments, digest
 _U64 = struct.Struct("<Q")
 _VERSION = 2
 _FLAG_COMPRESSED = 1
+#: the manifest describes a chain *delta* dump: its segments are the dirty
+#: chunks of one epoch, not a complete dataset — never directly restorable
+_FLAG_CHAIN_DELTA = 2
 
 
 @dataclass
@@ -36,6 +39,12 @@ class Manifest:
     #: chunks are stored as self-describing compressed frames (decode with
     #: :func:`repro.compress.codecs.decode_auto` on restore)
     compressed: bool = False
+    #: chain-delta dump (see :mod:`repro.chain`): the manifest holds only
+    #: the epoch's dirty chunks and references parent-chain chunks by
+    #: digest; :func:`repro.core.restore.restore_dataset` refuses to
+    #: restore it directly (raises ``ChainBrokenError``) — resolve through
+    #: :class:`repro.chain.ChainManager` instead
+    delta: bool = False
 
     @property
     def total_bytes(self) -> int:
@@ -61,6 +70,8 @@ class Manifest:
                 raise ValueError("mixed fingerprint sizes in manifest")
             digest_size = sizes.pop()
         flags = _FLAG_COMPRESSED if self.compressed else 0
+        if self.delta:
+            flags |= _FLAG_CHAIN_DELTA
         parts = [
             _HEADER.pack(
                 _VERSION,
@@ -132,4 +143,5 @@ class Manifest:
             fingerprints=fingerprints,
             chunk_size=chunk_size,
             compressed=bool(flags & _FLAG_COMPRESSED),
+            delta=bool(flags & _FLAG_CHAIN_DELTA),
         )

@@ -156,6 +156,14 @@ class CheckpointService:
         self._next_global = 0
         self._next_ticket = 0
         self.rejections: Dict[str, int] = {}
+        #: per-tenant incremental checkpoint chains (lazily created);
+        #: they share ``self.index`` under per-epoch owner names, so one
+        #: tenant's chain GC can never discard a chunk another tenant's
+        #: chain — or a regular dump — still references
+        self._chains: Dict[str, object] = {}
+        #: (tenant, epoch) -> (logical_bytes, chunk_records) charged at
+        #: chain-dump time, refunded on chain GC
+        self._chain_charges: Dict[Tuple[str, int], Tuple[int, int]] = {}
 
     # -- tenants -----------------------------------------------------------------
     def register_tenant(
@@ -581,6 +589,192 @@ class CheckpointService:
             bytes_reclaimed=outcome.bytes_reclaimed,
             manifests_dropped=outcome.manifests_dropped,
         )
+        return outcome
+
+    # -- incremental checkpoint chains -------------------------------------------
+    def chain_of(self, tenant: str):
+        """The tenant's :class:`~repro.chain.ChainManager`, created on
+        first use.  Chains live in their own addressing domain (epochs,
+        not tenant dump ids) but share the service cluster, the global
+        dedup index (under ``<tenant>/chain:<epoch>`` owner names) and the
+        global dump-id space, so chain manifests never collide with
+        regular dumps and cross-tenant chunk sharing stays refcounted."""
+        from repro.chain import ChainManager
+
+        self._state(tenant)
+        manager = self._chains.get(tenant)
+        if manager is None:
+            manager = ChainManager(
+                self.cluster, self.config, self.n_ranks,
+                backend=self.backend, index=self.index,
+                owner_prefix=f"{tenant}/chain", trace=self.trace,
+            )
+            self._chains[tenant] = manager
+        manager.set_next_dump_id(self._next_global)
+        return manager
+
+    def _sync_chain_ids(self, manager) -> None:
+        """Keep the service's global dump-id allocator ahead of every id
+        the chain handed out (deltas, compactions)."""
+        self._next_global = max(self._next_global, manager._next_dump_id)
+
+    def chain_dump(self, tenant: str, workload, kind: str = "delta"):
+        """Dump the workload's current state as the next epoch of the
+        tenant's chain (one service tick per executed chain dump, like a
+        drain iteration).  Quota is checked against the *full* dataset
+        size — a delta may always promote to a full — while usage charges
+        only what the dump actually shipped."""
+        state = self._state(tenant)
+        request_bytes = sum(
+            workload.per_rank_bytes(self.n_ranks, rank)
+            for rank in range(self.n_ranks)
+        )
+        chunk_size = max(1, self.config.chunk_size)
+        request_chunks = -(-request_bytes // chunk_size)
+        try:
+            check_quota(
+                tenant, state.quota, state.usage,
+                request_bytes, request_chunks, self.tick,
+            )
+        except Exception as exc:
+            state.usage.rejected += 1
+            kind_name = type(exc).__name__
+            self.rejections[kind_name] = self.rejections.get(kind_name, 0) + 1
+            self.trace.metrics.counter("svc_dumps_rejected").inc()
+            raise
+        manager = self.chain_of(tenant)
+        global_id = self._next_global
+        self._next_global += 1
+        self.tick += 1
+        start = time.perf_counter()
+        result = manager.chain_dump(workload, kind=kind, dump_id=global_id)
+        elapsed = time.perf_counter() - start
+        self._sync_chain_ids(manager)
+        self._dump_owner[result.dump_id] = tenant
+        charged_bytes = sum(r.dataset_bytes for r in result.reports)
+        charged_chunks = sum(r.n_chunks for r in result.reports)
+        state.usage.logical_bytes += charged_bytes
+        state.usage.chunk_records += charged_chunks
+        state.usage.live_dumps += 1
+        state.usage.total_dumps += 1
+        state.usage.submit_ticks.append(self.tick)
+        self._chain_charges[(tenant, result.epoch)] = (
+            charged_bytes, charged_chunks,
+        )
+        metrics = self.trace.metrics
+        metrics.counter("svc_chain_dumps_completed").inc()
+        metrics.gauge("svc_chain_delta_fraction").set(result.delta_fraction)
+        metrics.sketch("svc_dump_latency_sketch").observe(elapsed)
+        stats = self._observe_store_stats()
+        self.timeline.record(
+            "dump", self.tick,
+            tenant=tenant,
+            strategy=getattr(
+                self.config.strategy, "value", str(self.config.strategy)
+            ),
+            backend=self.backend,
+            epoch=result.epoch,
+            chain=1.0,
+            latency_s=elapsed,
+            delta_fraction=result.delta_fraction,
+            changed_chunks=result.changed_chunks,
+            new_chunks=result.new_unique_chunks,
+            new_bytes=result.new_unique_bytes,
+            logical_bytes=charged_bytes,
+            dedup_ratio=stats["dedup_ratio"],
+        )
+        self._after_tick()
+        return result
+
+    def chain_restore(self, tenant: str, rank: int, epoch: int):
+        """Time-travel restore of the tenant's chain at ``epoch``."""
+        self._state(tenant)
+        manager = self.chain_of(tenant)
+        start = time.perf_counter()
+        dataset, report = manager.restore_epoch(
+            rank, epoch, batched=self.config.batched
+        )
+        elapsed = time.perf_counter() - start
+        chunks = report.local_chunks + report.remote_chunks
+        locality = report.local_chunks / chunks if chunks else 1.0
+        metrics = self.trace.metrics
+        metrics.counter("svc_chain_restores_completed").inc()
+        metrics.sketch("svc_restore_latency_sketch").observe(elapsed)
+        metrics.sketch("svc_restore_locality_sketch").observe(locality)
+        metrics.gauge("svc_restore_locality").set(locality)
+        self.timeline.record(
+            "restore", self.tick,
+            tenant=tenant,
+            backend=self.backend,
+            epoch=epoch,
+            chain=1.0,
+            latency_s=elapsed,
+            depth=manager.depth_of(epoch),
+            bytes=report.total_bytes,
+            remote_bytes=report.remote_bytes,
+            chunks=chunks,
+            locality=locality,
+        )
+        return dataset, report
+
+    def chain_gc(self, tenant: str, epoch: Optional[int] = None):
+        """Prune one epoch of the tenant's chain (the oldest live epoch
+        by default), refunding the usage it was charged at dump time."""
+        from repro.chain.errors import ChainStateError
+
+        state = self._state(tenant)
+        manager = self.chain_of(tenant)
+        if epoch is None:
+            live = manager.live_epochs()
+            if not live:
+                raise ChainStateError(
+                    f"tenant {tenant!r} has no live chain epochs to prune"
+                )
+            epoch = live[0]
+        outcome = manager.prune(epoch)
+        charged_bytes, charged_chunks = self._chain_charges.pop(
+            (tenant, epoch), (0, 0)
+        )
+        state.usage.logical_bytes = max(
+            0, state.usage.logical_bytes - charged_bytes
+        )
+        state.usage.chunk_records = max(
+            0, state.usage.chunk_records - charged_chunks
+        )
+        state.usage.live_dumps -= 1
+        self.trace.metrics.counter("svc_chain_epochs_pruned").inc()
+        self._observe_store_stats()
+        self.timeline.record(
+            "gc", self.tick,
+            tenant=tenant,
+            backend=self.backend,
+            epoch=epoch,
+            chain=1.0,
+            chunks_dropped=outcome.chunks_dropped,
+            bytes_reclaimed=outcome.bytes_freed,
+            pinned=float(outcome.pinned),
+        )
+        return outcome
+
+    def chain_compact(self, tenant: str, epoch: Optional[int] = None):
+        """Compact one epoch of the tenant's chain (the tip by default)
+        into a synthetic full under a fresh global dump id."""
+        from repro.chain.errors import ChainStateError
+
+        self._state(tenant)
+        manager = self.chain_of(tenant)
+        if epoch is None:
+            live = manager.live_epochs()
+            if not live:
+                raise ChainStateError(
+                    f"tenant {tenant!r} has no live chain epochs to compact"
+                )
+            epoch = live[-1]
+        outcome = manager.compact(epoch)
+        self._sync_chain_ids(manager)
+        if outcome.compacted:
+            self._dump_owner[outcome.new_dump_id] = tenant
+        self.trace.metrics.counter("svc_chain_epochs_compacted").inc()
         return outcome
 
     def _ticket_of(self, global_id: int) -> Optional[int]:

@@ -1,0 +1,103 @@
+"""MutatingWorkload: the chain layer's epoch-evolving oracle."""
+
+import pytest
+
+from repro.apps.mutating import MutatingWorkload
+from repro.chain.node import chunk_slices
+
+
+def test_deterministic_per_epoch():
+    a = MutatingWorkload(seed=5)
+    b = MutatingWorkload(seed=5)
+    a.advance(3)
+    b.advance(3)
+    for rank in range(3):
+        assert a.build_dataset(rank, 3) == b.build_dataset(rank, 3)
+
+
+def test_at_epoch_is_time_travel_oracle():
+    workload = MutatingWorkload(seed=5)
+    snapshots = [workload.at_epoch(0).build_dataset(0, 2).to_bytes()]
+    for _ in range(4):
+        workload.advance()
+        snapshots.append(workload.build_dataset(0, 2).to_bytes())
+    for epoch, want in enumerate(snapshots):
+        assert workload.at_epoch(epoch).build_dataset(0, 2).to_bytes() == want
+    assert len(set(snapshots)) == len(snapshots)  # every epoch differs
+
+
+def test_incremental_materialization_matches_from_scratch():
+    """The in-place state cache (advance + dump per epoch, like a real
+    application) must produce byte-identical content to a cold replay of
+    all mutations from the base — including after an epoch rewind, which
+    forces the cold path on a warm instance."""
+    warm = MutatingWorkload(seed=5)
+    for epoch in range(5):
+        warm.epoch = epoch
+        for rank in range(2):
+            incremental = warm.build_dataset(rank, 2).to_bytes()
+            cold = warm.at_epoch(epoch).build_dataset(rank, 2).to_bytes()
+            assert incremental == cold, (epoch, rank)
+    warm.epoch = 2  # rewind: the cache is ahead and must be discarded
+    assert (
+        warm.build_dataset(0, 2).to_bytes()
+        == warm.at_epoch(2).build_dataset(0, 2).to_bytes()
+    )
+
+
+def test_dirty_regions_cover_exactly_the_mutated_chunks():
+    workload = MutatingWorkload(seed=8, dirty_frac=0.1)
+    before = workload.build_dataset(1, 2)
+    workload.advance()
+    after = workload.build_dataset(1, 2)
+    regions = workload.dirty_regions(1, 2)
+    assert regions is not None
+    slices = chunk_slices(workload.segment_lengths, workload.chunk_size)
+    declared = {
+        (seg, start, end)
+        for seg, seg_regions in enumerate(regions)
+        for start, end in seg_regions
+    }
+    for index, (seg, start, length) in enumerate(slices):
+        chunk_before = bytes(before.segment(seg))[start:start + length]
+        chunk_after = bytes(after.segment(seg))[start:start + length]
+        if chunk_before != chunk_after:
+            assert (seg, start, start + length) in declared, (seg, start)
+
+
+def test_epoch_zero_regions_unknown():
+    assert MutatingWorkload(seed=1).dirty_regions(0, 2) is None
+
+
+def test_geometry_constant_across_epochs():
+    workload = MutatingWorkload(seed=2)
+    base = workload.build_dataset(0, 2).segment_lengths
+    workload.advance(5)
+    assert workload.build_dataset(0, 2).segment_lengths == base
+
+
+def test_shared_base_dedups_across_ranks_at_epoch_zero():
+    workload = MutatingWorkload(seed=3, shared_base=True)
+    seg0 = [bytes(workload.build_dataset(r, 4).segment(0)) for r in range(4)]
+    assert len(set(seg0)) == 1
+    private = MutatingWorkload(seed=3, shared_base=False)
+    seg0 = [bytes(private.build_dataset(r, 4).segment(0)) for r in range(4)]
+    assert len(set(seg0)) == 4
+
+
+def test_at_least_one_chunk_mutates_per_epoch():
+    workload = MutatingWorkload(seed=4, dirty_frac=0.0001)
+    before = workload.build_dataset(0, 2).to_bytes()
+    workload.advance()
+    assert workload.build_dataset(0, 2).to_bytes() != before
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MutatingWorkload(dirty_frac=0.0)
+    with pytest.raises(ValueError):
+        MutatingWorkload(chunk_size=0)
+    with pytest.raises(ValueError):
+        MutatingWorkload().at_epoch(-1)
+    with pytest.raises(ValueError):
+        MutatingWorkload().advance(-1)

@@ -1,0 +1,168 @@
+"""Regression suite: a chain delta is never silently restorable.
+
+Before the chain layer, every consumer of a dump id — ``restore_dataset``,
+the collective ``load_input``, the ftrt :class:`CheckpointRuntime` restart
+paths — assumed any manifest describes a complete dataset.  A chain delta
+holds one epoch's dirty chunks only: reassembling it as a full dataset is
+silent corruption (a short dataset of concatenated dirty chunks).  These
+tests pin the fix — every such path surfaces a typed
+:class:`~repro.chain.errors.ChainBrokenError` instead — plus the
+chain-level failure mode: a delta whose parent chunks were lost reports
+the ancestor epoch that wrote them.
+"""
+
+import pytest
+
+from repro.apps.mutating import MutatingWorkload
+from repro.chain import ChainBrokenError, ChainError, ChainManager
+from repro.core.collective_restore import load_input
+from repro.core.config import DumpConfig
+from repro.core.restore import restore_dataset
+from repro.core.runner import run_collective
+from repro.ftrt.runtime import CheckpointRuntime
+from repro.storage.local_store import Cluster
+
+N = 2
+CHUNK = 1024
+
+
+def chained_cluster(depth=2, seed=9):
+    cluster = Cluster(N)
+    config = DumpConfig(replication_factor=2, chunk_size=CHUNK)
+    workload = MutatingWorkload(seed=seed, chunk_size=CHUNK, dirty_frac=0.2)
+    manager = ChainManager(cluster, config, N)
+    manager.chain_dump(workload, kind="full")
+    for _ in range(depth):
+        workload.advance()
+        manager.chain_dump(workload)
+    return cluster, config, manager, workload
+
+
+def delta_dump_id(manager):
+    node = manager.tip()
+    assert node.kind == "delta"
+    return node.dump_id
+
+
+class TestRestorePathsRejectDeltas:
+    def test_restore_dataset_raises_typed(self):
+        cluster, config, manager, _ = chained_cluster()
+        with pytest.raises(ChainBrokenError, match="chain delta"):
+            restore_dataset(cluster, 0, delta_dump_id(manager))
+
+    def test_restore_dataset_legacy_path_raises_too(self):
+        cluster, config, manager, _ = chained_cluster()
+        with pytest.raises(ChainBrokenError, match="chain delta"):
+            restore_dataset(
+                cluster, 0, delta_dump_id(manager), batched=False
+            )
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_collective_load_input_aborts_typed(self, batched):
+        cluster, config, manager, _ = chained_cluster()
+        config = config.with_(batched=batched)
+        dump_id = delta_dump_id(manager)
+
+        def rank_main(comm):
+            with pytest.raises(ChainBrokenError, match="chain delta"):
+                load_input(comm, cluster, config, dump_id)
+            return "aborted"
+
+        results, _ = run_collective(N, rank_main, cluster=cluster)
+        assert results == ["aborted"] * N
+
+    def test_full_dumps_still_restore(self):
+        cluster, config, manager, workload = chained_cluster()
+        full_id = manager.nodes[0].dump_id
+        dataset, _ = restore_dataset(cluster, 0, full_id)
+        want = workload.at_epoch(0).build_dataset(0, N).to_bytes()
+        assert dataset.to_bytes() == want
+
+
+class TestFtrtRuntimeSeam:
+    def test_restart_on_chain_delta_is_typed_not_garbage(self):
+        """An ftrt runtime pointed (via shared cluster) at a chain delta's
+        dump id must raise, not hand the app a dirty-chunk concatenation."""
+        cluster, config, manager, _ = chained_cluster()
+        dump_id = delta_dump_id(manager)
+
+        def rank_main(comm):
+            runtime = CheckpointRuntime(comm, cluster, config, interval=1)
+            runtime.memory.register("state", bytearray(CHUNK))
+            with pytest.raises(ChainBrokenError, match="chain delta"):
+                runtime.restart(dump_id)
+            return runtime.stats.restarts
+
+        results, _ = run_collective(N, rank_main, cluster=cluster)
+        assert results == [0] * N  # the failed restart was not recorded
+
+    def test_restart_collective_on_chain_delta_is_typed(self):
+        cluster, config, manager, _ = chained_cluster()
+        dump_id = delta_dump_id(manager)
+
+        def rank_main(comm):
+            runtime = CheckpointRuntime(comm, cluster, config, interval=1)
+            runtime.memory.register("state", bytearray(CHUNK))
+            with pytest.raises(ChainBrokenError):
+                runtime.restart_collective(dump_id)
+            return "typed"
+
+        results, _ = run_collective(N, rank_main, cluster=cluster)
+        assert results == ["typed"] * N
+
+    def test_ftrt_checkpoints_interleave_with_chains_safely(self):
+        """ftrt checkpoints sharing a cluster with a chain keep restoring:
+        the chain's dump ids never collide after set_next_dump_id."""
+        cluster, config, manager, _ = chained_cluster()
+
+        def rank_main(comm):
+            runtime = CheckpointRuntime(comm, cluster, config, interval=1)
+            runtime._next_dump_id = 100  # disjoint id space
+            runtime.memory.register("state", bytearray(b"x" * CHUNK))
+            runtime.maybe_checkpoint(1)
+            return runtime.restart()
+
+        results, _ = run_collective(N, rank_main, cluster=cluster)
+        assert results == [100] * N
+        manager.set_next_dump_id(101)
+        assert manager._next_dump_id == 101
+
+
+class TestLostParentChunks:
+    def test_broken_error_names_writer_epoch_and_missing(self):
+        cluster, config, manager, _ = chained_cluster(depth=3)
+        # lose a chunk the BASE full wrote, still inherited at the tip
+        tip_fps = set(manager.resolved_fps(3, 0))
+        base_fps = [
+            fp for fp in manager.nodes[0].fps[0]
+            if fp in tip_fps
+            and manager._writer_epoch(3, fp) == 0
+        ]
+        assert base_fps
+        victim = base_fps[0]
+        for node in cluster.nodes:
+            node.chunks.discard(victim)
+        with pytest.raises(ChainBrokenError) as excinfo:
+            manager.restore_epoch(0, 3)
+        err = excinfo.value
+        assert err.epoch == 3
+        assert err.writer_epoch == 0
+        assert victim in err.missing
+        assert isinstance(err, ChainError)
+
+    def test_verify_epoch_degrades_before_restore_garbage(self):
+        cluster, config, manager, _ = chained_cluster(depth=2)
+        victim = manager.resolved_fps(2, 1)[3]
+        for node in cluster.nodes:
+            node.chunks.discard(victim)
+        assert manager.verify_epoch(1, 2) is not None
+
+    def test_replicated_loss_within_k_is_transparent(self):
+        """Losing one replica of a parent chunk is not a broken chain."""
+        cluster, config, manager, workload = chained_cluster(depth=2)
+        victim = manager.resolved_fps(2, 0)[0]
+        holders = cluster.locate(victim)
+        cluster.nodes[holders[0]].chunks.discard(victim)
+        dataset, _ = manager.restore_epoch(0, 2)
+        want = workload.at_epoch(2).build_dataset(0, N).to_bytes()
+        assert dataset.to_bytes() == want

@@ -1,0 +1,395 @@
+"""Unit suite for :class:`repro.chain.ChainManager`.
+
+The algebraic/property layer lives in ``test_chain_algebra.py``; here every
+manager operation is exercised directly — dump kinds and promotion, epoch
+resolution, time-travel restore, prune/pin/sweep, compaction, locality
+rewriting, persistence and the error surface.
+"""
+
+import pytest
+
+from repro.apps.mutating import MutatingWorkload
+from repro.chain import (
+    ChainBrokenError,
+    ChainManager,
+    ChainStateError,
+    chunk_slices,
+)
+from repro.core.config import DumpConfig
+from repro.simmpi.trace import Trace
+from repro.storage.local_store import Cluster
+from repro.svc.index import GlobalDedupIndex
+
+N = 3
+CHUNK = 1024
+
+
+def make_chain(n=N, depth=0, seed=11, dirty_frac=0.15, backend=None, **cfg):
+    cluster = Cluster(n)
+    config = DumpConfig(replication_factor=2, chunk_size=CHUNK, **cfg)
+    workload = MutatingWorkload(seed=seed, chunk_size=CHUNK, dirty_frac=dirty_frac)
+    manager = ChainManager(cluster, config, n, backend=backend)
+    manager.chain_dump(workload, kind="full")
+    for _ in range(depth):
+        workload.advance()
+        manager.chain_dump(workload)
+    return manager, workload
+
+
+def oracle(workload, epoch, rank, n=N):
+    return workload.at_epoch(epoch).build_dataset(rank, n).to_bytes()
+
+
+class TestChunkSlices:
+    def test_tail_chunks_short(self):
+        slices = chunk_slices([CHUNK * 2 + 100, 50], CHUNK)
+        assert slices == [
+            (0, 0, CHUNK), (0, CHUNK, CHUNK), (0, 2 * CHUNK, 100), (1, 0, 50)
+        ]
+
+    def test_empty_geometry(self):
+        assert chunk_slices([], CHUNK) == []
+
+
+class TestDump:
+    def test_first_dump_promotes_to_full(self):
+        cluster = Cluster(N)
+        config = DumpConfig(replication_factor=2, chunk_size=CHUNK)
+        manager = ChainManager(cluster, config, N)
+        workload = MutatingWorkload(seed=1, chunk_size=CHUNK)
+        result = manager.chain_dump(workload, kind="delta")
+        assert result.kind == "full"
+        assert result.promoted
+        assert result.epoch == 0
+        assert manager.nodes[0].parent_epoch is None
+
+    def test_delta_dumps_only_dirty_chunks(self):
+        manager, workload = make_chain(depth=0)
+        workload.advance()
+        result = manager.chain_dump(workload)
+        assert result.kind == "delta" and not result.promoted
+        n_chunks = len(chunk_slices(workload.segment_lengths, CHUNK))
+        expected = len(workload._mutated_indices(0, 1)) * N
+        assert result.changed_chunks == expected
+        assert result.total_chunks == N * n_chunks
+        assert result.delta_fraction < 1.0
+
+    def test_geometry_change_promotes(self):
+        manager, workload = make_chain(depth=1)
+        grown = MutatingWorkload(
+            seed=workload.seed,
+            segment_lengths=[n + CHUNK for n in workload.segment_lengths],
+            chunk_size=CHUNK,
+        )
+        grown.epoch = workload.epoch + 1
+        result = manager.chain_dump(grown, kind="delta")
+        assert result.kind == "full" and result.promoted
+
+    def test_dump_ids_monotonic_and_recorded(self):
+        manager, _ = make_chain(depth=3)
+        dump_ids = [manager.nodes[e].dump_id for e in sorted(manager.nodes)]
+        assert dump_ids == sorted(dump_ids)
+        assert len(set(dump_ids)) == len(dump_ids)
+
+    def test_new_unique_accounting_shrinks_for_deltas(self):
+        manager, workload = make_chain(depth=0)
+        full_new = manager.index.unique_bytes
+        assert full_new > 0
+        workload.advance()
+        result = manager.chain_dump(workload)
+        assert 0 < result.new_unique_bytes < full_new
+
+    def test_bad_kind_rejected(self):
+        manager, workload = make_chain()
+        with pytest.raises(ChainStateError, match="kind"):
+            manager.chain_dump(workload, kind="incremental")
+
+    def test_parity_config_rejected(self):
+        cluster = Cluster(N)
+        config = DumpConfig(
+            replication_factor=2, chunk_size=CHUNK, redundancy="parity"
+        )
+        with pytest.raises(ChainStateError, match="parity"):
+            ChainManager(cluster, config, N)
+
+
+class TestResolveAndRestore:
+    def test_restore_every_epoch_every_rank(self):
+        manager, workload = make_chain(depth=4)
+        for epoch in range(5):
+            for rank in range(N):
+                dataset, report = manager.restore_epoch(rank, epoch)
+                assert dataset.to_bytes() == oracle(workload, epoch, rank)
+                assert report.total_bytes == dataset.nbytes
+
+    def test_legacy_restore_matches_batched(self):
+        manager, workload = make_chain(depth=2)
+        for rank in range(N):
+            batched, _ = manager.restore_epoch(rank, 2, batched=True)
+            legacy, _ = manager.restore_epoch(rank, 2, batched=False)
+            assert batched.to_bytes() == legacy.to_bytes()
+
+    def test_resolved_fps_newest_wins(self):
+        manager, workload = make_chain(depth=2)
+        base = manager.nodes[0].fps[0]
+        resolved = manager.resolved_fps(2, 0)
+        assert len(resolved) == len(base)
+        changed = dict(zip(
+            manager.nodes[2].positions[0], manager.nodes[2].fps[0]
+        ))
+        for pos, fp in changed.items():
+            assert resolved[pos] == fp
+
+    def test_unknown_epoch(self):
+        manager, _ = make_chain()
+        with pytest.raises(ChainStateError, match="unknown"):
+            manager.restore_epoch(0, 99)
+
+    def test_depth_of(self):
+        manager, _ = make_chain(depth=3)
+        assert [manager.depth_of(e) for e in range(4)] == [1, 2, 3, 4]
+
+    def test_verify_epoch_clean(self):
+        manager, _ = make_chain(depth=2)
+        assert manager.verify_epoch(0, 2) is None
+
+
+class TestPrune:
+    def test_prune_tip_without_descendants_drops_everything_it_owns(self):
+        manager, workload = make_chain(depth=1)
+        result = manager.prune(1)
+        assert not result.pinned
+        assert 1 not in manager.nodes  # swept: nothing depends on it
+        # epoch 0 still restorable
+        for rank in range(N):
+            dataset, _ = manager.restore_epoch(rank, 0)
+            assert dataset.to_bytes() == oracle(workload, 0, rank)
+
+    def test_prune_base_pins_and_keeps_descendants_restorable(self):
+        manager, workload = make_chain(depth=3)
+        result = manager.prune(0)
+        assert result.pinned
+        assert manager.nodes[0].retired
+        with pytest.raises(ChainStateError, match="pruned"):
+            manager.restore_epoch(0, 0)
+        for epoch in (1, 2, 3):
+            for rank in range(N):
+                dataset, _ = manager.restore_epoch(rank, epoch)
+                assert dataset.to_bytes() == oracle(workload, epoch, rank)
+
+    def test_refcount_conservation_after_gc(self):
+        manager, _ = make_chain(depth=4)
+        manager.prune(0)
+        manager.prune(2)
+        # recount: index must equal the union of live epochs' resolved sets
+        expected = {}
+        for epoch in manager.live_epochs():
+            owner = manager._owner(epoch)
+            for fp in manager.resolved_distinct(epoch):
+                expected.setdefault(fp, set()).add(owner)
+        assert len(manager.index) == len(expected)
+        for fp, owners in expected.items():
+            entry = manager.index.get(fp)
+            assert entry is not None
+            assert set(entry.refs) == owners
+        # every stored chunk is referenced (no leaks)
+        stored = set()
+        for node in manager.cluster.nodes:
+            stored.update(node.chunks.fingerprints())
+        assert stored == set(expected)
+
+    def test_double_prune_rejected(self):
+        manager, _ = make_chain(depth=2)
+        manager.prune(0)
+        with pytest.raises(ChainStateError, match="already"):
+            manager.prune(0)
+
+    def test_prune_cascade_sweeps_retired_ancestors(self):
+        manager, _ = make_chain(depth=2)
+        manager.prune(0)
+        manager.prune(1)
+        assert set(manager.nodes) >= {2}
+        manager.prune(2)
+        assert manager.nodes == {}
+        assert len(manager.index) == 0
+        for node in manager.cluster.nodes:
+            assert not list(node.chunks.fingerprints())
+            assert not node.manifest_keys()
+
+    def test_gc_bytes_freed_accounting(self):
+        manager, _ = make_chain(depth=2)
+        before = sum(
+            node.chunks.nbytes_of(fp)
+            for node in manager.cluster.nodes
+            for fp in node.chunks.fingerprints()
+        )
+        result = manager.prune(2)
+        after = sum(
+            node.chunks.nbytes_of(fp)
+            for node in manager.cluster.nodes
+            for fp in node.chunks.fingerprints()
+        )
+        assert result.bytes_freed > 0
+        # replicated chunks: physical bytes freed counts every replica
+        assert before - after == result.bytes_freed
+
+
+class TestCompact:
+    def test_compact_equals_full(self):
+        manager, workload = make_chain(depth=3)
+        result = manager.compact(3)
+        assert result.compacted
+        node = manager.nodes[3]
+        assert node.kind == "full" and node.parent_epoch is None
+        for rank in range(N):
+            dataset, _ = manager.restore_epoch(rank, 3)
+            assert dataset.to_bytes() == oracle(workload, 3, rank)
+
+    def test_compact_base_full_is_noop(self):
+        manager, _ = make_chain(depth=1)
+        result = manager.compact(0)
+        assert not result.compacted
+        assert result.new_dump_id == result.old_dump_id
+
+    def test_compact_reanchors_descendants(self):
+        manager, workload = make_chain(depth=3)
+        manager.compact(1)
+        # 2 and 3 still chain onto epoch 1 (now a full) and restore clean
+        assert manager.nodes[2].parent_epoch == 1
+        for epoch in (2, 3):
+            for rank in range(N):
+                dataset, _ = manager.restore_epoch(rank, epoch)
+                assert dataset.to_bytes() == oracle(workload, epoch, rank)
+
+    def test_compact_then_prune_ancestors_sweeps(self):
+        manager, workload = make_chain(depth=3)
+        manager.compact(3)
+        for epoch in (0, 1, 2):
+            manager.prune(epoch)
+        assert set(manager.nodes) == {3}
+        for rank in range(N):
+            dataset, _ = manager.restore_epoch(rank, 3)
+            assert dataset.to_bytes() == oracle(workload, 3, rank)
+
+    def test_compact_pruned_epoch_rejected(self):
+        manager, _ = make_chain(depth=1)
+        manager.prune(0)
+        with pytest.raises(ChainStateError, match="pruned"):
+            manager.compact(0)
+
+
+class TestBrokenChain:
+    def test_lost_ancestor_chunk_is_typed_error(self):
+        manager, _ = make_chain(depth=3)
+        fp = manager.resolved_fps(3, 0)[0]
+        for node in manager.cluster.nodes:
+            node.chunks.discard(fp)
+        with pytest.raises(ChainBrokenError) as excinfo:
+            manager.restore_epoch(0, 3)
+        assert excinfo.value.epoch == 3
+        assert excinfo.value.missing
+        assert excinfo.value.writer_epoch in range(4)
+
+    def test_verify_epoch_names_writer(self):
+        manager, workload = make_chain(depth=2)
+        # kill a chunk epoch 2 itself wrote
+        fp = sorted(manager.nodes[2].written_fingerprints())[0]
+        for node in manager.cluster.nodes:
+            node.chunks.discard(fp)
+        reason = manager.verify_epoch(0, 2)
+        if reason is not None:  # fp may belong to another rank's column
+            assert "epoch 2" in reason
+
+    def test_node_failure_within_replication_still_restores(self):
+        manager, workload = make_chain(depth=2, degraded=True)
+        manager.cluster.fail_node(0)
+        for epoch in range(3):
+            for rank in range(N):
+                dataset, _ = manager.restore_epoch(rank, epoch)
+                assert dataset.to_bytes() == oracle(workload, epoch, rank)
+
+
+class TestLocalityRewrite:
+    def test_rewrite_raises_locality_and_preserves_bytes(self):
+        manager, workload = make_chain(depth=5, dirty_frac=0.25)
+        result = manager.rewrite_for_locality(5, threshold=1.01)
+        assert any(r.rewritten for r in result.ranks)
+        for r in result.ranks:
+            assert r.locality_after >= r.locality_before
+        for rank in range(N):
+            dataset, report = manager.restore_epoch(rank, 5)
+            assert dataset.to_bytes() == oracle(workload, 5, rank)
+
+    def test_rewrite_noop_above_threshold(self):
+        manager, _ = make_chain(depth=1)
+        result = manager.rewrite_for_locality(1, threshold=0.0)
+        assert all(not r.rewritten for r in result.ranks)
+        assert result.chunks_copied == 0
+
+    def test_rewrite_pruned_epoch_rejected(self):
+        manager, _ = make_chain(depth=1)
+        manager.prune(0)
+        with pytest.raises(ChainStateError, match="pruned"):
+            manager.rewrite_for_locality(0)
+
+
+class TestPersistence:
+    def test_blob_round_trip_preserves_chain(self):
+        manager, workload = make_chain(depth=3)
+        manager.prune(0)
+        blob = manager.to_blob()
+        clone = ChainManager.from_blob(
+            blob, manager.cluster, manager.config
+        )
+        assert clone.live_epochs() == manager.live_epochs()
+        assert clone.next_epoch == manager.next_epoch
+        assert set(clone.nodes) == set(manager.nodes)
+        for epoch in clone.live_epochs():
+            for rank in range(N):
+                dataset, _ = clone.restore_epoch(rank, epoch)
+                assert dataset.to_bytes() == oracle(workload, epoch, rank)
+
+    def test_blob_rebuilds_refcounts(self):
+        manager, _ = make_chain(depth=2)
+        clone = ChainManager.from_blob(
+            manager.to_blob(), manager.cluster, manager.config,
+            index=GlobalDedupIndex(),
+        )
+        assert len(clone.index) == len(manager.index)
+        # GC through the rebuilt manager must still converge to empty
+        for epoch in list(clone.live_epochs()):
+            clone.prune(epoch)
+        assert len(clone.index) == 0
+
+    def test_chunk_size_mismatch_rejected(self):
+        manager, _ = make_chain()
+        blob = manager.to_blob()
+        other = DumpConfig(replication_factor=2, chunk_size=CHUNK * 2)
+        with pytest.raises(ChainStateError, match="chunk_size"):
+            ChainManager.from_blob(blob, manager.cluster, other)
+
+    def test_save_load_file(self, tmp_path):
+        manager, workload = make_chain(depth=2)
+        path = tmp_path / "chain.rch1"
+        manager.save(path)
+        clone = ChainManager.load(path, manager.cluster, manager.config)
+        dataset, _ = clone.restore_epoch(0, 2)
+        assert dataset.to_bytes() == oracle(workload, 2, 0)
+
+
+class TestTraceIntegration:
+    def test_chain_spans_and_gauges_recorded(self):
+        cluster = Cluster(N)
+        config = DumpConfig(replication_factor=2, chunk_size=CHUNK)
+        trace = Trace(rank=0, level="span")
+        workload = MutatingWorkload(seed=5, chunk_size=CHUNK)
+        manager = ChainManager(cluster, config, N, trace=trace)
+        manager.chain_dump(workload, kind="full")
+        workload.advance()
+        manager.chain_dump(workload)
+        manager.restore_epoch(0, 1)
+        manager.compact(1)
+        manager.prune(0)
+        names = {span.name for span in trace.spans}
+        assert {"chain-dump", "chain-restore", "chain-gc", "chain-compact"} <= names
+        assert trace.metrics.gauge("chain_depth").value >= 1.0

@@ -28,6 +28,20 @@ def test_corpus_files_match_generator():
         assert scenario == generate_scenario(scenario.seed)
 
 
+def _max_chain_depth(scenario) -> int:
+    """Deepest ancestor path any epoch of a chain scenario reaches (a
+    full resets the chain, a compact rewrites the tip into a full)."""
+    depth = 0
+    deepest = 0
+    for st in scenario.steps:
+        if st.op == "dump":
+            depth = 1 if st.kind == "full" else depth + 1
+            deepest = max(deepest, depth)
+        elif st.op == "compact":
+            depth = min(depth, 1)
+    return deepest
+
+
 def test_corpus_covers_the_feature_matrix():
     feats = set()
     for _path, s in iter_corpus(default_corpus_dir()):
@@ -63,11 +77,34 @@ def test_corpus_covers_the_feature_matrix():
             feats.add("bursty")
         if any(st.op == "tick" for st in s.steps):
             feats.add("tick")
+        if s.chain:
+            feats.add("chain")
+            if any(
+                st.op == "dump" and st.kind == "delta" for st in s.steps
+            ):
+                feats.add("chain-delta")
+            if any(st.op == "prune" for st in s.steps):
+                feats.add("chain-prune")
+            if any(st.op == "compact" for st in s.steps):
+                feats.add("chain-compact")
+            if any(
+                st.op == "crash" or (
+                    st.op == "dump" and st.crash is not None
+                )
+                for st in s.steps
+            ):
+                feats.add("chain-crash")
+            if s.differential:
+                feats.add("chain-differential")
+            if _max_chain_depth(s) >= 8:
+                feats.add("chain-deep")
     assert feats >= {
         "parity", "repeat", "differential", "legacy", "compress",
         "crash", "mid-dump", "repair", "pipelined-fast",
         "multi-tenant", "tenant-gc", "sharded",
         "batched-restore", "legacy-restore", "bursty", "tick",
+        "chain", "chain-delta", "chain-prune", "chain-compact",
+        "chain-crash", "chain-differential", "chain-deep",
     }
 
 
